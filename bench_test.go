@@ -1,0 +1,526 @@
+package ipscope
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index) as benchmarks, plus
+// the ablations DESIGN.md calls out. Key shape numbers are attached to
+// each benchmark via b.ReportMetric so a -bench run records the series
+// the paper reports.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ipscope/internal/analysis"
+	"ipscope/internal/bgp"
+	"ipscope/internal/cdnlog"
+	"ipscope/internal/core"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/scan"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+	"ipscope/internal/useragent"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *analysis.Context
+)
+
+// benchContext builds the shared world/simulation used by all
+// experiment benchmarks (outside the timed sections).
+func benchContext(b *testing.B) *analysis.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		wcfg := synthnet.Config{Seed: 17, NumASes: 150, MeanBlocksPerAS: 10}
+		scfg := sim.DefaultConfig()
+		scfg.Days = 112
+		scfg.DailyStart = 28
+		scfg.DailyLen = 84
+		benchCtx = analysis.NewContext(wcfg, scfg)
+	})
+	return benchCtx
+}
+
+func BenchmarkFigure1Growth(b *testing.B) {
+	var stag float64
+	for i := 0; i < b.N; i++ {
+		f := analysis.Figure1(uint64(i + 1))
+		stag = f.StagnationRatio
+	}
+	b.ReportMetric(stag, "post/pre-growth")
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var tot int
+	for i := 0; i < b.N; i++ {
+		t := analysis.Table1(ctx)
+		tot = t.Weekly.TotalIPs
+	}
+	b.ReportMetric(float64(tot), "yearIPs")
+}
+
+func BenchmarkFigure2Visibility(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		f := analysis.Figure2(ctx)
+		frac = f.CDNOnlyIPFraction
+	}
+	b.ReportMetric(100*frac, "cdnOnly%")
+}
+
+func BenchmarkFigure2Classification(b *testing.B) {
+	ctx := benchContext(b)
+	cdn := ctx.CDNMonth()
+	icmpOnly := ctx.Campaign.ICMP.Diff(cdn)
+	b.ResetTimer()
+	var servers int
+	for i := 0; i < b.N; i++ {
+		cl := core.ClassifyICMPOnly(icmpOnly, ctx.Campaign.Servers, ctx.Campaign.Routers)
+		servers = cl[core.ClassServer]
+	}
+	b.ReportMetric(float64(servers), "servers")
+}
+
+func BenchmarkFigure3RIR(b *testing.B) {
+	ctx := benchContext(b)
+	cdn := ctx.CDNMonth()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GroupByRIR(cdn, ctx.Campaign.ICMP, ctx.World.Registry)
+	}
+}
+
+func BenchmarkFigure3Countries(b *testing.B) {
+	ctx := benchContext(b)
+	cdn := ctx.CDNMonth()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GroupByCountry(cdn, ctx.Campaign.ICMP, ctx.World.Registry, 11)
+	}
+}
+
+func BenchmarkFigure4Daily(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		pts := core.ChurnSeries(ctx.Res.Daily)
+		var s float64
+		for _, p := range pts {
+			s += p.UpPct
+		}
+		mean = s / float64(len(pts))
+	}
+	b.ReportMetric(mean, "dailyUp%")
+}
+
+func BenchmarkFigure4Windows(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		wcs := core.ChurnByWindow(ctx.Res.Daily, []int{1, 2, 4, 7, 14, 28})
+		med = wcs[len(wcs)-1].Up.Median
+	}
+	b.ReportMetric(med, "28dUp%")
+}
+
+func BenchmarkFigure4Yearly(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var appear int
+	for i := 0; i < b.N; i++ {
+		ads := core.VersusBaseline(ctx.Res.Weekly)
+		appear = ads[len(ads)-1].Appear
+	}
+	b.ReportMetric(float64(appear), "yearAppear")
+}
+
+func BenchmarkFigure5ASChurn(b *testing.B) {
+	ctx := benchContext(b)
+	weekly := core.Windows(ctx.Res.Daily, 7)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		per := core.PerASChurn(weekly, ctx.ASOf, 100)
+		n = len(per)
+	}
+	b.ReportMetric(float64(n), "ASes")
+}
+
+func BenchmarkFigure5EventSize(b *testing.B) {
+	ctx := benchContext(b)
+	weekly := core.Windows(ctx.Res.Daily, 7)
+	b.ResetTimer()
+	var single float64
+	for i := 0; i < b.N; i++ {
+		d := core.EventSizeDistribution(weekly[0], weekly[1], 8)
+		single = d[4]
+	}
+	b.ReportMetric(100*single, "/32share%")
+}
+
+func BenchmarkFigure5BGP(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var up float64
+	for i := 0; i < b.N; i++ {
+		c := core.CorrelateBGP(ctx.Res.Daily, 28, ctx.Res.Routing, ctx.Res.Config.DailyStart)
+		up = c.UpPct
+	}
+	b.ReportMetric(up, "upBGP%")
+}
+
+func BenchmarkTable2LongTerm(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var full float64
+	for i := 0; i < b.N; i++ {
+		t := analysis.Table2(ctx)
+		full = t.Result.AppearFull24Pct
+	}
+	b.ReportMetric(full, "full24%")
+}
+
+func BenchmarkFigure6Patterns(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(analysis.Figure6(ctx).Examples)
+	}
+	b.ReportMetric(float64(n), "examples")
+}
+
+func BenchmarkFigure7Change(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Figure7(ctx, 2)
+	}
+}
+
+func BenchmarkFigure8Change(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		cs := core.DetectChange(ctx.Res.Daily, 28, 0.25)
+		frac = cs.MajorFraction()
+	}
+	b.ReportMetric(100*frac, "major%")
+}
+
+func BenchmarkFigure8FD(b *testing.B) {
+	ctx := benchContext(b)
+	blocks := core.ActiveBlocks(ctx.Res.Daily)
+	b.ResetTimer()
+	var high int
+	for i := 0; i < b.N; i++ {
+		high = 0
+		for _, blk := range blocks {
+			if core.FillingDegree(ctx.Res.Daily, blk) > 250 {
+				high++
+			}
+		}
+	}
+	b.ReportMetric(float64(high), "FD>250")
+}
+
+func BenchmarkFigure8STU(b *testing.B) {
+	ctx := benchContext(b)
+	blocks := core.ActiveBlocks(ctx.Res.Daily)
+	b.ResetTimer()
+	var full int
+	for i := 0; i < b.N; i++ {
+		full = 0
+		for _, blk := range blocks {
+			if core.STU(ctx.Res.Daily, blk) >= 0.995 {
+				full++
+			}
+		}
+	}
+	b.ReportMetric(float64(full), "fullSTU")
+}
+
+func BenchmarkFigure9Hits(b *testing.B) {
+	ctx := benchContext(b)
+	iter := ctx.TrafficIter()
+	days := len(ctx.Res.Daily)
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		tb := core.BinByDaysActive(days, iter)
+		med = tb.DailyHitPercentiles[days-1][2]
+	}
+	b.ReportMetric(med, "everydayMedHits")
+}
+
+func BenchmarkFigure9Cumulative(b *testing.B) {
+	ctx := benchContext(b)
+	tb := core.BinByDaysActive(len(ctx.Res.Daily), ctx.TrafficIter())
+	b.ResetTimer()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		_, traffic := tb.Cumulative()
+		share = 1 - traffic[len(traffic)-2]
+	}
+	b.ReportMetric(100*share, "lastBinTraffic%")
+}
+
+func BenchmarkFigure9TopShare(b *testing.B) {
+	ctx := benchContext(b)
+	// Reconstruct per-address totals for the top-share computation.
+	var hits []float64
+	for _, bt := range ctx.Res.Traffic {
+		for h := 0; h < 256; h++ {
+			if bt.Hits[h] > 0 {
+				hits = append(hits, bt.Hits[h])
+			}
+		}
+	}
+	b.ResetTimer()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		share = core.TopShare(hits, 0.10)
+	}
+	b.ReportMetric(100*share, "top10%share")
+}
+
+func BenchmarkFigure10UADiversity(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var gw int
+	for i := 0; i < b.N; i++ {
+		f := analysis.Figure10(ctx)
+		gw = f.Regions.Gateways
+	}
+	b.ReportMetric(float64(gw), "gateways")
+}
+
+func BenchmarkFigure11Demographics(b *testing.B) {
+	ctx := benchContext(b)
+	features := ctx.BlockFeatures()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		d := core.BuildDemographics(features)
+		cells = len(d.Counts)
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+func BenchmarkFigure12RIR(b *testing.B) {
+	ctx := benchContext(b)
+	features := ctx.BlockFeatures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildRIRDemographics(features, ctx.World.Registry)
+	}
+}
+
+func BenchmarkRecapture(b *testing.B) {
+	ctx := benchContext(b)
+	cdn := ctx.CDNMonth()
+	b.ResetTimer()
+	var est float64
+	for i := 0; i < b.N; i++ {
+		e, err := core.RecaptureSets(cdn, ctx.Campaign.ICMP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		est = e.Chapman
+	}
+	b.ReportMetric(est, "chapman")
+}
+
+// --- Substrate and ablation benchmarks -------------------------------
+
+// BenchmarkSimulationDay measures the simulator's per-day cost.
+func BenchmarkSimulationDay(b *testing.B) {
+	w := synthnet.Generate(synthnet.Config{Seed: 2, NumASes: 60, MeanBlocksPerAS: 8})
+	cfg := sim.TinyConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(w, cfg)
+	}
+	b.ReportMetric(float64(cfg.Days), "days/op")
+}
+
+// BenchmarkAblationLPM compares the routing-trie against the linear
+// reference (the LPM ablation from DESIGN.md).
+func BenchmarkAblationLPM(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var routes []bgp.Route
+	trie := bgp.NewTable()
+	for i := 0; i < 5000; i++ {
+		p, _ := ipv4.NewPrefix(ipv4.Addr(rng.Uint32()), 8+rng.Intn(17))
+		r := bgp.Route{Prefix: p, Origin: bgp.ASN(i + 1)}
+		routes = append(routes, r)
+		trie.Insert(r)
+	}
+	lin := bgp.NewLinearTable(routes)
+	probes := make([]ipv4.Addr, 1024)
+	for i := range probes {
+		probes[i] = ipv4.Addr(rng.Uint32())
+	}
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trie.Lookup(probes[i%len(probes)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lin.Lookup(probes[i%len(probes)])
+		}
+	})
+}
+
+// BenchmarkAblationSet compares the bitmap-backed address set against a
+// plain Go map at churn-analysis access patterns.
+func BenchmarkAblationSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	addrs := make([]ipv4.Addr, 100000)
+	for i := range addrs {
+		addrs[i] = ipv4.Addr(0x0a000000 + rng.Uint32()%(1<<16))
+	}
+	b.Run("bitmap-set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s1 := ipv4.NewSet()
+			s2 := ipv4.NewSet()
+			for j, a := range addrs {
+				if j%2 == 0 {
+					s1.Add(a)
+				} else {
+					s2.Add(a)
+				}
+			}
+			_ = s1.DiffCount(s2)
+		}
+	})
+	b.Run("go-map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m1 := make(map[ipv4.Addr]bool)
+			m2 := make(map[ipv4.Addr]bool)
+			for j, a := range addrs {
+				if j%2 == 0 {
+					m1[a] = true
+				} else {
+					m2[a] = true
+				}
+			}
+			n := 0
+			for a := range m1 {
+				if !m2[a] {
+					n++
+				}
+			}
+			_ = n
+		}
+	})
+}
+
+// BenchmarkAblationHLL sweeps sketch precision: accuracy vs memory.
+func BenchmarkAblationHLL(b *testing.B) {
+	for _, p := range []uint8{8, 10, 12, 14} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var est float64
+			for i := 0; i < b.N; i++ {
+				h := useragent.NewHLL(p)
+				for j := 0; j < 10000; j++ {
+					h.AddString(fmt.Sprintf("ua-%d", j))
+				}
+				est = h.Estimate()
+			}
+			relErr := (est - 10000) / 10000
+			b.ReportMetric(relErr*100, "relErr%")
+			b.ReportMetric(float64(uint64(1)<<p), "registers")
+		})
+	}
+}
+
+// BenchmarkAblationChangeThreshold sweeps the Figure 8a ΔSTU threshold.
+func BenchmarkAblationChangeThreshold(b *testing.B) {
+	ctx := benchContext(b)
+	for _, th := range []float64{0.10, 0.25, 0.40} {
+		b.Run(fmt.Sprintf("th=%.2f", th), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				cs := core.DetectChange(ctx.Res.Daily, 28, th)
+				frac = cs.MajorFraction()
+			}
+			b.ReportMetric(100*frac, "major%")
+		})
+	}
+}
+
+// BenchmarkAblationChurnWindow sweeps the aggregation window.
+func BenchmarkAblationChurnWindow(b *testing.B) {
+	ctx := benchContext(b)
+	for _, w := range []int{1, 7, 28} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			var med float64
+			for i := 0; i < b.N; i++ {
+				wc := core.ChurnByWindow(ctx.Res.Daily, []int{w})
+				med = wc[0].Up.Median
+			}
+			b.ReportMetric(med, "upMedian%")
+		})
+	}
+}
+
+// BenchmarkWirePipeline measures collector ingest throughput
+// (records/op over a live TCP socket).
+func BenchmarkWirePipeline(b *testing.B) {
+	const records = 50000
+	batch := make([]cdnlog.Record, records)
+	for i := range batch {
+		batch[i] = cdnlog.Record{Addr: ipv4.Addr(uint32(i)), Day: 0, Hits: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := cdnlog.NewAggregator(1)
+		col := cdnlog.NewCollector(agg)
+		addr, err := col.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		edge, err := cdnlog.DialEdge(context.Background(), addr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range batch {
+			if err := edge.Log(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edge.Close()
+		if err := col.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if agg.UniqueAddrs() != records {
+			b.Fatalf("lost records: %d", agg.UniqueAddrs())
+		}
+	}
+	b.ReportMetric(records, "records/op")
+}
+
+// BenchmarkScanPermutation measures the ZMap-style permutation.
+func BenchmarkScanPermutation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, _ := scan.NewPermutation(1<<20, uint64(i))
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+		}
+	}
+	b.ReportMetric(1<<20, "addrs/op")
+}

@@ -1,0 +1,112 @@
+// Command ipscope-gen generates a synthetic world and a year of
+// activity, then exports the datasets in open formats:
+//
+//   - PREFIX.nro        — allocations in NRO delegated-extended format
+//   - PREFIX.daily.bin  — per-(address, day) activity records in the
+//     cdnlog wire format (replayable into a collector)
+//   - PREFIX.summary    — dataset summary (Table 1 style)
+//
+// Usage:
+//
+//	ipscope-gen [-seed N] [-ases N] [-days N] -prefix out/world
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ipscope/internal/cdnlog"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/registry"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ipscope-gen: ")
+
+	seed := flag.Uint64("seed", 1, "world seed")
+	ases := flag.Int("ases", 120, "number of autonomous systems")
+	blocksPerAS := flag.Int("blocks-per-as", 10, "mean /24 blocks per AS")
+	days := flag.Int("days", 112, "simulated days")
+	prefix := flag.String("prefix", "ipscope-world", "output file prefix")
+	flag.Parse()
+
+	wcfg := synthnet.Config{Seed: *seed, NumASes: *ases, MeanBlocksPerAS: *blocksPerAS}
+	w := synthnet.Generate(wcfg)
+	scfg := sim.DefaultConfig()
+	scfg.Days = *days
+	res := sim.Run(w, scfg)
+
+	if dir := filepath.Dir(*prefix); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// NRO allocations.
+	nroPath := *prefix + ".nro"
+	nf, err := os.Create(nroPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := registry.WriteNRO(nf, w.Registry.Allocations()); err != nil {
+		log.Fatal(err)
+	}
+	nf.Close()
+
+	// Daily activity stream.
+	binPath := *prefix + ".daily.bin"
+	bf, err := os.Create(binPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(bf, 1<<20)
+	records := 0
+	for day, set := range res.Daily {
+		var batch []cdnlog.Record
+		set.ForEach(func(a ipv4.Addr) {
+			hits := uint32(1)
+			if bt := res.Traffic[a.Block()]; bt != nil {
+				da := bt.DaysActive[a.Host()]
+				if da > 0 {
+					hits = uint32(bt.Hits[a.Host()]/float64(da)) + 1
+				}
+			}
+			batch = append(batch, cdnlog.Record{Addr: a, Day: uint32(day), Hits: hits})
+		})
+		if err := cdnlog.WriteFrame(bw, batch); err != nil {
+			log.Fatal(err)
+		}
+		records += len(batch)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	bf.Close()
+
+	// Summary.
+	sumPath := *prefix + ".summary"
+	sf, err := os.Create(sumPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	daily := cdnlog.Summarize(res.Daily, w.ASOf)
+	weekly := cdnlog.Summarize(res.Weekly, w.ASOf)
+	stats := w.Summarize()
+	fmt.Fprintf(sf, "seed=%d ases=%d blocks=%d capacity=%d\n",
+		*seed, stats.ASes, stats.Blocks, stats.TotalCapacity)
+	fmt.Fprintf(sf, "daily:  snapshots=%d totalIPs=%d avgIPs=%d total24s=%d totalASes=%d\n",
+		daily.Snapshots, daily.TotalIPs, daily.AvgIPs, daily.TotalBlocks, daily.TotalASes)
+	fmt.Fprintf(sf, "weekly: snapshots=%d totalIPs=%d avgIPs=%d total24s=%d totalASes=%d\n",
+		weekly.Snapshots, weekly.TotalIPs, weekly.AvgIPs, weekly.TotalBlocks, weekly.TotalASes)
+	sf.Close()
+
+	log.Printf("wrote %s (%d allocations), %s (%d records), %s",
+		nroPath, len(w.Registry.Allocations()), binPath, records, sumPath)
+}

@@ -1,0 +1,54 @@
+// Command ipscope-report generates a synthetic world, simulates a year
+// of address activity, runs every experiment of the paper (all tables
+// and figures) and prints the report.
+//
+// Usage:
+//
+//	ipscope-report [-seed N] [-ases N] [-blocks-per-as N] [-days N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"ipscope/internal/analysis"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ipscope-report: ")
+
+	seed := flag.Uint64("seed", 1, "world seed")
+	ases := flag.Int("ases", 300, "number of autonomous systems")
+	blocksPerAS := flag.Int("blocks-per-as", 12, "mean /24 blocks per AS")
+	days := flag.Int("days", 364, "simulated days (52 weeks)")
+	out := flag.String("o", "", "write report to file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	wcfg := synthnet.Config{Seed: *seed, NumASes: *ases, MeanBlocksPerAS: *blocksPerAS}
+	scfg := sim.DefaultConfig()
+	scfg.Days = *days
+	log.Printf("generating world (%d ASes) and simulating %d days...", *ases, *days)
+	ctx := analysis.NewContext(wcfg, scfg)
+	log.Printf("simulation done in %v; running experiments", time.Since(start).Round(time.Millisecond))
+
+	analysis.RunAll(w, ctx, *seed)
+	fmt.Fprintf(w, "\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+}

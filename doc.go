@@ -1,0 +1,12 @@
+// Package ipscope reproduces "Beyond Counting: New Perspectives on the
+// Active IPv4 Address Space" (Richter et al., ACM IMC 2016) as a Go
+// library: a synthetic-Internet substrate standing in for the paper's
+// proprietary CDN vantage point, the paper's activity metrics and
+// analyses, and a benchmark harness regenerating every table and
+// figure of its evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured comparisons. The root package
+// contains no code of its own; the library lives under internal/ and
+// the benchmark harness in bench_test.go.
+package ipscope

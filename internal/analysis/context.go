@@ -1,0 +1,116 @@
+// Package analysis reproduces every table and figure of the paper's
+// evaluation on top of a simulated world: each ExperimentN function
+// computes the figure's underlying data with internal/core and renders
+// a paper-style text artifact. See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured comparisons.
+package analysis
+
+import (
+	"ipscope/internal/bgp"
+	"ipscope/internal/core"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/rdns"
+	"ipscope/internal/scan"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+// Context bundles a simulated world with its observation run and the
+// scanning campaign, ready for the experiment drivers.
+type Context struct {
+	World    *synthnet.World
+	Res      *sim.Result
+	Campaign *scan.Campaign
+}
+
+// NewContext generates a world and runs the simulation.
+func NewContext(wcfg synthnet.Config, scfg sim.Config) *Context {
+	w := synthnet.Generate(wcfg)
+	res := sim.Run(w, scfg)
+	return &Context{World: w, Res: res, Campaign: scan.FromResult(res)}
+}
+
+// ASOf maps a block to its origin AS in the world's base routing table.
+func (c *Context) ASOf(blk ipv4.Block) bgp.ASN { return c.World.ASOf(blk) }
+
+// CDNMonth returns the CDN's active set over the month that the ICMP
+// campaign ran (the paper compares a full month of CDN logs against
+// 8 ICMP snapshots, Section 3.2).
+func (c *Context) CDNMonth() *ipv4.Set {
+	cfg := c.Res.Config
+	if len(cfg.ICMPScanDays) == 0 {
+		return c.Res.DailyWindowUnion()
+	}
+	first := cfg.ICMPScanDays[0]
+	last := cfg.ICMPScanDays[len(cfg.ICMPScanDays)-1]
+	// Expand to a full month around the scans, clamped to the window.
+	from := first - cfg.DailyStart
+	to := last - cfg.DailyStart + 1
+	if span := to - from; span < 28 {
+		from -= (28 - span) / 2
+		to = from + 28
+	}
+	if from < 0 {
+		from = 0
+	}
+	return core.WindowUnion(c.Res.Daily, from, to)
+}
+
+// TrafficIter adapts the simulator's per-address traffic aggregates to
+// core.BinByDaysActive's iterator.
+func (c *Context) TrafficIter() func(yield func(core.IPTraffic)) {
+	return func(yield func(core.IPTraffic)) {
+		for blk, bt := range c.Res.Traffic {
+			for h := 0; h < 256; h++ {
+				if bt.DaysActive[h] == 0 {
+					continue
+				}
+				yield(core.IPTraffic{
+					Addr:       blk.Addr(byte(h)),
+					DaysActive: int(bt.DaysActive[h]),
+					Hits:       bt.Hits[h],
+				})
+			}
+		}
+	}
+}
+
+// BlockFeatures assembles the three demographics features for every
+// block active in the daily window.
+func (c *Context) BlockFeatures() []core.BlockFeatures {
+	var out []core.BlockFeatures
+	for _, blk := range core.ActiveBlocks(c.Res.Daily) {
+		f := core.BlockFeatures{
+			Block: blk,
+			STU:   core.STU(c.Res.Daily, blk),
+			Hosts: 1,
+		}
+		if bt := c.Res.Traffic[blk]; bt != nil {
+			for h := 0; h < 256; h++ {
+				f.Traffic += bt.Hits[h]
+			}
+		}
+		if ua := c.Res.UA[blk]; ua != nil {
+			if u := ua.Unique(); u > 1 {
+				f.Hosts = u
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// RDNSTags classifies every active block by its PTR naming (static /
+// dynamic / untagged), the Section 5.3 methodology.
+func (c *Context) RDNSTags(blocks []ipv4.Block) map[ipv4.Block]rdns.Tag {
+	out := make(map[ipv4.Block]rdns.Tag, len(blocks))
+	for _, blk := range blocks {
+		info, ok := c.World.BlockInfo(blk)
+		if !ok {
+			out[blk] = rdns.Untagged
+			continue
+		}
+		out[blk] = rdns.ClassifyZone(c.World.RDNSZone(info), 0.6)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"testing"
+
+	"ipscope/internal/core"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/rdns"
+)
+
+func TestCDNMonthWithinWindow(t *testing.T) {
+	ctx := sharedCtx(t)
+	month := ctx.CDNMonth()
+	window := ctx.Res.DailyWindowUnion()
+	if month.Len() == 0 {
+		t.Fatal("empty CDN month")
+	}
+	// The month is a sub-window of the daily window.
+	if month.DiffCount(window) != 0 {
+		t.Error("CDN month contains addresses outside the daily window")
+	}
+	if month.Len() >= window.Len() {
+		t.Error("CDN month should be a strict subset at this scale")
+	}
+}
+
+func TestTrafficIterConsistent(t *testing.T) {
+	ctx := sharedCtx(t)
+	totalIPs, totalHits := 0, 0.0
+	maxDays := 0
+	ctx.TrafficIter()(func(tr core.IPTraffic) {
+		totalIPs++
+		totalHits += tr.Hits
+		if tr.DaysActive > maxDays {
+			maxDays = tr.DaysActive
+		}
+	})
+	if totalIPs != ctx.Res.DailyWindowUnion().Len() {
+		t.Errorf("iterator yields %d IPs, union has %d",
+			totalIPs, ctx.Res.DailyWindowUnion().Len())
+	}
+	if maxDays > len(ctx.Res.Daily) {
+		t.Errorf("days active %d exceeds window %d", maxDays, len(ctx.Res.Daily))
+	}
+	var want float64
+	for _, v := range ctx.Res.DailyTotalHits {
+		want += v
+	}
+	if diff := totalHits - want; diff > want*1e-6 || diff < -want*1e-6 {
+		t.Errorf("hits %f != daily totals %f", totalHits, want)
+	}
+}
+
+func TestBlockFeaturesRanges(t *testing.T) {
+	ctx := sharedCtx(t)
+	feats := ctx.BlockFeatures()
+	if len(feats) == 0 {
+		t.Fatal("no features")
+	}
+	for _, f := range feats {
+		if f.STU <= 0 || f.STU > 1 {
+			t.Fatalf("STU out of range: %+v", f)
+		}
+		if f.Traffic < 0 || f.Hosts < 1 {
+			t.Fatalf("bad feature: %+v", f)
+		}
+	}
+}
+
+func TestRDNSTagsCoverAllBlocks(t *testing.T) {
+	ctx := sharedCtx(t)
+	var blocks []ipv4.Block
+	for _, b := range ctx.World.Blocks[:50] {
+		blocks = append(blocks, b.Block)
+	}
+	tags := ctx.RDNSTags(blocks)
+	if len(tags) != len(blocks) {
+		t.Fatalf("tags for %d of %d blocks", len(tags), len(blocks))
+	}
+	counts := map[rdns.Tag]int{}
+	for _, tag := range tags {
+		counts[tag]++
+	}
+	if counts[rdns.Static]+counts[rdns.Dynamic] == 0 {
+		t.Error("no block taggable at all")
+	}
+	// Unknown blocks are untagged, not invented.
+	out := ctx.RDNSTags([]ipv4.Block{ipv4.Block(0xFFFFFF)})
+	if out[ipv4.Block(0xFFFFFF)] != rdns.Untagged {
+		t.Error("unknown block should be untagged")
+	}
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ipscope/internal/core"
+	"ipscope/internal/stats"
+	"ipscope/internal/textplot"
+)
+
+// Fig4 is Figure 4: daily activity and up/down events (a), churn by
+// aggregation window (b), and year-long appear/disappear versus the
+// first week (c).
+type Fig4 struct {
+	DailyActive   []float64
+	DailyChurn    []core.ChurnPoint
+	MeanUp        float64
+	ByWindow      []core.WindowChurn
+	VersusFirst   []core.AppearDisappear
+	YearChurnFrac float64 // |appear|/|baseline| at the last week
+}
+
+// Figure4 computes the churn overview.
+func Figure4(ctx *Context) *Fig4 {
+	f := &Fig4{}
+	for _, s := range ctx.Res.Daily {
+		f.DailyActive = append(f.DailyActive, float64(s.Len()))
+	}
+	f.DailyChurn = core.ChurnSeries(ctx.Res.Daily)
+	var upSum float64
+	for _, p := range f.DailyChurn {
+		upSum += float64(p.Up)
+	}
+	if len(f.DailyChurn) > 0 {
+		f.MeanUp = upSum / float64(len(f.DailyChurn))
+	}
+	f.ByWindow = core.ChurnByWindow(ctx.Res.Daily, []int{1, 2, 4, 7, 14, 28})
+	f.VersusFirst = core.VersusBaseline(ctx.Res.Weekly)
+	if n := len(f.VersusFirst); n > 0 && ctx.Res.Weekly[0].Len() > 0 {
+		f.YearChurnFrac = float64(f.VersusFirst[n-1].Appear) / float64(ctx.Res.Weekly[0].Len())
+	}
+	return f
+}
+
+// Render returns Figure 4 as text.
+func (f *Fig4) Render() string {
+	var b strings.Builder
+	ups := make([]float64, len(f.DailyChurn))
+	downs := make([]float64, len(f.DailyChurn))
+	for i, p := range f.DailyChurn {
+		ups[i] = float64(p.Up)
+		downs[i] = float64(p.Down)
+	}
+	b.WriteString(textplot.Chart("Figure 4a: daily active IPv4 addresses and up/down events",
+		[]textplot.Series{
+			{Name: "active", Ys: f.DailyActive},
+			{Name: "up", Ys: ups},
+			{Name: "down", Ys: downs},
+		}, 96, 12))
+	fmt.Fprintf(&b, "mean daily up events: %.0f (%.1f%% of mean active)\n\n",
+		f.MeanUp, 100*f.MeanUp/stats.Mean(f.DailyActive))
+
+	b.WriteString("Figure 4b: churn vs aggregation window [min/median/max % per transition]\n")
+	b.WriteString("window | up%% min/med/max | down%% min/med/max\n")
+	for _, wc := range f.ByWindow {
+		fmt.Fprintf(&b, "%4dd  | %5.1f %5.1f %5.1f | %5.1f %5.1f %5.1f\n",
+			wc.WindowDays, wc.Up.Min, wc.Up.Median, wc.Up.Max,
+			wc.Down.Min, wc.Down.Median, wc.Down.Max)
+	}
+	b.WriteString("\n")
+
+	appear := make([]float64, len(f.VersusFirst))
+	disappear := make([]float64, len(f.VersusFirst))
+	for i, ad := range f.VersusFirst {
+		appear[i] = float64(ad.Appear)
+		disappear[i] = -float64(ad.Disappear)
+	}
+	b.WriteString(textplot.Chart("Figure 4c: weekly appear(+)/disappear(-) vs first week",
+		[]textplot.Series{{Name: "appear", Ys: appear}, {Name: "disappear", Ys: disappear}},
+		96, 10))
+	fmt.Fprintf(&b, "year-end appear fraction of baseline: %.1f%% (paper: ~25%%)\n", 100*f.YearChurnFrac)
+	return b.String()
+}
+
+// Fig5 is Figure 5: per-AS churn CDF (a), event-size distribution (b),
+// BGP correlation (c) — each for 1, 7 and 28-day windows.
+type Fig5 struct {
+	Windows []int
+	// ASMedians[i] is the sorted per-AS median up-event percentage for
+	// window Windows[i].
+	ASMedians [][]float64
+	// EventSizes[i] is the Figure 5b histogram for window Windows[i].
+	EventSizes [][5]float64
+	// BGP[i] is the Figure 5c correlation for window Windows[i].
+	BGP []core.BGPCorrelation
+}
+
+// Figure5 computes the churn-property analyses.
+func Figure5(ctx *Context, minActivePerAS int) *Fig5 {
+	f := &Fig5{Windows: []int{1, 7, 28}}
+	daily := ctx.Res.Daily
+	for _, w := range f.Windows {
+		per := core.PerASChurn(core.Windows(daily, w), ctx.ASOf, minActivePerAS)
+		meds := make([]float64, 0, len(per))
+		for _, m := range per {
+			meds = append(meds, m)
+		}
+		sort.Float64s(meds)
+		f.ASMedians = append(f.ASMedians, meds)
+
+		wins := core.Windows(daily, w)
+		var agg [5]float64
+		var weight float64
+		for i := 1; i < len(wins); i++ {
+			up := wins[i].DiffCount(wins[i-1])
+			if up == 0 {
+				continue
+			}
+			d := core.EventSizeDistribution(wins[i-1], wins[i], 8)
+			for j := range agg {
+				agg[j] += d[j] * float64(up)
+			}
+			weight += float64(up)
+		}
+		if weight > 0 {
+			for j := range agg {
+				agg[j] /= weight
+			}
+		}
+		f.EventSizes = append(f.EventSizes, agg)
+
+		f.BGP = append(f.BGP, core.CorrelateBGP(daily, w, ctx.Res.Routing, ctx.Res.Config.DailyStart))
+	}
+	return f
+}
+
+// Render returns Figure 5 as text.
+func (f *Fig5) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5a: per-AS median % of IPs with up event (CDF quartiles)\n")
+	b.WriteString("window | N ASes | p10 | p25 | p50 | p75 | p90\n")
+	for i, w := range f.Windows {
+		meds := f.ASMedians[i]
+		if len(meds) == 0 {
+			fmt.Fprintf(&b, "%4dd  | %6d |\n", w, 0)
+			continue
+		}
+		q := stats.Percentiles(meds, 10, 25, 50, 75, 90)
+		fmt.Fprintf(&b, "%4dd  | %6d | %4.1f | %4.1f | %4.1f | %4.1f | %4.1f\n",
+			w, len(meds), q[0], q[1], q[2], q[3], q[4])
+	}
+	b.WriteString("\nFigure 5b: up-event size distribution by smallest covering mask\n")
+	b.WriteString("window |  >=/16 |   /20 |   /24 |   /28 |   /32\n")
+	for i, w := range f.Windows {
+		d := f.EventSizes[i]
+		fmt.Fprintf(&b, "%4dd  | %5.1f%% | %4.1f%% | %4.1f%% | %4.1f%% | %4.1f%%\n",
+			w, 100*d[0], 100*d[1], 100*d[2], 100*d[3], 100*d[4])
+	}
+	b.WriteString("\nFigure 5c: % of events coinciding with a BGP change\n")
+	b.WriteString("window | up events | down events | steady active\n")
+	for i, w := range f.Windows {
+		c := f.BGP[i]
+		fmt.Fprintf(&b, "%4dd  | %8.2f%% | %10.2f%% | %12.2f%%\n", w, c.UpPct, c.DownPct, c.SteadyPct)
+	}
+	return b.String()
+}
+
+// Tab2 is Table 2: long-term appear/disappear with bulk and BGP
+// classification.
+type Tab2 struct {
+	Result core.LongTermChurn
+	// TopOverlap is how many of the top-10 appear-contributing ASes are
+	// also among the top-10 disappear contributors (paper: 7 of 10).
+	TopOverlap int
+}
+
+// Table2 compares the first two months of the year against the last two.
+func Table2(ctx *Context) *Tab2 {
+	weekly := ctx.Res.Weekly
+	n := len(weekly)
+	if n < 4 {
+		return &Tab2{}
+	}
+	earlyWeeks := n / 6 // ~2 months of 52 weeks
+	if earlyWeeks < 1 {
+		earlyWeeks = 1
+	}
+	early := core.WindowUnion(weekly, 0, earlyWeeks)
+	late := core.WindowUnion(weekly, n-earlyWeeks, n)
+	days := ctx.Res.Config.Days
+	t := &Tab2{Result: core.CompareLongTerm(early, late, ctx.Res.Routing, earlyWeeks*7, days-1)}
+
+	appear := late.Diff(early)
+	disappear := early.Diff(late)
+	topA := core.TopContributors(appear, ctx.ASOf, 10)
+	topD := core.TopContributors(disappear, ctx.ASOf, 10)
+	inA := map[interface{}]bool{}
+	for _, a := range topA {
+		inA[a.AS] = true
+	}
+	for _, d := range topD {
+		if inA[d.AS] {
+			t.TopOverlap++
+		}
+	}
+	return t
+}
+
+// Render returns Table 2 as text.
+func (t *Tab2) Render() string {
+	r := t.Result
+	var b strings.Builder
+	b.WriteString("Table 2: long-term appear/disappear (first vs last two months)\n")
+	b.WriteString("                          |   appear | disappear\n")
+	fmt.Fprintf(&b, "total                     | %8d | %9d\n", r.Appear, r.Disappear)
+	fmt.Fprintf(&b, "entire /24 affected       | %7.1f%% | %8.1f%%\n", r.AppearFull24Pct, r.DisappearFull24Pct)
+	fmt.Fprintf(&b, "BGP no change             | %7.1f%% | %8.1f%%\n", r.AppearBGP.NoChangePct, r.DisappearBGP.NoChangePct)
+	fmt.Fprintf(&b, "BGP origin change         | %7.1f%% | %8.1f%%\n", r.AppearBGP.OriginChangePct, r.DisappearBGP.OriginChangePct)
+	fmt.Fprintf(&b, "BGP announce/withdraw     | %7.1f%% | %8.1f%%\n", r.AppearBGP.AnnounceWithdrawPct, r.DisappearBGP.AnnounceWithdrawPct)
+	fmt.Fprintf(&b, "top-10 AS overlap (appear∩disappear): %d of 10\n", t.TopOverlap)
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ipscope/internal/core"
+	"ipscope/internal/textplot"
+)
+
+// Fig9 is Figure 9: traffic vs temporal activity (a, b) and the
+// traffic-consolidation trend (c).
+type Fig9 struct {
+	Bins *core.TrafficBins
+	// EverydayIPShare/EverydayTrafficShare: addresses active every day
+	// and their traffic share (paper: <10% of IPs, >40% of traffic).
+	EverydayIPShare, EverydayTrafficShare float64
+	// WeeklyTopShare is the top-10% traffic share per week (Figure 9c).
+	WeeklyTopShare []float64
+	// TrendDelta is the change in top-10% share from the first to the
+	// last quarter of the year (paper: ~+3 percentage points).
+	TrendDelta float64
+}
+
+// Figure9 computes the traffic/activity analyses.
+func Figure9(ctx *Context) *Fig9 {
+	f := &Fig9{
+		Bins:           core.BinByDaysActive(len(ctx.Res.Daily), ctx.TrafficIter()),
+		WeeklyTopShare: ctx.Res.WeeklyTopShare,
+	}
+	f.EverydayIPShare, f.EverydayTrafficShare = f.Bins.EverydayShare()
+	if n := len(f.WeeklyTopShare); n >= 8 {
+		var early, late float64
+		q := n / 4
+		for _, v := range f.WeeklyTopShare[:q] {
+			early += v
+		}
+		for _, v := range f.WeeklyTopShare[n-q:] {
+			late += v
+		}
+		f.TrendDelta = (late - early) / float64(q)
+	}
+	return f
+}
+
+// Render returns Figure 9 as text.
+func (f *Fig9) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9a: median daily hits by days-active bin (log10 scale)\n")
+	meds := make([]float64, f.Bins.Days)
+	for i := range meds {
+		if m := f.Bins.DailyHitPercentiles[i][2]; m > 0 {
+			meds[i] = math.Log10(m)
+		}
+	}
+	b.WriteString(textplot.Chart("", []textplot.Series{{Name: "log10 median daily hits", Ys: meds}}, 96, 8))
+
+	ipFrac, trafficFrac := f.Bins.Cumulative()
+	b.WriteString(textplot.Chart("Figure 9b: cumulative fraction of IPs and traffic by days active",
+		[]textplot.Series{
+			{Name: "IP addresses", Ys: ipFrac},
+			{Name: "traffic contribution", Ys: trafficFrac},
+		}, 96, 10))
+	fmt.Fprintf(&b, "active-every-day addresses: %.1f%% of IPs carrying %.1f%% of traffic (paper: <10%% / >40%%)\n\n",
+		100*f.EverydayIPShare, 100*f.EverydayTrafficShare)
+
+	pct := make([]float64, len(f.WeeklyTopShare))
+	for i, v := range f.WeeklyTopShare {
+		pct[i] = 100 * v
+	}
+	b.WriteString(textplot.Chart("Figure 9c: weekly traffic share of top 10% addresses",
+		[]textplot.Series{{Name: "top-10% share (%)", Ys: pct}}, 96, 8))
+	fmt.Fprintf(&b, "consolidation trend: %+.2f percentage points over the year (paper: ~+3)\n", 100*f.TrendDelta)
+	return b.String()
+}
+
+// Fig10 is Figure 10: UA samples vs unique UA strings per /24.
+type Fig10 struct {
+	Points  []core.UAPoint
+	Regions core.UARegionCounts
+	// Grid is a log-log density grid for rendering.
+	Grid [][]float64
+}
+
+// Figure10 computes the UA-diversity scatter.
+func Figure10(ctx *Context) *Fig10 {
+	f := &Fig10{}
+	for blk, st := range ctx.Res.UA {
+		if st.Samples == 0 {
+			continue
+		}
+		f.Points = append(f.Points, core.UAPoint{
+			Block:   blk,
+			Samples: st.Samples,
+			Unique:  st.Unique(),
+		})
+	}
+	sort.Slice(f.Points, func(i, j int) bool { return f.Points[i].Block < f.Points[j].Block })
+	// Thresholds scale with the observed distribution: "many samples" is
+	// the 90th percentile.
+	samples := make([]float64, len(f.Points))
+	uniques := make([]float64, len(f.Points))
+	for i, p := range f.Points {
+		samples[i] = float64(p.Samples)
+		uniques[i] = p.Unique
+	}
+	sampleHi := percentileOr(samples, 90, 100)
+	uniqueHi := percentileOr(uniques, 90, 100)
+	f.Regions = core.ClassifyUARegions(f.Points, int(sampleHi), 10, uniqueHi)
+
+	// 24x12 log-log density grid.
+	const gw, gh = 24, 12
+	f.Grid = make([][]float64, gh)
+	for i := range f.Grid {
+		f.Grid[i] = make([]float64, gw)
+	}
+	maxS, maxU := 1.0, 1.0
+	for _, p := range f.Points {
+		if float64(p.Samples) > maxS {
+			maxS = float64(p.Samples)
+		}
+		if p.Unique > maxU {
+			maxU = p.Unique
+		}
+	}
+	for _, p := range f.Points {
+		x := int(math.Log(1+float64(p.Samples)) / math.Log(1+maxS) * (gw - 1))
+		y := int(math.Log(1+p.Unique) / math.Log(1+maxU) * (gh - 1))
+		f.Grid[y][x]++
+	}
+	return f
+}
+
+func percentileOr(xs []float64, p, def float64) float64 {
+	if len(xs) == 0 {
+		return def
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	v := s[idx]
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// Render returns Figure 10 as text.
+func (f *Fig10) Render() string {
+	var b strings.Builder
+	b.WriteString(textplot.Heatmap(
+		"Figure 10: UA samples (x, log) vs unique UA strings (y, log) per /24", f.Grid))
+	fmt.Fprintf(&b, "regions: bulk=%d  bots(high traffic, few UAs)=%d  gateways(high traffic, many UAs)=%d\n",
+		f.Regions.Bulk, f.Regions.Bots, f.Regions.Gateways)
+	return b.String()
+}
+
+// Fig11 is Figure 11: the 3-D demographics matrix.
+type Fig11 struct {
+	Demo *core.Demographics
+}
+
+// Figure11 builds the Internet-wide demographics.
+func Figure11(ctx *Context) *Fig11 {
+	return &Fig11{Demo: core.BuildDemographics(ctx.BlockFeatures())}
+}
+
+// Render returns Figure 11 as text: the STU marginal plus the largest
+// cells of the 1000-bin matrix.
+func (f *Fig11) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11: demographics matrix (STU × traffic × hosts, 10 bins each)\n")
+	marg := f.Demo.STUMarginal()
+	labels := make([]string, len(marg))
+	vals := make([]float64, len(marg))
+	for i := range marg {
+		labels[i] = fmt.Sprintf("STU %.1f-%.1f", float64(i)/10, float64(i+1)/10)
+		vals[i] = float64(marg[i])
+	}
+	b.WriteString(textplot.HBar("STU marginal (blocks per bin)", labels, vals, 50))
+
+	type kv struct {
+		c core.Cell
+		n int
+	}
+	var cells []kv
+	for c, n := range f.Demo.Counts {
+		cells = append(cells, kv{c, n})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].n != cells[j].n {
+			return cells[i].n > cells[j].n
+		}
+		return cells[i].c != cells[j].c && fmt.Sprint(cells[i].c) < fmt.Sprint(cells[j].c)
+	})
+	b.WriteString("largest cells (stu,traffic,hosts bins → blocks):\n")
+	for i, c := range cells {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "  (%d,%d,%d) → %d\n", c.c.STU, c.c.Traffic, c.c.Hosts, c.n)
+	}
+	return b.String()
+}
+
+// Fig12 is Figure 12: per-RIR demographic panels.
+type Fig12 struct {
+	Panels []*core.RIRDemographics
+}
+
+// Figure12 builds the per-registry demographics.
+func Figure12(ctx *Context) *Fig12 {
+	return &Fig12{Panels: core.BuildRIRDemographics(ctx.BlockFeatures(), ctx.World.Registry)}
+}
+
+// Render returns Figure 12 as text.
+func (f *Fig12) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: per-RIR demographics (x=STU bin, y=traffic bin, shade=blocks)\n")
+	for _, p := range f.Panels {
+		grid := make([][]float64, core.DemographicsBins)
+		for i := range grid {
+			grid[i] = make([]float64, core.DemographicsBins)
+		}
+		for key, cell := range p.Cells {
+			grid[key[1]][key[0]] = float64(cell.Blocks)
+		}
+		b.WriteString(textplot.Heatmap(
+			fmt.Sprintf("%s (N=%d, high-STU share %.0f%%)", p.RIR, p.Total, 100*p.HighSTUShare()),
+			grid))
+	}
+	return b.String()
+}

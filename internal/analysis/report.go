@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderer is any experiment artifact that renders itself as text.
+type Renderer interface{ Render() string }
+
+// RunAll executes every experiment against ctx and writes the full
+// report (all tables and figures of the paper) to w.
+func RunAll(w io.Writer, ctx *Context, seed uint64) {
+	section := func(r Renderer) {
+		io.WriteString(w, r.Render())
+		io.WriteString(w, "\n")
+	}
+	fmt.Fprintf(w, "ipscope experiment report (world: %d ASes, %d /24 blocks; %d simulated days)\n\n",
+		len(ctx.World.ASes), ctx.World.NumBlocks(), ctx.Res.Config.Days)
+
+	section(Figure1(seed))
+	section(Table1(ctx))
+	section(Figure2(ctx))
+	section(Figure3(ctx, 11))
+	section(RecaptureEstimate(ctx))
+	section(Figure4(ctx))
+	section(Figure5(ctx, 100))
+	section(Table2(ctx))
+	section(Figure6(ctx))
+	section(Figure7(ctx, 2))
+	section(Figure8(ctx))
+	section(Figure9(ctx))
+	section(Figure10(ctx))
+	section(Figure11(ctx))
+	section(Figure12(ctx))
+}

@@ -1,0 +1,92 @@
+package bgp
+
+import "ipscope/internal/ipv4"
+
+// ChangeLog is a compact representation of a year of routing history:
+// a base table plus the list of changes that took effect at the start
+// of each day. It answers the questions the churn analyses ask —
+// "did any BGP change touch this block within a window of days?" —
+// without materializing hundreds of full snapshots.
+type ChangeLog struct {
+	Base *Table
+	// DayChanges[d] holds the changes applied at the start of day d.
+	// DayChanges[0] is empty by construction.
+	DayChanges [][]Change
+}
+
+// NewChangeLog creates a change log over base with capacity for days.
+func NewChangeLog(base *Table, days int) *ChangeLog {
+	return &ChangeLog{Base: base, DayChanges: make([][]Change, days)}
+}
+
+// NumDays returns the number of days covered.
+func (l *ChangeLog) NumDays() int { return len(l.DayChanges) }
+
+// Record appends a change taking effect at the start of day d.
+func (l *ChangeLog) Record(d int, c Change) {
+	if d < 0 || d >= len(l.DayChanges) {
+		return
+	}
+	l.DayChanges[d] = append(l.DayChanges[d], c)
+}
+
+// ChangesIn returns all changes with effect day in (from, to].
+func (l *ChangeLog) ChangesIn(from, to int) []Change {
+	var out []Change
+	if from < 0 {
+		from = -1
+	}
+	if to >= len(l.DayChanges) {
+		to = len(l.DayChanges) - 1
+	}
+	for d := from + 1; d <= to; d++ {
+		out = append(out, l.DayChanges[d]...)
+	}
+	return out
+}
+
+// TouchedBlocks returns the /24 blocks covered by any change in
+// (from, to], mapped to a representative change kind (origin changes
+// take precedence, mirroring Table 2's classification priority).
+func (l *ChangeLog) TouchedBlocks(from, to int) map[ipv4.Block]ChangeKind {
+	out := make(map[ipv4.Block]ChangeKind)
+	for _, c := range l.ChangesIn(from, to) {
+		kind := c.Kind
+		c.Prefix.Blocks(func(b ipv4.Block) {
+			if prev, ok := out[b]; !ok || (prev != OriginChange && kind == OriginChange) {
+				out[b] = kind
+			}
+		})
+	}
+	return out
+}
+
+// TableAt reconstructs the routing table in effect during day d by
+// replaying changes onto a clone of the base table. Intended for tests
+// and spot checks, not for per-day iteration at scale.
+func (l *ChangeLog) TableAt(d int) *Table {
+	t := l.Base.Clone()
+	if d >= len(l.DayChanges) {
+		d = len(l.DayChanges) - 1
+	}
+	for day := 0; day <= d; day++ {
+		for _, c := range l.DayChanges[day] {
+			switch c.Kind {
+			case Announce, OriginChange:
+				t.Insert(Route{Prefix: c.Prefix, Origin: c.NewOrigin})
+			case Withdraw:
+				t.Remove(c.Prefix)
+			}
+		}
+	}
+	return t
+}
+
+// CountsByKind tallies changes in (from, to] by kind.
+func (l *ChangeLog) CountsByKind(from, to int) map[ChangeKind]int {
+	out := make(map[ChangeKind]int)
+	for _, c := range l.ChangesIn(from, to) {
+		out[c.Kind]++
+	}
+	return out
+}

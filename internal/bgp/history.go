@@ -1,0 +1,158 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"ipscope/internal/ipv4"
+)
+
+// ChangeKind classifies a routing change between two snapshots.
+type ChangeKind uint8
+
+// The change kinds considered "BGP change events" in Section 4.2.
+const (
+	Announce     ChangeKind = iota // prefix newly announced
+	Withdraw                       // prefix withdrawn
+	OriginChange                   // same prefix, different origin AS
+)
+
+// String returns the change kind name.
+func (k ChangeKind) String() string {
+	switch k {
+	case Announce:
+		return "announce"
+	case Withdraw:
+		return "withdraw"
+	case OriginChange:
+		return "origin-change"
+	}
+	return "unknown"
+}
+
+// Change is one routing change between two snapshots.
+type Change struct {
+	Kind      ChangeKind
+	Prefix    ipv4.Prefix
+	OldOrigin ASN // zero for Announce
+	NewOrigin ASN // zero for Withdraw
+}
+
+// Diff computes the changes from table a to table b.
+func Diff(a, b *Table) []Change {
+	var out []Change
+	ra, rb := a.Routes(), b.Routes()
+	seen := make(map[ipv4.Prefix]Route, len(ra))
+	for _, r := range ra {
+		seen[r.Prefix] = r
+	}
+	for _, r := range rb {
+		old, ok := seen[r.Prefix]
+		if !ok {
+			out = append(out, Change{Kind: Announce, Prefix: r.Prefix, NewOrigin: r.Origin})
+			continue
+		}
+		if old.Origin != r.Origin {
+			out = append(out, Change{Kind: OriginChange, Prefix: r.Prefix,
+				OldOrigin: old.Origin, NewOrigin: r.Origin})
+		}
+		delete(seen, r.Prefix)
+	}
+	for _, r := range ra {
+		if _, still := seen[r.Prefix]; still {
+			out = append(out, Change{Kind: Withdraw, Prefix: r.Prefix, OldOrigin: r.Origin})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
+			return out[i].Prefix.Addr() < out[j].Prefix.Addr()
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// History is a sequence of daily routing-table snapshots, as collected
+// from a RouteViews-style vantage point.
+type History struct {
+	days []*Table
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Append adds the snapshot for the next day.
+func (h *History) Append(t *Table) { h.days = append(h.days, t) }
+
+// NumDays returns the number of snapshots.
+func (h *History) NumDays() int { return len(h.days) }
+
+// Day returns the snapshot for day d (0-based).
+func (h *History) Day(d int) *Table {
+	if d < 0 || d >= len(h.days) {
+		return nil
+	}
+	return h.days[d]
+}
+
+// MajorityOrigin determines the origin AS for addr over days [from, to]
+// by majority vote of the daily longest-prefix-match results, following
+// the paper's footnote 6. Unrouted days vote for AS 0. Ties resolve to
+// the lower ASN for determinism.
+func (h *History) MajorityOrigin(addr ipv4.Addr, from, to int) ASN {
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(h.days) {
+		to = len(h.days) - 1
+	}
+	votes := make(map[ASN]int)
+	for d := from; d <= to; d++ {
+		votes[h.days[d].OriginOf(addr)]++
+	}
+	var best ASN
+	bestN := -1
+	for as, n := range votes {
+		if n > bestN || (n == bestN && as < best) {
+			best, bestN = as, n
+		}
+	}
+	return best
+}
+
+// ChangedBlocks returns, for the transition between days from and to,
+// the set of /24 blocks covered by any change event, together with the
+// change counts by kind. Analyses use this to test whether an address's
+// up/down event "goes together with a BGP change" (Figure 5c).
+func (h *History) ChangedBlocks(from, to int) (map[ipv4.Block]ChangeKind, map[ChangeKind]int) {
+	blocks := make(map[ipv4.Block]ChangeKind)
+	counts := make(map[ChangeKind]int)
+	if from < 0 || to >= len(h.days) || from >= to {
+		return blocks, counts
+	}
+	// Accumulate changes across every consecutive day pair in (from, to].
+	for d := from; d < to; d++ {
+		for _, c := range Diff(h.days[d], h.days[d+1]) {
+			counts[c.Kind]++
+			c.Prefix.Blocks(func(b ipv4.Block) {
+				// Origin changes dominate announce/withdraw for
+				// reporting (Table 2 separates them); keep the
+				// first recorded kind otherwise.
+				if _, ok := blocks[b]; !ok || c.Kind == OriginChange {
+					blocks[b] = c.Kind
+				}
+			})
+		}
+	}
+	return blocks, counts
+}
+
+// Validate checks internal consistency: every snapshot non-nil.
+func (h *History) Validate() error {
+	for i, d := range h.days {
+		if d == nil {
+			return fmt.Errorf("bgp: nil snapshot at day %d", i)
+		}
+	}
+	return nil
+}

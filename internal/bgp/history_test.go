@@ -1,0 +1,151 @@
+package bgp
+
+import (
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+func TestDiff(t *testing.T) {
+	a := NewTable()
+	a.Insert(mkRoute("10.0.0.0/8", 1))
+	a.Insert(mkRoute("192.0.2.0/24", 2))
+	a.Insert(mkRoute("198.51.100.0/24", 3))
+
+	b := NewTable()
+	b.Insert(mkRoute("10.0.0.0/8", 1))     // unchanged
+	b.Insert(mkRoute("192.0.2.0/24", 9))   // origin change
+	b.Insert(mkRoute("203.0.113.0/24", 4)) // announce
+	// 198.51.100.0/24 withdrawn
+
+	changes := Diff(a, b)
+	if len(changes) != 3 {
+		t.Fatalf("got %d changes: %v", len(changes), changes)
+	}
+	kinds := map[ChangeKind]int{}
+	for _, c := range changes {
+		kinds[c.Kind]++
+		switch c.Kind {
+		case OriginChange:
+			if c.OldOrigin != 2 || c.NewOrigin != 9 {
+				t.Errorf("origin change %+v", c)
+			}
+		case Announce:
+			if c.NewOrigin != 4 || c.OldOrigin != 0 {
+				t.Errorf("announce %+v", c)
+			}
+		case Withdraw:
+			if c.OldOrigin != 3 || c.NewOrigin != 0 {
+				t.Errorf("withdraw %+v", c)
+			}
+		}
+	}
+	if kinds[Announce] != 1 || kinds[Withdraw] != 1 || kinds[OriginChange] != 1 {
+		t.Errorf("kind counts %v", kinds)
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	a := NewTable()
+	a.Insert(mkRoute("10.0.0.0/8", 1))
+	if got := Diff(a, a.Clone()); len(got) != 0 {
+		t.Fatalf("self diff = %v", got)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	for k, want := range map[ChangeKind]string{
+		Announce: "announce", Withdraw: "withdraw",
+		OriginChange: "origin-change", ChangeKind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestHistoryMajorityOrigin(t *testing.T) {
+	h := NewHistory()
+	for day := 0; day < 5; day++ {
+		tbl := NewTable()
+		if day < 2 {
+			tbl.Insert(mkRoute("10.0.0.0/8", 100))
+		} else {
+			tbl.Insert(mkRoute("10.0.0.0/8", 200))
+		}
+		h.Append(tbl)
+	}
+	addr := ipv4.MustParseAddr("10.1.2.3")
+	if got := h.MajorityOrigin(addr, 0, 4); got != 200 {
+		t.Errorf("majority over all days = %v, want 200", got)
+	}
+	if got := h.MajorityOrigin(addr, 0, 1); got != 100 {
+		t.Errorf("majority over first days = %v, want 100", got)
+	}
+	// Out-of-range clamping.
+	if got := h.MajorityOrigin(addr, -3, 99); got != 200 {
+		t.Errorf("clamped majority = %v", got)
+	}
+	if h.NumDays() != 5 {
+		t.Errorf("NumDays = %d", h.NumDays())
+	}
+	if h.Day(0) == nil || h.Day(9) != nil || h.Day(-1) != nil {
+		t.Error("Day bounds handling wrong")
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryMajorityTieBreaksLow(t *testing.T) {
+	h := NewHistory()
+	t1 := NewTable()
+	t1.Insert(mkRoute("10.0.0.0/8", 300))
+	t2 := NewTable()
+	t2.Insert(mkRoute("10.0.0.0/8", 100))
+	h.Append(t1)
+	h.Append(t2)
+	if got := h.MajorityOrigin(ipv4.MustParseAddr("10.0.0.1"), 0, 1); got != 100 {
+		t.Errorf("tie should resolve to lower ASN, got %v", got)
+	}
+}
+
+func TestChangedBlocks(t *testing.T) {
+	h := NewHistory()
+	t0 := NewTable()
+	t0.Insert(mkRoute("10.0.0.0/23", 1))
+	t0.Insert(mkRoute("192.0.2.0/24", 2))
+	h.Append(t0)
+
+	t1 := t0.Clone()
+	t1.Remove(ipv4.MustParsePrefix("10.0.0.0/23"))
+	t1.Insert(mkRoute("10.0.0.0/23", 7)) // origin change over 2 blocks
+	t1.Insert(mkRoute("203.0.113.0/24", 3))
+	h.Append(t1)
+
+	blocks, counts := h.ChangedBlocks(0, 1)
+	if counts[OriginChange] != 1 || counts[Announce] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	// /23 covers two /24 blocks plus the announced /24 = 3 blocks.
+	if len(blocks) != 3 {
+		t.Errorf("changed blocks = %d: %v", len(blocks), blocks)
+	}
+	if k, ok := blocks[ipv4.MustParseAddr("10.0.1.0").Block()]; !ok || k != OriginChange {
+		t.Errorf("10.0.1/24 kind = %v ok=%v", k, ok)
+	}
+	if k := blocks[ipv4.MustParseAddr("203.0.113.0").Block()]; k != Announce {
+		t.Errorf("announce kind = %v", k)
+	}
+	// Unchanged block must be absent.
+	if _, ok := blocks[ipv4.MustParseAddr("192.0.2.0").Block()]; ok {
+		t.Error("stable block flagged as changed")
+	}
+	// Degenerate windows.
+	if b, c := h.ChangedBlocks(1, 1); len(b) != 0 || len(c) != 0 {
+		t.Error("same-day window should be empty")
+	}
+	if b, _ := h.ChangedBlocks(0, 99); len(b) != 0 {
+		t.Error("out-of-range window should be empty")
+	}
+}

@@ -1,0 +1,162 @@
+// Package cdnlog implements the data-collection side of the study: the
+// per-IP request-log records produced by CDN edge servers, a compact
+// binary wire format, a TCP collector that aggregates records from many
+// edges concurrently (the "distributed data collection framework" of
+// Section 3.2), and dataset summaries (Table 1).
+//
+// Records are aggregated per (address, day): each edge server counts
+// hits locally and ships aggregates, exactly like the production
+// pipeline the paper describes.
+package cdnlog
+
+import (
+	"sync"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+)
+
+// Record is one per-address, per-day aggregate from an edge server.
+type Record struct {
+	Addr ipv4.Addr
+	Day  uint32 // day index within the measurement period
+	Hits uint32
+}
+
+// Aggregator merges records from any number of edges into daily
+// active-address sets and per-address totals. It is safe for
+// concurrent use.
+type Aggregator struct {
+	mu    sync.Mutex
+	days  []*ipv4.Set
+	hits  map[ipv4.Addr]uint64
+	total uint64
+}
+
+// NewAggregator creates an Aggregator covering numDays days.
+func NewAggregator(numDays int) *Aggregator {
+	a := &Aggregator{
+		days: make([]*ipv4.Set, numDays),
+		hits: make(map[ipv4.Addr]uint64),
+	}
+	for i := range a.days {
+		a.days[i] = ipv4.NewSet()
+	}
+	return a
+}
+
+// Add merges one record. Records with out-of-range days or zero hits
+// are dropped (a request must have completed to count, per the paper's
+// definition of "active").
+func (a *Aggregator) Add(r Record) {
+	if int(r.Day) >= len(a.days) || r.Hits == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.days[r.Day].Add(r.Addr)
+	a.hits[r.Addr] += uint64(r.Hits)
+	a.total += uint64(r.Hits)
+	a.mu.Unlock()
+}
+
+// AddBatch merges many records with one lock acquisition.
+func (a *Aggregator) AddBatch(rs []Record) {
+	a.mu.Lock()
+	for _, r := range rs {
+		if int(r.Day) >= len(a.days) || r.Hits == 0 {
+			continue
+		}
+		a.days[r.Day].Add(r.Addr)
+		a.hits[r.Addr] += uint64(r.Hits)
+		a.total += uint64(r.Hits)
+	}
+	a.mu.Unlock()
+}
+
+// NumDays returns the configured day count.
+func (a *Aggregator) NumDays() int { return len(a.days) }
+
+// Day returns a snapshot (clone) of the active set for day d.
+func (a *Aggregator) Day(d int) *ipv4.Set {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d < 0 || d >= len(a.days) {
+		return ipv4.NewSet()
+	}
+	return a.days[d].Clone()
+}
+
+// DailySets returns clones of all daily sets.
+func (a *Aggregator) DailySets() []*ipv4.Set {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*ipv4.Set, len(a.days))
+	for i, s := range a.days {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// HitsOf returns the accumulated hits for one address.
+func (a *Aggregator) HitsOf(addr ipv4.Addr) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hits[addr]
+}
+
+// TotalHits returns the total accumulated hits.
+func (a *Aggregator) TotalHits() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// UniqueAddrs returns the number of distinct addresses seen.
+func (a *Aggregator) UniqueAddrs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.hits)
+}
+
+// DatasetSummary is one row of Table 1: totals over the whole dataset
+// and averages per snapshot, at address, /24 and AS granularity.
+type DatasetSummary struct {
+	Snapshots              int
+	TotalIPs, AvgIPs       int
+	TotalBlocks, AvgBlocks int
+	TotalASes, AvgASes     int
+}
+
+// Summarize computes a DatasetSummary over snapshots (daily or weekly
+// unions). asOf maps a /24 block to its origin AS (0 = unrouted, not
+// counted).
+func Summarize(snaps []*ipv4.Set, asOf func(ipv4.Block) bgp.ASN) DatasetSummary {
+	var out DatasetSummary
+	out.Snapshots = len(snaps)
+	if len(snaps) == 0 {
+		return out
+	}
+	union := ipv4.NewSet()
+	asUnion := make(map[bgp.ASN]bool)
+	var ipSum, blkSum, asSum int
+	for _, s := range snaps {
+		ipSum += s.Len()
+		blkSum += s.NumBlocks()
+		asSeen := make(map[bgp.ASN]bool)
+		s.ForEachBlock(func(blk ipv4.Block, _ *ipv4.Bitmap256) {
+			if as := asOf(blk); as != 0 {
+				asSeen[as] = true
+				asUnion[as] = true
+			}
+		})
+		asSum += len(asSeen)
+		union.UnionWith(s)
+	}
+	out.TotalIPs = union.Len()
+	out.AvgIPs = ipSum / len(snaps)
+	out.TotalBlocks = union.NumBlocks()
+	out.AvgBlocks = blkSum / len(snaps)
+	out.TotalASes = len(asUnion)
+	out.AvgASes = asSum / len(snaps)
+	return out
+}

@@ -1,0 +1,190 @@
+package cdnlog
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ipscope/internal/ipv4"
+)
+
+// ipv4Addr converts a raw uint32 into an ipv4.Addr (helper shared with
+// the wire codec).
+func ipv4Addr(u uint32) ipv4.Addr { return ipv4.Addr(u) }
+
+// Collector is a TCP server receiving record frames from edge servers
+// and merging them into an Aggregator.
+type Collector struct {
+	Agg *Aggregator
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// NewCollector creates a collector over agg.
+func NewCollector(agg *Aggregator) *Collector { return &Collector{Agg: agg} }
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (c *Collector) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			if !c.closed {
+				c.err = err
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serve(conn)
+		}()
+	}
+}
+
+func (c *Collector) serve(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64*1024)
+	var err error
+	for {
+		var rs []Record
+		rs, err = ReadFrame(br)
+		if err == io.EOF {
+			err = nil
+			break
+		}
+		if err == ErrFin {
+			// Everything before the fin has been aggregated; confirm
+			// delivery so the edge may close.
+			if _, err = conn.Write([]byte{AckByte}); err != nil {
+				break
+			}
+			continue
+		}
+		if err != nil {
+			break
+		}
+		c.Agg.AddBatch(rs)
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		c.mu.Lock()
+		if !c.closed && c.err == nil {
+			c.err = err
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+// It returns the first stream error observed, if any.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Edge is the client side: an edge server buffering records and
+// shipping them to the collector in frames.
+type Edge struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	buf  []Record
+}
+
+// DialEdge connects an edge server to the collector at addr.
+func DialEdge(ctx context.Context, addr string) (*Edge, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Edge{conn: conn, bw: bufio.NewWriterSize(conn, 64*1024)}, nil
+}
+
+// Log buffers one record, flushing a frame when the batch fills.
+func (e *Edge) Log(r Record) error {
+	e.buf = append(e.buf, r)
+	if len(e.buf) >= MaxBatch {
+		return e.flushBatch()
+	}
+	return nil
+}
+
+func (e *Edge) flushBatch() error {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	err := WriteFrame(e.bw, e.buf)
+	e.buf = e.buf[:0]
+	return err
+}
+
+// Flush sends any buffered records.
+func (e *Edge) Flush() error {
+	if err := e.flushBatch(); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+// Close flushes buffered records, signals end of stream, waits for the
+// collector's acknowledgement (bounded by ackTimeout) and closes the
+// connection. A nil return therefore guarantees the collector has
+// aggregated every record this edge logged.
+func (e *Edge) Close() error { return e.closeWithDeadline(ackTimeout) }
+
+func (e *Edge) closeWithDeadline(timeout time.Duration) error {
+	err := e.Flush()
+	if err == nil {
+		if err = WriteFin(e.bw); err == nil {
+			err = e.bw.Flush()
+		}
+	}
+	if err == nil {
+		e.conn.SetReadDeadline(time.Now().Add(timeout))
+		var ack [1]byte
+		if _, rerr := io.ReadFull(e.conn, ack[:]); rerr != nil {
+			err = fmt.Errorf("cdnlog: awaiting ack: %w", rerr)
+		} else if ack[0] != AckByte {
+			err = fmt.Errorf("cdnlog: unexpected ack byte %#x", ack[0])
+		}
+	}
+	cerr := e.conn.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// ackTimeout bounds how long Edge.Close waits for delivery confirmation.
+const ackTimeout = 30 * time.Second

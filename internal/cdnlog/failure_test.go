@@ -1,0 +1,98 @@
+package cdnlog
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"ipscope/internal/ipv4"
+)
+
+// TestCollectorSurvivesMalformedStream injects garbage into a live
+// collector: the offending connection must be dropped with a recorded
+// error, while well-behaved edges continue to be served.
+func TestCollectorSurvivesMalformedStream(t *testing.T) {
+	agg := NewAggregator(1)
+	col := NewCollector(agg)
+	addr, err := col.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A rogue client sends garbage.
+	rogue, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n"))
+	rogue.Close()
+
+	// A legitimate edge still delivers.
+	edge, err := DialEdge(context.Background(), addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Log(Record{Addr: ipv4.MustParseAddr("10.0.0.1"), Day: 0, Hits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Close(); err != nil {
+		t.Fatalf("legit edge failed: %v", err)
+	}
+
+	if err := col.Close(); err == nil {
+		t.Error("collector should report the malformed stream")
+	}
+	if !agg.Day(0).Contains(ipv4.MustParseAddr("10.0.0.1")) {
+		t.Error("legitimate record lost")
+	}
+}
+
+// TestEdgeAckTimeout ensures an edge does not hang forever when the
+// peer never acknowledges: it must fail Close with a deadline error.
+func TestEdgeAckTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A server that reads but never acks.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	edge, err := DialEdge(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the deadline via the connection directly: Close sets its
+	// own deadline, so instead verify the deadline path with a
+	// pre-expired read deadline after Close's write phase by racing a
+	// short timer. To keep the test fast, we simply assert that Close
+	// returns an error once we forcibly time out the connection.
+	done := make(chan error, 1)
+	go func() {
+		edge.conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		done <- edge.closeWithDeadline(100 * time.Millisecond)
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Close should fail without ack")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung despite missing ack")
+	}
+}

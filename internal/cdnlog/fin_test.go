@@ -1,0 +1,80 @@
+package cdnlog
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+func TestFinFrameInStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []Record{rec("10.0.0.1", 0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFin(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, []Record{rec("10.0.0.2", 0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	// DecodeStream skips fins and keeps reading.
+	var got []Record
+	if err := DecodeStream(&buf, func(rs []Record) { got = append(got, rs...) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+}
+
+func TestReadFrameFin(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFin(&buf)
+	if _, err := ReadFrame(&buf); err != ErrFin {
+		t.Fatalf("err = %v, want ErrFin", err)
+	}
+}
+
+// TestCollectorNoBacklogLoss stresses the race the ack protocol exists
+// for: many edges connect, ship one batch, and close immediately; the
+// collector is closed the moment the last Edge.Close returns. No record
+// may be lost even when connections sat in the listen backlog.
+func TestCollectorNoBacklogLoss(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		agg := NewAggregator(1)
+		col := NewCollector(agg)
+		addr, err := col.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		const edges = 16
+		var wg sync.WaitGroup
+		for e := 0; e < edges; e++ {
+			wg.Add(1)
+			go func(e int) {
+				defer wg.Done()
+				edge, err := DialEdge(context.Background(), addr.String())
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				if err := edge.Log(Record{Addr: ipv4.Addr(uint32(e)), Day: 0, Hits: 1}); err != nil {
+					t.Errorf("log: %v", err)
+				}
+				if err := edge.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}(e)
+		}
+		wg.Wait()
+		if err := col.Close(); err != nil {
+			t.Fatalf("collector: %v", err)
+		}
+		if got := agg.UniqueAddrs(); got != edges {
+			t.Fatalf("round %d: %d of %d records arrived", round, got, edges)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package cdnlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format: length-prefixed frames of fixed-size records.
+//
+//	frame  := magic(2) count(2, big endian) record*count
+//	record := addr(4) day(4) hits(4), all big endian
+//
+// The magic bytes guard against desynchronized streams; a frame holds
+// at most MaxBatch records so a corrupted count cannot trigger a huge
+// allocation.
+
+const (
+	magic0 = 0xA4
+	magic1 = 0x24
+	// MaxBatch is the maximum number of records per frame.
+	MaxBatch   = 4096
+	recordSize = 12
+	// finCount in the count field marks an end-of-stream frame; the
+	// receiver acknowledges it with ackByte, letting senders confirm
+	// delivery before closing (the collector is otherwise unaware how
+	// many edges will connect).
+	finCount = 0xFFFF
+	// AckByte is written by the receiver after processing a fin frame.
+	AckByte = 0x06
+)
+
+// ErrFin is returned by ReadFrame when the sender signals a clean end
+// of stream and expects an acknowledgement.
+var ErrFin = errors.New("cdnlog: end-of-stream frame")
+
+// WriteFin writes the end-of-stream frame.
+func WriteFin(w io.Writer) error {
+	_, err := w.Write([]byte{magic0, magic1, 0xFF, 0xFF})
+	return err
+}
+
+// WriteFrame encodes a batch of records to w. Batches larger than
+// MaxBatch are split transparently.
+func WriteFrame(w io.Writer, rs []Record) error {
+	for len(rs) > 0 {
+		n := len(rs)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		if err := writeOne(w, rs[:n]); err != nil {
+			return err
+		}
+		rs = rs[n:]
+	}
+	return nil
+}
+
+func writeOne(w io.Writer, rs []Record) error {
+	buf := make([]byte, 4+len(rs)*recordSize)
+	buf[0], buf[1] = magic0, magic1
+	binary.BigEndian.PutUint16(buf[2:], uint16(len(rs)))
+	for i, r := range rs {
+		off := 4 + i*recordSize
+		binary.BigEndian.PutUint32(buf[off:], uint32(r.Addr))
+		binary.BigEndian.PutUint32(buf[off+4:], r.Day)
+		binary.BigEndian.PutUint32(buf[off+8:], r.Hits)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame decodes one frame from r. It returns io.EOF at a clean
+// stream end and an error for malformed input.
+func ReadFrame(r io.Reader) ([]Record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("cdnlog: truncated frame header")
+		}
+		return nil, err // io.EOF: clean end
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return nil, fmt.Errorf("cdnlog: bad frame magic %02x%02x", hdr[0], hdr[1])
+	}
+	count := binary.BigEndian.Uint16(hdr[2:])
+	if count == finCount {
+		return nil, ErrFin
+	}
+	if count == 0 || count > MaxBatch {
+		return nil, fmt.Errorf("cdnlog: invalid frame count %d", count)
+	}
+	body := make([]byte, int(count)*recordSize)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("cdnlog: truncated frame body: %v", err)
+	}
+	rs := make([]Record, count)
+	for i := range rs {
+		off := i * recordSize
+		rs[i] = Record{
+			Addr: ipv4Addr(binary.BigEndian.Uint32(body[off:])),
+			Day:  binary.BigEndian.Uint32(body[off+4:]),
+			Hits: binary.BigEndian.Uint32(body[off+8:]),
+		}
+	}
+	return rs, nil
+}
+
+// DecodeStream reads frames until EOF, passing each batch to sink.
+// End-of-stream frames are skipped (files written with WriteFin can be
+// replayed); acknowledgement handling is the Collector's concern.
+func DecodeStream(r io.Reader, sink func([]Record)) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	for {
+		rs, err := ReadFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err == ErrFin {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		sink(rs)
+	}
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"sort"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/stats"
+)
+
+// Events returns the up events (addresses in next but not prev) and
+// down events (addresses in prev but not next) between two snapshots,
+// per the definition in Section 4.1.
+func Events(prev, next *ipv4.Set) (up, down *ipv4.Set) {
+	return next.Diff(prev), prev.Diff(next)
+}
+
+// ChurnPoint is the churn between one pair of consecutive snapshots.
+type ChurnPoint struct {
+	Up, Down int // event counts
+	// UpPct is 100 × |next \ prev| / |next|; DownPct is
+	// 100 × |prev \ next| / |prev| (the paper's Figure 4b metric).
+	UpPct, DownPct float64
+}
+
+// ChurnSeries computes the churn between every consecutive snapshot pair.
+func ChurnSeries(snaps []*ipv4.Set) []ChurnPoint {
+	if len(snaps) < 2 {
+		return nil
+	}
+	out := make([]ChurnPoint, 0, len(snaps)-1)
+	for i := 1; i < len(snaps); i++ {
+		prev, next := snaps[i-1], snaps[i]
+		up := next.DiffCount(prev)
+		down := prev.DiffCount(next)
+		p := ChurnPoint{Up: up, Down: down}
+		if next.Len() > 0 {
+			p.UpPct = 100 * float64(up) / float64(next.Len())
+		}
+		if prev.Len() > 0 {
+			p.DownPct = 100 * float64(down) / float64(prev.Len())
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WindowChurn summarizes churn percentages for non-overlapping windows
+// of the given size over daily snapshots: the min/median/max across
+// snapshot transitions (one point of Figure 4b).
+type WindowChurn struct {
+	WindowDays int
+	Up, Down   stats.Summary
+}
+
+// ChurnByWindow computes WindowChurn for each window size.
+func ChurnByWindow(daily []*ipv4.Set, sizes []int) []WindowChurn {
+	out := make([]WindowChurn, 0, len(sizes))
+	for _, size := range sizes {
+		wins := Windows(daily, size)
+		series := ChurnSeries(wins)
+		var ups, downs []float64
+		for _, p := range series {
+			ups = append(ups, p.UpPct)
+			downs = append(downs, p.DownPct)
+		}
+		out = append(out, WindowChurn{
+			WindowDays: size,
+			Up:         stats.Summarize(ups),
+			Down:       stats.Summarize(downs),
+		})
+	}
+	return out
+}
+
+// AppearDisappear compares one snapshot against a fixed baseline
+// (Figure 4c): Appear counts addresses active now but not in the
+// baseline; Disappear counts baseline addresses inactive now.
+type AppearDisappear struct {
+	Appear, Disappear int
+}
+
+// VersusBaseline computes AppearDisappear for every snapshot against
+// snaps[0].
+func VersusBaseline(snaps []*ipv4.Set) []AppearDisappear {
+	if len(snaps) == 0 {
+		return nil
+	}
+	base := snaps[0]
+	out := make([]AppearDisappear, len(snaps))
+	for i, s := range snaps {
+		out[i] = AppearDisappear{
+			Appear:    s.DiffCount(base),
+			Disappear: base.DiffCount(s),
+		}
+	}
+	return out
+}
+
+// PerASChurn computes, for each AS, the median percentage of its
+// addresses with an up event per snapshot transition (Figure 5a).
+// Only ASes with at least minActive active addresses over the whole
+// period are reported.
+func PerASChurn(snaps []*ipv4.Set, asOf func(ipv4.Block) bgp.ASN, minActive int) map[bgp.ASN]float64 {
+	if len(snaps) < 2 {
+		return nil
+	}
+	// Partition each snapshot by AS lazily: per transition, compute
+	// per-AS up counts and per-AS next-window totals.
+	type acc struct{ pcts []float64 }
+	accs := make(map[bgp.ASN]*acc)
+	totalActive := make(map[bgp.ASN]*ipv4.Set)
+
+	for i := 1; i < len(snaps); i++ {
+		prev, next := snaps[i-1], snaps[i]
+		upPerAS := make(map[bgp.ASN]int)
+		totPerAS := make(map[bgp.ASN]int)
+		next.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+			as := asOf(blk)
+			n := bm.Count()
+			totPerAS[as] += n
+			if pbm := prev.BlockBitmap(blk); pbm != nil {
+				upPerAS[as] += bm.AndNotCount(pbm)
+			} else {
+				upPerAS[as] += n
+			}
+			u := totalActive[as]
+			if u == nil {
+				u = ipv4.NewSet()
+				totalActive[as] = u
+			}
+			u.AddBlockBitmap(blk, bm)
+		})
+		for as, tot := range totPerAS {
+			if tot == 0 {
+				continue
+			}
+			a := accs[as]
+			if a == nil {
+				a = &acc{}
+				accs[as] = a
+			}
+			a.pcts = append(a.pcts, 100*float64(upPerAS[as])/float64(tot))
+		}
+	}
+	out := make(map[bgp.ASN]float64)
+	for as, a := range accs {
+		if u := totalActive[as]; u == nil || u.Len() < minActive {
+			continue
+		}
+		out[as] = stats.Median(a.pcts)
+	}
+	return out
+}
+
+// EventMask returns the paper's event-size tag for one up/down event at
+// addr (Section 4.2): the smallest prefix mask m (counted in bits, so a
+// smaller m covers more addresses) such that every address in addr/m
+// either had an event or showed no activity in both snapshots.
+//
+// For up events the violator set is exactly the previous window's
+// active set (any previously-active address disqualifies the range);
+// for down events it is the next window's active set. Expansion stops
+// at floor bits (use 8 to match the paper's ">= /16" catch-all bin,
+// which any mask <= 16 falls into).
+func EventMask(addr ipv4.Addr, violators *ipv4.Set, floor int) int {
+	if floor < 0 {
+		floor = 0
+	}
+	mask := 32
+	for mask > floor {
+		// Expanding from mask to mask-1 adds the sibling range of
+		// addr/mask. The expansion is allowed only if that sibling
+		// range contains no violator.
+		parent, _ := ipv4.NewPrefix(addr, mask-1)
+		sibFirst := parent.First()
+		cur, _ := ipv4.NewPrefix(addr, mask)
+		if cur.First() == parent.First() {
+			// addr is in the low half; sibling is the high half.
+			sibFirst = ipv4.Addr(uint32(parent.First()) + uint32(cur.NumAddrs()))
+		}
+		sib, _ := ipv4.NewPrefix(sibFirst, mask)
+		if prefixIntersects(violators, sib) {
+			break
+		}
+		mask--
+	}
+	return mask
+}
+
+// prefixIntersects reports whether any member of s lies within p.
+func prefixIntersects(s *ipv4.Set, p ipv4.Prefix) bool {
+	if p.Bits() >= 24 {
+		bm := s.BlockBitmap(p.FirstBlock())
+		if bm == nil {
+			return false
+		}
+		if p.Bits() == 24 {
+			return !bm.IsEmpty()
+		}
+		lo := p.First().Host()
+		hi := p.Last().Host()
+		return bm.CountRange(lo, hi) > 0
+	}
+	found := false
+	p.Blocks(func(b ipv4.Block) {
+		if found {
+			return
+		}
+		if bm := s.BlockBitmap(b); bm != nil && !bm.IsEmpty() {
+			found = true
+		}
+	})
+	return found
+}
+
+// EventSizeBin groups a mask into the paper's Figure 5b bins.
+// Bins: >=/16 (mask <= 16), /17-/20, /21-/24, /25-/28, /29-/32.
+func EventSizeBin(mask int) int {
+	switch {
+	case mask <= 16:
+		return 0
+	case mask <= 20:
+		return 1
+	case mask <= 24:
+		return 2
+	case mask <= 28:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// EventSizeBinLabels are display labels for EventSizeBin indices.
+var EventSizeBinLabels = [5]string{">=/16", "/20", "/24", "/28", "/32"}
+
+// EventSizeDistribution tags every up event between prev and next with
+// its event mask and returns the fraction of events per Figure 5b bin.
+func EventSizeDistribution(prev, next *ipv4.Set, floor int) [5]float64 {
+	up := next.Diff(prev)
+	var counts [5]int
+	total := 0
+	up.ForEach(func(a ipv4.Addr) {
+		m := EventMask(a, prev, floor)
+		counts[EventSizeBin(m)]++
+		total++
+	})
+	var out [5]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// BGPCorrelation is the Figure 5c measurement for one window size:
+// the percentage of up events, down events, and steadily-active
+// addresses whose /24 block saw a BGP change during the transition.
+type BGPCorrelation struct {
+	WindowDays                   int
+	UpPct, DownPct, SteadyPct    float64
+	UpEvents, DownEvents, Steady int
+}
+
+// CorrelateBGP computes BGPCorrelation over daily snapshots aggregated
+// into windows of the given size. startDay is the absolute day of
+// daily[0] within the change log's timeline.
+func CorrelateBGP(daily []*ipv4.Set, size int, log *bgp.ChangeLog, startDay int) BGPCorrelation {
+	wins := Windows(daily, size)
+	out := BGPCorrelation{WindowDays: size}
+	if len(wins) < 2 {
+		return out
+	}
+	var upHit, downHit, steadyHit int
+	for i := 1; i < len(wins); i++ {
+		prev, next := wins[i-1], wins[i]
+		// Changes during either window are considered "going together"
+		// with the transition.
+		d1 := startDay + (i-1)*size
+		d2 := startDay + (i+1)*size
+		touched := log.TouchedBlocks(d1-1, d2-1)
+		up, down := Events(prev, next)
+		up.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+			out.UpEvents += bm.Count()
+			if _, ok := touched[blk]; ok {
+				upHit += bm.Count()
+			}
+		})
+		down.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+			out.DownEvents += bm.Count()
+			if _, ok := touched[blk]; ok {
+				downHit += bm.Count()
+			}
+		})
+		prev.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+			nbm := next.BlockBitmap(blk)
+			if nbm == nil {
+				return
+			}
+			n := bm.IntersectCount(nbm)
+			out.Steady += n
+			if _, ok := touched[blk]; ok {
+				steadyHit += n
+			}
+		})
+	}
+	if out.UpEvents > 0 {
+		out.UpPct = 100 * float64(upHit) / float64(out.UpEvents)
+	}
+	if out.DownEvents > 0 {
+		out.DownPct = 100 * float64(downHit) / float64(out.DownEvents)
+	}
+	if out.Steady > 0 {
+		out.SteadyPct = 100 * float64(steadyHit) / float64(out.Steady)
+	}
+	return out
+}
+
+// LongTermChurn is the Table 2 comparison of two distant periods.
+type LongTermChurn struct {
+	Appear, Disappear int
+	// Full24Pct is the share of appear/disappear addresses whose entire
+	// containing /24 appeared or disappeared.
+	AppearFull24Pct, DisappearFull24Pct float64
+	// BGP breakdown (percent of event addresses whose block saw no
+	// change / an origin change / an announce-or-withdraw).
+	AppearBGP, DisappearBGP BGPBreakdown
+}
+
+// BGPBreakdown partitions event addresses by accompanying BGP activity.
+type BGPBreakdown struct {
+	NoChangePct, OriginChangePct, AnnounceWithdrawPct float64
+}
+
+// CompareLongTerm reproduces Table 2: early and late are unions of
+// distant periods (e.g. Jan/Feb vs Nov/Dec); the change log is
+// consulted over (dayFrom, dayTo].
+func CompareLongTerm(early, late *ipv4.Set, log *bgp.ChangeLog, dayFrom, dayTo int) LongTermChurn {
+	appear := late.Diff(early)
+	disappear := early.Diff(late)
+	out := LongTermChurn{Appear: appear.Len(), Disappear: disappear.Len()}
+
+	touched := map[ipv4.Block]bgp.ChangeKind{}
+	if log != nil {
+		touched = log.TouchedBlocks(dayFrom, dayTo)
+	}
+	classify := func(events, otherPeriod *ipv4.Set) (full24 float64, bd BGPBreakdown) {
+		if events.Len() == 0 {
+			return 0, bd
+		}
+		var full, noChg, origin, annWdr int
+		events.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+			n := bm.Count()
+			// The whole /24 appeared/disappeared if the other period
+			// had no activity in this block at all.
+			if otherPeriod.BlockCount(blk) == 0 {
+				full += n
+			}
+			if k, ok := touched[blk]; ok {
+				if k == bgp.OriginChange {
+					origin += n
+				} else {
+					annWdr += n
+				}
+			} else {
+				noChg += n
+			}
+		})
+		tot := float64(events.Len())
+		bd = BGPBreakdown{
+			NoChangePct:         100 * float64(noChg) / tot,
+			OriginChangePct:     100 * float64(origin) / tot,
+			AnnounceWithdrawPct: 100 * float64(annWdr) / tot,
+		}
+		return 100 * float64(full) / tot, bd
+	}
+	out.AppearFull24Pct, out.AppearBGP = classify(appear, early)
+	out.DisappearFull24Pct, out.DisappearBGP = classify(disappear, late)
+	return out
+}
+
+// TopContributors returns the k ASes contributing the most addresses to
+// the given event set (Section 4.3's "top 10 ASes" analysis).
+func TopContributors(events *ipv4.Set, asOf func(ipv4.Block) bgp.ASN, k int) []struct {
+	AS    bgp.ASN
+	Count int
+} {
+	counts := make(map[bgp.ASN]int)
+	events.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+		counts[asOf(blk)] += bm.Count()
+	})
+	type kv struct {
+		AS    bgp.ASN
+		Count int
+	}
+	xs := make([]kv, 0, len(counts))
+	for as, n := range counts {
+		xs = append(xs, kv{as, n})
+	}
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Count != xs[j].Count {
+			return xs[i].Count > xs[j].Count
+		}
+		return xs[i].AS < xs[j].AS
+	})
+	if k > len(xs) {
+		k = len(xs)
+	}
+	out := make([]struct {
+		AS    bgp.ASN
+		Count int
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i] = struct {
+			AS    bgp.ASN
+			Count int
+		}{xs[i].AS, xs[i].Count}
+	}
+	return out
+}

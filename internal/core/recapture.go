@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ipscope/internal/ipv4"
+)
+
+// RecaptureEstimate is a capture–recapture estimate of a population
+// observed by two independent channels (the statistical machinery
+// behind Zander et al.'s 1.2B estimate the paper corroborates, and a
+// direct way to estimate "invisible" addresses from CDN+ICMP samples).
+type RecaptureEstimate struct {
+	N1, N2, Both int
+	// LincolnPetersen is the classic N̂ = n1·n2/m estimator.
+	LincolnPetersen float64
+	// Chapman is the bias-corrected small-sample estimator
+	// N̂ = (n1+1)(n2+1)/(m+1) − 1.
+	Chapman float64
+	// SE is the standard error of the Chapman estimator.
+	SE float64
+	// CI95Lo/CI95Hi is the normal-approximation 95% confidence interval
+	// around Chapman.
+	CI95Lo, CI95Hi float64
+}
+
+// Recapture computes capture–recapture estimates from the two sample
+// sizes and their overlap. It returns an error when the overlap is
+// zero (Lincoln–Petersen undefined) or inconsistent with the inputs.
+func Recapture(n1, n2, both int) (RecaptureEstimate, error) {
+	if both < 0 || n1 < both || n2 < both {
+		return RecaptureEstimate{}, fmt.Errorf("core: inconsistent recapture inputs n1=%d n2=%d m=%d", n1, n2, both)
+	}
+	e := RecaptureEstimate{N1: n1, N2: n2, Both: both}
+	f1, f2, m := float64(n1), float64(n2), float64(both)
+	e.Chapman = (f1+1)*(f2+1)/(m+1) - 1
+	if both == 0 {
+		e.LincolnPetersen = math.Inf(1)
+		e.SE = math.Inf(1)
+		e.CI95Lo, e.CI95Hi = e.Chapman, math.Inf(1)
+		return e, fmt.Errorf("core: zero overlap; Lincoln–Petersen undefined")
+	}
+	e.LincolnPetersen = f1 * f2 / m
+	// Chapman variance (Seber 1982).
+	v := (f1 + 1) * (f2 + 1) * (f1 - m) * (f2 - m) / ((m + 1) * (m + 1) * (m + 2))
+	e.SE = math.Sqrt(v)
+	e.CI95Lo = e.Chapman - 1.96*e.SE
+	e.CI95Hi = e.Chapman + 1.96*e.SE
+	if e.CI95Lo < math.Max(f1, f2) {
+		e.CI95Lo = math.Max(f1, f2) // population at least as large as either sample
+	}
+	return e, nil
+}
+
+// RecaptureSets runs Recapture directly on two observed address sets.
+func RecaptureSets(a, b *ipv4.Set) (RecaptureEstimate, error) {
+	return Recapture(a.Len(), b.Len(), a.IntersectCount(b))
+}
+
+// InvisibleEstimate returns the estimated number of active addresses
+// seen by neither channel, per the Chapman estimate.
+func (e RecaptureEstimate) InvisibleEstimate() float64 {
+	seen := float64(e.N1 + e.N2 - e.Both)
+	inv := e.Chapman - seen
+	if inv < 0 {
+		return 0
+	}
+	return inv
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"ipscope/internal/ipv4"
+)
+
+// This file implements the paper's Section 8 security implication:
+// "determining the spatial and temporal bounds beyond which an IP
+// address's reputation should no longer be respected". An address's
+// reputation is only meaningful while the same party plausibly holds
+// the address; in a 24h-lease pool that is a day, in a static block
+// effectively forever.
+
+// StabilityStats summarizes how long addresses in a /24 block keep
+// their activity state.
+type StabilityStats struct {
+	Block ipv4.Block
+	// MeanRunDays is the average length (in days) of a contiguous
+	// activity run of an address within the window.
+	MeanRunDays float64
+	// Persistence is the probability that an address active on one day
+	// is active the next (the day-to-day retention rate).
+	Persistence float64
+	// ActiveAddrs is the filling degree used for the computation.
+	ActiveAddrs int
+}
+
+// BlockStability measures address stability over daily snapshots.
+func BlockStability(daily []*ipv4.Set, blk ipv4.Block) StabilityStats {
+	bms := BlockDailyBitmaps(daily, blk)
+	out := StabilityStats{Block: blk}
+	if len(bms) < 2 {
+		return out
+	}
+	var union ipv4.Bitmap256
+	runs, runDays := 0, 0
+	retained, activePairs := 0, 0
+	for d := range bms {
+		union.UnionWith(&bms[d])
+		if d == 0 {
+			continue
+		}
+		prev, cur := &bms[d-1], &bms[d]
+		retained += prev.IntersectCount(cur)
+		activePairs += prev.Count()
+		// A run starts where cur is active and prev was not.
+		starts := cur.AndNotCount(prev)
+		runs += starts
+		runDays += cur.Count()
+	}
+	// Runs that began on day 0.
+	runs += bms[0].Count()
+	runDays += bms[0].Count()
+	out.ActiveAddrs = union.Count()
+	if runs > 0 {
+		out.MeanRunDays = float64(runDays) / float64(runs)
+	}
+	if activePairs > 0 {
+		out.Persistence = float64(retained) / float64(activePairs)
+	}
+	return out
+}
+
+// ReputationHorizon recommends how long (in days) a reputation verdict
+// for an address in this block should be honoured before it goes
+// stale. Staleness here means the address's *behavioural identity*
+// changed: either the pool reassigned it to a different subscriber, or
+// its holder went offline — from pure activity data the two are
+// indistinguishable, and both invalidate a behaviour-derived verdict.
+// With day-to-day activity persistence p, the probability the verdict
+// still describes the address after t days decays like p^t; the
+// horizon is where that drops below confidence (default 0.5).
+//
+// Blocks with perfect persistence (gateways, bots, always-on servers)
+// return Inf: their addresses keep one behavioural identity
+// indefinitely. Empty blocks return 0. To separate reassignment from
+// mere inactivity, combine this with block classification (FD > 250
+// cycling pools reassign; sparse static blocks merely idle) and with
+// change detection (DetectChange), which should force expiry on
+// renumbering — the paper's Section 8 recommendation.
+func ReputationHorizon(daily []*ipv4.Set, blk ipv4.Block, confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.5
+	}
+	st := BlockStability(daily, blk)
+	switch {
+	case st.ActiveAddrs == 0:
+		return 0
+	case st.Persistence >= 1:
+		return math.Inf(1)
+	case st.Persistence <= 0:
+		return 1 // everything changes daily: one-day horizon
+	}
+	return math.Log(confidence) / math.Log(st.Persistence)
+}

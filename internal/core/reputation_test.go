@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+// mkDaily builds daily snapshots for one block from per-day host lists.
+func mkDaily(blk ipv4.Block, days [][]byte) []*ipv4.Set {
+	out := make([]*ipv4.Set, len(days))
+	for d, hosts := range days {
+		s := ipv4.NewSet()
+		for _, h := range hosts {
+			s.Add(blk.Addr(h))
+		}
+		out[d] = s
+	}
+	return out
+}
+
+func TestBlockStabilityStatic(t *testing.T) {
+	blk := ipv4.MustParseAddr("10.0.0.0").Block()
+	// Same three addresses active every day: perfect persistence.
+	days := [][]byte{{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}}
+	st := BlockStability(mkDaily(blk, days), blk)
+	if st.Persistence != 1 {
+		t.Errorf("persistence = %v, want 1", st.Persistence)
+	}
+	if st.MeanRunDays != 4 {
+		t.Errorf("mean run = %v, want 4", st.MeanRunDays)
+	}
+	if st.ActiveAddrs != 3 {
+		t.Errorf("active = %d", st.ActiveAddrs)
+	}
+}
+
+func TestBlockStabilityDailyReshuffle(t *testing.T) {
+	blk := ipv4.MustParseAddr("10.0.0.0").Block()
+	// Disjoint sets every day: zero persistence, runs of one day.
+	days := [][]byte{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	st := BlockStability(mkDaily(blk, days), blk)
+	if st.Persistence != 0 {
+		t.Errorf("persistence = %v, want 0", st.Persistence)
+	}
+	if st.MeanRunDays != 1 {
+		t.Errorf("mean run = %v, want 1", st.MeanRunDays)
+	}
+}
+
+func TestBlockStabilityMixed(t *testing.T) {
+	blk := ipv4.MustParseAddr("10.0.0.0").Block()
+	// Host 1 always on; host 2 flips each day.
+	days := [][]byte{{1, 2}, {1}, {1, 2}, {1}}
+	st := BlockStability(mkDaily(blk, days), blk)
+	// Pairs: (d0,d1): prev 2 active, 1 retained; (d1,d2): 1/1;
+	// (d2,d3): 2 prev, 1 retained → 3/5.
+	want := 3.0 / 5.0
+	if math.Abs(st.Persistence-want) > 1e-9 {
+		t.Errorf("persistence = %v, want %v", st.Persistence, want)
+	}
+}
+
+func TestBlockStabilityDegenerate(t *testing.T) {
+	blk := ipv4.MustParseAddr("10.0.0.0").Block()
+	if st := BlockStability(nil, blk); st.ActiveAddrs != 0 {
+		t.Error("nil input")
+	}
+	if st := BlockStability(mkDaily(blk, [][]byte{{1}}), blk); st.Persistence != 0 {
+		t.Error("single-day input should yield zero persistence")
+	}
+}
+
+func TestReputationHorizon(t *testing.T) {
+	blk := ipv4.MustParseAddr("10.0.0.0").Block()
+	static := mkDaily(blk, [][]byte{{1, 2}, {1, 2}, {1, 2}})
+	if h := ReputationHorizon(static, blk, 0.5); !math.IsInf(h, 1) {
+		t.Errorf("static horizon = %v, want +Inf", h)
+	}
+	daily := mkDaily(blk, [][]byte{{1}, {2}, {3}})
+	if h := ReputationHorizon(daily, blk, 0.5); h != 1 {
+		t.Errorf("daily-reshuffle horizon = %v, want 1", h)
+	}
+	empty := mkDaily(blk, [][]byte{{}, {}})
+	if h := ReputationHorizon(empty, blk, 0.5); h != 0 {
+		t.Errorf("empty horizon = %v, want 0", h)
+	}
+	// persistence p=0.5, confidence 0.5 → exactly 1 day;
+	// confidence 0.25 → 2 days.
+	half := mkDaily(blk, [][]byte{{1, 2}, {1, 3}, {1, 4}, {1, 5}})
+	// pairs: each transition: prev 2, retained 1 → p = 0.5... prev
+	// counts: 2,2,2 → retained 1,1,1 → p = 0.5.
+	if h := ReputationHorizon(half, blk, 0.25); math.Abs(h-2) > 1e-9 {
+		t.Errorf("horizon(conf 0.25) = %v, want 2", h)
+	}
+	// Invalid confidence falls back to 0.5.
+	if h := ReputationHorizon(half, blk, 0); math.Abs(h-1) > 1e-9 {
+		t.Errorf("horizon(conf fallback) = %v, want 1", h)
+	}
+}
+
+func TestReputationHorizonOrdering(t *testing.T) {
+	// The paper's implication: reputation in dynamic pools must expire
+	// much faster than in static space. Horizon(static) > Horizon(long
+	// lease) > Horizon(24h pool).
+	blk := ipv4.MustParseAddr("10.0.0.0").Block()
+	longLease := mkDaily(blk, [][]byte{
+		{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 5}, {1, 2, 3, 5},
+		{1, 2, 6, 5}, {1, 2, 6, 5},
+	})
+	reshuffle := mkDaily(blk, [][]byte{
+		{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12},
+		{13, 14, 1, 2}, {3, 4, 5, 6}, {7, 8, 9, 10},
+	})
+	hLong := ReputationHorizon(longLease, blk, 0.5)
+	hFast := ReputationHorizon(reshuffle, blk, 0.5)
+	if !(hLong > hFast) {
+		t.Errorf("horizons not ordered: long-lease %v vs reshuffle %v", hLong, hFast)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sort"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/registry"
+)
+
+// Visibility partitions a population seen by two observation channels
+// (Figure 2a: CDN vs ICMP) at some aggregation granularity.
+type Visibility struct {
+	OnlyA, Both, OnlyB int
+}
+
+// Total returns the size of the union.
+func (v Visibility) Total() int { return v.OnlyA + v.Both + v.OnlyB }
+
+// FractionOnlyA returns OnlyA / Total.
+func (v Visibility) FractionOnlyA() float64 {
+	if v.Total() == 0 {
+		return 0
+	}
+	return float64(v.OnlyA) / float64(v.Total())
+}
+
+// FractionOnlyB returns OnlyB / Total.
+func (v Visibility) FractionOnlyB() float64 {
+	if v.Total() == 0 {
+		return 0
+	}
+	return float64(v.OnlyB) / float64(v.Total())
+}
+
+// CompareIPs compares two address sets at individual-address level.
+func CompareIPs(a, b *ipv4.Set) Visibility {
+	both := a.IntersectCount(b)
+	return Visibility{
+		OnlyA: a.Len() - both,
+		Both:  both,
+		OnlyB: b.Len() - both,
+	}
+}
+
+// CompareBlocks compares at /24 granularity: a block counts for a
+// channel if at least one of its addresses was seen there (the paper's
+// footnote 4 convention).
+func CompareBlocks(a, b *ipv4.Set) Visibility {
+	var v Visibility
+	seen := make(map[ipv4.Block]uint8)
+	a.ForEachBlock(func(blk ipv4.Block, _ *ipv4.Bitmap256) { seen[blk] |= 1 })
+	b.ForEachBlock(func(blk ipv4.Block, _ *ipv4.Bitmap256) { seen[blk] |= 2 })
+	for _, bits := range seen {
+		switch bits {
+		case 1:
+			v.OnlyA++
+		case 2:
+			v.OnlyB++
+		default:
+			v.Both++
+		}
+	}
+	return v
+}
+
+// CompareGrouped compares at an arbitrary granularity defined by a
+// block-to-group mapping (BGP prefix, AS, RIR, country, ...). Blocks
+// mapping to the zero value of the group are ignored.
+func CompareGrouped[G comparable](a, b *ipv4.Set, groupOf func(ipv4.Block) G) Visibility {
+	var zero G
+	var v Visibility
+	seen := make(map[G]uint8)
+	a.ForEachBlock(func(blk ipv4.Block, _ *ipv4.Bitmap256) {
+		if g := groupOf(blk); g != zero {
+			seen[g] |= 1
+		}
+	})
+	b.ForEachBlock(func(blk ipv4.Block, _ *ipv4.Bitmap256) {
+		if g := groupOf(blk); g != zero {
+			seen[g] |= 2
+		}
+	})
+	for _, bits := range seen {
+		switch bits {
+		case 1:
+			v.OnlyA++
+		case 2:
+			v.OnlyB++
+		default:
+			v.Both++
+		}
+	}
+	return v
+}
+
+// PrefixGrouper returns a groupOf function mapping blocks to their
+// longest-match routed prefix in table t.
+func PrefixGrouper(t *bgp.Table) func(ipv4.Block) ipv4.Prefix {
+	return func(blk ipv4.Block) ipv4.Prefix {
+		if r, ok := t.Lookup(blk.First()); ok {
+			return r.Prefix
+		}
+		return ipv4.Prefix{}
+	}
+}
+
+// ASGrouper returns a groupOf function mapping blocks to origin AS.
+func ASGrouper(t *bgp.Table) func(ipv4.Block) bgp.ASN {
+	return func(blk ipv4.Block) bgp.ASN { return t.OriginOf(blk.First()) }
+}
+
+// RegionVisibility is the per-registry or per-country partition of
+// Figure 3: addresses seen only by the CDN, by both, or only by ICMP.
+type RegionVisibility struct {
+	Label               string
+	OnlyCDN, Both, Only int // Only = only ICMP
+}
+
+// GroupByRIR partitions the CDN and ICMP address sets by registry.
+func GroupByRIR(cdn, icmp *ipv4.Set, reg *registry.Table) []RegionVisibility {
+	out := make([]RegionVisibility, registry.NumRIRs)
+	for i, r := range registry.AllRIRs {
+		out[i].Label = r.String()
+	}
+	accumulate(cdn, icmp, func(blk ipv4.Block) int {
+		return int(reg.RIROf(blk))
+	}, out)
+	return out
+}
+
+// GroupByCountry partitions by country and returns the topK countries
+// by union size, ordered descending.
+func GroupByCountry(cdn, icmp *ipv4.Set, reg *registry.Table, topK int) []RegionVisibility {
+	idx := make(map[registry.Country]int)
+	var out []RegionVisibility
+	groupOf := func(blk ipv4.Block) int {
+		c := reg.CountryOf(blk)
+		if c == "" {
+			return -1
+		}
+		i, ok := idx[c]
+		if !ok {
+			i = len(out)
+			idx[c] = i
+			out = append(out, RegionVisibility{Label: string(c)})
+		}
+		return i
+	}
+	// First pass assigns indices; accumulate needs a fixed slice, so
+	// pre-register all countries.
+	for _, s := range []*ipv4.Set{cdn, icmp} {
+		s.ForEachBlock(func(blk ipv4.Block, _ *ipv4.Bitmap256) { groupOf(blk) })
+	}
+	accumulate(cdn, icmp, groupOf, out)
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].OnlyCDN + out[i].Both + out[i].Only
+		tj := out[j].OnlyCDN + out[j].Both + out[j].Only
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Label < out[j].Label
+	})
+	if topK > 0 && topK < len(out) {
+		out = out[:topK]
+	}
+	return out
+}
+
+// accumulate adds per-address counts into out[groupOf(block)].
+func accumulate(cdn, icmp *ipv4.Set, groupOf func(ipv4.Block) int, out []RegionVisibility) {
+	cdn.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+		g := groupOf(blk)
+		if g < 0 || g >= len(out) {
+			return
+		}
+		if ibm := icmp.BlockBitmap(blk); ibm != nil {
+			both := bm.IntersectCount(ibm)
+			out[g].Both += both
+			out[g].OnlyCDN += bm.Count() - both
+		} else {
+			out[g].OnlyCDN += bm.Count()
+		}
+	})
+	icmp.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+		g := groupOf(blk)
+		if g < 0 || g >= len(out) {
+			return
+		}
+		if cbm := cdn.BlockBitmap(blk); cbm != nil {
+			out[g].Only += bm.AndNotCount(cbm)
+		} else {
+			out[g].Only += bm.Count()
+		}
+	})
+}
+
+// ICMPOnlyClass classifies addresses visible to ICMP but not the CDN
+// (Figure 2b).
+type ICMPOnlyClass uint8
+
+// Figure 2b classes.
+const (
+	ClassUnknown ICMPOnlyClass = iota
+	ClassServer
+	ClassServerRouter
+	ClassRouter
+)
+
+// String returns the class label.
+func (c ICMPOnlyClass) String() string {
+	switch c {
+	case ClassServer:
+		return "server"
+	case ClassServerRouter:
+		return "server/router"
+	case ClassRouter:
+		return "router"
+	}
+	return "unknown"
+}
+
+// ClassifyICMPOnly buckets every address of icmpOnly by whether it
+// answered service scans (server) and/or appeared on traceroute paths
+// (router). Returns per-class counts at IP granularity.
+func ClassifyICMPOnly(icmpOnly, servers, routers *ipv4.Set) map[ICMPOnlyClass]int {
+	out := make(map[ICMPOnlyClass]int)
+	icmpOnly.ForEach(func(a ipv4.Addr) {
+		s := servers.Contains(a)
+		r := routers.Contains(a)
+		switch {
+		case s && r:
+			out[ClassServerRouter]++
+		case s:
+			out[ClassServer]++
+		case r:
+			out[ClassRouter]++
+		default:
+			out[ClassUnknown]++
+		}
+	})
+	return out
+}

@@ -1,0 +1,59 @@
+// Package core implements the paper's analytical contribution: activity
+// windows and up/down-event churn (Section 4), the spatio-temporal
+// block metrics FD and STU with change detection (Section 5), traffic
+// and relative-host-count measures (Section 6), visibility comparison
+// against active scanning (Section 3), capture–recapture estimation,
+// and the combined address-space demographics (Section 7).
+//
+// All functions operate on sequences of active-address snapshots
+// (*ipv4.Set), one per base interval (usually a day), as produced by
+// the CDN log pipeline or the simulator.
+package core
+
+import "ipscope/internal/ipv4"
+
+// WindowUnion returns the union of daily[from:to] (to exclusive),
+// i.e. the set of addresses active at least once in the window.
+func WindowUnion(daily []*ipv4.Set, from, to int) *ipv4.Set {
+	u := ipv4.NewSet()
+	if from < 0 {
+		from = 0
+	}
+	if to > len(daily) {
+		to = len(daily)
+	}
+	for i := from; i < to; i++ {
+		if daily[i] != nil {
+			u.UnionWith(daily[i])
+		}
+	}
+	return u
+}
+
+// Windows partitions daily snapshots into consecutive non-overlapping
+// windows of size days and returns the union set of each complete
+// window (a trailing partial window is dropped, matching the paper's
+// methodology in Figure 4b).
+func Windows(daily []*ipv4.Set, size int) []*ipv4.Set {
+	if size <= 0 {
+		return nil
+	}
+	n := len(daily) / size
+	out := make([]*ipv4.Set, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, WindowUnion(daily, i*size, (i+1)*size))
+	}
+	return out
+}
+
+// ActiveBlocks returns the sorted /24 blocks with at least one active
+// address anywhere in the snapshots.
+func ActiveBlocks(snaps []*ipv4.Set) []ipv4.Block {
+	u := ipv4.NewSet()
+	for _, s := range snaps {
+		if s != nil {
+			u.UnionWith(s)
+		}
+	}
+	return u.Blocks()
+}

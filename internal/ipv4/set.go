@@ -1,0 +1,191 @@
+package ipv4
+
+import "sort"
+
+// Set is a sparse set of IPv4 addresses stored as one Bitmap256 per
+// populated /24 block. It is not safe for concurrent mutation.
+type Set struct {
+	m map[Block]*Bitmap256
+	n int // cached cardinality
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{m: make(map[Block]*Bitmap256)} }
+
+// Add inserts a into the set.
+func (s *Set) Add(a Addr) {
+	blk := a.Block()
+	bm := s.m[blk]
+	if bm == nil {
+		bm = new(Bitmap256)
+		s.m[blk] = bm
+	}
+	if !bm.Test(a.Host()) {
+		bm.Set(a.Host())
+		s.n++
+	}
+}
+
+// AddBlockBitmap ORs an entire /24 bitmap into the set.
+func (s *Set) AddBlockBitmap(blk Block, bm *Bitmap256) {
+	if bm.IsEmpty() {
+		return
+	}
+	dst := s.m[blk]
+	if dst == nil {
+		cp := *bm
+		s.m[blk] = &cp
+		s.n += bm.Count()
+		return
+	}
+	s.n -= dst.Count()
+	dst.UnionWith(bm)
+	s.n += dst.Count()
+}
+
+// Remove deletes a from the set.
+func (s *Set) Remove(a Addr) {
+	blk := a.Block()
+	bm := s.m[blk]
+	if bm == nil || !bm.Test(a.Host()) {
+		return
+	}
+	bm.Clear(a.Host())
+	s.n--
+	if bm.IsEmpty() {
+		delete(s.m, blk)
+	}
+}
+
+// Contains reports whether a is in the set.
+func (s *Set) Contains(a Addr) bool {
+	bm := s.m[a.Block()]
+	return bm != nil && bm.Test(a.Host())
+}
+
+// Len returns the number of addresses in the set.
+func (s *Set) Len() int { return s.n }
+
+// NumBlocks returns the number of /24 blocks with at least one member.
+func (s *Set) NumBlocks() int { return len(s.m) }
+
+// BlockBitmap returns the bitmap for blk, or nil if the block is empty.
+// The returned bitmap is shared with the set; callers must not modify it.
+func (s *Set) BlockBitmap(blk Block) *Bitmap256 { return s.m[blk] }
+
+// BlockCount returns the number of set addresses within blk.
+func (s *Set) BlockCount(blk Block) int {
+	if bm := s.m[blk]; bm != nil {
+		return bm.Count()
+	}
+	return 0
+}
+
+// Blocks returns the populated blocks in ascending order.
+func (s *Set) Blocks() []Block {
+	out := make([]Block, 0, len(s.m))
+	for b := range s.m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachBlock calls fn for every populated block in unspecified order.
+func (s *Set) ForEachBlock(fn func(Block, *Bitmap256)) {
+	for b, bm := range s.m {
+		fn(b, bm)
+	}
+}
+
+// ForEach calls fn for every address, grouped by block, hosts ascending
+// within each block. Block order is ascending.
+func (s *Set) ForEach(fn func(Addr)) {
+	for _, blk := range s.Blocks() {
+		bm := s.m[blk]
+		bm.ForEach(func(h byte) { fn(blk.Addr(h)) })
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	out := &Set{m: make(map[Block]*Bitmap256, len(s.m)), n: s.n}
+	for b, bm := range s.m {
+		cp := *bm
+		out.m[b] = &cp
+	}
+	return out
+}
+
+// UnionWith adds every member of o to s.
+func (s *Set) UnionWith(o *Set) {
+	for b, bm := range o.m {
+		s.AddBlockBitmap(b, bm)
+	}
+}
+
+// Union returns a new set containing members of either set.
+func (s *Set) Union(o *Set) *Set {
+	out := s.Clone()
+	out.UnionWith(o)
+	return out
+}
+
+// IntersectCount returns |s ∩ o| without materializing the intersection.
+func (s *Set) IntersectCount(o *Set) int {
+	small, big := s, o
+	if len(big.m) < len(small.m) {
+		small, big = big, small
+	}
+	n := 0
+	for b, bm := range small.m {
+		if obm := big.m[b]; obm != nil {
+			n += bm.IntersectCount(obm)
+		}
+	}
+	return n
+}
+
+// DiffCount returns |s \ o|.
+func (s *Set) DiffCount(o *Set) int {
+	n := 0
+	for b, bm := range s.m {
+		if obm := o.m[b]; obm != nil {
+			n += bm.AndNotCount(obm)
+		} else {
+			n += bm.Count()
+		}
+	}
+	return n
+}
+
+// Diff returns a new set with members of s not in o.
+func (s *Set) Diff(o *Set) *Set {
+	out := NewSet()
+	for b, bm := range s.m {
+		d := *bm
+		if obm := o.m[b]; obm != nil {
+			d.AndNotWith(obm)
+		}
+		if !d.IsEmpty() {
+			cp := d
+			out.m[b] = &cp
+			out.n += cp.Count()
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two sets have identical membership.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n || len(s.m) != len(o.m) {
+		return false
+	}
+	for b, bm := range s.m {
+		obm := o.m[b]
+		if obm == nil || *obm != *bm {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+// Package rdns synthesizes reverse-DNS (PTR) records for address blocks
+// and implements the keyword-based assignment-practice tagger the paper
+// uses in Section 5.3: blocks whose consistent PTR names contain
+// "static" are tagged static, and names containing "dynamic" or "pool"
+// are tagged dynamic — a well-known methodology [24, 30, 35].
+package rdns
+
+import (
+	"fmt"
+	"strings"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/xrand"
+)
+
+// Tag is the assignment-practice label inferred from PTR names.
+type Tag uint8
+
+// Possible tags.
+const (
+	Untagged Tag = iota // no consistent keyword evidence
+	Static              // names suggest static assignment
+	Dynamic             // names suggest dynamic assignment (pools)
+)
+
+// String returns the tag name.
+func (t Tag) String() string {
+	switch t {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	}
+	return "untagged"
+}
+
+// NamingStyle controls how a block's PTR names are generated.
+type NamingStyle uint8
+
+// Naming styles for synthetic PTR zones.
+const (
+	StyleNone    NamingStyle = iota // no PTR records at all
+	StyleStatic                     // "static-1-2-3-4.example.net"
+	StyleDynamic                    // "dynamic-1-2-3-4.pool.example.net"
+	StyleGeneric                    // "host-1-2-3-4.example.net" (no keywords)
+)
+
+// Zone generates PTR names for one /24 block.
+type Zone struct {
+	Block  ipv4.Block
+	Style  NamingStyle
+	Domain string
+	// Noise is the fraction of names that deviate from the style
+	// (missing records, generic names), modelling real-world zones.
+	Noise float64
+	seed  uint64
+}
+
+// NewZone creates a PTR zone for blk. Domain defaults to "example.net".
+func NewZone(blk ipv4.Block, style NamingStyle, domain string, noise float64, seed uint64) *Zone {
+	if domain == "" {
+		domain = "example.net"
+	}
+	return &Zone{Block: blk, Style: style, Domain: domain, Noise: noise, seed: seed}
+}
+
+// Lookup returns the PTR name for host h in the zone, or "" if the
+// record does not exist.
+func (z *Zone) Lookup(h byte) string {
+	if z.Style == StyleNone {
+		return ""
+	}
+	// Deterministic per-host noise.
+	r := xrand.Derive(z.seed, fmt.Sprintf("%d/%d", z.Block, h))
+	noisy := float64(r%1000)/1000 < z.Noise
+	a := z.Block.Addr(h)
+	dashed := strings.ReplaceAll(a.String(), ".", "-")
+	if noisy {
+		if r%3 == 0 {
+			return "" // missing record
+		}
+		return fmt.Sprintf("host-%s.%s", dashed, z.Domain)
+	}
+	switch z.Style {
+	case StyleStatic:
+		return fmt.Sprintf("static-%s.%s", dashed, z.Domain)
+	case StyleDynamic:
+		if r%2 == 0 {
+			return fmt.Sprintf("dynamic-%s.pool.%s", dashed, z.Domain)
+		}
+		return fmt.Sprintf("pool-%s.%s", dashed, z.Domain)
+	default:
+		return fmt.Sprintf("host-%s.%s", dashed, z.Domain)
+	}
+}
+
+// ClassifyName tags a single PTR name by keyword.
+func ClassifyName(name string) Tag {
+	n := strings.ToLower(name)
+	switch {
+	case strings.Contains(n, "static"):
+		return Static
+	case strings.Contains(n, "dynamic"), strings.Contains(n, "pool"),
+		strings.Contains(n, "dhcp"), strings.Contains(n, "dyn."),
+		strings.HasPrefix(n, "dyn-"):
+		return Dynamic
+	}
+	return Untagged
+}
+
+// ClassifyBlock tags a /24 block from its PTR names, requiring that at
+// least minConsistent fraction of the resolvable names agree on a tag
+// (the paper requires "consistent names"). lookup returns the PTR name
+// for a host or "".
+func ClassifyBlock(lookup func(h byte) string, minConsistent float64) Tag {
+	counts := [3]int{}
+	resolvable := 0
+	for h := 0; h < 256; h++ {
+		name := lookup(byte(h))
+		if name == "" {
+			continue
+		}
+		resolvable++
+		counts[ClassifyName(name)]++
+	}
+	if resolvable == 0 {
+		return Untagged
+	}
+	need := int(minConsistent * float64(resolvable))
+	if need < 1 {
+		need = 1
+	}
+	switch {
+	case counts[Static] >= need && counts[Static] > counts[Dynamic]:
+		return Static
+	case counts[Dynamic] >= need && counts[Dynamic] > counts[Static]:
+		return Dynamic
+	}
+	return Untagged
+}
+
+// ClassifyZone applies ClassifyBlock to a Zone.
+func ClassifyZone(z *Zone, minConsistent float64) Tag {
+	return ClassifyBlock(z.Lookup, minConsistent)
+}

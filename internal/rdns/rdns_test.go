@@ -1,0 +1,118 @@
+package rdns
+
+import (
+	"strings"
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+func blk(s string) ipv4.Block { return ipv4.MustParseAddr(s).Block() }
+
+func TestClassifyName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Tag
+	}{
+		{"static-1-2-3-4.example.net", Static},
+		{"STATIC-1-2-3-4.ISP.NET", Static},
+		{"dynamic-1-2-3-4.pool.example.net", Dynamic},
+		{"pool-1-2-3-4.example.net", Dynamic},
+		{"dhcp-99.city.isp.com", Dynamic},
+		{"dyn-12-34.isp.com", Dynamic},
+		{"host-1-2-3-4.example.net", Untagged},
+		{"", Untagged},
+	}
+	for _, c := range cases {
+		if got := ClassifyName(c.name); got != c.want {
+			t.Errorf("ClassifyName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Untagged.String() != "untagged" {
+		t.Error("Tag.String wrong")
+	}
+}
+
+func TestZoneStyles(t *testing.T) {
+	b := blk("192.0.2.0")
+	zs := NewZone(b, StyleStatic, "isp.net", 0, 1)
+	name := zs.Lookup(7)
+	if !strings.HasPrefix(name, "static-192-0-2-7") || !strings.HasSuffix(name, ".isp.net") {
+		t.Errorf("static name = %q", name)
+	}
+	zd := NewZone(b, StyleDynamic, "", 0, 1)
+	if got := ClassifyName(zd.Lookup(9)); got != Dynamic {
+		t.Errorf("dynamic zone name classified %v (%q)", got, zd.Lookup(9))
+	}
+	zn := NewZone(b, StyleNone, "", 0, 1)
+	if zn.Lookup(1) != "" {
+		t.Error("StyleNone should have no records")
+	}
+	zg := NewZone(b, StyleGeneric, "", 0, 1)
+	if got := ClassifyName(zg.Lookup(1)); got != Untagged {
+		t.Errorf("generic name classified %v", got)
+	}
+}
+
+func TestZoneDeterministic(t *testing.T) {
+	b := blk("198.51.100.0")
+	z1 := NewZone(b, StyleDynamic, "", 0.3, 42)
+	z2 := NewZone(b, StyleDynamic, "", 0.3, 42)
+	for h := 0; h < 256; h++ {
+		if z1.Lookup(byte(h)) != z2.Lookup(byte(h)) {
+			t.Fatal("zone lookups not deterministic")
+		}
+	}
+}
+
+func TestClassifyZone(t *testing.T) {
+	b := blk("203.0.113.0")
+	cases := []struct {
+		style NamingStyle
+		noise float64
+		want  Tag
+	}{
+		{StyleStatic, 0, Static},
+		{StyleDynamic, 0, Dynamic},
+		{StyleGeneric, 0, Untagged},
+		{StyleNone, 0, Untagged},
+		{StyleStatic, 0.2, Static}, // tolerate noise
+		{StyleDynamic, 0.2, Dynamic},
+	}
+	for _, c := range cases {
+		z := NewZone(b, c.style, "", c.noise, 7)
+		if got := ClassifyZone(z, 0.6); got != c.want {
+			t.Errorf("style=%v noise=%v: got %v, want %v", c.style, c.noise, got, c.want)
+		}
+	}
+}
+
+func TestClassifyBlockThreshold(t *testing.T) {
+	// Half static, half dynamic: no tag should win at 60% consistency.
+	lookup := func(h byte) string {
+		if h < 128 {
+			return "static-x.example.net"
+		}
+		return "pool-x.example.net"
+	}
+	if got := ClassifyBlock(lookup, 0.6); got != Untagged {
+		t.Errorf("mixed block classified %v", got)
+	}
+	// 70% static should pass.
+	lookup70 := func(h byte) string {
+		if int(h) < 180 {
+			return "static-x.example.net"
+		}
+		return "host-x.example.net"
+	}
+	if got := ClassifyBlock(lookup70, 0.6); got != Static {
+		t.Errorf("70%% static block classified %v", got)
+	}
+	// Empty zone.
+	if got := ClassifyBlock(func(byte) string { return "" }, 0.6); got != Untagged {
+		t.Errorf("empty zone classified %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package registry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipscope/internal/ipv4"
+)
+
+// This file implements the NRO "extended allocation and assignment"
+// delegation format (delegated-extended), the publicly available data
+// the paper uses for its geographic breakdown (Section 3.4):
+//
+//	registry|cc|type|start|value|date|status[|opaque-id]
+//
+// For IPv4 records, value is the number of addresses delegated
+// (a power of two times 256 in practice; we require it to describe a
+// CIDR-aligned range and split non-aligned ranges on write).
+
+// WriteNRO writes the table in delegated-extended format, including the
+// version and summary header lines.
+func WriteNRO(w io.Writer, allocs []Allocation) error {
+	bw := bufio.NewWriter(w)
+	total := 0
+	for range allocs {
+		total++
+	}
+	if _, err := fmt.Fprintf(bw, "2|nro|%s|%d|%d|%s|+0000\n",
+		"19700101", total, total, "19700101"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "nro|*|ipv4|*|%d|summary\n", total); err != nil {
+		return err
+	}
+	for _, a := range allocs {
+		date := a.Date
+		if date.IsZero() {
+			date = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+		}
+		cc := string(a.Country)
+		if cc == "" {
+			cc = "ZZ"
+		}
+		_, err := fmt.Fprintf(bw, "%s|%s|ipv4|%s|%d|%s|allocated\n",
+			strings.ToLower(rirNROName(a.RIR)), cc,
+			a.Prefix.Addr(), a.Prefix.NumAddrs(), date.Format("20060102"))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func rirNROName(r RIR) string {
+	if r == RIPE {
+		return "ripencc"
+	}
+	return strings.ToLower(r.String())
+}
+
+// ParseNRO reads delegated-extended records from r, returning the IPv4
+// allocations found. Header, summary, ipv6 and asn records are skipped.
+// Ranges whose size is not a power of two are split into maximal
+// CIDR-aligned prefixes.
+func ParseNRO(r io.Reader) ([]Allocation, error) {
+	var out []Allocation
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 7 {
+			continue // header line
+		}
+		if fields[2] != "ipv4" || fields[3] == "*" {
+			continue // summary, ipv6, asn
+		}
+		rir, ok := ParseRIR(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("nro: line %d: unknown registry %q", lineNo, fields[0])
+		}
+		start, err := ipv4.ParseAddr(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("nro: line %d: %v", lineNo, err)
+		}
+		count, err := strconv.ParseUint(fields[4], 10, 33)
+		if err != nil || count == 0 {
+			return nil, fmt.Errorf("nro: line %d: bad count %q", lineNo, fields[4])
+		}
+		date, _ := time.Parse("20060102", fields[5])
+		cc := Country(fields[1])
+		for _, p := range splitRange(start, count) {
+			out = append(out, Allocation{Prefix: p, Country: cc, RIR: rir, Date: date})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// splitRange decomposes [start, start+count) into maximal CIDR prefixes.
+func splitRange(start ipv4.Addr, count uint64) []ipv4.Prefix {
+	var out []ipv4.Prefix
+	cur := uint64(start)
+	remaining := count
+	for remaining > 0 {
+		// Largest power-of-two block that is aligned at cur and fits.
+		size := uint64(1) << 32
+		if cur != 0 {
+			size = cur & (^cur + 1) // lowest set bit of cur
+		}
+		for size > remaining {
+			size >>= 1
+		}
+		bits := 32
+		for s := size; s > 1; s >>= 1 {
+			bits--
+		}
+		p, _ := ipv4.NewPrefix(ipv4.Addr(cur), bits)
+		out = append(out, p)
+		cur += size
+		remaining -= size
+	}
+	return out
+}
+
+// RankedCountries returns country codes ordered by the given rank
+// accessor (ascending rank, i.e. largest subscriber base first),
+// skipping unranked entries.
+func RankedCountries(rank func(CountryInfo) int) []Country {
+	type kv struct {
+		c Country
+		r int
+	}
+	var xs []kv
+	for _, ci := range Countries {
+		if r := rank(ci); r > 0 {
+			xs = append(xs, kv{ci.Code, r})
+		}
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].r < xs[j].r })
+	out := make([]Country, len(xs))
+	for i, x := range xs {
+		out[i] = x.c
+	}
+	return out
+}

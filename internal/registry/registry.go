@@ -1,0 +1,213 @@
+// Package registry models the Regional Internet Registry (RIR) system:
+// which registry and country each IPv4 address is registered to, RIR
+// exhaustion dates, and ITU-style subscriber statistics. It also reads
+// and writes the NRO extended allocation format so that allocation data
+// can be exchanged with real tooling.
+package registry
+
+import (
+	"time"
+
+	"ipscope/internal/ipv4"
+)
+
+// RIR identifies one of the five Regional Internet Registries.
+type RIR uint8
+
+// The five RIRs.
+const (
+	ARIN RIR = iota
+	RIPE
+	APNIC
+	LACNIC
+	AFRINIC
+	numRIRs
+)
+
+// NumRIRs is the number of registries.
+const NumRIRs = int(numRIRs)
+
+// AllRIRs lists every registry in display order.
+var AllRIRs = [NumRIRs]RIR{ARIN, RIPE, APNIC, LACNIC, AFRINIC}
+
+var rirNames = [NumRIRs]string{"ARIN", "RIPE", "APNIC", "LACNIC", "AFRINIC"}
+
+// String returns the registry's canonical name.
+func (r RIR) String() string {
+	if int(r) < NumRIRs {
+		return rirNames[r]
+	}
+	return "UNKNOWN"
+}
+
+// ParseRIR maps a registry name (as used in NRO files, lowercase
+// variants included) to a RIR.
+func ParseRIR(s string) (RIR, bool) {
+	switch s {
+	case "ARIN", "arin":
+		return ARIN, true
+	case "RIPE", "ripencc", "RIPENCC", "ripe":
+		return RIPE, true
+	case "APNIC", "apnic":
+		return APNIC, true
+	case "LACNIC", "lacnic":
+		return LACNIC, true
+	case "AFRINIC", "afrinic":
+		return AFRINIC, true
+	}
+	return 0, false
+}
+
+// ExhaustionDate returns the date the registry's free IPv4 pool was
+// exhausted, per the paper's Figure 1 annotations. AFRINIC had not
+// exhausted during the study period and reports ok=false.
+func (r RIR) ExhaustionDate() (time.Time, bool) {
+	d := func(y int, m time.Month, day int) time.Time {
+		return time.Date(y, m, day, 0, 0, 0, 0, time.UTC)
+	}
+	switch r {
+	case APNIC:
+		return d(2011, time.April, 15), true
+	case RIPE:
+		return d(2012, time.September, 14), true
+	case LACNIC:
+		return d(2014, time.June, 10), true
+	case ARIN:
+		return d(2015, time.September, 24), true
+	}
+	return time.Time{}, false
+}
+
+// IANAExhaustion is the date the IANA central pool was exhausted.
+var IANAExhaustion = time.Date(2011, time.February, 3, 0, 0, 0, 0, time.UTC)
+
+// Country is an ISO 3166-1 alpha-2 country code, e.g. "US".
+type Country string
+
+// CountryInfo describes one country in the synthetic registry model.
+type CountryInfo struct {
+	Code Country
+	RIR  RIR
+	// BroadbandRank and CellularRank are 1-based ITU-style ranks by
+	// subscriber counts (1 = most subscribers); 0 = unranked.
+	BroadbandRank int
+	CellularRank  int
+	// Weight is the relative share of address space the country
+	// receives when a synthetic world is generated.
+	Weight float64
+	// ICMPResponseRate is the prior probability that an active host in
+	// this country responds to ICMP (the paper observes ~0.8 for CN
+	// and ~0.25 for JP).
+	ICMPResponseRate float64
+}
+
+// Countries is the built-in country table used for synthetic worlds.
+// Ranks follow ITU 2015 as annotated in the paper's Figure 3(b).
+var Countries = []CountryInfo{
+	{"US", ARIN, 2, 3, 22, 0.45},
+	{"CA", ARIN, 14, 30, 3, 0.5},
+	{"CN", APNIC, 1, 1, 15, 0.80},
+	{"JP", APNIC, 3, 7, 12, 0.25},
+	{"IN", APNIC, 10, 2, 4, 0.55},
+	{"KR", APNIC, 9, 25, 5, 0.45},
+	{"AU", APNIC, 20, 36, 2, 0.5},
+	{"BR", LACNIC, 7, 5, 8, 0.6},
+	{"MX", LACNIC, 13, 11, 3, 0.55},
+	{"AR", LACNIC, 15, 17, 2, 0.55},
+	{"DE", RIPE, 4, 14, 10, 0.5},
+	{"GB", RIPE, 8, 19, 8, 0.45},
+	{"FR", RIPE, 5, 22, 8, 0.5},
+	{"RU", RIPE, 6, 6, 7, 0.6},
+	{"IT", RIPE, 12, 16, 5, 0.5},
+	{"NL", RIPE, 16, 40, 3, 0.45},
+	{"ZA", AFRINIC, 30, 24, 2, 0.5},
+	{"NG", AFRINIC, 40, 9, 1.5, 0.55},
+	{"EG", AFRINIC, 25, 18, 1.5, 0.55},
+	{"KE", AFRINIC, 45, 35, 1, 0.5},
+}
+
+// CountryByCode returns the table entry for code.
+func CountryByCode(code Country) (CountryInfo, bool) {
+	for _, c := range Countries {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return CountryInfo{}, false
+}
+
+// CountriesOf returns the table entries registered to r.
+func CountriesOf(r RIR) []CountryInfo {
+	var out []CountryInfo
+	for _, c := range Countries {
+		if c.RIR == r {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Allocation records that a prefix is delegated to a country (and hence
+// a registry).
+type Allocation struct {
+	Prefix  ipv4.Prefix
+	Country Country
+	RIR     RIR
+	Date    time.Time
+}
+
+// Table maps addresses to their allocation. Lookups use the /24 block
+// of the address: registry delegations are /24-aligned in practice and
+// in our generator.
+type Table struct {
+	allocs  []Allocation
+	byBlock map[ipv4.Block]int32 // index into allocs
+}
+
+// NewTable builds a lookup table over allocs. Later allocations win on
+// block overlap.
+func NewTable(allocs []Allocation) *Table {
+	t := &Table{
+		allocs:  append([]Allocation(nil), allocs...),
+		byBlock: make(map[ipv4.Block]int32),
+	}
+	for i, a := range t.allocs {
+		idx := int32(i)
+		a.Prefix.Blocks(func(b ipv4.Block) { t.byBlock[b] = idx })
+	}
+	return t
+}
+
+// Allocations returns the underlying allocation list.
+func (t *Table) Allocations() []Allocation { return t.allocs }
+
+// Lookup returns the allocation covering a.
+func (t *Table) Lookup(a ipv4.Addr) (Allocation, bool) {
+	return t.LookupBlock(a.Block())
+}
+
+// LookupBlock returns the allocation covering blk.
+func (t *Table) LookupBlock(blk ipv4.Block) (Allocation, bool) {
+	i, ok := t.byBlock[blk]
+	if !ok {
+		return Allocation{}, false
+	}
+	return t.allocs[i], true
+}
+
+// RIROf returns the registry for a block, defaulting to ARIN for
+// unallocated space (matching how unattributed space is reported).
+func (t *Table) RIROf(blk ipv4.Block) RIR {
+	if a, ok := t.LookupBlock(blk); ok {
+		return a.RIR
+	}
+	return ARIN
+}
+
+// CountryOf returns the country code for a block, or "" if unallocated.
+func (t *Table) CountryOf(blk ipv4.Block) Country {
+	if a, ok := t.LookupBlock(blk); ok {
+		return a.Country
+	}
+	return ""
+}

@@ -1,0 +1,244 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipscope/internal/ipv4"
+)
+
+func TestRIRNamesAndParse(t *testing.T) {
+	for _, r := range AllRIRs {
+		name := r.String()
+		back, ok := ParseRIR(name)
+		if !ok || back != r {
+			t.Errorf("round trip failed for %v", name)
+		}
+	}
+	if RIR(250).String() != "UNKNOWN" {
+		t.Error("out-of-range RIR should be UNKNOWN")
+	}
+	if r, ok := ParseRIR("ripencc"); !ok || r != RIPE {
+		t.Error("ripencc should parse as RIPE")
+	}
+	if _, ok := ParseRIR("bogus"); ok {
+		t.Error("bogus registry parsed")
+	}
+}
+
+func TestExhaustionDatesOrdered(t *testing.T) {
+	// Paper: APNIC (2011) < RIPE (2012) < LACNIC (2014) < ARIN (2015).
+	order := []RIR{APNIC, RIPE, LACNIC, ARIN}
+	var prev time.Time
+	for _, r := range order {
+		d, ok := r.ExhaustionDate()
+		if !ok {
+			t.Fatalf("%v missing exhaustion date", r)
+		}
+		if !d.After(prev) {
+			t.Fatalf("%v exhaustion %v not after %v", r, d, prev)
+		}
+		prev = d
+	}
+	if _, ok := AFRINIC.ExhaustionDate(); ok {
+		t.Error("AFRINIC should not be exhausted in study period")
+	}
+	if !IANAExhaustion.Before(mustDate(APNIC)) {
+		t.Error("IANA exhaustion should precede APNIC")
+	}
+}
+
+func mustDate(r RIR) time.Time {
+	d, _ := r.ExhaustionDate()
+	return d
+}
+
+func TestCountryTableConsistent(t *testing.T) {
+	seen := map[Country]bool{}
+	perRIR := map[RIR]int{}
+	for _, c := range Countries {
+		if seen[c.Code] {
+			t.Errorf("duplicate country %v", c.Code)
+		}
+		seen[c.Code] = true
+		perRIR[c.RIR]++
+		if c.Weight <= 0 {
+			t.Errorf("%v has nonpositive weight", c.Code)
+		}
+		if c.ICMPResponseRate <= 0 || c.ICMPResponseRate > 1 {
+			t.Errorf("%v has invalid ICMP rate %v", c.Code, c.ICMPResponseRate)
+		}
+	}
+	for _, r := range AllRIRs {
+		if perRIR[r] == 0 {
+			t.Errorf("no countries for %v", r)
+		}
+	}
+	// The paper's key contrast: CN responds to ICMP far more than JP.
+	cn, _ := CountryByCode("CN")
+	jp, _ := CountryByCode("JP")
+	if cn.ICMPResponseRate <= jp.ICMPResponseRate {
+		t.Error("CN ICMP response rate must exceed JP per paper §3.4")
+	}
+	if _, ok := CountryByCode("XX"); ok {
+		t.Error("unknown country found")
+	}
+}
+
+func TestCountriesOf(t *testing.T) {
+	for _, c := range CountriesOf(AFRINIC) {
+		if c.RIR != AFRINIC {
+			t.Errorf("CountriesOf(AFRINIC) returned %v", c.Code)
+		}
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	allocs := []Allocation{
+		{Prefix: ipv4.MustParsePrefix("10.0.0.0/16"), Country: "US", RIR: ARIN},
+		{Prefix: ipv4.MustParsePrefix("10.1.0.0/16"), Country: "DE", RIR: RIPE},
+	}
+	tbl := NewTable(allocs)
+	if got := tbl.CountryOf(ipv4.MustParseAddr("10.0.5.1").Block()); got != "US" {
+		t.Errorf("CountryOf = %v", got)
+	}
+	if got := tbl.RIROf(ipv4.MustParseAddr("10.1.200.1").Block()); got != RIPE {
+		t.Errorf("RIROf = %v", got)
+	}
+	if _, ok := tbl.Lookup(ipv4.MustParseAddr("192.0.2.1")); ok {
+		t.Error("lookup outside allocations should fail")
+	}
+	if got := tbl.RIROf(ipv4.MustParseAddr("192.0.2.1").Block()); got != ARIN {
+		t.Error("unallocated space should default to ARIN")
+	}
+	if len(tbl.Allocations()) != 2 {
+		t.Error("Allocations() length wrong")
+	}
+}
+
+func TestTableOverlapLaterWins(t *testing.T) {
+	allocs := []Allocation{
+		{Prefix: ipv4.MustParsePrefix("10.0.0.0/16"), Country: "US", RIR: ARIN},
+		{Prefix: ipv4.MustParsePrefix("10.0.1.0/24"), Country: "BR", RIR: LACNIC},
+	}
+	tbl := NewTable(allocs)
+	if got := tbl.CountryOf(ipv4.MustParseAddr("10.0.1.9").Block()); got != "BR" {
+		t.Errorf("overlap: got %v, want BR", got)
+	}
+	if got := tbl.CountryOf(ipv4.MustParseAddr("10.0.2.9").Block()); got != "US" {
+		t.Errorf("non-overlapped block: got %v, want US", got)
+	}
+}
+
+func TestNRORoundTrip(t *testing.T) {
+	allocs := []Allocation{
+		{Prefix: ipv4.MustParsePrefix("10.0.0.0/16"), Country: "US", RIR: ARIN,
+			Date: time.Date(2005, 3, 1, 0, 0, 0, 0, time.UTC)},
+		{Prefix: ipv4.MustParsePrefix("77.0.0.0/12"), Country: "DE", RIR: RIPE,
+			Date: time.Date(2009, 7, 15, 0, 0, 0, 0, time.UTC)},
+		{Prefix: ipv4.MustParsePrefix("196.1.2.0/24"), Country: "ZA", RIR: AFRINIC},
+	}
+	var buf bytes.Buffer
+	if err := WriteNRO(&buf, allocs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseNRO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(allocs) {
+		t.Fatalf("round trip count %d, want %d", len(got), len(allocs))
+	}
+	for i := range allocs {
+		if got[i].Prefix != allocs[i].Prefix || got[i].Country != allocs[i].Country || got[i].RIR != allocs[i].RIR {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], allocs[i])
+		}
+	}
+}
+
+func TestParseNROSkipsNonIPv4(t *testing.T) {
+	in := `2|nro|20160101|3|3|20160101|+0000
+nro|*|ipv4|*|2|summary
+arin|US|asn|64500|1|20100101|allocated
+ripencc|DE|ipv6|2001:db8::|32|20100101|allocated
+apnic|JP|ipv4|1.2.3.0|256|20100101|allocated
+`
+	got, err := ParseNRO(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Country != "JP" || got[0].Prefix.String() != "1.2.3.0/24" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseNROSplitsNonCIDR(t *testing.T) {
+	// 768 addresses starting at 1.2.3.0 = /24 + /23... actually
+	// 1.2.3.0/24 (256) then 1.2.4.0/23 (512).
+	in := "arin|US|ipv4|1.2.3.0|768|20100101|allocated\n"
+	got, err := ParseNRO(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, a := range got {
+		total += a.Prefix.NumAddrs()
+		if !a.Prefix.Contains(a.Prefix.Addr()) {
+			t.Error("prefix must contain its own base")
+		}
+	}
+	if total != 768 {
+		t.Fatalf("split covers %d addrs, want 768 (%v)", total, got)
+	}
+}
+
+func TestParseNROErrors(t *testing.T) {
+	bad := []string{
+		"mars|US|ipv4|1.2.3.0|256|20100101|allocated\n",
+		"arin|US|ipv4|not-an-ip|256|20100101|allocated\n",
+		"arin|US|ipv4|1.2.3.0|zero|20100101|allocated\n",
+		"arin|US|ipv4|1.2.3.0|0|20100101|allocated\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseNRO(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestSplitRangeProperty(t *testing.T) {
+	f := func(startRaw uint32, countRaw uint16) bool {
+		count := uint64(countRaw%2048) + 1
+		start := ipv4.Addr(startRaw &^ 0xff) // block aligned start
+		if uint64(start)+count > 1<<32 {
+			return true
+		}
+		ps := splitRange(start, count)
+		// Prefixes must tile the range exactly, in order, without overlap.
+		cur := uint64(start)
+		for _, p := range ps {
+			if uint64(p.Addr()) != cur {
+				return false
+			}
+			cur += p.NumAddrs()
+		}
+		return cur == uint64(start)+count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankedCountries(t *testing.T) {
+	bb := RankedCountries(func(c CountryInfo) int { return c.BroadbandRank })
+	if len(bb) == 0 || bb[0] != "CN" {
+		t.Errorf("broadband rank 1 should be CN, got %v", bb)
+	}
+	cell := RankedCountries(func(c CountryInfo) int { return c.CellularRank })
+	if cell[0] != "CN" || cell[1] != "IN" {
+		t.Errorf("cellular ranking wrong: %v", cell[:2])
+	}
+}

@@ -1,0 +1,101 @@
+package scan
+
+import (
+	"ipscope/internal/ipv4"
+	"ipscope/internal/sim"
+)
+
+// Responder answers probes: the scanner's view of the network. In
+// production this is the Internet; here it is backed by the simulator's
+// responsiveness snapshots.
+type Responder interface {
+	// Respond reports whether addr answers a probe.
+	Respond(addr ipv4.Addr) bool
+}
+
+// SetResponder adapts an address set to a Responder.
+type SetResponder struct{ Set *ipv4.Set }
+
+// Respond reports membership.
+func (s SetResponder) Respond(a ipv4.Addr) bool { return s.Set.Contains(a) }
+
+// Scan probes every address of the target prefixes in ZMap-style
+// pseudorandom order and returns the responding set. The permutation
+// covers the concatenated target space; seed controls the order (the
+// result is order-independent, but the iteration mirrors how a real
+// campaign spreads probes across targets).
+func Scan(r Responder, targets []ipv4.Prefix, seed uint64) (*ipv4.Set, error) {
+	total := uint64(0)
+	for _, p := range targets {
+		total += p.NumAddrs()
+	}
+	out := ipv4.NewSet()
+	if total == 0 {
+		return out, nil
+	}
+	perm, err := NewPermutation(total, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Offsets for mapping permuted indices back into target prefixes.
+	offsets := make([]uint64, len(targets)+1)
+	for i, p := range targets {
+		offsets[i+1] = offsets[i] + p.NumAddrs()
+	}
+	for {
+		idx, ok := perm.Next()
+		if !ok {
+			break
+		}
+		// Binary search the containing prefix.
+		lo, hi := 0, len(targets)
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if offsets[mid] <= idx {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		addr := ipv4.Addr(uint32(targets[lo].Addr()) + uint32(idx-offsets[lo]))
+		if r.Respond(addr) {
+			out.Add(addr)
+		}
+	}
+	return out, nil
+}
+
+// Campaign bundles the active-measurement view used by the Section 3
+// analyses: the union of ICMP snapshots, the service-scan surface and
+// the traceroute-derived router surface.
+type Campaign struct {
+	// ICMP is the union of all ICMP scan snapshots (the paper's
+	// "union of 8 ICMP scans").
+	ICMP *ipv4.Set
+	// PerScan holds each snapshot separately.
+	PerScan []*ipv4.Set
+	// Servers are addresses answering HTTP(S)/SMTP/IMAP/POP3 scans.
+	Servers *ipv4.Set
+	// Routers are addresses observed on traceroute paths.
+	Routers *ipv4.Set
+}
+
+// FromResult assembles a Campaign from a simulation run.
+func FromResult(res *sim.Result) *Campaign {
+	return &Campaign{
+		ICMP:    res.ICMPUnion(),
+		PerScan: res.ICMPScans,
+		Servers: res.ServerSet,
+		Routers: res.RouterSet,
+	}
+}
+
+// Targets returns all routed prefixes of the simulated world, the
+// natural target list for a campaign.
+func Targets(res *sim.Result) []ipv4.Prefix {
+	var out []ipv4.Prefix
+	for _, as := range res.World.ASes {
+		out = append(out, as.Prefixes...)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package scan
+
+import "fmt"
+
+// Sharding splits a scan across k independent scanners, as introduced
+// for distributed ZMap campaigns (Adrian et al., "Zippier ZMap"):
+// shard i of k visits exactly the permutation elements congruent to its
+// emission index mod k, so the shards partition the target space with
+// no coordination beyond (seed, i, k).
+
+// Shard iterates the subset of a Permutation assigned to one scanner.
+type Shard struct {
+	perm *Permutation
+	k    int
+	i    int
+	pos  int
+}
+
+// NewShard returns shard i of k over a permutation of [0, n) with the
+// given seed. All shards of a campaign must share n and seed.
+func NewShard(n uint64, seed uint64, i, k int) (*Shard, error) {
+	if k <= 0 || i < 0 || i >= k {
+		return nil, fmt.Errorf("scan: invalid shard %d of %d", i, k)
+	}
+	p, err := NewPermutation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Shard{perm: p, k: k, i: i}, nil
+}
+
+// Next returns the shard's next target index; ok is false when the
+// shard is exhausted.
+func (s *Shard) Next() (uint64, bool) {
+	for {
+		v, ok := s.perm.Next()
+		if !ok {
+			return 0, false
+		}
+		mine := s.pos%s.k == s.i
+		s.pos++
+		if mine {
+			return v, true
+		}
+	}
+}
+
+// Reset restarts the shard.
+func (s *Shard) Reset() {
+	s.perm.Reset()
+	s.pos = 0
+}

@@ -1,0 +1,118 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShardsPartition(t *testing.T) {
+	const n = 1000
+	for _, k := range []int{1, 2, 3, 7} {
+		seen := make([]int, n)
+		for i := 0; i < k; i++ {
+			sh, err := NewShard(n, 42, i, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				v, ok := sh.Next()
+				if !ok {
+					break
+				}
+				seen[v]++
+			}
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("k=%d: element %d visited %d times", k, v, c)
+			}
+		}
+	}
+}
+
+func TestShardsDisjointProperty(t *testing.T) {
+	f := func(nRaw uint16, seed uint64, kRaw uint8) bool {
+		n := uint64(nRaw%500) + 1
+		k := int(kRaw%5) + 1
+		union := make(map[uint64]int)
+		for i := 0; i < k; i++ {
+			sh, err := NewShard(n, seed, i, k)
+			if err != nil {
+				return false
+			}
+			for {
+				v, ok := sh.Next()
+				if !ok {
+					break
+				}
+				union[v]++
+			}
+		}
+		if uint64(len(union)) != n {
+			return false
+		}
+		for _, c := range union {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardBalance(t *testing.T) {
+	const n, k = 10000, 4
+	for i := 0; i < k; i++ {
+		sh, _ := NewShard(n, 7, i, k)
+		count := 0
+		for {
+			if _, ok := sh.Next(); !ok {
+				break
+			}
+			count++
+		}
+		if count < n/k-1 || count > n/k+1 {
+			t.Errorf("shard %d got %d of %d", i, count, n)
+		}
+	}
+}
+
+func TestShardReset(t *testing.T) {
+	sh, _ := NewShard(100, 9, 1, 3)
+	var first []uint64
+	for {
+		v, ok := sh.Next()
+		if !ok {
+			break
+		}
+		first = append(first, v)
+	}
+	sh.Reset()
+	for i := 0; ; i++ {
+		v, ok := sh.Next()
+		if !ok {
+			if i != len(first) {
+				t.Fatal("reset length differs")
+			}
+			break
+		}
+		if v != first[i] {
+			t.Fatal("reset diverged")
+		}
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	if _, err := NewShard(10, 1, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewShard(10, 1, 3, 3); err == nil {
+		t.Error("i=k accepted")
+	}
+	if _, err := NewShard(0, 1, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

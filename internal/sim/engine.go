@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"sort"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/synthnet"
+	"ipscope/internal/useragent"
+	"ipscope/internal/xrand"
+)
+
+func deviceFor(seed uint64) useragent.Device { return useragent.NewDevice(seed) }
+func botUA(seed uint64) string               { return useragent.BotUA(seed) }
+
+// Run simulates cfg.Days days of activity over world w.
+func Run(w *synthnet.World, cfg Config) *Result {
+	cfg = cfg.normalized()
+	res := &Result{
+		Config:  cfg,
+		World:   w,
+		Traffic: make(map[ipv4.Block]*BlockTraffic),
+		UA:      make(map[ipv4.Block]*UAStat),
+	}
+
+	states := make([]*blockState, len(w.Blocks))
+	for i, b := range w.Blocks {
+		states[i] = newBlockState(b, cfg)
+	}
+	res.Routing = bgp.NewChangeLog(w.BaseRouting, cfg.Days)
+	scheduleRestructures(w, states, cfg, res)
+	scheduleBGPNoise(w, cfg, res)
+
+	scanDay := make(map[int]int, len(cfg.ICMPScanDays)) // day -> scan index
+	for i, d := range cfg.ICMPScanDays {
+		scanDay[d] = i
+	}
+	res.ICMPScans = make([]*ipv4.Set, len(cfg.ICMPScanDays))
+	for i := range res.ICMPScans {
+		res.ICMPScans[i] = ipv4.NewSet()
+	}
+
+	numWeeks := cfg.Days / 7
+	if numWeeks == 0 {
+		numWeeks = 1
+	}
+	res.Weekly = make([]*ipv4.Set, numWeeks)
+	for i := range res.Weekly {
+		res.Weekly[i] = ipv4.NewSet()
+	}
+	res.Daily = make([]*ipv4.Set, cfg.DailyLen)
+	res.DailyTotalHits = make([]float64, cfg.DailyLen)
+	res.WeeklyTopShare = make([]float64, numWeeks)
+
+	uaStart := cfg.DailyStart + cfg.DailyLen - cfg.UADays
+	uaEnd := cfg.DailyStart + cfg.DailyLen
+	sampler := useragent.NewSampler(w.Seed, useragent.SampleRate)
+
+	// Per-week per-address hit accumulator, reset weekly.
+	weekHits := make(map[ipv4.Block]*[256]float64)
+	var out dayOutput
+
+	for day := 0; day < cfg.Days; day++ {
+		wk := day / 7
+		if wk >= numWeeks {
+			wk = numWeeks - 1
+		}
+		inDaily := day >= cfg.DailyStart && day < cfg.DailyStart+cfg.DailyLen
+		di := day - cfg.DailyStart
+		if inDaily {
+			res.Daily[di] = ipv4.NewSet()
+		}
+		inUA := day >= uaStart && day < uaEnd
+		scanIdx, isScanDay := scanDay[day]
+
+		for si, bs := range states {
+			bs.step(day, cfg, &out)
+			blk := w.Blocks[si].Block
+			if !out.bm.IsEmpty() {
+				res.Weekly[wk].AddBlockBitmap(blk, &out.bm)
+				wh := weekHits[blk]
+				if wh == nil {
+					wh = new([256]float64)
+					weekHits[blk] = wh
+				}
+				for h := 0; h < 256; h++ {
+					wh[h] += out.hits[h]
+				}
+				if inDaily {
+					res.Daily[di].AddBlockBitmap(blk, &out.bm)
+					res.DailyTotalHits[di] += out.total
+					bt := res.Traffic[blk]
+					if bt == nil {
+						bt = new(BlockTraffic)
+						res.Traffic[blk] = bt
+					}
+					out.bm.ForEach(func(h byte) {
+						bt.DaysActive[h]++
+						bt.Hits[h] += out.hits[h]
+					})
+				}
+				if inUA && out.total > 0 {
+					sampleUA(bs, &out, sampler, res, blk)
+				}
+			}
+			if isScanDay {
+				resp := bs.icmpResponsive(day, &out.bm)
+				if !resp.IsEmpty() {
+					res.ICMPScans[scanIdx].AddBlockBitmap(blk, &resp)
+				}
+			}
+		}
+
+		// Close out the week.
+		if (day+1)%7 == 0 || day == cfg.Days-1 {
+			res.WeeklyTopShare[wk] = topShare(weekHits, 0.10)
+			weekHits = make(map[ipv4.Block]*[256]float64)
+		}
+	}
+
+	// Static scan surfaces (service ports, traceroute).
+	res.ServerSet = ipv4.NewSet()
+	res.RouterSet = ipv4.NewSet()
+	for si, bs := range states {
+		blk := w.Blocks[si].Block
+		if m := bs.serviceHosts(); !m.IsEmpty() {
+			res.ServerSet.AddBlockBitmap(blk, &m)
+		}
+		if m := bs.routerHosts(); !m.IsEmpty() {
+			res.RouterSet.AddBlockBitmap(blk, &m)
+		}
+	}
+	return res
+}
+
+// sampleUA samples User-Agent strings for one block-day at the
+// pipeline's 1-in-4K rate and folds them into the block's sketch.
+func sampleUA(bs *blockState, out *dayOutput, sampler *useragent.Sampler, res *Result, blk ipv4.Block) {
+	n := sampler.SampleN(int(out.total))
+	if n == 0 {
+		return
+	}
+	st := res.UA[blk]
+	if st == nil {
+		st = &UAStat{Sketch: useragent.NewHLL(12)}
+		res.UA[blk] = st
+	}
+	st.Samples += n
+	for i := 0; i < n; i++ {
+		// Pick the sampled request's subscriber weighted by traffic:
+		// approximate by a hits-weighted draw over active subscribers.
+		idx := weightedSub(bs, out)
+		st.Sketch.AddString(bs.deviceUA(out.activeSubs[idx]))
+	}
+}
+
+func weightedSub(bs *blockState, out *dayOutput) int {
+	if len(out.activeSubs) == 1 {
+		return 0
+	}
+	x := bs.rng.Float64() * out.total
+	for i, h := range out.hostOf {
+		x -= out.hits[byte(h)]
+		if x < 0 {
+			return i
+		}
+	}
+	return len(out.activeSubs) - 1
+}
+
+// topShare computes the share of total traffic received by the top
+// fraction frac of addresses.
+func topShare(weekHits map[ipv4.Block]*[256]float64, frac float64) float64 {
+	// Iterate blocks in sorted order so float accumulation order (and
+	// thus the result) is deterministic across runs.
+	blocks := make([]ipv4.Block, 0, len(weekHits))
+	for b := range weekHits {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	var vals []float64
+	total := 0.0
+	for _, b := range blocks {
+		for _, v := range weekHits[b] {
+			if v > 0 {
+				vals = append(vals, v)
+				total += v
+			}
+		}
+	}
+	if len(vals) == 0 || total == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	k := int(float64(len(vals)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	sum := 0.0
+	for _, v := range vals[len(vals)-k:] {
+		sum += v
+	}
+	return sum / total
+}
+
+// scheduleRestructures picks prefixes and blocks for mid-run assignment
+// changes, wires them into block states, and couples a fraction to BGP.
+func scheduleRestructures(w *synthnet.World, states []*blockState, cfg Config, res *Result) {
+	r := xrand.New(w.Seed, "restructure")
+	// Spread restructurings across (almost) the whole year, as in the
+	// wild; a small margin keeps the first/last snapshots comparable.
+	lo, hi := cfg.Days/20, cfg.Days*19/20
+	if hi <= lo {
+		lo, hi = 0, cfg.Days
+	}
+
+	// Bulk (prefix-level) changes.
+	for _, as := range w.ASes {
+		for _, p := range as.Prefixes {
+			if !xrand.Bernoulli(r, cfg.PrefixChangeFrac) {
+				continue
+			}
+			day := lo + r.Intn(hi-lo)
+			// Classify by current content: mostly-unused prefixes
+			// activate; others switch policy or go dark.
+			unused := 0
+			p.Blocks(func(b ipv4.Block) {
+				if bi, ok := w.BlockInfo(b); ok && bi.Policy == synthnet.Unused {
+					unused++
+				}
+			})
+			kind := PolicySwitch
+			switch {
+			case unused*2 >= p.NumBlocks():
+				kind = Activate
+			case r.Float64() < 0.5:
+				kind = Deactivate
+			}
+			re := Restructure{Prefix: p, Day: day, Kind: kind}
+			if xrand.Bernoulli(r, cfg.BGPCoupleProb) {
+				re.BGPVisible = true
+				switch kind {
+				case Activate:
+					re.BGPKind = bgp.Announce
+				case Deactivate:
+					if r.Float64() < 0.5 {
+						re.BGPKind = bgp.Withdraw
+					} else {
+						re.BGPKind = bgp.OriginChange
+					}
+				default:
+					re.BGPKind = bgp.OriginChange
+				}
+				recordBGP(res.Routing, w, p, day, re.BGPKind, r)
+			}
+			res.Restructures = append(res.Restructures, re)
+			p.Blocks(func(b ipv4.Block) {
+				applyRestructure(w, states, b, day, kind, r)
+			})
+		}
+	}
+
+	// Single-block changes.
+	for si, b := range w.Blocks {
+		if !xrand.Bernoulli(r, cfg.BlockChangeFrac) {
+			continue
+		}
+		if states[si].changeDay >= 0 {
+			continue // already part of a bulk change
+		}
+		day := lo + r.Intn(hi-lo)
+		kind := PolicySwitch
+		if b.Policy == synthnet.Unused {
+			kind = Activate
+		} else if r.Float64() < 0.25 {
+			kind = Deactivate
+		}
+		res.Restructures = append(res.Restructures, Restructure{
+			Prefix: b.Block.Prefix(), Day: day, Kind: kind,
+		})
+		applyRestructure(w, states, b.Block, day, kind, r)
+	}
+}
+
+func applyRestructure(w *synthnet.World, states []*blockState, blk ipv4.Block, day int, kind RestructureKind, r interface{ Intn(int) int }) {
+	i, ok := w.ByBlock[blk]
+	if !ok {
+		return
+	}
+	bs := states[i]
+	bs.changeDay = day
+	switch kind {
+	case Deactivate:
+		bs.newPol = synthnet.Unused
+	case Activate:
+		bs.newPol = clientPolicies[r.Intn(len(clientPolicies))]
+	default: // PolicySwitch: flip static<->dynamic or change pool type.
+		cur := bs.info.Policy
+		for {
+			p := clientPolicies[r.Intn(len(clientPolicies))]
+			if p != cur {
+				bs.newPol = p
+				break
+			}
+		}
+	}
+}
+
+var clientPolicies = []synthnet.Policy{
+	synthnet.StaticSparse, synthnet.StaticDense, synthnet.DynamicRoundRobin,
+	synthnet.DynamicLongLease, synthnet.DynamicDaily,
+}
+
+func recordBGP(log *bgp.ChangeLog, w *synthnet.World, p ipv4.Prefix, day int, kind bgp.ChangeKind, r interface{ Intn(int) int }) {
+	origin := w.ASOf(p.FirstBlock())
+	switch kind {
+	case bgp.Announce:
+		log.Record(day, bgp.Change{Kind: bgp.Announce, Prefix: p, NewOrigin: origin})
+	case bgp.Withdraw:
+		log.Record(day, bgp.Change{Kind: bgp.Withdraw, Prefix: p, OldOrigin: origin})
+	case bgp.OriginChange:
+		newOrigin := origin + bgp.ASN(1+r.Intn(100))
+		log.Record(day, bgp.Change{Kind: bgp.OriginChange, Prefix: p,
+			OldOrigin: origin, NewOrigin: newOrigin})
+	}
+}
+
+// scheduleBGPNoise adds background announce/withdraw flapping unrelated
+// to activity, so steadily-active addresses also see a small BGP-change
+// correlation (Figure 5c's baseline).
+func scheduleBGPNoise(w *synthnet.World, cfg Config, res *Result) {
+	r := xrand.New(w.Seed, "bgp-noise")
+	var prefixes []ipv4.Prefix
+	var origins []bgp.ASN
+	for _, as := range w.ASes {
+		for _, p := range as.Prefixes {
+			prefixes = append(prefixes, p)
+			origins = append(origins, as.Num)
+		}
+	}
+	if len(prefixes) == 0 {
+		return
+	}
+	perDay := cfg.BGPNoisePerDay * float64(len(prefixes)) / 1000
+	for day := 1; day < cfg.Days; day++ {
+		n := xrand.Poisson(r, perDay)
+		for i := 0; i < n; i++ {
+			j := r.Intn(len(prefixes))
+			// A flap: withdraw then re-announce next day.
+			res.Routing.Record(day, bgp.Change{Kind: bgp.Withdraw,
+				Prefix: prefixes[j], OldOrigin: origins[j]})
+			if day+1 < cfg.Days {
+				res.Routing.Record(day+1, bgp.Change{Kind: bgp.Announce,
+					Prefix: prefixes[j], NewOrigin: origins[j]})
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/synthnet"
+)
+
+func TestWeekendOf(t *testing.T) {
+	// Day 0 = Thursday 2015-01-01; Saturday is day 2, Sunday day 3.
+	weekends := map[int]bool{0: false, 1: false, 2: true, 3: true, 4: false, 9: true, 10: true}
+	for d, want := range weekends {
+		if got := weekendOf(d); got != want {
+			t.Errorf("weekendOf(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestBGPCouplingKinds(t *testing.T) {
+	w := synthnet.Generate(synthnet.Config{Seed: 41, NumASes: 60, MeanBlocksPerAS: 8})
+	cfg := TinyConfig()
+	cfg.PrefixChangeFrac = 0.5
+	cfg.BGPCoupleProb = 1 // every restructure visible in BGP
+	cfg.BGPNoisePerDay = 0
+	res := Run(w, cfg)
+
+	if len(res.Restructures) == 0 {
+		t.Fatal("no restructures")
+	}
+	prefixLevel := 0
+	for _, re := range res.Restructures {
+		if re.Prefix.Bits() == 24 && re.Prefix.NumBlocks() == 1 {
+			// Could be a block-level change (never BGP coupled); only
+			// check prefix-level ones below via BGPVisible.
+		}
+		if !re.BGPVisible {
+			continue
+		}
+		prefixLevel++
+		// The change log must contain a matching event on that day.
+		found := false
+		for _, c := range res.Routing.ChangesIn(re.Day-1, re.Day) {
+			if c.Prefix == re.Prefix && c.Kind == re.BGPKind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("restructure %v day %d kind %v not in change log",
+				re.Prefix, re.Day, re.BGPKind)
+		}
+		// Kind mapping per Table 2 semantics.
+		switch re.Kind {
+		case Activate:
+			if re.BGPKind != bgp.Announce {
+				t.Errorf("activate coupled to %v", re.BGPKind)
+			}
+		case Deactivate:
+			if re.BGPKind != bgp.Withdraw && re.BGPKind != bgp.OriginChange {
+				t.Errorf("deactivate coupled to %v", re.BGPKind)
+			}
+		default:
+			if re.BGPKind != bgp.OriginChange {
+				t.Errorf("policy switch coupled to %v", re.BGPKind)
+			}
+		}
+	}
+	if prefixLevel == 0 {
+		t.Fatal("no BGP-visible restructures despite couple prob 1")
+	}
+}
+
+func TestBGPNoiseFlaps(t *testing.T) {
+	w := synthnet.Generate(synthnet.TinyConfig())
+	cfg := TinyConfig()
+	cfg.PrefixChangeFrac = 0
+	cfg.BlockChangeFrac = 0
+	cfg.BGPCoupleProb = 0
+	cfg.BGPNoisePerDay = 20 // loud
+	res := Run(w, cfg)
+	counts := res.Routing.CountsByKind(-1, cfg.Days-1)
+	if counts[bgp.Withdraw] == 0 || counts[bgp.Announce] == 0 {
+		t.Fatalf("noise produced no flaps: %v", counts)
+	}
+	// Flaps re-announce: announce counts track withdraws closely.
+	diff := counts[bgp.Withdraw] - counts[bgp.Announce]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > counts[bgp.Withdraw]/2+2 {
+		t.Errorf("unbalanced flaps: %v", counts)
+	}
+}
+
+func TestNoBGPEventsWhenDisabled(t *testing.T) {
+	w := synthnet.Generate(synthnet.TinyConfig())
+	cfg := TinyConfig()
+	cfg.BGPCoupleProb = 0
+	cfg.BGPNoisePerDay = 0
+	res := Run(w, cfg)
+	if got := res.Routing.CountsByKind(-1, cfg.Days-1); len(got) != 0 {
+		t.Errorf("BGP events despite disabled sources: %v", got)
+	}
+}
+
+func TestActivatedBlocksComeAlive(t *testing.T) {
+	w := synthnet.Generate(synthnet.Config{Seed: 43, NumASes: 120, MeanBlocksPerAS: 10})
+	cfg := TinyConfig()
+	cfg.BlockChangeFrac = 0.5 // force many single-block changes
+	res := Run(w, cfg)
+
+	activated := 0
+	for _, re := range res.Restructures {
+		if re.Kind != Activate || re.Prefix.NumBlocks() != 1 {
+			continue
+		}
+		blk := re.Prefix.FirstBlock()
+		info, _ := w.BlockInfo(blk)
+		if info.Policy != synthnet.Unused {
+			continue
+		}
+		activated++
+		// Active after the change day (check the weekly set covering a
+		// later period).
+		wk := (re.Day + 7) / 7
+		if wk >= len(res.Weekly) {
+			wk = len(res.Weekly) - 1
+		}
+		if res.Weekly[wk].BlockCount(blk) == 0 {
+			t.Errorf("activated block %v silent in week %d (change day %d)", blk, wk, re.Day)
+		}
+	}
+	if activated == 0 {
+		t.Skip("no unused blocks activated in this world")
+	}
+}
+
+func TestWeeklyContainsDaily(t *testing.T) {
+	res := tinyRun(t)
+	cfg := res.Config
+	for i, day := range res.Daily {
+		wk := (cfg.DailyStart + i) / 7
+		if wk >= len(res.Weekly) {
+			wk = len(res.Weekly) - 1
+		}
+		if day.DiffCount(res.Weekly[wk]) != 0 {
+			t.Fatalf("day %d not contained in week %d", i, wk)
+		}
+	}
+	year := res.YearUnion()
+	for wk, s := range res.Weekly {
+		if s.DiffCount(year) != 0 {
+			t.Fatalf("week %d not in year union", wk)
+		}
+	}
+}
+
+func TestICMPScansVary(t *testing.T) {
+	res := tinyRun(t)
+	if len(res.ICMPScans) < 2 {
+		t.Skip("not enough scans")
+	}
+	same := true
+	for i := 1; i < len(res.ICMPScans); i++ {
+		if !res.ICMPScans[i].Equal(res.ICMPScans[0]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("all ICMP snapshots identical; lease dynamics missing")
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"time"
+
+	"ipscope/internal/xrand"
+)
+
+// MonthPoint is one month's unique active IPv4 address count, in the
+// paper's absolute units (addresses).
+type MonthPoint struct {
+	Date      time.Time // first of month, UTC
+	ActiveIPs float64
+}
+
+// MacroGrowth produces the 2008-01..2016-06 monthly active-IPv4 series
+// behind Figure 1: near-perfect linear growth for years, then a sudden
+// stagnation at the start of 2014. This is the one dataset modelled at
+// macro level rather than per-IP: the per-IP simulator covers one year,
+// while Figure 1 spans eight (see EXPERIMENTS.md, FIG1).
+func MacroGrowth(seed uint64) []MonthPoint {
+	r := xrand.New(seed, "macro-growth")
+	const (
+		startIPs  = 340e6 // Jan 2008
+		kneeIPs   = 795e6 // Jan 2014: growth stops
+		kneeMonth = 72    // months from Jan 2008 to Jan 2014
+	)
+	var out []MonthPoint
+	date := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+	for m := 0; date.Year() < 2016 || date.Month() <= time.June; m++ {
+		var v float64
+		if m <= kneeMonth {
+			v = startIPs + (kneeIPs-startIPs)*float64(m)/kneeMonth
+		} else {
+			// Stagnation: a very slow drift with slight saturation.
+			v = kneeIPs + 8e6*(1-1/(1+float64(m-kneeMonth)/12))
+		}
+		// Seasonal wiggle and measurement noise (~0.5%).
+		v *= 1 + 0.005*r.NormFloat64()
+		out = append(out, MonthPoint{Date: date, ActiveIPs: v})
+		date = date.AddDate(0, 1, 0)
+	}
+	return out
+}
+
+// MonthIndex returns the series index of the first point at or after t,
+// or len(series) if none.
+func MonthIndex(series []MonthPoint, t time.Time) int {
+	for i, p := range series {
+		if !p.Date.Before(t) {
+			return i
+		}
+	}
+	return len(series)
+}

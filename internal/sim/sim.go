@@ -1,0 +1,249 @@
+// Package sim animates a synthnet.World day by day, producing the
+// observational datasets the paper's analyses consume: daily and weekly
+// active-address sets (the CDN view), per-address traffic aggregates,
+// sampled User-Agent statistics, ICMP-responsiveness snapshots (the
+// scanner view), a BGP change log, and the ground-truth restructuring
+// schedule.
+//
+// The simulator is the substitute for the proprietary CDN server logs
+// (DESIGN.md, "Substitutions"): every mechanism the paper attributes
+// address activity to — subscriber behaviour, weekday/weekend effects,
+// static assignment, pool cycling, lease policies, gateways, bots,
+// network restructuring and subscriber churn — is modelled explicitly,
+// so each analysis can be validated against known generative intent.
+package sim
+
+import (
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/synthnet"
+	"ipscope/internal/useragent"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// Days is the total number of simulated days; defaults to 364
+	// (52 weeks, standing in for calendar year 2015).
+	Days int
+	// DailyStart/DailyLen delimit the high-resolution "daily dataset"
+	// window (the paper's 2015-08-17..2015-12-06 = 112 days).
+	DailyStart, DailyLen int
+	// UADays is how many trailing days of the daily window sample
+	// User-Agent strings (the paper restricts to the last month).
+	UADays int
+	// ICMPScanDays are the days (absolute) on which an ICMP campaign
+	// snapshot is taken; defaults to 8 days spread over the month
+	// starting at day DailyStart+56 (the paper's October).
+	ICMPScanDays []int
+	// PrefixChangeFrac is the fraction of routed prefixes that undergo
+	// a bulk restructuring during the year.
+	PrefixChangeFrac float64
+	// BlockChangeFrac is the fraction of individual /24 blocks that
+	// undergo a single-block assignment change.
+	BlockChangeFrac float64
+	// BGPCoupleProb is the probability a restructuring is accompanied
+	// by a visible BGP change (Table 2 suggests ~10-13%).
+	BGPCoupleProb float64
+	// BGPNoisePerDay is the expected number of unrelated BGP events
+	// per day per 1000 prefixes (background flapping).
+	BGPNoisePerDay float64
+	// JoinFrac/LeaveFrac are the fractions of subscribers whose
+	// lifetime starts/ends mid-year (long-term single-address churn).
+	JoinFrac, LeaveFrac float64
+	// TrafficGrowth is the relative growth of heavy-hitter (gateway,
+	// bot) traffic from the first to the last day, driving the
+	// traffic-consolidation trend of Figure 9(c).
+	TrafficGrowth float64
+}
+
+// DefaultConfig returns the configuration used by the experiment
+// harness; values follow the paper's observations.
+func DefaultConfig() Config {
+	return Config{
+		Days:             364,
+		DailyStart:       224, // mid-August
+		DailyLen:         112,
+		UADays:           28,
+		PrefixChangeFrac: 0.18,
+		BlockChangeFrac:  0.06,
+		BGPCoupleProb:    0.15,
+		BGPNoisePerDay:   0.05,
+		JoinFrac:         0.07,
+		LeaveFrac:        0.07,
+		TrafficGrowth:    0.6,
+	}
+}
+
+// TinyConfig returns a fast configuration for unit tests: 8 weeks with
+// a 4-week daily window.
+func TinyConfig() Config {
+	c := DefaultConfig()
+	c.Days = 56
+	c.DailyStart = 14
+	c.DailyLen = 28
+	c.UADays = 14
+	return c
+}
+
+func (c Config) normalized() Config {
+	d := DefaultConfig()
+	if c.Days <= 0 {
+		c.Days = d.Days
+	}
+	if c.DailyLen <= 0 {
+		c.DailyLen = d.DailyLen
+	}
+	if c.DailyStart < 0 || c.DailyStart+c.DailyLen > c.Days {
+		c.DailyStart = c.Days - c.DailyLen
+		if c.DailyStart < 0 {
+			c.DailyStart = 0
+			c.DailyLen = c.Days
+		}
+	}
+	if c.UADays <= 0 || c.UADays > c.DailyLen {
+		c.UADays = min(d.UADays, c.DailyLen)
+	}
+	if len(c.ICMPScanDays) == 0 {
+		// 8 snapshots across one month in the middle of the daily window.
+		base := c.DailyStart + c.DailyLen/2 - 14
+		if base < 0 {
+			base = 0
+		}
+		for i := 0; i < 8; i++ {
+			day := base + i*4
+			if day >= c.Days {
+				day = c.Days - 1
+			}
+			c.ICMPScanDays = append(c.ICMPScanDays, day)
+		}
+	}
+	return c
+}
+
+// RestructureKind classifies a ground-truth assignment change.
+type RestructureKind uint8
+
+// Restructure kinds (Section 5: reallocation, reconfiguration,
+// repurposing; plus activation/deactivation of whole ranges).
+const (
+	PolicySwitch RestructureKind = iota // new assignment practice
+	Deactivate                          // range goes dark
+	Activate                            // unused range brought into service
+)
+
+// String returns the kind name.
+func (k RestructureKind) String() string {
+	switch k {
+	case PolicySwitch:
+		return "policy-switch"
+	case Deactivate:
+		return "deactivate"
+	case Activate:
+		return "activate"
+	}
+	return "unknown"
+}
+
+// Restructure records one scheduled assignment change (ground truth).
+type Restructure struct {
+	Prefix     ipv4.Prefix
+	Day        int
+	Kind       RestructureKind
+	BGPVisible bool
+	BGPKind    bgp.ChangeKind // meaningful if BGPVisible
+}
+
+// BlockTraffic aggregates per-address activity over the daily window.
+type BlockTraffic struct {
+	DaysActive [256]uint16
+	Hits       [256]float64
+}
+
+// UAStat summarizes sampled User-Agent strings for one /24 block.
+type UAStat struct {
+	Samples int
+	Sketch  *useragent.HLL
+}
+
+// Unique returns the estimated number of distinct UA strings sampled.
+func (u *UAStat) Unique() float64 {
+	if u.Sketch == nil {
+		return 0
+	}
+	return u.Sketch.Estimate()
+}
+
+// Result is everything a simulation run produces.
+type Result struct {
+	Config Config
+	World  *synthnet.World
+
+	// Daily[i] is the set of addresses active on day DailyStart+i.
+	Daily []*ipv4.Set
+	// DailyTotalHits[i] is the total request volume on day DailyStart+i.
+	DailyTotalHits []float64
+	// Weekly[wk] is the set of addresses active during week wk
+	// (union of its 7 days) across the whole run.
+	Weekly []*ipv4.Set
+	// WeeklyTopShare[wk] is the fraction of that week's traffic that
+	// went to the top 10% of addresses by traffic (Figure 9c).
+	WeeklyTopShare []float64
+	// Traffic holds per-address aggregates over the daily window.
+	Traffic map[ipv4.Block]*BlockTraffic
+	// UA holds per-block User-Agent sampling statistics for the UA window.
+	UA map[ipv4.Block]*UAStat
+	// ICMPScans[i] is the set of addresses that answered the ICMP
+	// campaign on Config.ICMPScanDays[i].
+	ICMPScans []*ipv4.Set
+	// ServerSet are addresses answering service-port scans (HTTP(S),
+	// SMTP, ...): the ZMap service-scan substitute.
+	ServerSet *ipv4.Set
+	// RouterSet are router addresses appearing in traceroutes (the
+	// Ark substitute).
+	RouterSet *ipv4.Set
+	// Routing is the year's BGP history as a change log.
+	Routing *bgp.ChangeLog
+	// Restructures is the ground-truth change schedule.
+	Restructures []Restructure
+}
+
+// DailyWindowUnion returns the union of all daily sets.
+func (r *Result) DailyWindowUnion() *ipv4.Set {
+	u := ipv4.NewSet()
+	for _, s := range r.Daily {
+		u.UnionWith(s)
+	}
+	return u
+}
+
+// YearUnion returns the union of all weekly sets.
+func (r *Result) YearUnion() *ipv4.Set {
+	u := ipv4.NewSet()
+	for _, s := range r.Weekly {
+		u.UnionWith(s)
+	}
+	return u
+}
+
+// ICMPUnion returns the union of all ICMP campaign snapshots.
+func (r *Result) ICMPUnion() *ipv4.Set {
+	u := ipv4.NewSet()
+	for _, s := range r.ICMPScans {
+		u.UnionWith(s)
+	}
+	return u
+}
+
+// weekendOf reports whether day d falls on a weekend; day 0 is a
+// Thursday (2015-01-01 was a Thursday), so d%7 ∈ {2,3} are Sat/Sun.
+func weekendOf(d int) bool {
+	w := d % 7
+	return w == 2 || w == 3
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/synthnet"
+)
+
+func tinyRun(t testing.TB) *Result {
+	t.Helper()
+	w := synthnet.Generate(synthnet.TinyConfig())
+	return Run(w, TinyConfig())
+}
+
+func TestRunShapes(t *testing.T) {
+	res := tinyRun(t)
+	cfg := res.Config
+	if len(res.Daily) != cfg.DailyLen {
+		t.Fatalf("daily sets = %d, want %d", len(res.Daily), cfg.DailyLen)
+	}
+	if len(res.Weekly) != cfg.Days/7 {
+		t.Fatalf("weekly sets = %d, want %d", len(res.Weekly), cfg.Days/7)
+	}
+	if len(res.ICMPScans) != len(cfg.ICMPScanDays) {
+		t.Fatalf("icmp scans = %d", len(res.ICMPScans))
+	}
+	for i, s := range res.Daily {
+		if s == nil || s.Len() == 0 {
+			t.Fatalf("day %d empty", i)
+		}
+	}
+	for i, s := range res.Weekly {
+		if s.Len() == 0 {
+			t.Fatalf("week %d empty", i)
+		}
+	}
+	if res.DailyTotalHits[0] <= 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := synthnet.Generate(synthnet.TinyConfig())
+	r1 := Run(w, TinyConfig())
+	w2 := synthnet.Generate(synthnet.TinyConfig())
+	r2 := Run(w2, TinyConfig())
+	for i := range r1.Daily {
+		if !r1.Daily[i].Equal(r2.Daily[i]) {
+			t.Fatalf("day %d differs", i)
+		}
+	}
+	if len(r1.Restructures) != len(r2.Restructures) {
+		t.Fatal("restructure schedule differs")
+	}
+	if r1.WeeklyTopShare[0] != r2.WeeklyTopShare[0] {
+		t.Fatal("top share differs")
+	}
+}
+
+func TestWeekendDip(t *testing.T) {
+	res := tinyRun(t)
+	var wkdaySum, wkdayN, wkendSum, wkendN float64
+	for i, s := range res.Daily {
+		day := res.Config.DailyStart + i
+		if weekendOf(day) {
+			wkendSum += float64(s.Len())
+			wkendN++
+		} else {
+			wkdaySum += float64(s.Len())
+			wkdayN++
+		}
+	}
+	if wkendN == 0 || wkdayN == 0 {
+		t.Skip("window too short for weekends")
+	}
+	if wkendSum/wkendN >= wkdaySum/wkdayN {
+		t.Errorf("weekend mean %.0f >= weekday mean %.0f; expected dip",
+			wkendSum/wkendN, wkdaySum/wkdayN)
+	}
+}
+
+// policyBlocks returns blocks of the given policy that were not
+// restructured during the run.
+func stablePolicyBlocks(res *Result, pol synthnet.Policy) []*synthnet.Block {
+	changed := map[ipv4.Block]bool{}
+	for _, re := range res.Restructures {
+		re.Prefix.Blocks(func(b ipv4.Block) { changed[b] = true })
+	}
+	var out []*synthnet.Block
+	for _, b := range res.World.Blocks {
+		if b.Policy == pol && !changed[b.Block] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func fillingDegree(res *Result, blk ipv4.Block) int {
+	u := ipv4.NewSet()
+	for _, s := range res.Daily {
+		if bm := s.BlockBitmap(blk); bm != nil {
+			u.AddBlockBitmap(blk, bm)
+		}
+	}
+	return u.Len()
+}
+
+func stu(res *Result, blk ipv4.Block) float64 {
+	active := 0
+	for _, s := range res.Daily {
+		active += s.BlockCount(blk)
+	}
+	return float64(active) / float64(len(res.Daily)*256)
+}
+
+func TestPolicySignatures(t *testing.T) {
+	w := synthnet.Generate(synthnet.Config{Seed: 3, NumASes: 120, MeanBlocksPerAS: 10})
+	res := Run(w, TinyConfig())
+
+	check := func(pol synthnet.Policy, fdLo, fdHi int, stuLo, stuHi float64) {
+		blocks := stablePolicyBlocks(res, pol)
+		if len(blocks) == 0 {
+			t.Fatalf("no stable %v blocks", pol)
+		}
+		var fdSum, stuSum float64
+		for _, b := range blocks {
+			fdSum += float64(fillingDegree(res, b.Block))
+			stuSum += stu(res, b.Block)
+		}
+		fd := fdSum / float64(len(blocks))
+		s := stuSum / float64(len(blocks))
+		if fd < float64(fdLo) || fd > float64(fdHi) {
+			t.Errorf("%v: mean FD = %.1f, want [%d,%d]", pol, fd, fdLo, fdHi)
+		}
+		if s < stuLo || s > stuHi {
+			t.Errorf("%v: mean STU = %.3f, want [%.2f,%.2f]", pol, s, stuLo, stuHi)
+		}
+	}
+
+	// Paper Figure 6 signatures: static sparse = low FD low STU;
+	// round-robin = high FD, low-mid STU; 24h-lease = very high FD,
+	// high STU; long-lease in between.
+	check(synthnet.StaticSparse, 5, 110, 0.005, 0.25)
+	check(synthnet.DynamicRoundRobin, 150, 256, 0.02, 0.45)
+	check(synthnet.DynamicDaily, 240, 256, 0.35, 1.0)
+	check(synthnet.DynamicLongLease, 150, 256, 0.15, 0.8)
+}
+
+func TestDynamicFDExceedsStatic(t *testing.T) {
+	res := tinyRun(t)
+	var statFD, statN, dynFD, dynN float64
+	for _, b := range stablePolicyBlocks(res, synthnet.StaticSparse) {
+		statFD += float64(fillingDegree(res, b.Block))
+		statN++
+	}
+	for _, b := range stablePolicyBlocks(res, synthnet.DynamicDaily) {
+		dynFD += float64(fillingDegree(res, b.Block))
+		dynN++
+	}
+	if statN == 0 || dynN == 0 {
+		t.Skip("tiny world lacks one class")
+	}
+	if dynFD/dynN <= statFD/statN {
+		t.Errorf("dynamic FD %.0f <= static FD %.0f", dynFD/dynN, statFD/statN)
+	}
+}
+
+func TestRestructureChangesBehaviour(t *testing.T) {
+	w := synthnet.Generate(synthnet.Config{Seed: 5, NumASes: 120, MeanBlocksPerAS: 10})
+	cfg := TinyConfig()
+	cfg.PrefixChangeFrac = 0.3
+	res := Run(w, cfg)
+	if len(res.Restructures) == 0 {
+		t.Fatal("no restructures scheduled")
+	}
+	// Find a Deactivate restructure inside the daily window and verify
+	// the block really goes dark afterwards.
+	verified := false
+	for _, re := range res.Restructures {
+		if re.Kind != Deactivate {
+			continue
+		}
+		if re.Day < cfg.DailyStart+2 || re.Day >= cfg.DailyStart+cfg.DailyLen-2 {
+			continue
+		}
+		blk := re.Prefix.FirstBlock()
+		before, after := 0, 0
+		for i, s := range res.Daily {
+			day := cfg.DailyStart + i
+			c := s.BlockCount(blk)
+			if day < re.Day {
+				before += c
+			} else {
+				after += c
+			}
+		}
+		if before == 0 {
+			continue // was already quiet
+		}
+		if after != 0 {
+			t.Errorf("block %v active after deactivation (%d)", blk, after)
+		}
+		verified = true
+		break
+	}
+	if !verified {
+		t.Skip("no deactivation fell inside the daily window")
+	}
+}
+
+func TestInfrastructureInvisibleToCDN(t *testing.T) {
+	res := tinyRun(t)
+	union := res.YearUnion()
+	for _, b := range res.World.Blocks {
+		if b.Policy != synthnet.InfraRouters {
+			continue
+		}
+		if changedTo(res, b.Block) {
+			continue
+		}
+		if n := union.BlockCount(b.Block); n != 0 {
+			t.Errorf("router block %v has %d CDN-active addrs", b.Block, n)
+		}
+	}
+	if res.RouterSet.Len() == 0 {
+		t.Error("no routers visible to traceroute")
+	}
+	if res.ServerSet.Len() == 0 {
+		t.Error("no servers visible to service scans")
+	}
+}
+
+func changedTo(res *Result, blk ipv4.Block) bool {
+	for _, re := range res.Restructures {
+		if re.Prefix.Contains(blk.First()) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestICMPScansPlausible(t *testing.T) {
+	res := tinyRun(t)
+	icmp := res.ICMPUnion()
+	if icmp.Len() == 0 {
+		t.Fatal("ICMP sees nothing")
+	}
+	// The CDN must see a large population invisible to ICMP (paper: >40%
+	// at IP level) and ICMP must see some addresses the CDN does not
+	// (servers, routers, idle leases).
+	cdn := res.DailyWindowUnion()
+	cdnOnly := cdn.DiffCount(icmp)
+	icmpOnly := icmp.DiffCount(cdn)
+	if cdnOnly == 0 {
+		t.Error("no CDN-only addresses")
+	}
+	if icmpOnly == 0 {
+		t.Error("no ICMP-only addresses")
+	}
+	frac := float64(cdnOnly) / float64(cdn.Len())
+	if frac < 0.15 || frac > 0.9 {
+		t.Errorf("CDN-only fraction = %.2f, want a large minority", frac)
+	}
+}
+
+func TestTrafficAggregates(t *testing.T) {
+	res := tinyRun(t)
+	days := len(res.Daily)
+	totHits := 0.0
+	for blk, bt := range res.Traffic {
+		for h := 0; h < 256; h++ {
+			if int(bt.DaysActive[h]) > days {
+				t.Fatalf("block %v host %d active %d > %d days", blk, h, bt.DaysActive[h], days)
+			}
+			if bt.DaysActive[h] == 0 && bt.Hits[h] > 0 {
+				t.Fatalf("hits without activity at %v/%d", blk, h)
+			}
+			totHits += bt.Hits[h]
+		}
+	}
+	var windowTotal float64
+	for _, v := range res.DailyTotalHits {
+		windowTotal += v
+	}
+	if diff := totHits - windowTotal; diff > 1e-3*windowTotal || diff < -1e-3*windowTotal {
+		t.Errorf("per-IP hits %.0f != daily totals %.0f", totHits, windowTotal)
+	}
+}
+
+func TestGatewayTrafficDominates(t *testing.T) {
+	w := synthnet.Generate(synthnet.Config{Seed: 7, NumASes: 150, MeanBlocksPerAS: 10})
+	res := Run(w, TinyConfig())
+	var gwMean, gwN, resMean, resN float64
+	for _, b := range res.World.Blocks {
+		bt := res.Traffic[b.Block]
+		if bt == nil || changedTo(res, b.Block) {
+			continue
+		}
+		var sum float64
+		for h := 0; h < 256; h++ {
+			sum += bt.Hits[h]
+		}
+		switch b.Policy {
+		case synthnet.Gateway:
+			gwMean += sum
+			gwN++
+		case synthnet.DynamicLongLease:
+			resMean += sum
+			resN++
+		}
+	}
+	if gwN == 0 || resN == 0 {
+		t.Skip("missing classes")
+	}
+	if gwMean/gwN <= 3*resMean/resN {
+		t.Errorf("gateway block traffic %.0f not >> residential %.0f", gwMean/gwN, resMean/resN)
+	}
+}
+
+func TestUAStats(t *testing.T) {
+	w := synthnet.Generate(synthnet.Config{Seed: 9, NumASes: 150, MeanBlocksPerAS: 10})
+	res := Run(w, TinyConfig())
+	if len(res.UA) == 0 {
+		t.Fatal("no UA samples at all")
+	}
+	var gwUnique, botUnique []float64
+	for _, b := range res.World.Blocks {
+		st := res.UA[b.Block]
+		if st == nil || changedTo(res, b.Block) {
+			continue
+		}
+		switch b.Policy {
+		case synthnet.Gateway:
+			gwUnique = append(gwUnique, st.Unique())
+		case synthnet.BotFarm:
+			botUnique = append(botUnique, st.Unique())
+		}
+	}
+	if len(gwUnique) == 0 || len(botUnique) == 0 {
+		t.Skip("missing classes for UA comparison")
+	}
+	gw, bot := mean(gwUnique), mean(botUnique)
+	if gw <= bot*3 {
+		t.Errorf("gateway UA diversity %.1f not >> bot %.1f", gw, bot)
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestWeeklyTopShare(t *testing.T) {
+	res := tinyRun(t)
+	for wk, v := range res.WeeklyTopShare {
+		if v <= 0 || v > 1 {
+			t.Fatalf("week %d top share = %v", wk, v)
+		}
+	}
+	// Consolidation mechanism: with the traffic-growth knob turned up,
+	// heavy hitters must visibly gain share over the run. (The subtle
+	// paper-level trend at the default knob is asserted at larger scale
+	// in internal/analysis.)
+	w := synthnet.Generate(synthnet.Config{Seed: 13, NumASes: 120, MeanBlocksPerAS: 10})
+	cfg := TinyConfig()
+	cfg.TrafficGrowth = 1.5
+	grown := Run(w, cfg)
+	n := len(grown.WeeklyTopShare)
+	early := mean(grown.WeeklyTopShare[:n/4])
+	late := mean(grown.WeeklyTopShare[3*n/4:])
+	if late <= early {
+		t.Errorf("no consolidation with growth knob: early %.3f late %.3f", early, late)
+	}
+}
+
+func TestBGPLogPopulated(t *testing.T) {
+	res := tinyRun(t)
+	if res.Routing == nil || res.Routing.NumDays() != res.Config.Days {
+		t.Fatal("routing log missing")
+	}
+	counts := res.Routing.CountsByKind(-1, res.Config.Days-1)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no BGP events at all")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{Days: 30}.normalized()
+	if c.DailyStart+c.DailyLen > c.Days {
+		t.Errorf("window overflows: %+v", c)
+	}
+	if c.UADays > c.DailyLen {
+		t.Errorf("UA window too long: %+v", c)
+	}
+	if len(c.ICMPScanDays) == 0 {
+		t.Error("no scan days")
+	}
+	for _, d := range c.ICMPScanDays {
+		if d < 0 || d >= c.Days {
+			t.Errorf("scan day %d out of range", d)
+		}
+	}
+}
+
+func TestRestructureKindString(t *testing.T) {
+	for k, want := range map[RestructureKind]string{
+		PolicySwitch: "policy-switch", Deactivate: "deactivate",
+		Activate: "activate", RestructureKind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+}
+
+func TestMacroGrowth(t *testing.T) {
+	series := MacroGrowth(1)
+	if len(series) < 100 {
+		t.Fatalf("series too short: %d", len(series))
+	}
+	// Reproducible.
+	again := MacroGrowth(1)
+	for i := range series {
+		if series[i] != again[i] {
+			t.Fatal("macro growth not deterministic")
+		}
+	}
+	// Linear phase grows strongly; stagnation phase is nearly flat.
+	knee := MonthIndex(series, time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC))
+	growth1 := series[knee].ActiveIPs - series[0].ActiveIPs
+	growth2 := series[len(series)-1].ActiveIPs - series[knee].ActiveIPs
+	if growth1 < 5*growth2 {
+		t.Errorf("no stagnation: pre-2014 %.0f, post %.0f", growth1, growth2)
+	}
+	if series[0].ActiveIPs > series[knee].ActiveIPs {
+		t.Error("pre-knee growth not positive")
+	}
+}

@@ -1,0 +1,426 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/synthnet"
+	"ipscope/internal/xrand"
+)
+
+// subscriber is one customer (or host) of a block.
+type subscriber struct {
+	rate    float64 // daily activity probability when alive
+	mean    float64 // mean daily hits when active
+	from    int16   // first day alive (inclusive)
+	to      int16   // last day alive (exclusive)
+	host    int16   // currently held address, or -1
+	lease   int16   // remaining lease days (long-lease policy)
+	devSeed uint64  // base seed for the subscriber's devices
+	ndev    uint8   // number of devices
+}
+
+func (s *subscriber) alive(day int) bool {
+	return int(s.from) <= day && day < int(s.to)
+}
+
+// blockState is the per-/24 runtime state of the simulator.
+type blockState struct {
+	info *synthnet.Block
+	pol  synthnet.Policy
+	subs []subscriber
+	rng  *rand.Rand
+
+	// pingable marks hosts whose CPE/server answers ICMP; fixed per
+	// configuration (hardware does not change daily).
+	pingable ipv4.Bitmap256
+	// occupied marks hosts currently held by a lease or static config.
+	occupied ipv4.Bitmap256
+	// perm is a fixed random host permutation used for assignments.
+	perm [256]byte
+	// offset is the round-robin pool cursor.
+	offset int
+
+	// scheduled restructuring (-1 when none).
+	changeDay int
+	newPol    synthnet.Policy
+}
+
+// weekendFactor scales subscriber activity rates on weekends by the
+// network kind: offices and campuses empty out, eyeball traffic stays.
+func weekendFactor(k synthnet.ASKind) float64 {
+	switch k {
+	case synthnet.University, synthnet.Enterprise:
+		return 0.35
+	case synthnet.ResidentialISP:
+		return 0.93
+	default:
+		return 1.0
+	}
+}
+
+func newBlockState(info *synthnet.Block, cfg Config) *blockState {
+	bs := &blockState{
+		info:      info,
+		changeDay: -1,
+		rng:       rand.New(rand.NewSource(int64(xrand.Splitmix64(info.Seed)))),
+	}
+	for i := range bs.perm {
+		bs.perm[i] = byte(i)
+	}
+	bs.rng.Shuffle(256, func(i, j int) { bs.perm[i], bs.perm[j] = bs.perm[j], bs.perm[i] })
+	for h := 0; h < 256; h++ {
+		if bs.rng.Float64() < info.PingableP {
+			bs.pingable.Set(byte(h))
+		}
+	}
+	bs.configure(info.Policy, cfg, 0)
+	return bs
+}
+
+// configure (re)initializes the block for a policy; used at start and
+// when a restructuring takes effect. fromDay bounds new lifetimes.
+func (bs *blockState) configure(pol synthnet.Policy, cfg Config, fromDay int) {
+	bs.pol = pol
+	bs.subs = bs.subs[:0]
+	bs.occupied = ipv4.Bitmap256{}
+	bs.offset = bs.rng.Intn(256)
+
+	n := bs.info.Subscribers
+	if pol == synthnet.Unused {
+		n = 0
+	}
+	if bs.info.Policy == synthnet.Unused && pol != synthnet.Unused {
+		// Activated block: draw a fresh population size.
+		n = 100 + bs.rng.Intn(150)
+	}
+	for i := 0; i < n; i++ {
+		bs.subs = append(bs.subs, bs.newSubscriber(pol, cfg, fromDay, i))
+	}
+	// Fixed-host policies claim their addresses up front.
+	switch pol {
+	case synthnet.StaticSparse, synthnet.StaticDense, synthnet.Gateway,
+		synthnet.ServerFarm, synthnet.BotFarm, synthnet.InfraRouters:
+		for i := range bs.subs {
+			h := int16(bs.perm[i%256])
+			bs.subs[i].host = h
+			bs.occupied.Set(byte(h))
+		}
+	}
+}
+
+func (bs *blockState) newSubscriber(pol synthnet.Policy, cfg Config, fromDay, idx int) subscriber {
+	r := bs.rng
+	s := subscriber{
+		host:    -1,
+		from:    int16(fromDay),
+		to:      int16(cfg.Days),
+		devSeed: xrand.Splitmix64(bs.info.Seed ^ uint64(idx)*0x9e37),
+		ndev:    uint8(1 + r.Intn(3)),
+	}
+	// Heterogeneous activity mixture: daily, regular, occasional users.
+	// Weights are tuned so that ~8-12% of the active set flips per day,
+	// the paper's Figure 4(a) churn level.
+	switch xrand.WeightedChoice(r, []float64{0.55, 0.30, 0.15}) {
+	case 0:
+		s.rate = 0.93 + r.Float64()*0.06
+	case 1:
+		s.rate = 0.55 + r.Float64()*0.30
+	default:
+		s.rate = 0.05 + r.Float64()*0.30
+	}
+	s.mean = xrand.Pareto(r, 15, 1.5, 2000)
+	switch pol {
+	case synthnet.Gateway:
+		s.rate = 1
+		s.mean = float64(bs.info.Devices) * 2.0 / float64(bs.info.Subscribers)
+	case synthnet.BotFarm:
+		s.rate = 1
+		s.mean = 3000 + r.Float64()*27000
+	case synthnet.ServerFarm:
+		s.rate = 0.01 // rare software updates only
+		s.mean = 3
+	case synthnet.InfraRouters:
+		s.rate = 0
+	}
+	// Long-term subscriber churn: some lifetimes start or end mid-run.
+	if fromDay == 0 {
+		if xrand.Bernoulli(r, cfg.JoinFrac) {
+			s.from = int16(r.Intn(cfg.Days))
+		}
+		if xrand.Bernoulli(r, cfg.LeaveFrac) {
+			s.to = int16(r.Intn(cfg.Days))
+		}
+	}
+	return s
+}
+
+// dayOutput is the reusable buffer one block writes its day into.
+type dayOutput struct {
+	bm   ipv4.Bitmap256
+	hits [256]float64
+	// activeSubs indexes subscribers that were active today (for UA
+	// sampling); hostOf[i] is the host used by activeSubs[i].
+	activeSubs []int
+	hostOf     []int16
+	total      float64
+}
+
+func (o *dayOutput) reset() {
+	o.bm = ipv4.Bitmap256{}
+	for i := range o.hits {
+		o.hits[i] = 0
+	}
+	o.activeSubs = o.activeSubs[:0]
+	o.hostOf = o.hostOf[:0]
+	o.total = 0
+}
+
+func (o *dayOutput) emit(sub int, host int16, hits float64) {
+	h := byte(host)
+	o.bm.Set(h)
+	o.hits[h] += hits
+	o.total += hits
+	o.activeSubs = append(o.activeSubs, sub)
+	o.hostOf = append(o.hostOf, host)
+}
+
+// step advances the block one day, filling out.
+func (bs *blockState) step(day int, cfg Config, out *dayOutput) {
+	out.reset()
+	if bs.changeDay == day {
+		bs.configure(bs.newPol, cfg, day)
+		bs.changeDay = -1
+	}
+	if bs.pol == synthnet.Unused || bs.pol == synthnet.InfraRouters {
+		return
+	}
+	wf := 1.0
+	if weekendOf(day) {
+		wf = weekendFactor(bs.info.Kind)
+	}
+	growth := 1.0
+	if cfg.Days > 1 {
+		growth = 1 + cfg.TrafficGrowth*float64(day)/float64(cfg.Days-1)
+	}
+
+	switch bs.pol {
+	case synthnet.StaticSparse, synthnet.StaticDense:
+		bs.stepFixedHosts(day, wf, growth, out)
+	case synthnet.Gateway, synthnet.BotFarm:
+		bs.stepFixedHosts(day, 1, growth, out)
+	case synthnet.ServerFarm:
+		bs.stepFixedHosts(day, 1, 1, out)
+	case synthnet.DynamicRoundRobin:
+		bs.stepRoundRobin(day, wf, growth, out)
+	case synthnet.DynamicLongLease:
+		bs.stepLongLease(day, wf, growth, out)
+	case synthnet.DynamicDaily:
+		bs.stepDaily(day, wf, growth, out)
+	}
+}
+
+// hitsFor draws one day of traffic for a subscriber. The year-long
+// growth factor applies in proportion to how heavily trafficked the
+// subscriber already is, reproducing the paper's Section 6.2
+// observation of traffic consolidating on the heavy hitters.
+func (bs *blockState) hitsFor(s *subscriber, wf, growth float64) float64 {
+	eff := 1.0
+	if growth > 1 {
+		w := s.mean / 200
+		if w > 1 {
+			w = 1
+		}
+		eff = 1 + (growth-1)*w
+	}
+	// One uniform multiplier instead of a full Poisson draw keeps the
+	// hot loop cheap; per-address daily hits are approximate anyway.
+	v := s.mean * wf * eff * (0.5 + bs.rng.Float64())
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (bs *blockState) stepFixedHosts(day int, wf, growth float64, out *dayOutput) {
+	for i := range bs.subs {
+		s := &bs.subs[i]
+		if !s.alive(day) || !xrand.Bernoulli(bs.rng, s.rate*wf) {
+			continue
+		}
+		out.emit(i, s.host, bs.hitsFor(s, wf, growth))
+	}
+}
+
+func (bs *blockState) stepRoundRobin(day int, wf, growth float64, out *dayOutput) {
+	// Round-robin DHCP: a device keeps its address while it stays
+	// online; on reconnect it receives the next free address at the
+	// pool cursor. The cursor's rotation through the /24 produces the
+	// diagonal drift of Figure 6(b) while day-to-day churn stays at
+	// reconnect level.
+	for i := range bs.subs {
+		s := &bs.subs[i]
+		if !s.alive(day) || !xrand.Bernoulli(bs.rng, s.rate*wf) {
+			if s.host >= 0 {
+				bs.occupied.Clear(byte(s.host))
+				s.host = -1
+			}
+			continue
+		}
+		if s.host < 0 {
+			for tries := 0; tries < 256; tries++ {
+				h := byte(bs.offset)
+				bs.offset = (bs.offset + 1) % 256
+				if !bs.occupied.Test(h) {
+					s.host = int16(h)
+					bs.occupied.Set(h)
+					break
+				}
+			}
+			if s.host < 0 {
+				continue // pool exhausted
+			}
+		}
+		out.emit(i, s.host, bs.hitsFor(s, wf, growth))
+	}
+}
+
+func (bs *blockState) stepLongLease(day int, wf, growth float64, out *dayOutput) {
+	for i := range bs.subs {
+		s := &bs.subs[i]
+		if s.host >= 0 {
+			// Lease countdown runs whether or not the user is online.
+			s.lease--
+			if s.lease <= 0 || !s.alive(day) {
+				bs.occupied.Clear(byte(s.host))
+				s.host = -1
+			}
+		}
+		if !s.alive(day) || !xrand.Bernoulli(bs.rng, s.rate*wf) {
+			continue
+		}
+		if s.host < 0 {
+			h, ok := bs.freeHost()
+			if !ok {
+				continue // pool exhausted
+			}
+			s.host = h
+			s.lease = int16(30 + bs.rng.Intn(60))
+			bs.occupied.Set(byte(h))
+		}
+		out.emit(i, s.host, bs.hitsFor(s, wf, growth))
+	}
+}
+
+func (bs *blockState) freeHost() (int16, bool) {
+	if bs.occupied.Count() >= 256 {
+		return 0, false
+	}
+	for {
+		h := byte(bs.rng.Intn(256))
+		if !bs.occupied.Test(h) {
+			return int16(h), true
+		}
+	}
+}
+
+func (bs *blockState) stepDaily(day int, wf, growth float64, out *dayOutput) {
+	// Fresh assignment every day: active subscribers receive distinct
+	// pseudo-random hosts (Figure 6d). Oversubscribed pools saturate.
+	dayOff := bs.rng.Intn(256)
+	n := 0
+	for i := range bs.subs {
+		s := &bs.subs[i]
+		if !s.alive(day) || !xrand.Bernoulli(bs.rng, s.rate*wf) {
+			continue
+		}
+		host := int16(bs.perm[(dayOff+n)%256])
+		out.emit(i, host, bs.hitsFor(s, wf, growth))
+		n++
+	}
+}
+
+// assignedMask returns the hosts that hold an address today (whether or
+// not they generated traffic): what an ICMP probe can possibly reach.
+// todayActive is the block's activity bitmap for the day.
+func (bs *blockState) assignedMask(day int, todayActive *ipv4.Bitmap256) ipv4.Bitmap256 {
+	switch bs.pol {
+	case synthnet.StaticSparse, synthnet.StaticDense, synthnet.Gateway,
+		synthnet.ServerFarm, synthnet.BotFarm, synthnet.InfraRouters:
+		var m ipv4.Bitmap256
+		for i := range bs.subs {
+			if bs.subs[i].alive(day) && bs.subs[i].host >= 0 {
+				m.Set(byte(bs.subs[i].host))
+			}
+		}
+		return m
+	case synthnet.DynamicLongLease, synthnet.DynamicRoundRobin:
+		return bs.occupied
+	case synthnet.DynamicDaily:
+		// CPE is reachable only while the day's assignment holds.
+		return *todayActive
+	default: // Unused: only middleboxes/tarpits answer.
+		return bs.pingable
+	}
+}
+
+// icmpResponsive returns the addresses in this block answering an ICMP
+// probe today.
+func (bs *blockState) icmpResponsive(day int, todayActive *ipv4.Bitmap256) ipv4.Bitmap256 {
+	m := bs.assignedMask(day, todayActive)
+	m.IntersectWith(&bs.pingable)
+	return m
+}
+
+// serviceHosts returns addresses answering service-port scans:
+// servers, plus gateways exposing management interfaces.
+func (bs *blockState) serviceHosts() ipv4.Bitmap256 {
+	var m ipv4.Bitmap256
+	switch bs.pol {
+	case synthnet.ServerFarm, synthnet.BotFarm:
+		for i := range bs.subs {
+			if bs.subs[i].host >= 0 {
+				m.Set(byte(bs.subs[i].host))
+			}
+		}
+	case synthnet.Gateway:
+		for i := range bs.subs {
+			if bs.subs[i].host >= 0 && bs.rng.Float64() < 0.3 {
+				m.Set(byte(bs.subs[i].host))
+			}
+		}
+	}
+	return m
+}
+
+// routerHosts returns router addresses that appear on traceroute paths.
+func (bs *blockState) routerHosts() ipv4.Bitmap256 {
+	var m ipv4.Bitmap256
+	if bs.pol != synthnet.InfraRouters {
+		return m
+	}
+	for i := range bs.subs {
+		if bs.subs[i].host >= 0 && bs.rng.Float64() < 0.9 {
+			m.Set(byte(bs.subs[i].host))
+		}
+	}
+	return m
+}
+
+// deviceUA returns a User-Agent string for one sampled request from
+// subscriber index sub.
+func (bs *blockState) deviceUA(sub int) string {
+	s := &bs.subs[sub]
+	switch bs.pol {
+	case synthnet.BotFarm:
+		return fmt.Sprintf("%s v%d", botUA(s.devSeed), sub)
+	case synthnet.Gateway:
+		// A gateway aggregates thousands of distinct devices.
+		dev := bs.rng.Intn(bs.info.Devices)
+		return deviceFor(s.devSeed ^ uint64(dev)).UA(bs.rng)
+	default:
+		dev := bs.rng.Intn(int(s.ndev))
+		return deviceFor(s.devSeed ^ uint64(dev)).UA(bs.rng)
+	}
+}

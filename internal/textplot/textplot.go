@@ -1,0 +1,220 @@
+// Package textplot renders the experiment outputs as ASCII figures:
+// line charts, horizontal bars, heatmaps and the paper's /24 activity
+// matrices. All renderers return plain strings suitable for terminals
+// and EXPERIMENTS.md code blocks.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ipscope/internal/ipv4"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '@', '%'}
+
+// Chart renders one or more series as an ASCII line chart of the given
+// width and height (interior plot area). X is the sample index, scaled
+// to the width; Y is auto-scaled across all series.
+func Chart(title string, series []Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		if len(s.Ys) > maxLen {
+			maxLen = len(s.Ys)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, y := range s.Ys {
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			ry := int((y - lo) / (hi - lo) * float64(height-1))
+			row := height - 1 - ry
+			grid[row][x] = mark
+		}
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", lo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	b.WriteString("          " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}
+
+// HBar renders labelled horizontal bars scaled to maxWidth characters.
+func HBar(title string, labels []string, values []float64, maxWidth int) string {
+	if maxWidth < 4 {
+		maxWidth = 4
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", maxL, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// StackedBar renders per-label stacked fractions using one rune per
+// component, normalizing each row to width characters. Components are
+// ordered as given; fractions should sum to <= 1 per row.
+func StackedBar(title string, labels []string, parts [][]float64, partRunes []byte, width int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	maxL := 0
+	for _, l := range labels {
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	for i, l := range labels {
+		var row strings.Builder
+		for j, frac := range parts[i] {
+			n := int(frac*float64(width) + 0.5)
+			row.WriteString(strings.Repeat(string(partRunes[j%len(partRunes)]), n))
+		}
+		fmt.Fprintf(&b, "%-*s |%s\n", maxL, l, row.String())
+	}
+	return b.String()
+}
+
+var densityRunes = []byte(" .:-=+*#%@")
+
+// ActivityMatrix renders a /24 block's daily activity (one Bitmap256
+// per day) in the style of the paper's Figure 6: x = time, y = address
+// space, with the 256 hosts folded into rows row-groups and shaded by
+// density.
+func ActivityMatrix(title string, days []ipv4.Bitmap256, rows int) string {
+	if rows <= 0 || rows > 256 {
+		rows = 32
+	}
+	per := 256 / rows
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	if len(days) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Downsample days to at most 96 columns.
+	cols := len(days)
+	group := 1
+	for cols/group > 96 {
+		group++
+	}
+	for r := 0; r < rows; r++ {
+		lo := byte(r * per)
+		hi := byte(r*per + per - 1)
+		fmt.Fprintf(&b, ".%-3d |", lo)
+		for c := 0; c+group <= len(days); c += group {
+			active, total := 0, 0
+			for g := 0; g < group; g++ {
+				active += days[c+g].CountRange(lo, hi)
+				total += per
+			}
+			d := float64(active) / float64(total)
+			idx := int(d * float64(len(densityRunes)-1))
+			b.WriteByte(densityRunes[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "      %d days, %d hosts/row\n", len(days), per)
+	return b.String()
+}
+
+// Heatmap renders a 2-D grid (grid[y][x], y=0 at the bottom) with
+// density shading.
+func Heatmap(title string, grid [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	maxV := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	for y := len(grid) - 1; y >= 0; y-- {
+		b.WriteString("|")
+		for _, v := range grid[y] {
+			if maxV == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			idx := int(v / maxV * float64(len(densityRunes)-1))
+			b.WriteByte(densityRunes[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

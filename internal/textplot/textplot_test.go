@@ -1,0 +1,108 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+func TestChart(t *testing.T) {
+	s := Chart("growth", []Series{
+		{Name: "ips", Ys: []float64{1, 2, 3, 4, 5}},
+		{Name: "fit", Ys: []float64{1.5, 2.5, 3.5}},
+	}, 40, 8)
+	if !strings.Contains(s, "growth") || !strings.Contains(s, "*=ips") || !strings.Contains(s, "o=fit") {
+		t.Errorf("chart missing elements:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 10 { // title + 8 rows + legend
+		t.Errorf("chart has %d lines", len(lines))
+	}
+	// Empty data.
+	if s := Chart("x", nil, 10, 4); !strings.Contains(s, "no data") {
+		t.Error("empty chart should say so")
+	}
+	// Flat series must not divide by zero.
+	if s := Chart("flat", []Series{{Name: "c", Ys: []float64{2, 2, 2}}}, 10, 4); s == "" {
+		t.Error("flat series render failed")
+	}
+}
+
+func TestHBar(t *testing.T) {
+	s := HBar("t", []string{"aa", "b"}, []float64{10, 5}, 20)
+	if !strings.Contains(s, "aa |#################### 10") {
+		t.Errorf("bar render:\n%s", s)
+	}
+	if !strings.Contains(s, "b  |########## 5") {
+		t.Errorf("short bar render:\n%s", s)
+	}
+	// All-zero values.
+	if s := HBar("", []string{"x"}, []float64{0}, 10); !strings.Contains(s, "x |") {
+		t.Error("zero bar broken")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	s := StackedBar("v", []string{"IPs"}, [][]float64{{0.5, 0.25, 0.25}}, []byte{'C', 'B', 'I'}, 20)
+	if !strings.Contains(s, "CCCCCCCCCC") || !strings.Contains(s, "BBBBB") || !strings.Contains(s, "IIIII") {
+		t.Errorf("stacked render:\n%s", s)
+	}
+}
+
+func TestActivityMatrix(t *testing.T) {
+	days := make([]ipv4.Bitmap256, 28)
+	for d := range days {
+		for h := 0; h < 64; h++ {
+			days[d].Set(byte(h))
+		}
+	}
+	s := ActivityMatrix("blk", days, 16)
+	if !strings.Contains(s, "blk") || !strings.Contains(s, "28 days") {
+		t.Errorf("matrix render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 18 { // title + 16 rows + footer
+		t.Errorf("matrix has %d lines", len(lines))
+	}
+	// Dense rows (hosts 0..63) must be darker than empty rows.
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("active rows not dark: %q", lines[1])
+	}
+	if strings.ContainsAny(lines[17-1], "@#") {
+		t.Errorf("inactive rows not blank: %q", lines[16])
+	}
+	if s := ActivityMatrix("none", nil, 8); !strings.Contains(s, "no data") {
+		t.Error("empty matrix")
+	}
+}
+
+func TestActivityMatrixDownsamplesDays(t *testing.T) {
+	days := make([]ipv4.Bitmap256, 364)
+	s := ActivityMatrix("", days, 8)
+	for _, line := range strings.Split(s, "\n") {
+		if len(line) > 110 {
+			t.Fatalf("line too wide: %d", len(line))
+		}
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	grid := [][]float64{
+		{0, 0, 1},
+		{0, 5, 0},
+	}
+	s := Heatmap("h", grid)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("heatmap lines = %d", len(lines))
+	}
+	// y=1 row renders first; its max cell should be darkest.
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("max cell not darkest: %q", lines[1])
+	}
+	// Zero grid.
+	if s := Heatmap("", [][]float64{{0, 0}}); !strings.Contains(s, "|  |") {
+		t.Errorf("zero heatmap: %q", s)
+	}
+}
