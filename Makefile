@@ -1,0 +1,38 @@
+# The same targets CI runs, so humans and the pipeline never diverge.
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt; prints the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# The parallel engine makes the race detector non-negotiable.
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (the paper's tables/figures + ablations).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One-iteration benchmark smoke: proves every benchmark still runs and
+# records the perf trajectory as a JSON event stream.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -json . > BENCH_ci.json
+	@grep -c '"Action":"output"' BENCH_ci.json >/dev/null && echo "BENCH_ci.json written"
+
+ci: build vet fmt-check test race bench-smoke

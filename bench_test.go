@@ -10,7 +10,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ipscope/internal/analysis"
@@ -352,6 +354,67 @@ func BenchmarkSimulationDay(b *testing.B) {
 		sim.Run(w, cfg)
 	}
 	b.ReportMetric(float64(cfg.Days), "days/op")
+}
+
+// benchWorkerCounts returns the worker counts the parallel-vs-
+// sequential sweeps compare: 1 plus GOMAXPROCS when they differ (on a
+// single-CPU machine the second case would just repeat the first).
+func benchWorkerCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkSimFullSweep runs the whole-space observation sweep at one
+// worker (the sequential reference) and at GOMAXPROCS workers. The two
+// produce identical results; the ratio of their ns/op is the engine's
+// parallel speedup (expected >= 2x at GOMAXPROCS >= 4).
+func BenchmarkSimFullSweep(b *testing.B) {
+	w := synthnet.Generate(synthnet.Config{Seed: 9, NumASes: 120, MeanBlocksPerAS: 12})
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := sim.TinyConfig()
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(w, cfg)
+			}
+			b.ReportMetric(float64(len(w.Blocks)), "blocks/op")
+		})
+	}
+}
+
+// BenchmarkAggregatorSharded measures ingest throughput with all CPUs
+// hammering the block-sharded Aggregator concurrently (the contention
+// profile of many edge servers reporting at once).
+func BenchmarkAggregatorSharded(b *testing.B) {
+	agg := cdnlog.NewAggregator(1)
+	var seq uint64
+	b.RunParallel(func(pb *testing.PB) {
+		base := uint32(atomic.AddUint64(&seq, 1)) << 16
+		i := uint32(0)
+		for pb.Next() {
+			agg.Add(cdnlog.Record{Addr: ipv4.Addr(base + i%(1<<16)), Day: 0, Hits: 1})
+			i++
+		}
+	})
+	b.ReportMetric(float64(agg.UniqueAddrs()), "uniqueAddrs")
+}
+
+// BenchmarkUnionAll measures the batched set union over a window of
+// daily snapshots at one worker vs GOMAXPROCS workers.
+func BenchmarkUnionAll(b *testing.B) {
+	ctx := benchContext(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = ipv4.UnionAll(ctx.Res.Daily, workers).Len()
+			}
+			b.ReportMetric(float64(n), "addrs")
+		})
+	}
 }
 
 // BenchmarkAblationLPM compares the routing-trie against the linear

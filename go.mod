@@ -1,0 +1,3 @@
+module ipscope
+
+go 1.22

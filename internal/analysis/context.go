@@ -6,9 +6,12 @@
 package analysis
 
 import (
+	"sync"
+
 	"ipscope/internal/bgp"
 	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/par"
 	"ipscope/internal/rdns"
 	"ipscope/internal/scan"
 	"ipscope/internal/sim"
@@ -21,6 +24,9 @@ type Context struct {
 	World    *synthnet.World
 	Res      *sim.Result
 	Campaign *scan.Campaign
+
+	featuresOnce sync.Once
+	features     []core.BlockFeatures
 }
 
 // NewContext generates a world and runs the simulation.
@@ -76,10 +82,21 @@ func (c *Context) TrafficIter() func(yield func(core.IPTraffic)) {
 }
 
 // BlockFeatures assembles the three demographics features for every
-// block active in the daily window.
+// block active in the daily window, one worker-pool task per block.
+// Feature extraction only reads the run's aggregates, and output order
+// follows the sorted block list, so the fan-out is deterministic. The
+// result is memoized: several concurrently-running experiment drivers
+// (Figures 11 and 12) need the same extraction, and callers must not
+// mutate the returned slice.
 func (c *Context) BlockFeatures() []core.BlockFeatures {
-	var out []core.BlockFeatures
-	for _, blk := range core.ActiveBlocks(c.Res.Daily) {
+	c.featuresOnce.Do(func() { c.features = c.blockFeatures() })
+	return c.features
+}
+
+func (c *Context) blockFeatures() []core.BlockFeatures {
+	blocks := core.ActiveBlocks(c.Res.Daily)
+	return par.Map(len(blocks), 0, func(i int) core.BlockFeatures {
+		blk := blocks[i]
 		f := core.BlockFeatures{
 			Block: blk,
 			STU:   core.STU(c.Res.Daily, blk),
@@ -95,22 +112,23 @@ func (c *Context) BlockFeatures() []core.BlockFeatures {
 				f.Hosts = u
 			}
 		}
-		out = append(out, f)
-	}
-	return out
+		return f
+	})
 }
 
 // RDNSTags classifies every active block by its PTR naming (static /
-// dynamic / untagged), the Section 5.3 methodology.
+// dynamic / untagged), the Section 5.3 methodology. Zone synthesis and
+// classification are pure per block, so blocks classify concurrently.
 func (c *Context) RDNSTags(blocks []ipv4.Block) map[ipv4.Block]rdns.Tag {
-	out := make(map[ipv4.Block]rdns.Tag, len(blocks))
-	for _, blk := range blocks {
-		info, ok := c.World.BlockInfo(blk)
-		if !ok {
-			out[blk] = rdns.Untagged
-			continue
+	tags := par.Map(len(blocks), 0, func(i int) rdns.Tag {
+		if info, ok := c.World.BlockInfo(blocks[i]); ok {
+			return rdns.ClassifyZone(c.World.RDNSZone(info), 0.6)
 		}
-		out[blk] = rdns.ClassifyZone(c.World.RDNSZone(info), 0.6)
+		return rdns.Untagged
+	})
+	out := make(map[ipv4.Block]rdns.Tag, len(blocks))
+	for i, blk := range blocks {
+		out[blk] = tags[i]
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -72,8 +73,15 @@ func (f *Fig1) Render() string {
 		96, 14))
 	fmt.Fprintf(&b, "fit: slope %.3gM addrs/month, R2(pre-2014) %.4f; post/pre growth ratio %.3f\n",
 		f.Fit.Slope/1e6, f.Fit.R2, f.StagnationRatio)
-	for name, idx := range f.Exhaustions {
-		if idx < len(f.Months) {
+	// Sorted registry order keeps the rendered report byte-identical
+	// run to run (map iteration order is randomized).
+	names := make([]string, 0, len(f.Exhaustions))
+	for name := range f.Exhaustions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if idx := f.Exhaustions[name]; idx < len(f.Months) {
 			fmt.Fprintf(&b, "  %s exhaustion: %s\n", name, f.Months[idx].Date.Format("2006-01"))
 		}
 	}

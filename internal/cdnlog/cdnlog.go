@@ -10,10 +10,9 @@
 package cdnlog
 
 import (
-	"sync"
-
 	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/par"
 )
 
 // Record is one per-address, per-day aggregate from an edge server.
@@ -23,99 +22,142 @@ type Record struct {
 	Hits uint32
 }
 
-// Aggregator merges records from any number of edges into daily
-// active-address sets and per-address totals. It is safe for
-// concurrent use.
-type Aggregator struct {
-	mu    sync.Mutex
+// numAggShards is the Aggregator's lock-striping factor. Records hash
+// to a shard by /24 block, so shard contents are disjoint by block and
+// merged reads never need a global lock.
+const numAggShards = 32
+
+// aggShard is one lock domain of the Aggregator: the daily sets and
+// per-address totals for the /24 blocks that hash here.
+type aggShard struct {
 	days  []*ipv4.Set
 	hits  map[ipv4.Addr]uint64
 	total uint64
 }
 
+// Aggregator merges records from any number of edges into daily
+// active-address sets and per-address totals. It is safe for
+// concurrent use: state is striped across block-hashed shards with
+// per-shard locks, so concurrent edges only contend when they report
+// addresses of the same shard, and snapshot reads merge shard by shard
+// without ever stopping all writers.
+type Aggregator struct {
+	numDays int
+	shards  *par.Sharded[aggShard]
+}
+
+// aggShardKey hashes an address to its shard by /24 block, keeping a
+// block's bitmap in exactly one shard.
+func aggShardKey(a ipv4.Addr) uint64 { return par.Hash64(uint64(a) >> 8) }
+
 // NewAggregator creates an Aggregator covering numDays days.
 func NewAggregator(numDays int) *Aggregator {
-	a := &Aggregator{
-		days: make([]*ipv4.Set, numDays),
-		hits: make(map[ipv4.Addr]uint64),
+	return &Aggregator{
+		numDays: numDays,
+		shards: par.NewSharded(numAggShards, func() aggShard {
+			sh := aggShard{
+				days: make([]*ipv4.Set, numDays),
+				hits: make(map[ipv4.Addr]uint64),
+			}
+			for i := range sh.days {
+				sh.days[i] = ipv4.NewSet()
+			}
+			return sh
+		}),
 	}
-	for i := range a.days {
-		a.days[i] = ipv4.NewSet()
-	}
-	return a
 }
 
 // Add merges one record. Records with out-of-range days or zero hits
 // are dropped (a request must have completed to count, per the paper's
 // definition of "active").
 func (a *Aggregator) Add(r Record) {
-	if int(r.Day) >= len(a.days) || r.Hits == 0 {
+	if int(r.Day) >= a.numDays || r.Hits == 0 {
 		return
 	}
-	a.mu.Lock()
-	a.days[r.Day].Add(r.Addr)
-	a.hits[r.Addr] += uint64(r.Hits)
-	a.total += uint64(r.Hits)
-	a.mu.Unlock()
+	a.shards.Do(a.shards.ShardFor(aggShardKey(r.Addr)), func(sh *aggShard) {
+		sh.days[r.Day].Add(r.Addr)
+		sh.hits[r.Addr] += uint64(r.Hits)
+		sh.total += uint64(r.Hits)
+	})
 }
 
-// AddBatch merges many records with one lock acquisition.
+// AddBatch merges many records, acquiring each involved shard's lock
+// once.
 func (a *Aggregator) AddBatch(rs []Record) {
-	a.mu.Lock()
+	var byShard [numAggShards][]Record
 	for _, r := range rs {
-		if int(r.Day) >= len(a.days) || r.Hits == 0 {
+		if int(r.Day) >= a.numDays || r.Hits == 0 {
 			continue
 		}
-		a.days[r.Day].Add(r.Addr)
-		a.hits[r.Addr] += uint64(r.Hits)
-		a.total += uint64(r.Hits)
+		i := a.shards.ShardFor(aggShardKey(r.Addr))
+		byShard[i] = append(byShard[i], r)
 	}
-	a.mu.Unlock()
+	for i, batch := range byShard {
+		if len(batch) == 0 {
+			continue
+		}
+		a.shards.Do(i, func(sh *aggShard) {
+			for _, r := range batch {
+				sh.days[r.Day].Add(r.Addr)
+				sh.hits[r.Addr] += uint64(r.Hits)
+				sh.total += uint64(r.Hits)
+			}
+		})
+	}
 }
 
 // NumDays returns the configured day count.
-func (a *Aggregator) NumDays() int { return len(a.days) }
+func (a *Aggregator) NumDays() int { return a.numDays }
 
-// Day returns a snapshot (clone) of the active set for day d.
+// Day returns a merged snapshot of the active set for day d. Shards are
+// visited one at a time in ascending order; writers to other shards are
+// never blocked.
 func (a *Aggregator) Day(d int) *ipv4.Set {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if d < 0 || d >= len(a.days) {
-		return ipv4.NewSet()
+	out := ipv4.NewSet()
+	if d < 0 || d >= a.numDays {
+		return out
 	}
-	return a.days[d].Clone()
+	a.shards.Range(func(_ int, sh *aggShard) {
+		out.UnionWith(sh.days[d])
+	})
+	return out
 }
 
-// DailySets returns clones of all daily sets.
+// DailySets returns merged snapshots of all daily sets.
 func (a *Aggregator) DailySets() []*ipv4.Set {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]*ipv4.Set, len(a.days))
-	for i, s := range a.days {
-		out[i] = s.Clone()
+	out := make([]*ipv4.Set, a.numDays)
+	for i := range out {
+		out[i] = ipv4.NewSet()
 	}
+	a.shards.Range(func(_ int, sh *aggShard) {
+		for i, s := range sh.days {
+			out[i].UnionWith(s)
+		}
+	})
 	return out
 }
 
 // HitsOf returns the accumulated hits for one address.
 func (a *Aggregator) HitsOf(addr ipv4.Addr) uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.hits[addr]
+	var v uint64
+	a.shards.Do(a.shards.ShardFor(aggShardKey(addr)), func(sh *aggShard) {
+		v = sh.hits[addr]
+	})
+	return v
 }
 
 // TotalHits returns the total accumulated hits.
 func (a *Aggregator) TotalHits() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.total
+	var total uint64
+	a.shards.Range(func(_ int, sh *aggShard) { total += sh.total })
+	return total
 }
 
 // UniqueAddrs returns the number of distinct addresses seen.
 func (a *Aggregator) UniqueAddrs() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.hits)
+	n := 0
+	a.shards.Range(func(_ int, sh *aggShard) { n += len(sh.hits) })
+	return n
 }
 
 // DatasetSummary is one row of Table 1: totals over the whole dataset

@@ -5,12 +5,15 @@ import (
 
 	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/par"
 	"ipscope/internal/stats"
 )
 
 // Events returns the up events (addresses in next but not prev) and
 // down events (addresses in prev but not next) between two snapshots,
-// per the definition in Section 4.1.
+// per the definition in Section 4.1. Callers that need the diffs
+// parallelized use ipv4.DiffShards directly; the drivers here fan out
+// across transitions instead.
 func Events(prev, next *ipv4.Set) (up, down *ipv4.Set) {
 	return next.Diff(prev), prev.Diff(next)
 }
@@ -23,24 +26,27 @@ type ChurnPoint struct {
 	UpPct, DownPct float64
 }
 
-// ChurnSeries computes the churn between every consecutive snapshot pair.
+// ChurnSeries computes the churn between every consecutive snapshot
+// pair. The pairwise diff counts run across a worker pool; results are
+// ordered by transition index, independent of scheduling.
 func ChurnSeries(snaps []*ipv4.Set) []ChurnPoint {
 	if len(snaps) < 2 {
 		return nil
 	}
-	out := make([]ChurnPoint, 0, len(snaps)-1)
-	for i := 1; i < len(snaps); i++ {
-		prev, next := snaps[i-1], snaps[i]
-		up := next.DiffCount(prev)
-		down := prev.DiffCount(next)
-		p := ChurnPoint{Up: up, Down: down}
+	n := len(snaps) - 1
+	ups := ipv4.DiffCounts(snaps[1:], snaps[:n], 0)
+	downs := ipv4.DiffCounts(snaps[:n], snaps[1:], 0)
+	out := make([]ChurnPoint, n)
+	for i := range out {
+		prev, next := snaps[i], snaps[i+1]
+		p := ChurnPoint{Up: ups[i], Down: downs[i]}
 		if next.Len() > 0 {
-			p.UpPct = 100 * float64(up) / float64(next.Len())
+			p.UpPct = 100 * float64(ups[i]) / float64(next.Len())
 		}
 		if prev.Len() > 0 {
-			p.DownPct = 100 * float64(down) / float64(prev.Len())
+			p.DownPct = 100 * float64(downs[i]) / float64(prev.Len())
 		}
-		out = append(out, p)
+		out[i] = p
 	}
 	return out
 }
@@ -87,14 +93,12 @@ func VersusBaseline(snaps []*ipv4.Set) []AppearDisappear {
 		return nil
 	}
 	base := snaps[0]
-	out := make([]AppearDisappear, len(snaps))
-	for i, s := range snaps {
-		out[i] = AppearDisappear{
-			Appear:    s.DiffCount(base),
-			Disappear: base.DiffCount(s),
+	return par.Map(len(snaps), 0, func(i int) AppearDisappear {
+		return AppearDisappear{
+			Appear:    snaps[i].DiffCount(base),
+			Disappear: base.DiffCount(snaps[i]),
 		}
-	}
-	return out
+	})
 }
 
 // PerASChurn computes, for each AS, the median percentage of its
@@ -106,32 +110,49 @@ func PerASChurn(snaps []*ipv4.Set, asOf func(ipv4.Block) bgp.ASN, minActive int)
 		return nil
 	}
 	// Partition each snapshot by AS lazily: per transition, compute
-	// per-AS up counts and per-AS next-window totals.
-	type acc struct{ pcts []float64 }
-	accs := make(map[bgp.ASN]*acc)
-	totalActive := make(map[bgp.ASN]*ipv4.Set)
-
-	for i := 1; i < len(snaps); i++ {
-		prev, next := snaps[i-1], snaps[i]
-		upPerAS := make(map[bgp.ASN]int)
-		totPerAS := make(map[bgp.ASN]int)
+	// per-AS up counts and per-AS next-window totals. Transitions are
+	// independent, so they fan out; partial results merge in transition
+	// order, which keeps each AS's percentage series ordered.
+	type transition struct {
+		upPerAS, totPerAS map[bgp.ASN]int
+	}
+	parts := par.Map(len(snaps)-1, 0, func(i int) transition {
+		prev, next := snaps[i], snaps[i+1]
+		tr := transition{
+			upPerAS:  make(map[bgp.ASN]int),
+			totPerAS: make(map[bgp.ASN]int),
+		}
 		next.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
 			as := asOf(blk)
 			n := bm.Count()
-			totPerAS[as] += n
+			tr.totPerAS[as] += n
 			if pbm := prev.BlockBitmap(blk); pbm != nil {
-				upPerAS[as] += bm.AndNotCount(pbm)
+				tr.upPerAS[as] += bm.AndNotCount(pbm)
 			} else {
-				upPerAS[as] += n
+				tr.upPerAS[as] += n
 			}
-			u := totalActive[as]
-			if u == nil {
-				u = ipv4.NewSet()
-				totalActive[as] = u
-			}
-			u.AddBlockBitmap(blk, bm)
 		})
-		for as, tot := range totPerAS {
+		return tr
+	})
+
+	// The minActive filter needs each AS's total activity over the
+	// period: that is just the union of snaps[1:] partitioned by AS,
+	// computed once instead of per transition.
+	totalActive := make(map[bgp.ASN]*ipv4.Set)
+	ipv4.UnionAll(snaps[1:], 0).ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
+		as := asOf(blk)
+		u := totalActive[as]
+		if u == nil {
+			u = ipv4.NewSet()
+			totalActive[as] = u
+		}
+		u.AddBlockBitmap(blk, bm)
+	})
+
+	type acc struct{ pcts []float64 }
+	accs := make(map[bgp.ASN]*acc)
+	for _, tr := range parts {
+		for as, tot := range tr.totPerAS {
 			if tot == 0 {
 				continue
 			}
@@ -140,7 +161,7 @@ func PerASChurn(snaps []*ipv4.Set, asOf func(ipv4.Block) bgp.ASN, minActive int)
 				a = &acc{}
 				accs[as] = a
 			}
-			a.pcts = append(a.pcts, 100*float64(upPerAS[as])/float64(tot))
+			a.pcts = append(a.pcts, 100*float64(tr.upPerAS[as])/float64(tot))
 		}
 	}
 	out := make(map[bgp.ASN]float64)
@@ -236,15 +257,28 @@ var EventSizeBinLabels = [5]string{">=/16", "/20", "/24", "/28", "/32"}
 
 // EventSizeDistribution tags every up event between prev and next with
 // its event mask and returns the fraction of events per Figure 5b bin.
+// Blocks are tagged across a worker pool; per-bin integer counts merge
+// associatively, so the distribution is worker-count independent.
 func EventSizeDistribution(prev, next *ipv4.Set, floor int) [5]float64 {
-	up := next.Diff(prev)
+	up := next.DiffShards(prev, 0)
+	blocks := up.Blocks()
+	perBlock := par.Map(len(blocks), 0, func(i int) [5]int {
+		var counts [5]int
+		bm := up.BlockBitmap(blocks[i])
+		bm.ForEach(func(h byte) {
+			m := EventMask(blocks[i].Addr(h), prev, floor)
+			counts[EventSizeBin(m)]++
+		})
+		return counts
+	})
 	var counts [5]int
 	total := 0
-	up.ForEach(func(a ipv4.Addr) {
-		m := EventMask(a, prev, floor)
-		counts[EventSizeBin(m)]++
-		total++
-	})
+	for _, c := range perBlock {
+		for i, n := range c {
+			counts[i] += n
+			total += n
+		}
+	}
 	var out [5]float64
 	if total == 0 {
 		return out
@@ -273,8 +307,11 @@ func CorrelateBGP(daily []*ipv4.Set, size int, log *bgp.ChangeLog, startDay int)
 	if len(wins) < 2 {
 		return out
 	}
-	var upHit, downHit, steadyHit int
-	for i := 1; i < len(wins); i++ {
+	// Each window transition correlates independently; integer partials
+	// merge associatively so the fan-out cannot change the result.
+	type partial struct{ up, upHit, down, downHit, steady, steadyHit int }
+	parts := par.Map(len(wins)-1, 0, func(j int) partial {
+		i := j + 1
 		prev, next := wins[i-1], wins[i]
 		// Changes during either window are considered "going together"
 		// with the transition.
@@ -282,16 +319,17 @@ func CorrelateBGP(daily []*ipv4.Set, size int, log *bgp.ChangeLog, startDay int)
 		d2 := startDay + (i+1)*size
 		touched := log.TouchedBlocks(d1-1, d2-1)
 		up, down := Events(prev, next)
+		var p partial
 		up.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
-			out.UpEvents += bm.Count()
+			p.up += bm.Count()
 			if _, ok := touched[blk]; ok {
-				upHit += bm.Count()
+				p.upHit += bm.Count()
 			}
 		})
 		down.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
-			out.DownEvents += bm.Count()
+			p.down += bm.Count()
 			if _, ok := touched[blk]; ok {
-				downHit += bm.Count()
+				p.downHit += bm.Count()
 			}
 		})
 		prev.ForEachBlock(func(blk ipv4.Block, bm *ipv4.Bitmap256) {
@@ -300,11 +338,21 @@ func CorrelateBGP(daily []*ipv4.Set, size int, log *bgp.ChangeLog, startDay int)
 				return
 			}
 			n := bm.IntersectCount(nbm)
-			out.Steady += n
+			p.steady += n
 			if _, ok := touched[blk]; ok {
-				steadyHit += n
+				p.steadyHit += n
 			}
 		})
+		return p
+	})
+	var upHit, downHit, steadyHit int
+	for _, p := range parts {
+		out.UpEvents += p.up
+		out.DownEvents += p.down
+		out.Steady += p.steady
+		upHit += p.upHit
+		downHit += p.downHit
+		steadyHit += p.steadyHit
 	}
 	if out.UpEvents > 0 {
 		out.UpPct = 100 * float64(upHit) / float64(out.UpEvents)

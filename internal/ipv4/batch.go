@@ -1,0 +1,83 @@
+package ipv4
+
+import "ipscope/internal/par"
+
+// parallelThreshold is the set-count below which batched operations run
+// sequentially: goroutine fan-out costs more than it saves on tiny
+// batches.
+const parallelThreshold = 4
+
+// UnionAll returns the union of all non-nil sets, computed across
+// workers (<= 0 means GOMAXPROCS). Each worker unions a contiguous
+// chunk of the slice and chunk results merge in chunk order, so the
+// result is identical to a sequential left fold.
+func UnionAll(sets []*Set, workers int) *Set {
+	w := par.Workers(workers)
+	if len(sets) < parallelThreshold || w == 1 {
+		u := NewSet()
+		for _, s := range sets {
+			if s != nil {
+				u.UnionWith(s)
+			}
+		}
+		return u
+	}
+	partials := make([]*Set, len(par.Split(len(sets), w)))
+	par.ForEachShard(len(sets), w, func(shard, lo, hi int) {
+		u := NewSet()
+		for _, s := range sets[lo:hi] {
+			if s != nil {
+				u.UnionWith(s)
+			}
+		}
+		partials[shard] = u
+	})
+	out := partials[0]
+	for _, p := range partials[1:] {
+		out.UnionWith(p)
+	}
+	return out
+}
+
+// DiffCounts computes |as[i] \ bs[i]| for every pair across workers.
+// The slices must have equal length.
+func DiffCounts(as, bs []*Set, workers int) []int {
+	return par.Map(len(as), par.Workers(workers), func(i int) int {
+		return as[i].DiffCount(bs[i])
+	})
+}
+
+// DiffShards computes s \ o over s's blocks split into contiguous
+// sorted-block shards, merging shard results in order. Content is
+// identical to Diff for any worker count.
+func (s *Set) DiffShards(o *Set, workers int) *Set {
+	w := par.Workers(workers)
+	if w == 1 || len(s.m) < 64 {
+		return s.Diff(o)
+	}
+	blocks := s.Blocks()
+	partials := make([]*Set, len(par.Split(len(blocks), w)))
+	par.ForEachShard(len(blocks), w, func(shard, lo, hi int) {
+		out := NewSet()
+		for _, b := range blocks[lo:hi] {
+			d := *s.m[b]
+			if obm := o.m[b]; obm != nil {
+				d.AndNotWith(obm)
+			}
+			if !d.IsEmpty() {
+				cp := d
+				out.m[b] = &cp
+				out.n += cp.Count()
+			}
+		}
+		partials[shard] = out
+	})
+	out := partials[0]
+	for _, p := range partials[1:] {
+		for b, bm := range p.m {
+			out.m[b] = bm
+		}
+		out.n += p.n
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package par
+
+import "sync"
+
+// Sharded is a fixed set of independently locked slots of state T.
+// Writers hash their keys to a shard and mutate that shard's T under
+// its own lock, so contention scales with the shard count instead of a
+// single global mutex. Reads that need a consistent merged view visit
+// shards one at a time in ascending order — no global lock ever exists,
+// which is what keeps merge cost off the write path.
+type Sharded[T any] struct {
+	shards []shardSlot[T]
+}
+
+type shardSlot[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// NewSharded creates n shards (minimum 1), initializing each slot with
+// init (which may be nil for zero values).
+func NewSharded[T any](n int, init func() T) *Sharded[T] {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded[T]{shards: make([]shardSlot[T], n)}
+	if init != nil {
+		for i := range s.shards {
+			s.shards[i].v = init()
+		}
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded[T]) NumShards() int { return len(s.shards) }
+
+// ShardFor maps a 64-bit key hash to a shard index.
+func (s *Sharded[T]) ShardFor(hash uint64) int {
+	return int(hash % uint64(len(s.shards)))
+}
+
+// Do runs fn on shard i's state under that shard's lock.
+func (s *Sharded[T]) Do(i int, fn func(*T)) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	fn(&sh.v)
+	sh.mu.Unlock()
+}
+
+// Range visits every shard in ascending order, each under its own lock,
+// so merged reads are deterministic without a stop-the-world lock.
+func (s *Sharded[T]) Range(fn func(shard int, v *T)) {
+	for i := range s.shards {
+		s.Do(i, func(v *T) { fn(i, v) })
+	}
+}
+
+// Hash64 is splitmix64: a fast, well-diffused integer hash for shard
+// selection (duplicated from xrand to keep par dependency-free).
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardedMap is a concurrent map with per-shard locks, for hot
+// accumulation paths where a single mutex would serialize writers.
+type ShardedMap[K comparable, V any] struct {
+	s    *Sharded[map[K]V]
+	hash func(K) uint64
+}
+
+// NewShardedMap creates a sharded map with n shards; hash maps a key to
+// a well-distributed 64-bit value (compose with Hash64 for integer
+// keys).
+func NewShardedMap[K comparable, V any](n int, hash func(K) uint64) *ShardedMap[K, V] {
+	return &ShardedMap[K, V]{
+		s:    NewSharded(n, func() map[K]V { return make(map[K]V) }),
+		hash: hash,
+	}
+}
+
+// Update applies fn to the current value for k (zero value if absent)
+// and stores the result, all under the owning shard's lock.
+func (m *ShardedMap[K, V]) Update(k K, fn func(V) V) {
+	m.s.Do(m.s.ShardFor(m.hash(k)), func(mp *map[K]V) {
+		(*mp)[k] = fn((*mp)[k])
+	})
+}
+
+// Get returns the value for k.
+func (m *ShardedMap[K, V]) Get(k K) (V, bool) {
+	var v V
+	var ok bool
+	m.s.Do(m.s.ShardFor(m.hash(k)), func(mp *map[K]V) {
+		v, ok = (*mp)[k]
+	})
+	return v, ok
+}
+
+// Len returns the total number of keys across shards.
+func (m *ShardedMap[K, V]) Len() int {
+	n := 0
+	m.s.Range(func(_ int, mp *map[K]V) { n += len(*mp) })
+	return n
+}
+
+// Range visits every key/value, shard by shard in ascending shard
+// order. Iteration order within a shard is map order (unspecified).
+func (m *ShardedMap[K, V]) Range(fn func(K, V)) {
+	m.s.Range(func(_ int, mp *map[K]V) {
+		for k, v := range *mp {
+			fn(k, v)
+		}
+	})
+}
+
+// Merge snapshots the map into a plain map without ever holding more
+// than one shard lock at a time.
+func (m *ShardedMap[K, V]) Merge() map[K]V {
+	out := make(map[K]V, m.Len())
+	m.Range(func(k K, v V) { out[k] = v })
+	return out
+}

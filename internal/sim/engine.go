@@ -2,9 +2,11 @@ package sim
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/par"
 	"ipscope/internal/synthnet"
 	"ipscope/internal/useragent"
 	"ipscope/internal/xrand"
@@ -13,7 +15,48 @@ import (
 func deviceFor(seed uint64) useragent.Device { return useragent.NewDevice(seed) }
 func botUA(seed uint64) string               { return useragent.BotUA(seed) }
 
-// Run simulates cfg.Days days of activity over world w.
+// shardAccum is what one shard of contiguous /24 blocks produces over
+// the whole run. Set contents are disjoint-by-block across shards, so
+// merging shards in ascending order reconstructs exactly the state the
+// sequential loop would have built.
+type shardAccum struct {
+	daily          []*ipv4.Set // activity per day of the daily window
+	weekly         []*ipv4.Set // activity per week
+	icmp           []*ipv4.Set // ICMP responders per campaign snapshot
+	server, router *ipv4.Set
+}
+
+// runState is the shared, shard-partitioned state of one Run: the
+// per-block slots are written lock-free by the owning shard only, and
+// merged in block order afterwards.
+type runState struct {
+	cfg      Config
+	w        *synthnet.World
+	states   []*blockState
+	scanDay  map[int]int // day -> scan index
+	numWeeks int
+	uaStart  int
+	uaEnd    int
+
+	traffic   []*BlockTraffic // per block index
+	ua        []*UAStat       // per block index
+	dayTotals [][]float64     // per block index: hits per daily-window day
+
+	// Weekly top-share rendezvous: each shard deposits its week's
+	// per-address hit values (ascending block order) into its slot and
+	// counts the close down; the last close computes the share and
+	// frees the week's values, so memory stays bounded by in-flight
+	// weeks instead of the whole run.
+	weekVals    [][][]float64 // [week][shard]
+	weekPending []int32       // remaining closes (shards x closes-per-week)
+	topShare    []float64     // [week], written once by the closing shard
+}
+
+// Run simulates cfg.Days days of activity over world w, sharding the
+// per-tick observation loop across cfg.Workers workers. Results are
+// bit-identical for any worker count: each /24 evolves from its own
+// seeded stream, shards own contiguous block ranges, and all merges
+// happen in ascending block order.
 func Run(w *synthnet.World, cfg Config) *Result {
 	cfg = cfg.normalized()
 	res := &Result{
@@ -24,60 +67,118 @@ func Run(w *synthnet.World, cfg Config) *Result {
 	}
 
 	states := make([]*blockState, len(w.Blocks))
-	for i, b := range w.Blocks {
-		states[i] = newBlockState(b, cfg)
-	}
+	par.ForEach(len(w.Blocks), par.Workers(cfg.Workers), func(i int) {
+		states[i] = newBlockState(w.Blocks[i], cfg)
+	})
 	res.Routing = bgp.NewChangeLog(w.BaseRouting, cfg.Days)
 	scheduleRestructures(w, states, cfg, res)
 	scheduleBGPNoise(w, cfg, res)
 
-	scanDay := make(map[int]int, len(cfg.ICMPScanDays)) // day -> scan index
+	rs := &runState{
+		cfg:       cfg,
+		w:         w,
+		states:    states,
+		scanDay:   make(map[int]int, len(cfg.ICMPScanDays)),
+		uaStart:   cfg.DailyStart + cfg.DailyLen - cfg.UADays,
+		uaEnd:     cfg.DailyStart + cfg.DailyLen,
+		traffic:   make([]*BlockTraffic, len(states)),
+		ua:        make([]*UAStat, len(states)),
+		dayTotals: make([][]float64, len(states)),
+	}
 	for i, d := range cfg.ICMPScanDays {
-		scanDay[d] = i
+		rs.scanDay[d] = i
 	}
-	res.ICMPScans = make([]*ipv4.Set, len(cfg.ICMPScanDays))
-	for i := range res.ICMPScans {
-		res.ICMPScans[i] = ipv4.NewSet()
+	rs.numWeeks = cfg.Days / 7
+	if rs.numWeeks == 0 {
+		rs.numWeeks = 1
 	}
 
-	numWeeks := cfg.Days / 7
-	if numWeeks == 0 {
-		numWeeks = 1
-	}
-	res.Weekly = make([]*ipv4.Set, numWeeks)
-	for i := range res.Weekly {
-		res.Weekly[i] = ipv4.NewSet()
-	}
-	res.Daily = make([]*ipv4.Set, cfg.DailyLen)
-	res.DailyTotalHits = make([]float64, cfg.DailyLen)
-	res.WeeklyTopShare = make([]float64, numWeeks)
+	// The observation loop: each shard animates its contiguous block
+	// range through all days independently.
+	workers := par.Workers(cfg.Workers)
+	numShards := len(par.Split(len(states), workers))
+	rs.initWeekGather(numShards)
+	accs := make([]*shardAccum, numShards)
+	par.ForEachShard(len(states), workers, func(shard, lo, hi int) {
+		accs[shard] = rs.runShard(shard, lo, hi)
+	})
 
-	uaStart := cfg.DailyStart + cfg.DailyLen - cfg.UADays
-	uaEnd := cfg.DailyStart + cfg.DailyLen
-	sampler := useragent.NewSampler(w.Seed, useragent.SampleRate)
+	rs.merge(res, accs)
+	return res
+}
 
+// initWeekGather sizes the weekly top-share rendezvous: every shard
+// closes each week a fixed, precomputable number of times (normally
+// once; twice for a clamped final partial week).
+func (rs *runState) initWeekGather(numShards int) {
+	closes := make([]int32, rs.numWeeks)
+	for day := 0; day < rs.cfg.Days; day++ {
+		if (day+1)%7 == 0 || day == rs.cfg.Days-1 {
+			wk := day / 7
+			if wk >= rs.numWeeks {
+				wk = rs.numWeeks - 1
+			}
+			closes[wk]++
+		}
+	}
+	rs.weekVals = make([][][]float64, rs.numWeeks)
+	rs.weekPending = make([]int32, rs.numWeeks)
+	rs.topShare = make([]float64, rs.numWeeks)
+	for wk := range rs.weekVals {
+		rs.weekVals[wk] = make([][]float64, numShards)
+		rs.weekPending[wk] = closes[wk] * int32(numShards)
+	}
+}
+
+// closeWeek deposits one shard's values for week wk. A clamped final
+// week closes twice per shard; the later deposit overwrites the slot,
+// preserving the sequential engine's last-close-wins semantics. The
+// goroutine performing the final close computes the share: the atomic
+// countdown orders it after every deposit, and concatenating slots in
+// shard order restores global ascending block order.
+func (rs *runState) closeWeek(wk, shard int, vals []float64) {
+	rs.weekVals[wk][shard] = vals
+	if atomic.AddInt32(&rs.weekPending[wk], -1) != 0 {
+		return
+	}
+	var all []float64
+	for _, v := range rs.weekVals[wk] {
+		all = append(all, v...)
+	}
+	rs.topShare[wk] = topShareVals(all, 0.10)
+	rs.weekVals[wk] = nil // week complete: free its values
+}
+
+// runShard animates blocks [lo, hi) through every simulated day.
+func (rs *runState) runShard(shard, lo, hi int) *shardAccum {
+	cfg := rs.cfg
+	acc := &shardAccum{
+		daily:  newSets(cfg.DailyLen),
+		weekly: newSets(rs.numWeeks),
+		icmp:   newSets(len(cfg.ICMPScanDays)),
+		server: ipv4.NewSet(),
+		router: ipv4.NewSet(),
+	}
 	// Per-week per-address hit accumulator, reset weekly.
 	weekHits := make(map[ipv4.Block]*[256]float64)
 	var out dayOutput
 
 	for day := 0; day < cfg.Days; day++ {
 		wk := day / 7
-		if wk >= numWeeks {
-			wk = numWeeks - 1
+		if wk >= rs.numWeeks {
+			wk = rs.numWeeks - 1
 		}
 		inDaily := day >= cfg.DailyStart && day < cfg.DailyStart+cfg.DailyLen
 		di := day - cfg.DailyStart
-		if inDaily {
-			res.Daily[di] = ipv4.NewSet()
-		}
-		inUA := day >= uaStart && day < uaEnd
-		scanIdx, isScanDay := scanDay[day]
+		inUA := day >= rs.uaStart && day < rs.uaEnd
+		scanIdx, isScanDay := rs.scanDay[day]
 
-		for si, bs := range states {
+		for si := lo; si < hi; si++ {
+			bs := rs.states[si]
 			bs.step(day, cfg, &out)
-			blk := w.Blocks[si].Block
+			blk := rs.w.Blocks[si].Block
 			if !out.bm.IsEmpty() {
-				res.Weekly[wk].AddBlockBitmap(blk, &out.bm)
+				acc.weekly[wk].AddBlockBitmap(blk, &out.bm)
 				wh := weekHits[blk]
 				if wh == nil {
 					wh = new([256]float64)
@@ -87,12 +188,17 @@ func Run(w *synthnet.World, cfg Config) *Result {
 					wh[h] += out.hits[h]
 				}
 				if inDaily {
-					res.Daily[di].AddBlockBitmap(blk, &out.bm)
-					res.DailyTotalHits[di] += out.total
-					bt := res.Traffic[blk]
+					acc.daily[di].AddBlockBitmap(blk, &out.bm)
+					dt := rs.dayTotals[si]
+					if dt == nil {
+						dt = make([]float64, cfg.DailyLen)
+						rs.dayTotals[si] = dt
+					}
+					dt[di] = out.total
+					bt := rs.traffic[si]
 					if bt == nil {
 						bt = new(BlockTraffic)
-						res.Traffic[blk] = bt
+						rs.traffic[si] = bt
 					}
 					out.bm.ForEach(func(h byte) {
 						bt.DaysActive[h]++
@@ -100,50 +206,106 @@ func Run(w *synthnet.World, cfg Config) *Result {
 					})
 				}
 				if inUA && out.total > 0 {
-					sampleUA(bs, &out, sampler, res, blk)
+					rs.sampleUA(bs, &out, si)
 				}
 			}
 			if isScanDay {
 				resp := bs.icmpResponsive(day, &out.bm)
 				if !resp.IsEmpty() {
-					res.ICMPScans[scanIdx].AddBlockBitmap(blk, &resp)
+					acc.icmp[scanIdx].AddBlockBitmap(blk, &resp)
 				}
 			}
 		}
 
-		// Close out the week.
+		// Close out the week: extract this shard's per-address hit
+		// values in block order and deposit them at the rendezvous.
 		if (day+1)%7 == 0 || day == cfg.Days-1 {
-			res.WeeklyTopShare[wk] = topShare(weekHits, 0.10)
+			rs.closeWeek(wk, shard, weekValsOf(weekHits))
 			weekHits = make(map[ipv4.Block]*[256]float64)
 		}
 	}
 
 	// Static scan surfaces (service ports, traceroute).
-	res.ServerSet = ipv4.NewSet()
-	res.RouterSet = ipv4.NewSet()
-	for si, bs := range states {
-		blk := w.Blocks[si].Block
+	for si := lo; si < hi; si++ {
+		bs := rs.states[si]
+		blk := rs.w.Blocks[si].Block
 		if m := bs.serviceHosts(); !m.IsEmpty() {
-			res.ServerSet.AddBlockBitmap(blk, &m)
+			acc.server.AddBlockBitmap(blk, &m)
 		}
 		if m := bs.routerHosts(); !m.IsEmpty() {
-			res.RouterSet.AddBlockBitmap(blk, &m)
+			acc.router.AddBlockBitmap(blk, &m)
 		}
 	}
-	return res
+	return acc
+}
+
+// merge folds the shard accumulators into res. Shards are visited in
+// ascending order and per-block slots in ascending block order, so the
+// result — including float accumulation — does not depend on the
+// worker count.
+func (rs *runState) merge(res *Result, accs []*shardAccum) {
+	cfg := rs.cfg
+	res.Daily = newSets(cfg.DailyLen)
+	res.Weekly = newSets(rs.numWeeks)
+	res.ICMPScans = newSets(len(cfg.ICMPScanDays))
+	res.DailyTotalHits = make([]float64, cfg.DailyLen)
+	res.WeeklyTopShare = make([]float64, rs.numWeeks)
+	res.ServerSet = ipv4.NewSet()
+	res.RouterSet = ipv4.NewSet()
+
+	for _, acc := range accs {
+		for di, s := range acc.daily {
+			res.Daily[di].UnionWith(s)
+		}
+		for wk, s := range acc.weekly {
+			res.Weekly[wk].UnionWith(s)
+		}
+		for i, s := range acc.icmp {
+			res.ICMPScans[i].UnionWith(s)
+		}
+		res.ServerSet.UnionWith(acc.server)
+		res.RouterSet.UnionWith(acc.router)
+	}
+
+	// Weekly top-traffic shares were computed at the per-week
+	// rendezvous as shards finished each week.
+	copy(res.WeeklyTopShare, rs.topShare)
+
+	for si := range rs.states {
+		blk := rs.w.Blocks[si].Block
+		if bt := rs.traffic[si]; bt != nil {
+			res.Traffic[blk] = bt
+		}
+		if st := rs.ua[si]; st != nil {
+			res.UA[blk] = st
+		}
+		if dt := rs.dayTotals[si]; dt != nil {
+			for di, v := range dt {
+				res.DailyTotalHits[di] += v
+			}
+		}
+	}
+}
+
+func newSets(n int) []*ipv4.Set {
+	out := make([]*ipv4.Set, n)
+	for i := range out {
+		out[i] = ipv4.NewSet()
+	}
+	return out
 }
 
 // sampleUA samples User-Agent strings for one block-day at the
 // pipeline's 1-in-4K rate and folds them into the block's sketch.
-func sampleUA(bs *blockState, out *dayOutput, sampler *useragent.Sampler, res *Result, blk ipv4.Block) {
-	n := sampler.SampleN(int(out.total))
+func (rs *runState) sampleUA(bs *blockState, out *dayOutput, si int) {
+	n := bs.sampler.SampleN(int(out.total))
 	if n == 0 {
 		return
 	}
-	st := res.UA[blk]
+	st := rs.ua[si]
 	if st == nil {
 		st = &UAStat{Sketch: useragent.NewHLL(12)}
-		res.UA[blk] = st
+		rs.ua[si] = st
 	}
 	st.Samples += n
 	for i := 0; i < n; i++ {
@@ -168,36 +330,48 @@ func weightedSub(bs *blockState, out *dayOutput) int {
 	return len(out.activeSubs) - 1
 }
 
-// topShare computes the share of total traffic received by the top
-// fraction frac of addresses.
-func topShare(weekHits map[ipv4.Block]*[256]float64, frac float64) float64 {
-	// Iterate blocks in sorted order so float accumulation order (and
-	// thus the result) is deterministic across runs.
+// weekValsOf flattens one week's per-address hit accumulator into the
+// positive hit values, blocks in ascending order, hosts ascending
+// within each block. The fixed order is what lets shard outputs be
+// concatenated into the exact value sequence of a sequential run.
+func weekValsOf(weekHits map[ipv4.Block]*[256]float64) []float64 {
 	blocks := make([]ipv4.Block, 0, len(weekHits))
 	for b := range weekHits {
 		blocks = append(blocks, b)
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
 	var vals []float64
-	total := 0.0
 	for _, b := range blocks {
 		for _, v := range weekHits[b] {
 			if v > 0 {
 				vals = append(vals, v)
-				total += v
 			}
 		}
+	}
+	return vals
+}
+
+// topShareVals computes the share of total traffic received by the top
+// fraction frac of addresses. The total is accumulated in the order
+// vals were collected (ascending block order) so the float result is
+// deterministic across runs and worker counts.
+func topShareVals(vals []float64, frac float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
 	}
 	if len(vals) == 0 || total == 0 {
 		return 0
 	}
-	sort.Float64s(vals)
-	k := int(float64(len(vals)) * frac)
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	k := int(float64(len(sorted)) * frac)
 	if k < 1 {
 		k = 1
 	}
 	sum := 0.0
-	for _, v := range vals[len(vals)-k:] {
+	for _, v := range sorted[len(sorted)-k:] {
 		sum += v
 	}
 	return sum / total

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/synthnet"
+)
+
+// requireEqualResults fails unless a and b are observably identical:
+// same sets, same float series bit for bit, same traffic and UA
+// aggregates, same ground-truth schedule.
+func requireEqualResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	equalSets := func(name string, xs, ys []*ipv4.Set) {
+		if len(xs) != len(ys) {
+			t.Fatalf("%s: %d vs %d snapshots", name, len(xs), len(ys))
+		}
+		for i := range xs {
+			if !xs[i].Equal(ys[i]) {
+				t.Fatalf("%s[%d] differs", name, i)
+			}
+		}
+	}
+	equalSets("Daily", a.Daily, b.Daily)
+	equalSets("Weekly", a.Weekly, b.Weekly)
+	equalSets("ICMPScans", a.ICMPScans, b.ICMPScans)
+	if !a.ServerSet.Equal(b.ServerSet) {
+		t.Fatal("ServerSet differs")
+	}
+	if !a.RouterSet.Equal(b.RouterSet) {
+		t.Fatal("RouterSet differs")
+	}
+	for i := range a.DailyTotalHits {
+		if math.Float64bits(a.DailyTotalHits[i]) != math.Float64bits(b.DailyTotalHits[i]) {
+			t.Fatalf("DailyTotalHits[%d]: %v vs %v", i, a.DailyTotalHits[i], b.DailyTotalHits[i])
+		}
+	}
+	for i := range a.WeeklyTopShare {
+		if math.Float64bits(a.WeeklyTopShare[i]) != math.Float64bits(b.WeeklyTopShare[i]) {
+			t.Fatalf("WeeklyTopShare[%d]: %v vs %v", i, a.WeeklyTopShare[i], b.WeeklyTopShare[i])
+		}
+	}
+	if len(a.Traffic) != len(b.Traffic) {
+		t.Fatalf("Traffic: %d vs %d blocks", len(a.Traffic), len(b.Traffic))
+	}
+	for blk, at := range a.Traffic {
+		bt := b.Traffic[blk]
+		if bt == nil || *at != *bt {
+			t.Fatalf("Traffic[%v] differs", blk)
+		}
+	}
+	if len(a.UA) != len(b.UA) {
+		t.Fatalf("UA: %d vs %d blocks", len(a.UA), len(b.UA))
+	}
+	for blk, au := range a.UA {
+		bu := b.UA[blk]
+		if bu == nil || au.Samples != bu.Samples || au.Unique() != bu.Unique() {
+			t.Fatalf("UA[%v] differs", blk)
+		}
+	}
+	if len(a.Restructures) != len(b.Restructures) {
+		t.Fatal("Restructures differ in length")
+	}
+	for i := range a.Restructures {
+		if a.Restructures[i] != b.Restructures[i] {
+			t.Fatalf("Restructures[%d] differs", i)
+		}
+	}
+}
+
+// TestRunParallelEquivalence is the engine's core guarantee: the
+// sharded parallel path produces output identical to the sequential
+// (one-worker) path for a fixed seed, at several worker counts
+// including more workers than blocks.
+func TestRunParallelEquivalence(t *testing.T) {
+	w := synthnet.Generate(synthnet.TinyConfig())
+	nb := len(w.Blocks)
+
+	configs := map[string]Config{
+		"weeks-aligned": TinyConfig(),
+	}
+	// Days not divisible by 7: the clamped final week closes twice per
+	// shard (last close wins), which must also be worker-independent.
+	partial := TinyConfig()
+	partial.Days = 61
+	configs["partial-final-week"] = partial
+
+	for name, base := range configs {
+		t.Run(name, func(t *testing.T) {
+			seq := base
+			seq.Workers = 1
+			ref := Run(w, seq)
+			for _, workers := range []int{2, 3, 7, nb, nb + 1000} {
+				cfg := base
+				cfg.Workers = workers
+				got := Run(w, cfg)
+				requireEqualResults(t, ref, got)
+				if t.Failed() {
+					t.Fatalf("workers=%d diverged from sequential", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestRunParallelRepeatable: the default (GOMAXPROCS) worker count is
+// deterministic run to run.
+func TestRunParallelRepeatable(t *testing.T) {
+	w := synthnet.Generate(synthnet.TinyConfig())
+	r1 := Run(w, TinyConfig())
+	r2 := Run(w, TinyConfig())
+	requireEqualResults(t, r1, r2)
+}

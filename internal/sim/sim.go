@@ -54,6 +54,11 @@ type Config struct {
 	// bot) traffic from the first to the last day, driving the
 	// traffic-consolidation trend of Figure 9(c).
 	TrafficGrowth float64
+	// Workers is the number of shards the /24 address space is split
+	// into for the observation loop; <= 0 means GOMAXPROCS. Every block
+	// evolves from its own seeded stream and shards merge in block
+	// order, so results are identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the experiment
@@ -209,29 +214,17 @@ type Result struct {
 
 // DailyWindowUnion returns the union of all daily sets.
 func (r *Result) DailyWindowUnion() *ipv4.Set {
-	u := ipv4.NewSet()
-	for _, s := range r.Daily {
-		u.UnionWith(s)
-	}
-	return u
+	return ipv4.UnionAll(r.Daily, r.Config.Workers)
 }
 
 // YearUnion returns the union of all weekly sets.
 func (r *Result) YearUnion() *ipv4.Set {
-	u := ipv4.NewSet()
-	for _, s := range r.Weekly {
-		u.UnionWith(s)
-	}
-	return u
+	return ipv4.UnionAll(r.Weekly, r.Config.Workers)
 }
 
 // ICMPUnion returns the union of all ICMP campaign snapshots.
 func (r *Result) ICMPUnion() *ipv4.Set {
-	u := ipv4.NewSet()
-	for _, s := range r.ICMPScans {
-		u.UnionWith(s)
-	}
-	return u
+	return ipv4.UnionAll(r.ICMPScans, r.Config.Workers)
 }
 
 // weekendOf reports whether day d falls on a weekend; day 0 is a

@@ -6,6 +6,7 @@ import (
 
 	"ipscope/internal/ipv4"
 	"ipscope/internal/synthnet"
+	"ipscope/internal/useragent"
 	"ipscope/internal/xrand"
 )
 
@@ -31,6 +32,10 @@ type blockState struct {
 	pol  synthnet.Policy
 	subs []subscriber
 	rng  *rand.Rand
+	// sampler draws the block's UA header samples. It is per-block (not
+	// shared across the run) so blocks consume independent streams and
+	// the observation loop can be sharded without coupling.
+	sampler *useragent.Sampler
 
 	// pingable marks hosts whose CPE/server answers ICMP; fixed per
 	// configuration (hardware does not change daily).
@@ -65,6 +70,7 @@ func newBlockState(info *synthnet.Block, cfg Config) *blockState {
 		info:      info,
 		changeDay: -1,
 		rng:       rand.New(rand.NewSource(int64(xrand.Splitmix64(info.Seed)))),
+		sampler:   useragent.NewSampler(info.Seed, useragent.SampleRate),
 	}
 	for i := range bs.perm {
 		bs.perm[i] = byte(i)

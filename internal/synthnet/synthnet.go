@@ -19,6 +19,7 @@ import (
 
 	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/par"
 	"ipscope/internal/rdns"
 	"ipscope/internal/registry"
 	"ipscope/internal/xrand"
@@ -270,6 +271,13 @@ func Generate(cfg Config) *World {
 		w.ASes = append(w.ASes, as)
 		w.ASIndex[as.Num] = as
 	}
+	// Per-block stream seeds are a pure hash of (world seed, block), so
+	// they derive across a worker pool after the sequential topology
+	// draws above; the result is identical for any worker count.
+	par.ForEach(len(w.Blocks), 0, func(i int) {
+		b := w.Blocks[i]
+		b.Seed = xrand.Derive(w.Seed, fmt.Sprintf("block/%d", b.Block))
+	})
 	w.Registry = registry.NewTable(allocs)
 	w.BaseRouting = routing
 	return w
@@ -283,7 +291,7 @@ func (w *World) addBlock(blk ipv4.Block, as *AS, ci registry.CountryInfo, r *ran
 		AS:     as.Num,
 		Kind:   as.Kind,
 		Policy: pol,
-		Seed:   xrand.Derive(w.Seed, fmt.Sprintf("block/%d", blk)),
+		// Seed is derived in a parallel pass at the end of Generate.
 	}
 	switch pol {
 	case Unused:
