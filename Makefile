@@ -1,7 +1,9 @@
 # The same targets CI runs, so humans and the pipeline never diverge.
 GO ?= go
+SMOKE_DIR ?= .pipeline-smoke
+SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check test race bench bench-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke pipeline-smoke ci
 
 all: build
 
@@ -35,4 +37,17 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -json . > BENCH_ci.json
 	@grep -c '"Action":"output"' BENCH_ci.json >/dev/null && echo "BENCH_ci.json written"
 
-ci: build vet fmt-check test race bench-smoke
+# End-to-end smoke of the observation pipeline: gen streams a dataset
+# over a pipe into collect, collect persists it canonically, report
+# analyzes the store — and the result must be byte-identical to a
+# direct in-process run on the same seed.
+pipeline-smoke:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/ipscope-gen $(SMOKE_FLAGS) -dataset - \
+		| $(GO) run ./cmd/ipscope-collect -ingest - -store $(SMOKE_DIR)/world.obs
+	$(GO) run ./cmd/ipscope-report -dataset $(SMOKE_DIR)/world.obs -o $(SMOKE_DIR)/report-dataset.txt
+	$(GO) run ./cmd/ipscope-report $(SMOKE_FLAGS) -o $(SMOKE_DIR)/report-direct.txt
+	cmp $(SMOKE_DIR)/report-direct.txt $(SMOKE_DIR)/report-dataset.txt
+	@echo "pipeline-smoke: reports byte-identical"
+
+ci: build vet fmt-check test race bench-smoke pipeline-smoke

@@ -7,8 +7,10 @@ package ipscope
 // the paper reports.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -20,6 +22,7 @@ import (
 	"ipscope/internal/cdnlog"
 	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/scan"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
@@ -113,7 +116,7 @@ func BenchmarkFigure4Daily(b *testing.B) {
 	b.ResetTimer()
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		pts := core.ChurnSeries(ctx.Res.Daily)
+		pts := core.ChurnSeries(ctx.Obs.Daily)
 		var s float64
 		for _, p := range pts {
 			s += p.UpPct
@@ -128,7 +131,7 @@ func BenchmarkFigure4Windows(b *testing.B) {
 	b.ResetTimer()
 	var med float64
 	for i := 0; i < b.N; i++ {
-		wcs := core.ChurnByWindow(ctx.Res.Daily, []int{1, 2, 4, 7, 14, 28})
+		wcs := core.ChurnByWindow(ctx.Obs.Daily, []int{1, 2, 4, 7, 14, 28})
 		med = wcs[len(wcs)-1].Up.Median
 	}
 	b.ReportMetric(med, "28dUp%")
@@ -139,7 +142,7 @@ func BenchmarkFigure4Yearly(b *testing.B) {
 	b.ResetTimer()
 	var appear int
 	for i := 0; i < b.N; i++ {
-		ads := core.VersusBaseline(ctx.Res.Weekly)
+		ads := core.VersusBaseline(ctx.Obs.Weekly)
 		appear = ads[len(ads)-1].Appear
 	}
 	b.ReportMetric(float64(appear), "yearAppear")
@@ -147,7 +150,7 @@ func BenchmarkFigure4Yearly(b *testing.B) {
 
 func BenchmarkFigure5ASChurn(b *testing.B) {
 	ctx := benchContext(b)
-	weekly := core.Windows(ctx.Res.Daily, 7)
+	weekly := core.Windows(ctx.Obs.Daily, 7)
 	b.ResetTimer()
 	var n int
 	for i := 0; i < b.N; i++ {
@@ -159,7 +162,7 @@ func BenchmarkFigure5ASChurn(b *testing.B) {
 
 func BenchmarkFigure5EventSize(b *testing.B) {
 	ctx := benchContext(b)
-	weekly := core.Windows(ctx.Res.Daily, 7)
+	weekly := core.Windows(ctx.Obs.Daily, 7)
 	b.ResetTimer()
 	var single float64
 	for i := 0; i < b.N; i++ {
@@ -174,7 +177,7 @@ func BenchmarkFigure5BGP(b *testing.B) {
 	b.ResetTimer()
 	var up float64
 	for i := 0; i < b.N; i++ {
-		c := core.CorrelateBGP(ctx.Res.Daily, 28, ctx.Res.Routing, ctx.Res.Config.DailyStart)
+		c := core.CorrelateBGP(ctx.Obs.Daily, 28, ctx.Obs.Routing, ctx.Obs.Meta.Run.DailyStart)
 		up = c.UpPct
 	}
 	b.ReportMetric(up, "upBGP%")
@@ -214,7 +217,7 @@ func BenchmarkFigure8Change(b *testing.B) {
 	b.ResetTimer()
 	var frac float64
 	for i := 0; i < b.N; i++ {
-		cs := core.DetectChange(ctx.Res.Daily, 28, 0.25)
+		cs := core.DetectChange(ctx.Obs.Daily, 28, 0.25)
 		frac = cs.MajorFraction()
 	}
 	b.ReportMetric(100*frac, "major%")
@@ -222,13 +225,13 @@ func BenchmarkFigure8Change(b *testing.B) {
 
 func BenchmarkFigure8FD(b *testing.B) {
 	ctx := benchContext(b)
-	blocks := core.ActiveBlocks(ctx.Res.Daily)
+	blocks := core.ActiveBlocks(ctx.Obs.Daily)
 	b.ResetTimer()
 	var high int
 	for i := 0; i < b.N; i++ {
 		high = 0
 		for _, blk := range blocks {
-			if core.FillingDegree(ctx.Res.Daily, blk) > 250 {
+			if core.FillingDegree(ctx.Obs.Daily, blk) > 250 {
 				high++
 			}
 		}
@@ -238,13 +241,13 @@ func BenchmarkFigure8FD(b *testing.B) {
 
 func BenchmarkFigure8STU(b *testing.B) {
 	ctx := benchContext(b)
-	blocks := core.ActiveBlocks(ctx.Res.Daily)
+	blocks := core.ActiveBlocks(ctx.Obs.Daily)
 	b.ResetTimer()
 	var full int
 	for i := 0; i < b.N; i++ {
 		full = 0
 		for _, blk := range blocks {
-			if core.STU(ctx.Res.Daily, blk) >= 0.995 {
+			if core.STU(ctx.Obs.Daily, blk) >= 0.995 {
 				full++
 			}
 		}
@@ -255,7 +258,7 @@ func BenchmarkFigure8STU(b *testing.B) {
 func BenchmarkFigure9Hits(b *testing.B) {
 	ctx := benchContext(b)
 	iter := ctx.TrafficIter()
-	days := len(ctx.Res.Daily)
+	days := len(ctx.Obs.Daily)
 	b.ResetTimer()
 	var med float64
 	for i := 0; i < b.N; i++ {
@@ -267,7 +270,7 @@ func BenchmarkFigure9Hits(b *testing.B) {
 
 func BenchmarkFigure9Cumulative(b *testing.B) {
 	ctx := benchContext(b)
-	tb := core.BinByDaysActive(len(ctx.Res.Daily), ctx.TrafficIter())
+	tb := core.BinByDaysActive(len(ctx.Obs.Daily), ctx.TrafficIter())
 	b.ResetTimer()
 	var share float64
 	for i := 0; i < b.N; i++ {
@@ -281,7 +284,7 @@ func BenchmarkFigure9TopShare(b *testing.B) {
 	ctx := benchContext(b)
 	// Reconstruct per-address totals for the top-share computation.
 	var hits []float64
-	for _, bt := range ctx.Res.Traffic {
+	for _, bt := range ctx.Obs.Traffic {
 		for h := 0; h < 256; h++ {
 			if bt.Hits[h] > 0 {
 				hits = append(hits, bt.Hits[h])
@@ -410,7 +413,7 @@ func BenchmarkUnionAll(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var n int
 			for i := 0; i < b.N; i++ {
-				n = ipv4.UnionAll(ctx.Res.Daily, workers).Len()
+				n = ipv4.UnionAll(ctx.Obs.Daily, workers).Len()
 			}
 			b.ReportMetric(float64(n), "addrs")
 		})
@@ -516,7 +519,7 @@ func BenchmarkAblationChangeThreshold(b *testing.B) {
 		b.Run(fmt.Sprintf("th=%.2f", th), func(b *testing.B) {
 			var frac float64
 			for i := 0; i < b.N; i++ {
-				cs := core.DetectChange(ctx.Res.Daily, 28, th)
+				cs := core.DetectChange(ctx.Obs.Daily, 28, th)
 				frac = cs.MajorFraction()
 			}
 			b.ReportMetric(100*frac, "major%")
@@ -531,7 +534,7 @@ func BenchmarkAblationChurnWindow(b *testing.B) {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
 			var med float64
 			for i := 0; i < b.N; i++ {
-				wc := core.ChurnByWindow(ctx.Res.Daily, []int{w})
+				wc := core.ChurnByWindow(ctx.Obs.Daily, []int{w})
 				med = wc[0].Up.Median
 			}
 			b.ReportMetric(med, "upMedian%")
@@ -573,6 +576,96 @@ func BenchmarkWirePipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(records, "records/op")
+}
+
+// --- Observation-pipeline benchmarks ---------------------------------
+
+// benchDataset returns the shared context's dataset and its canonical
+// encoding (built once, outside the timed sections).
+func benchDataset(b *testing.B) (*obs.Data, []byte) {
+	ctx := benchContext(b)
+	var buf bytes.Buffer
+	if err := obs.Write(&buf, ctx.Obs); err != nil {
+		b.Fatal(err)
+	}
+	return ctx.Obs, buf.Bytes()
+}
+
+// BenchmarkDatasetWrite measures codec encode throughput: the cost of
+// streaming a full observation dataset through an obs.Writer.
+func BenchmarkDatasetWrite(b *testing.B) {
+	d, encoded := benchDataset(b)
+	b.SetBytes(int64(len(encoded)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.Write(io.Discard, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(encoded)), "datasetBytes")
+}
+
+// BenchmarkDatasetRead measures codec decode throughput: file bytes to
+// an analysis-ready obs.Data.
+func BenchmarkDatasetRead(b *testing.B) {
+	_, encoded := benchDataset(b)
+	b.SetBytes(int64(len(encoded)))
+	b.ResetTimer()
+	var days int
+	for i := 0; i < b.N; i++ {
+		d, err := obs.Decode(bytes.NewReader(encoded))
+		if err != nil {
+			b.Fatal(err)
+		}
+		days = len(d.Daily)
+	}
+	b.ReportMetric(float64(days), "dailySnapshots")
+}
+
+// benchPipelineWorld is the small world the report-path benchmarks
+// simulate (the full bench world would dominate the timings).
+func benchPipelineConfigs() (synthnet.Config, sim.Config) {
+	wcfg := synthnet.Config{Seed: 29, NumASes: 40, MeanBlocksPerAS: 6}
+	scfg := sim.TinyConfig()
+	return wcfg, scfg
+}
+
+// BenchmarkReportFromSim measures the monolithic path: world
+// generation, simulation and every experiment, per report.
+func BenchmarkReportFromSim(b *testing.B) {
+	wcfg, scfg := benchPipelineConfigs()
+	for i := 0; i < b.N; i++ {
+		ctx := analysis.NewContext(wcfg, scfg)
+		analysis.RunAll(io.Discard, ctx, wcfg.Seed)
+	}
+}
+
+// BenchmarkReportFromDataset measures the pipeline path: decode a
+// stored dataset, regenerate the world from its metadata and run every
+// experiment — what re-analyzing a year of stored observations costs
+// once simulation is paid for elsewhere.
+func BenchmarkReportFromDataset(b *testing.B) {
+	wcfg, scfg := benchPipelineConfigs()
+	w := synthnet.Generate(wcfg)
+	res := sim.Run(w, scfg)
+	var buf bytes.Buffer
+	if err := obs.Write(&buf, &res.Data); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.SetBytes(int64(len(encoded)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := obs.Decode(bytes.NewReader(encoded))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, err := analysis.NewContextFromSource(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		analysis.RunAll(io.Discard, ctx, wcfg.Seed)
+	}
 }
 
 // BenchmarkScanPermutation measures the ZMap-style permutation.

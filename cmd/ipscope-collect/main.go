@@ -1,13 +1,27 @@
-// Command ipscope-collect demonstrates the live log pipeline: it
-// starts a TCP collector, spawns a fleet of synthetic edge servers that
-// stream per-address request aggregates over real sockets, and prints
-// the resulting dataset summary.
+// Command ipscope-collect is the collection tier of the pipeline.
 //
-// With -replay FILE it instead replays a .daily.bin file produced by
-// ipscope-gen into the collector.
+// Observation-dataset mode ingests a dataset stream produced by
+// ipscope-gen, validates it, and persists it in canonical encoding:
+//
+//	-ingest FILE      read the dataset from FILE ("-" = stdin, so
+//	                  "ipscope-gen -dataset - | ipscope-collect -ingest -"
+//	                  forms a pipe)
+//	-obs-listen ADDR  accept one TCP connection streaming a dataset
+//	                  (the peer runs "ipscope-gen -connect ADDR")
+//	-store FILE       write the ingested dataset to FILE
+//
+// The canonical re-encoding is deterministic: collecting the same
+// stream twice produces byte-identical stores, and ipscope-report
+// -dataset over the store reports identically to an in-process run.
+//
+// Without those flags it demonstrates the live cdnlog pipeline: a TCP
+// collector, a fleet of synthetic edge servers streaming per-address
+// request aggregates over real sockets, and the resulting summary.
+// With -replay FILE it replays a .daily.bin file instead.
 //
 // Usage:
 //
+//	ipscope-collect [-ingest FILE|-] [-obs-listen ADDR] [-store FILE]
 //	ipscope-collect [-edges N] [-days N] [-ases N] [-listen ADDR] [-replay FILE]
 package main
 
@@ -17,12 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"sync"
 	"time"
 
 	"ipscope/internal/cdnlog"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
 )
@@ -31,26 +47,96 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ipscope-collect: ")
 
-	edges := flag.Int("edges", 8, "number of concurrent edge servers")
-	days := flag.Int("days", 28, "days of activity to stream")
-	ases := flag.Int("ases", 60, "world size in ASes")
-	listen := flag.String("listen", "127.0.0.1:0", "collector listen address")
-	replay := flag.String("replay", "", "replay a .daily.bin file instead of simulating")
+	ingest := flag.String("ingest", "", `ingest an observation dataset from FILE ("-" = stdin)`)
+	obsListen := flag.String("obs-listen", "", "accept one observation dataset stream on this TCP address")
+	store := flag.String("store", "", "persist the ingested dataset to FILE")
+
+	edges := flag.Int("edges", 8, "number of concurrent edge servers (cdnlog demo)")
+	days := flag.Int("days", 28, "days of activity to stream (cdnlog demo)")
+	ases := flag.Int("ases", 60, "world size in ASes (cdnlog demo)")
+	listen := flag.String("listen", "127.0.0.1:0", "collector listen address (cdnlog demo)")
+	replay := flag.String("replay", "", "replay a .daily.bin file instead of simulating (cdnlog demo)")
 	flag.Parse()
 
-	agg := cdnlog.NewAggregator(*days)
+	if *ingest != "" || *obsListen != "" {
+		ingestDataset(*ingest, *obsListen, *store)
+		return
+	}
+	if *store != "" {
+		log.Fatal("-store needs a dataset source: combine it with -ingest or -obs-listen")
+	}
+	cdnlogDemo(*edges, *days, *ases, *listen, *replay)
+}
+
+// ingestDataset decodes one dataset stream, persists it canonically
+// and prints its summary.
+func ingestDataset(ingest, obsListen, store string) {
+	if ingest != "" && obsListen != "" {
+		log.Fatal("use either -ingest or -obs-listen, not both")
+	}
+	start := time.Now()
+	var d *obs.Data
+	var err error
+	switch {
+	case ingest == "-":
+		d, err = obs.Decode(os.Stdin)
+	case ingest != "":
+		d, err = obs.DecodeFile(ingest)
+	default:
+		ln, lerr := net.Listen("tcp", obsListen)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		log.Printf("waiting for a dataset stream on %s", ln.Addr())
+		conn, aerr := ln.Accept()
+		ln.Close()
+		if aerr != nil {
+			log.Fatal(aerr)
+		}
+		d, err = obs.Decode(conn)
+		conn.Close()
+	}
+	if err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+	log.Printf("ingest done in %v", time.Since(start).Round(time.Millisecond))
+
+	if store != "" {
+		if err := obs.WriteFile(store, d); err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		log.Printf("stored dataset at %s", store)
+	}
+
+	run := d.Meta.Run
+	fmt.Printf("dataset: world seed %d, %d ASes, %d days (daily window %d..%d)\n",
+		d.Meta.World.Seed, d.Meta.World.NumASes, run.Days,
+		run.DailyStart, run.DailyStart+run.DailyLen)
+	fmt.Printf("daily snapshots:   %d (union %d addrs)\n", len(d.Daily), d.DailyWindowUnion().Len())
+	fmt.Printf("weekly snapshots:  %d (union %d addrs)\n", len(d.Weekly), d.YearUnion().Len())
+	fmt.Printf("ICMP snapshots:    %d (union %d addrs)\n", len(d.ICMPScans), d.ICMPUnion().Len())
+	fmt.Printf("traffic blocks:    %d\n", len(d.Traffic))
+	fmt.Printf("UA-sampled blocks: %d\n", len(d.UA))
+	fmt.Printf("restructurings:    %d\n", len(d.Restructures))
+}
+
+// cdnlogDemo is the original live log pipeline: edge fleet over TCP
+// into the sharded aggregator.
+func cdnlogDemo(edges, days, ases int, listen, replay string) {
+	agg := cdnlog.NewAggregator(days)
 	col := cdnlog.NewCollector(agg)
-	addr, err := col.Listen(*listen)
+	col.OnError = func(err error) { log.Printf("collector stream error: %v", err) }
+	addr, err := col.Listen(listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("collector listening on %s", addr)
 
 	start := time.Now()
-	if *replay != "" {
-		replayFile(*replay, addr.String())
+	if replay != "" {
+		replayFile(replay, addr.String())
 	} else {
-		streamWorld(*edges, *days, *ases, addr.String())
+		streamWorld(edges, days, ases, addr.String())
 	}
 	if err := col.Close(); err != nil {
 		log.Fatalf("collector: %v", err)
@@ -59,7 +145,7 @@ func main() {
 	log.Printf("ingest done in %v", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("unique addresses: %d\n", agg.UniqueAddrs())
 	fmt.Printf("total hits:       %d\n", agg.TotalHits())
-	for d := 0; d < *days && d < 7; d++ {
+	for d := 0; d < days && d < 7; d++ {
 		fmt.Printf("day %2d actives:   %d\n", d, agg.Day(d).Len())
 	}
 	union := ipv4.NewSet()

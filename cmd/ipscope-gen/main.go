@@ -1,26 +1,38 @@
 // Command ipscope-gen generates a synthetic world and a year of
-// activity, then exports the datasets in open formats:
+// activity. It is the production end of the observation pipeline:
 //
-//   - PREFIX.nro        — allocations in NRO delegated-extended format
-//   - PREFIX.daily.bin  — per-(address, day) activity records in the
-//     cdnlog wire format (replayable into a collector)
-//   - PREFIX.summary    — dataset summary (Table 1 style)
+//   - -dataset FILE streams the observation dataset to a file as the
+//     simulation progresses ("-" streams to stdout, so the dataset can
+//     be piped straight into ipscope-collect);
+//   - -connect ADDR streams the dataset to a TCP collector
+//     (ipscope-collect -obs-listen ADDR);
+//   - without either flag it exports the legacy open-format files:
+//     PREFIX.nro (NRO delegated-extended allocations), PREFIX.daily.bin
+//     (per-(address, day) records in the cdnlog wire format) and
+//     PREFIX.summary (Table 1 style).
+//
+// For a fixed seed and configuration the emitted dataset is
+// byte-identical across runs and worker counts.
 //
 // Usage:
 //
-//	ipscope-gen [-seed N] [-ases N] [-days N] -prefix out/world
+//	ipscope-gen [-seed N] [-ases N] [-blocks-per-as N] [-days N]
+//	            [-dataset FILE|-] [-connect ADDR] [-prefix out/world]
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"path/filepath"
 
 	"ipscope/internal/cdnlog"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/registry"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
@@ -30,27 +42,94 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ipscope-gen: ")
 
+	// World/run defaults deliberately match ipscope-report's, so
+	// "gen -dataset | ... | report -dataset" compares against a direct
+	// "report" run without having to repeat every flag.
 	seed := flag.Uint64("seed", 1, "world seed")
-	ases := flag.Int("ases", 120, "number of autonomous systems")
-	blocksPerAS := flag.Int("blocks-per-as", 10, "mean /24 blocks per AS")
-	days := flag.Int("days", 112, "simulated days")
-	prefix := flag.String("prefix", "ipscope-world", "output file prefix")
+	ases := flag.Int("ases", 300, "number of autonomous systems")
+	blocksPerAS := flag.Int("blocks-per-as", 12, "mean /24 blocks per AS")
+	days := flag.Int("days", 364, "simulated days")
+	dataset := flag.String("dataset", "", `stream the observation dataset to FILE ("-" = stdout)`)
+	connect := flag.String("connect", "", "stream the observation dataset to a TCP collector at ADDR")
+	prefix := flag.String("prefix", "ipscope-world", "output file prefix (legacy exports)")
 	flag.Parse()
 
 	wcfg := synthnet.Config{Seed: *seed, NumASes: *ases, MeanBlocksPerAS: *blocksPerAS}
 	w := synthnet.Generate(wcfg)
 	scfg := sim.DefaultConfig()
 	scfg.Days = *days
+
+	if *dataset != "" || *connect != "" {
+		streamDataset(w, scfg, *dataset, *connect)
+		return
+	}
+	legacyExport(w, scfg, *seed, *prefix)
+}
+
+// streamDataset runs the simulation with obs.Writer sinks attached, so
+// days and weeks hit the wire as they complete.
+func streamDataset(w *synthnet.World, scfg sim.Config, dataset, connect string) {
+	var sinks []obs.Sink
+	var writers []*obs.Writer
+	var finish []func() error
+
+	attach := func(dst io.Writer) {
+		ow := obs.NewWriter(dst)
+		sinks = append(sinks, ow)
+		writers = append(writers, ow)
+	}
+
+	switch dataset {
+	case "":
+	case "-":
+		attach(os.Stdout)
+	default:
+		f, err := os.Create(dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attach(f)
+		finish = append(finish, f.Close)
+	}
+	if connect != "" {
+		conn, err := net.Dial("tcp", connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attach(conn)
+		finish = append(finish, conn.Close)
+	}
+
+	res, err := sim.RunTo(w, scfg, sinks...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ow := range writers {
+		if err := ow.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, fn := range finish {
+		if err := fn(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("streamed dataset: %d daily snapshots, %d weeks, %d traffic blocks",
+		len(res.Daily), len(res.Weekly), len(res.Traffic))
+}
+
+// legacyExport writes the pre-pipeline open-format files.
+func legacyExport(w *synthnet.World, scfg sim.Config, seed uint64, prefix string) {
 	res := sim.Run(w, scfg)
 
-	if dir := filepath.Dir(*prefix); dir != "." {
+	if dir := filepath.Dir(prefix); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// NRO allocations.
-	nroPath := *prefix + ".nro"
+	nroPath := prefix + ".nro"
 	nf, err := os.Create(nroPath)
 	if err != nil {
 		log.Fatal(err)
@@ -61,7 +140,7 @@ func main() {
 	nf.Close()
 
 	// Daily activity stream.
-	binPath := *prefix + ".daily.bin"
+	binPath := prefix + ".daily.bin"
 	bf, err := os.Create(binPath)
 	if err != nil {
 		log.Fatal(err)
@@ -91,7 +170,7 @@ func main() {
 	bf.Close()
 
 	// Summary.
-	sumPath := *prefix + ".summary"
+	sumPath := prefix + ".summary"
 	sf, err := os.Create(sumPath)
 	if err != nil {
 		log.Fatal(err)
@@ -100,7 +179,7 @@ func main() {
 	weekly := cdnlog.Summarize(res.Weekly, w.ASOf)
 	stats := w.Summarize()
 	fmt.Fprintf(sf, "seed=%d ases=%d blocks=%d capacity=%d\n",
-		*seed, stats.ASes, stats.Blocks, stats.TotalCapacity)
+		seed, stats.ASes, stats.Blocks, stats.TotalCapacity)
 	fmt.Fprintf(sf, "daily:  snapshots=%d totalIPs=%d avgIPs=%d total24s=%d totalASes=%d\n",
 		daily.Snapshots, daily.TotalIPs, daily.AvgIPs, daily.TotalBlocks, daily.TotalASes)
 	fmt.Fprintf(sf, "weekly: snapshots=%d totalIPs=%d avgIPs=%d total24s=%d totalASes=%d\n",

@@ -40,7 +40,7 @@ func main() {
 
 	// Potential utilization (Section 5.4): how much space could better
 	// configuration free inside already-active blocks?
-	pot := core.EstimatePotential(ctx.Res.Daily, core.ActiveBlocks(ctx.Res.Daily))
+	pot := core.EstimatePotential(ctx.Obs.Daily, core.ActiveBlocks(ctx.Obs.Daily))
 	fmt.Printf("\npotential: %d active blocks, %d sparsely-filled (FD<64),\n",
 		pot.ActiveBlocks, pot.LowFDBlocks)
 	fmt.Printf("%d cycling pools of which %d underutilized; shrinking them would\n",

@@ -1,11 +1,18 @@
-// Log pipeline: the collection substrate end to end. A fleet of edge
-// servers observes a simulated day of client requests and ships
-// per-address aggregates to a TCP collector, which rebuilds the
-// active-address sets — the same path the paper's "distributed data
-// collection framework" implements at planetary scale.
+// Log pipeline: the collection substrate end to end, at both tiers.
+//
+// Tier 1 (cdnlog): a fleet of edge servers observes a simulated week of
+// client requests and ships per-address aggregates to a TCP collector,
+// which rebuilds the active-address sets — the paper's "distributed
+// data collection framework" at planetary scale.
+//
+// Tier 2 (obs): the same simulation simultaneously streams its typed
+// observation dataset through the obs codec — the pipeline behind
+// ipscope-gen | ipscope-collect | ipscope-report — and the decoded
+// dataset must match the simulator's ground truth exactly.
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -13,6 +20,7 @@ import (
 
 	"ipscope/internal/cdnlog"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
 )
@@ -23,11 +31,23 @@ func main() {
 	cfg := sim.DefaultConfig()
 	cfg.Days = days
 	cfg.DailyStart, cfg.DailyLen = 0, days
-	res := sim.Run(world, cfg)
+
+	// Tier 2 sink: stream the observation dataset while simulating.
+	var stream bytes.Buffer
+	writer := obs.NewWriter(&stream)
+	res, err := sim.RunTo(world, cfg, writer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writer.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("obs dataset streamed: %d bytes\n", stream.Len())
 
 	// Start the collector on an ephemeral local port.
 	agg := cdnlog.NewAggregator(days)
 	col := cdnlog.NewCollector(agg)
+	col.OnError = func(err error) { log.Printf("collector error: %v", err) }
 	addr, err := col.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -68,15 +88,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The collector's view must match the simulator's ground truth.
+	// Both tiers' views must match the simulator's ground truth.
+	dataset, err := obs.Decode(&stream)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ncollector saw %d unique addresses\n", agg.UniqueAddrs())
+	fmt.Printf("decoded dataset: %d daily snapshots (world seed %d)\n",
+		len(dataset.Daily), dataset.Meta.World.Seed)
 	for d := 0; d < days; d++ {
 		truth := res.Daily[d].Len()
-		got := agg.Day(d).Len()
+		collected := agg.Day(d).Len()
 		marker := "ok"
-		if got != truth {
+		if collected != truth || !dataset.Daily[d].Equal(res.Daily[d]) {
 			marker = "MISMATCH"
 		}
-		fmt.Printf("day %d: collected %6d, simulated %6d  [%s]\n", d, got, truth, marker)
+		fmt.Printf("day %d: collected %6d, dataset %6d, simulated %6d  [%s]\n",
+			d, collected, dataset.Daily[d].Len(), truth, marker)
 	}
 }

@@ -16,7 +16,7 @@ import (
 func main() {
 	world := synthnet.Generate(synthnet.Config{Seed: 33, NumASes: 120, MeanBlocksPerAS: 10})
 	res := sim.Run(world, sim.DefaultConfig())
-	campaign := scan.FromResult(res)
+	campaign := scan.FromObs(&res.Data)
 
 	cdn := res.DailyWindowUnion()
 	icmp := campaign.ICMP
@@ -48,7 +48,7 @@ func main() {
 	}
 
 	// A fresh scan with the ZMap-style permutation, for demonstration.
-	targets := scan.Targets(res)
+	targets := scan.Targets(world)
 	rescanned, err := scan.Scan(scan.SetResponder{Set: icmp}, targets, 99)
 	if err != nil {
 		panic(err)

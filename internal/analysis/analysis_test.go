@@ -169,7 +169,7 @@ func TestRecaptureExperiment(t *testing.T) {
 func TestFigure4Churn(t *testing.T) {
 	ctx := sharedCtx(t)
 	f := Figure4(ctx)
-	if len(f.DailyActive) != len(ctx.Res.Daily) {
+	if len(f.DailyActive) != len(ctx.Obs.Daily) {
 		t.Fatal("series length")
 	}
 	if f.MeanUp <= 0 {

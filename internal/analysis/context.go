@@ -11,6 +11,7 @@ import (
 	"ipscope/internal/bgp"
 	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/par"
 	"ipscope/internal/rdns"
 	"ipscope/internal/scan"
@@ -18,22 +19,54 @@ import (
 	"ipscope/internal/synthnet"
 )
 
-// Context bundles a simulated world with its observation run and the
-// scanning campaign, ready for the experiment drivers.
+// Context bundles an observation dataset with the world it describes
+// and the scanning campaign, ready for the experiment drivers. The
+// dataset may come from a live simulation or from storage — the
+// experiments cannot tell the difference, which is what makes reports
+// from either path byte-identical.
 type Context struct {
 	World    *synthnet.World
-	Res      *sim.Result
+	Obs      *obs.Data
 	Campaign *scan.Campaign
 
 	featuresOnce sync.Once
 	features     []core.BlockFeatures
 }
 
-// NewContext generates a world and runs the simulation.
+// NewContext generates a world and runs the simulation, the all-in-one
+// path used by tests and benchmarks.
 func NewContext(wcfg synthnet.Config, scfg sim.Config) *Context {
 	w := synthnet.Generate(wcfg)
 	res := sim.Run(w, scfg)
-	return &Context{World: w, Res: res, Campaign: scan.FromResult(res)}
+	return newContext(w, &res.Data)
+}
+
+// NewContextFromSource builds a Context from any observation source —
+// a stored dataset file, a decoded network stream, or a live
+// *sim.Result. The world is regenerated deterministically from the
+// dataset's embedded world config, so a dataset file is all an
+// analysis node needs.
+func NewContextFromSource(src obs.Source) (*Context, error) {
+	d, err := src.Observations()
+	if err != nil {
+		return nil, err
+	}
+	w := synthnet.Generate(d.Meta.World)
+	if d.Routing != nil && d.Routing.Base == nil {
+		d.Routing.Base = w.BaseRouting
+	}
+	return newContext(w, d), nil
+}
+
+// NewContextFromData builds a Context over an already-generated world
+// and its dataset, skipping the world regeneration NewContextFromSource
+// performs; d must have been produced from (a simulation of) w.
+func NewContextFromData(w *synthnet.World, d *obs.Data) *Context {
+	return newContext(w, d)
+}
+
+func newContext(w *synthnet.World, d *obs.Data) *Context {
+	return &Context{World: w, Obs: d, Campaign: scan.FromObs(d)}
 }
 
 // ASOf maps a block to its origin AS in the world's base routing table.
@@ -43,9 +76,9 @@ func (c *Context) ASOf(blk ipv4.Block) bgp.ASN { return c.World.ASOf(blk) }
 // campaign ran (the paper compares a full month of CDN logs against
 // 8 ICMP snapshots, Section 3.2).
 func (c *Context) CDNMonth() *ipv4.Set {
-	cfg := c.Res.Config
+	cfg := c.Obs.Meta.Run
 	if len(cfg.ICMPScanDays) == 0 {
-		return c.Res.DailyWindowUnion()
+		return c.Obs.DailyWindowUnion()
 	}
 	first := cfg.ICMPScanDays[0]
 	last := cfg.ICMPScanDays[len(cfg.ICMPScanDays)-1]
@@ -59,14 +92,17 @@ func (c *Context) CDNMonth() *ipv4.Set {
 	if from < 0 {
 		from = 0
 	}
-	return core.WindowUnion(c.Res.Daily, from, to)
+	return core.WindowUnion(c.Obs.Daily, from, to)
 }
 
-// TrafficIter adapts the simulator's per-address traffic aggregates to
-// core.BinByDaysActive's iterator.
+// TrafficIter adapts the dataset's per-address traffic aggregates to
+// core.BinByDaysActive's iterator. Blocks are visited in ascending
+// order so downstream floating-point accumulation is deterministic and
+// reports stay byte-identical run to run.
 func (c *Context) TrafficIter() func(yield func(core.IPTraffic)) {
 	return func(yield func(core.IPTraffic)) {
-		for blk, bt := range c.Res.Traffic {
+		for _, blk := range c.Obs.TrafficBlocks() {
+			bt := c.Obs.Traffic[blk]
 			for h := 0; h < 256; h++ {
 				if bt.DaysActive[h] == 0 {
 					continue
@@ -83,31 +119,31 @@ func (c *Context) TrafficIter() func(yield func(core.IPTraffic)) {
 
 // BlockFeatures assembles the three demographics features for every
 // block active in the daily window, one worker-pool task per block.
-// Feature extraction only reads the run's aggregates, and output order
-// follows the sorted block list, so the fan-out is deterministic. The
-// result is memoized: several concurrently-running experiment drivers
-// (Figures 11 and 12) need the same extraction, and callers must not
-// mutate the returned slice.
+// Feature extraction only reads the dataset's aggregates, and output
+// order follows the sorted block list, so the fan-out is deterministic.
+// The result is memoized: several concurrently-running experiment
+// drivers (Figures 11 and 12) need the same extraction, and callers
+// must not mutate the returned slice.
 func (c *Context) BlockFeatures() []core.BlockFeatures {
 	c.featuresOnce.Do(func() { c.features = c.blockFeatures() })
 	return c.features
 }
 
 func (c *Context) blockFeatures() []core.BlockFeatures {
-	blocks := core.ActiveBlocks(c.Res.Daily)
+	blocks := core.ActiveBlocks(c.Obs.Daily)
 	return par.Map(len(blocks), 0, func(i int) core.BlockFeatures {
 		blk := blocks[i]
 		f := core.BlockFeatures{
 			Block: blk,
-			STU:   core.STU(c.Res.Daily, blk),
+			STU:   core.STU(c.Obs.Daily, blk),
 			Hosts: 1,
 		}
-		if bt := c.Res.Traffic[blk]; bt != nil {
+		if bt := c.Obs.Traffic[blk]; bt != nil {
 			for h := 0; h < 256; h++ {
 				f.Traffic += bt.Hits[h]
 			}
 		}
-		if ua := c.Res.UA[blk]; ua != nil {
+		if ua := c.Obs.UA[blk]; ua != nil {
 			if u := ua.Unique(); u > 1 {
 				f.Hosts = u
 			}

@@ -11,7 +11,7 @@ import (
 func TestCDNMonthWithinWindow(t *testing.T) {
 	ctx := sharedCtx(t)
 	month := ctx.CDNMonth()
-	window := ctx.Res.DailyWindowUnion()
+	window := ctx.Obs.DailyWindowUnion()
 	if month.Len() == 0 {
 		t.Fatal("empty CDN month")
 	}
@@ -35,15 +35,15 @@ func TestTrafficIterConsistent(t *testing.T) {
 			maxDays = tr.DaysActive
 		}
 	})
-	if totalIPs != ctx.Res.DailyWindowUnion().Len() {
+	if totalIPs != ctx.Obs.DailyWindowUnion().Len() {
 		t.Errorf("iterator yields %d IPs, union has %d",
-			totalIPs, ctx.Res.DailyWindowUnion().Len())
+			totalIPs, ctx.Obs.DailyWindowUnion().Len())
 	}
-	if maxDays > len(ctx.Res.Daily) {
-		t.Errorf("days active %d exceeds window %d", maxDays, len(ctx.Res.Daily))
+	if maxDays > len(ctx.Obs.Daily) {
+		t.Errorf("days active %d exceeds window %d", maxDays, len(ctx.Obs.Daily))
 	}
 	var want float64
-	for _, v := range ctx.Res.DailyTotalHits {
+	for _, v := range ctx.Obs.DailyTotalHits {
 		want += v
 	}
 	if diff := totalHits - want; diff > want*1e-6 || diff < -want*1e-6 {

@@ -48,7 +48,7 @@ func Figure6(ctx *Context) *Fig6 {
 
 func restructuredBlocks(ctx *Context) map[ipv4.Block]bool {
 	out := map[ipv4.Block]bool{}
-	for _, re := range ctx.Res.Restructures {
+	for _, re := range ctx.Obs.Restructures {
 		re.Prefix.Blocks(func(b ipv4.Block) { out[b] = true })
 	}
 	return out
@@ -66,7 +66,7 @@ func pickExample(ctx *Context, pol synthnet.Policy, skip map[ipv4.Block]bool) *P
 		if b.Policy != pol || skip[b.Block] {
 			continue
 		}
-		stu := core.STU(ctx.Res.Daily, b.Block)
+		stu := core.STU(ctx.Obs.Daily, b.Block)
 		if stu == 0 {
 			continue
 		}
@@ -83,9 +83,9 @@ func pickExample(ctx *Context, pol synthnet.Policy, skip map[ipv4.Block]bool) *P
 	return &PatternExample{
 		Block:  c.blk,
 		Policy: pol,
-		FD:     core.FillingDegree(ctx.Res.Daily, c.blk),
+		FD:     core.FillingDegree(ctx.Obs.Daily, c.blk),
 		STU:    c.stu,
-		Days:   core.BlockDailyBitmaps(ctx.Res.Daily, c.blk),
+		Days:   core.BlockDailyBitmaps(ctx.Obs.Daily, c.blk),
 	}
 }
 
@@ -109,8 +109,8 @@ type Fig7 struct {
 // Figure7 renders blocks with a policy switch inside the daily window.
 func Figure7(ctx *Context, maxExamples int) *Fig7 {
 	f := &Fig7{}
-	cfg := ctx.Res.Config
-	for _, re := range ctx.Res.Restructures {
+	cfg := ctx.Obs.Meta.Run
+	for _, re := range ctx.Obs.Restructures {
 		if len(f.Examples) >= maxExamples {
 			break
 		}
@@ -120,7 +120,7 @@ func Figure7(ctx *Context, maxExamples int) *Fig7 {
 			continue
 		}
 		blk := re.Prefix.FirstBlock()
-		stu := core.STU(ctx.Res.Daily, blk)
+		stu := core.STU(ctx.Obs.Daily, blk)
 		if stu < 0.01 {
 			continue
 		}
@@ -132,9 +132,9 @@ func Figure7(ctx *Context, maxExamples int) *Fig7 {
 		f.Examples = append(f.Examples, PatternExample{
 			Block:  blk,
 			Policy: pol,
-			FD:     core.FillingDegree(ctx.Res.Daily, blk),
+			FD:     core.FillingDegree(ctx.Obs.Daily, blk),
 			STU:    stu,
-			Days:   core.BlockDailyBitmaps(ctx.Res.Daily, blk),
+			Days:   core.BlockDailyBitmaps(ctx.Obs.Daily, blk),
 		})
 	}
 	return f
@@ -174,7 +174,7 @@ type Fig8 struct {
 
 // Figure8 computes the spatio-temporal aggregate views.
 func Figure8(ctx *Context) *Fig8 {
-	daily := ctx.Res.Daily
+	daily := ctx.Obs.Daily
 	daysPerMonth := 28
 	if len(daily) < 56 {
 		daysPerMonth = len(daily) / 2

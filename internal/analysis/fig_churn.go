@@ -25,10 +25,10 @@ type Fig4 struct {
 // Figure4 computes the churn overview.
 func Figure4(ctx *Context) *Fig4 {
 	f := &Fig4{}
-	for _, s := range ctx.Res.Daily {
+	for _, s := range ctx.Obs.Daily {
 		f.DailyActive = append(f.DailyActive, float64(s.Len()))
 	}
-	f.DailyChurn = core.ChurnSeries(ctx.Res.Daily)
+	f.DailyChurn = core.ChurnSeries(ctx.Obs.Daily)
 	var upSum float64
 	for _, p := range f.DailyChurn {
 		upSum += float64(p.Up)
@@ -36,10 +36,10 @@ func Figure4(ctx *Context) *Fig4 {
 	if len(f.DailyChurn) > 0 {
 		f.MeanUp = upSum / float64(len(f.DailyChurn))
 	}
-	f.ByWindow = core.ChurnByWindow(ctx.Res.Daily, []int{1, 2, 4, 7, 14, 28})
-	f.VersusFirst = core.VersusBaseline(ctx.Res.Weekly)
-	if n := len(f.VersusFirst); n > 0 && ctx.Res.Weekly[0].Len() > 0 {
-		f.YearChurnFrac = float64(f.VersusFirst[n-1].Appear) / float64(ctx.Res.Weekly[0].Len())
+	f.ByWindow = core.ChurnByWindow(ctx.Obs.Daily, []int{1, 2, 4, 7, 14, 28})
+	f.VersusFirst = core.VersusBaseline(ctx.Obs.Weekly)
+	if n := len(f.VersusFirst); n > 0 && ctx.Obs.Weekly[0].Len() > 0 {
+		f.YearChurnFrac = float64(f.VersusFirst[n-1].Appear) / float64(ctx.Obs.Weekly[0].Len())
 	}
 	return f
 }
@@ -100,7 +100,7 @@ type Fig5 struct {
 // Figure5 computes the churn-property analyses.
 func Figure5(ctx *Context, minActivePerAS int) *Fig5 {
 	f := &Fig5{Windows: []int{1, 7, 28}}
-	daily := ctx.Res.Daily
+	daily := ctx.Obs.Daily
 	for _, w := range f.Windows {
 		per := core.PerASChurn(core.Windows(daily, w), ctx.ASOf, minActivePerAS)
 		meds := make([]float64, 0, len(per))
@@ -131,7 +131,7 @@ func Figure5(ctx *Context, minActivePerAS int) *Fig5 {
 		}
 		f.EventSizes = append(f.EventSizes, agg)
 
-		f.BGP = append(f.BGP, core.CorrelateBGP(daily, w, ctx.Res.Routing, ctx.Res.Config.DailyStart))
+		f.BGP = append(f.BGP, core.CorrelateBGP(daily, w, ctx.Obs.Routing, ctx.Obs.Meta.Run.DailyStart))
 	}
 	return f
 }
@@ -178,7 +178,7 @@ type Tab2 struct {
 
 // Table2 compares the first two months of the year against the last two.
 func Table2(ctx *Context) *Tab2 {
-	weekly := ctx.Res.Weekly
+	weekly := ctx.Obs.Weekly
 	n := len(weekly)
 	if n < 4 {
 		return &Tab2{}
@@ -189,8 +189,8 @@ func Table2(ctx *Context) *Tab2 {
 	}
 	early := core.WindowUnion(weekly, 0, earlyWeeks)
 	late := core.WindowUnion(weekly, n-earlyWeeks, n)
-	days := ctx.Res.Config.Days
-	t := &Tab2{Result: core.CompareLongTerm(early, late, ctx.Res.Routing, earlyWeeks*7, days-1)}
+	days := ctx.Obs.Meta.Run.Days
+	t := &Tab2{Result: core.CompareLongTerm(early, late, ctx.Obs.Routing, earlyWeeks*7, days-1)}
 
 	appear := late.Diff(early)
 	disappear := early.Diff(late)

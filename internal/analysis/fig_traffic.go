@@ -27,8 +27,8 @@ type Fig9 struct {
 // Figure9 computes the traffic/activity analyses.
 func Figure9(ctx *Context) *Fig9 {
 	f := &Fig9{
-		Bins:           core.BinByDaysActive(len(ctx.Res.Daily), ctx.TrafficIter()),
-		WeeklyTopShare: ctx.Res.WeeklyTopShare,
+		Bins:           core.BinByDaysActive(len(ctx.Obs.Daily), ctx.TrafficIter()),
+		WeeklyTopShare: ctx.Obs.WeeklyTopShare,
 	}
 	f.EverydayIPShare, f.EverydayTrafficShare = f.Bins.EverydayShare()
 	if n := len(f.WeeklyTopShare); n >= 8 {
@@ -87,7 +87,7 @@ type Fig10 struct {
 // Figure10 computes the UA-diversity scatter.
 func Figure10(ctx *Context) *Fig10 {
 	f := &Fig10{}
-	for blk, st := range ctx.Res.UA {
+	for blk, st := range ctx.Obs.UA {
 		if st.Samples == 0 {
 			continue
 		}

@@ -96,8 +96,8 @@ type Tab1 struct {
 // Table1 summarizes the daily and weekly datasets.
 func Table1(ctx *Context) *Tab1 {
 	return &Tab1{
-		Daily:  cdnlog.Summarize(ctx.Res.Daily, ctx.ASOf),
-		Weekly: cdnlog.Summarize(ctx.Res.Weekly, ctx.ASOf),
+		Daily:  cdnlog.Summarize(ctx.Obs.Daily, ctx.ASOf),
+		Weekly: cdnlog.Summarize(ctx.Obs.Weekly, ctx.ASOf),
 	}
 }
 

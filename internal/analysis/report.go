@@ -47,7 +47,7 @@ func RunAll(w io.Writer, ctx *Context, seed uint64) {
 	g.Wait()
 
 	fmt.Fprintf(w, "ipscope experiment report (world: %d ASes, %d /24 blocks; %d simulated days)\n\n",
-		len(ctx.World.ASes), ctx.World.NumBlocks(), ctx.Res.Config.Days)
+		len(ctx.World.ASes), ctx.World.NumBlocks(), ctx.Obs.Meta.Run.Days)
 	for _, r := range sections {
 		io.WriteString(w, r.Render())
 		io.WriteString(w, "\n")

@@ -22,6 +22,13 @@ func ipv4Addr(u uint32) ipv4.Addr { return ipv4.Addr(u) }
 type Collector struct {
 	Agg *Aggregator
 
+	// OnError, if set before Listen, is invoked (from the accepting or
+	// serving goroutine) for every accept or stream error as it
+	// happens, so operators see failures while the collector is still
+	// running instead of only when it shuts down. Errors caused by
+	// Close itself are not reported.
+	OnError func(error)
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -50,11 +57,7 @@ func (c *Collector) acceptLoop() {
 	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
-			c.mu.Lock()
-			if !c.closed {
-				c.err = err
-			}
-			c.mu.Unlock()
+			c.report(err)
 			return
 		}
 		c.wg.Add(1)
@@ -63,6 +66,34 @@ func (c *Collector) acceptLoop() {
 			c.serve(conn)
 		}()
 	}
+}
+
+// report records err as the collector's first error and fires the
+// OnError callback, unless the collector is shutting down (errors
+// provoked by Close are expected, not reported).
+func (c *Collector) report(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if c.err == nil {
+		c.err = err
+	}
+	cb := c.OnError
+	c.mu.Unlock()
+	if cb != nil {
+		cb(err)
+	}
+}
+
+// Err returns the first accept or stream error observed so far, if
+// any. Unlike Close it does not stop the collector, so health checks
+// can poll it while ingest continues.
+func (c *Collector) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 func (c *Collector) serve(conn net.Conn) {
@@ -90,11 +121,7 @@ func (c *Collector) serve(conn net.Conn) {
 		c.Agg.AddBatch(rs)
 	}
 	if err != nil && !errors.Is(err, net.ErrClosed) {
-		c.mu.Lock()
-		if !c.closed && c.err == nil {
-			c.err = err
-		}
-		c.mu.Unlock()
+		c.report(err)
 	}
 }
 

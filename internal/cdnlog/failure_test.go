@@ -96,3 +96,71 @@ func TestEdgeAckTimeout(t *testing.T) {
 		t.Fatal("Close hung despite missing ack")
 	}
 }
+
+// TestCollectorErrSurfacesEarly: a stream error must be observable via
+// Err() and the OnError callback while the collector is still running —
+// not only after Close (the error previously leaked until shutdown).
+func TestCollectorErrSurfacesEarly(t *testing.T) {
+	agg := NewAggregator(1)
+	col := NewCollector(agg)
+	reported := make(chan error, 4)
+	col.OnError = func(err error) { reported <- err }
+	addr, err := col.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rogue, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	rogue.Close()
+
+	// The callback fires from the serving goroutine as the error
+	// happens, long before Close.
+	var cbErr error
+	select {
+	case cbErr = <-reported:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnError callback never fired")
+	}
+	if cbErr == nil {
+		t.Fatal("OnError delivered nil")
+	}
+
+	// Err() sees it too, with the collector still accepting.
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Err() still nil after stream error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A well-behaved edge is still served after the failure.
+	edge, err := DialEdge(context.Background(), addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Log(Record{Addr: ipv4.MustParseAddr("10.0.0.2"), Day: 0, Hits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Close(); err != nil {
+		t.Fatalf("legit edge failed: %v", err)
+	}
+
+	// Close returns the same first error; shutdown-induced accept
+	// errors are not reported through the callback.
+	if err := col.Close(); err == nil {
+		t.Error("Close lost the stream error")
+	}
+	select {
+	case err := <-reported:
+		t.Errorf("unexpected extra callback after Close: %v", err)
+	default:
+	}
+	if !agg.Day(0).Contains(ipv4.MustParseAddr("10.0.0.2")) {
+		t.Error("legitimate record lost")
+	}
+}

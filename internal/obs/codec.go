@@ -1,0 +1,681 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/useragent"
+)
+
+// Dataset wire format (all integers big endian), following the framing
+// conventions of internal/cdnlog/wire.go: a fixed magic guards against
+// desynchronized streams, every frame is length-prefixed so unknown
+// event kinds can be skipped, and counts are validated before
+// allocation so corrupted input cannot trigger huge allocations.
+//
+//	stream := magic("ipsobs") version(2) frame* endFrame
+//	frame  := kind(1) length(4) payload[length]
+//
+// Frame kinds mirror the Event types; an end frame (kindEnd, empty
+// payload) marks clean termination — a stream without one is truncated.
+
+const (
+	// Version is the current dataset format version.
+	Version = 1
+
+	maxFrameLen = 1 << 28 // 256 MiB: far above any real frame
+
+	kindMeta         = 0x01
+	kindDay          = 0x02
+	kindWeek         = 0x03
+	kindICMP         = 0x04
+	kindBlockStats   = 0x05
+	kindSurfaces     = 0x06
+	kindRouting      = 0x07
+	kindRestructures = 0x08
+	kindEnd          = 0xFF
+)
+
+var magic = []byte("ipsobs")
+
+// ErrTruncated is returned when a dataset stream ends before its end
+// frame: the producer died mid-write or the file was cut short.
+var ErrTruncated = errors.New("obs: truncated dataset stream")
+
+// FormatError reports structurally invalid dataset input: bad magic,
+// an unsupported version, or a malformed frame.
+type FormatError struct{ Msg string }
+
+// Error returns the message.
+func (e *FormatError) Error() string { return "obs: " + e.Msg }
+
+func formatErrf(format string, args ...interface{}) error {
+	return &FormatError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Writer encodes observation events to an output stream. It implements
+// Sink, so it can be attached directly to a live simulation
+// (sim.RunTo) and stream the dataset as days and weeks complete.
+// Writes are buffered; Close writes the end frame and flushes.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+	buf []byte
+}
+
+// NewWriter returns a Writer over w. The stream header is written on
+// the first event.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Observe encodes one event as a frame.
+func (w *Writer) Observe(e Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.buf == nil { // first event: header
+		if _, err := w.bw.Write(magic); err != nil {
+			return w.fail(err)
+		}
+		var v [2]byte
+		binary.BigEndian.PutUint16(v[:], Version)
+		if _, err := w.bw.Write(v[:]); err != nil {
+			return w.fail(err)
+		}
+		w.buf = make([]byte, 0, 1<<16)
+	}
+	kind, payload := encodeEvent(w.buf[:0], e)
+	w.buf = payload[:0]
+	if len(payload) > maxFrameLen {
+		// Fail at write time: Decode rejects oversized frames, so
+		// writing one would produce an unrecoverable store.
+		return w.fail(formatErrf("event frame of %d bytes exceeds the %d-byte format limit",
+			len(payload), maxFrameLen))
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return w.fail(err)
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// Close writes the end frame and flushes buffered output. It does not
+// close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.buf == nil {
+		// No events: still emit a well-formed (empty) stream.
+		if err := w.Observe(MetaEvent{}); err != nil {
+			return err
+		}
+	}
+	if _, err := w.bw.Write([]byte{kindEnd, 0, 0, 0, 0}); err != nil {
+		return w.fail(err)
+	}
+	return w.fail(w.bw.Flush())
+}
+
+func (w *Writer) fail(err error) error {
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+// Write encodes a complete dataset to w in canonical event order.
+// Equal datasets produce byte-identical output.
+func Write(w io.Writer, d *Data) error {
+	ew := NewWriter(w)
+	if err := d.WriteTo(ew); err != nil {
+		return err
+	}
+	return ew.Close()
+}
+
+// WriteFile writes a dataset to path.
+func WriteFile(path string, d *Data) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Decode reads one dataset stream from r. It returns ErrTruncated if
+// the stream ends before its end frame and a *FormatError for
+// structurally invalid input; it never panics on corrupt data.
+func Decode(r io.Reader) (*Data, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	if string(hdr[:len(magic)]) != string(magic) {
+		return nil, formatErrf("bad stream magic %q", hdr[:len(magic)])
+	}
+	if v := binary.BigEndian.Uint16(hdr[len(magic):]); v != Version {
+		return nil, formatErrf("unsupported dataset version %d (want %d)", v, Version)
+	}
+	d := &Data{}
+	sawMeta := false
+	var fh [5]byte
+	for {
+		if _, err := io.ReadFull(br, fh[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, ErrTruncated
+			}
+			return nil, err
+		}
+		kind := fh[0]
+		n := binary.BigEndian.Uint32(fh[1:])
+		if n > maxFrameLen {
+			return nil, formatErrf("frame length %d exceeds limit", n)
+		}
+		if kind == kindEnd {
+			if n != 0 {
+				return nil, formatErrf("end frame with non-empty payload")
+			}
+			if !sawMeta {
+				return nil, formatErrf("dataset stream has no meta frame")
+			}
+			return d, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, ErrTruncated
+			}
+			return nil, err
+		}
+		e, err := decodeEvent(kind, payload)
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			continue // unknown frame kind: skip for forward compatibility
+		}
+		if _, ok := e.(MetaEvent); ok {
+			sawMeta = true
+		} else if !sawMeta {
+			return nil, formatErrf("event frame 0x%02x before meta frame", kind)
+		}
+		if err := d.Observe(e); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// DecodeFile reads a dataset from path.
+func DecodeFile(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// FileSource is a Source backed by a dataset file on disk.
+type FileSource string
+
+// Observations decodes the file.
+func (p FileSource) Observations() (*Data, error) { return DecodeFile(string(p)) }
+
+// --- event payload encoding -----------------------------------------
+
+func encodeEvent(b []byte, e Event) (kind byte, payload []byte) {
+	switch ev := e.(type) {
+	case MetaEvent:
+		return kindMeta, appendMeta(b, ev.Meta)
+	case DayEvent:
+		b = appendU32(b, uint32(ev.Index))
+		b = appendF64(b, ev.TotalHits)
+		return kindDay, appendSet(b, ev.Active)
+	case WeekEvent:
+		b = appendU32(b, uint32(ev.Index))
+		b = appendF64(b, ev.TopShare)
+		return kindWeek, appendSet(b, ev.Active)
+	case ICMPScanEvent:
+		b = appendU32(b, uint32(ev.Index))
+		return kindICMP, appendSet(b, ev.Responders)
+	case BlockStatsEvent:
+		return kindBlockStats, appendBlockStats(b, ev)
+	case SurfacesEvent:
+		b = appendSet(b, ev.Servers)
+		return kindSurfaces, appendSet(b, ev.Routers)
+	case RoutingEvent:
+		return kindRouting, appendRouting(b, ev.Log)
+	case RestructuresEvent:
+		return kindRestructures, appendRestructures(b, ev.Restructures)
+	}
+	panic(fmt.Sprintf("obs: unknown event type %T", e))
+}
+
+func decodeEvent(kind byte, p []byte) (Event, error) {
+	d := &decoder{p: p}
+	switch kind {
+	case kindMeta:
+		m, err := d.meta()
+		if err != nil {
+			return nil, err
+		}
+		return MetaEvent{Meta: m}, nil
+	case kindDay:
+		idx := d.u32()
+		hits := d.f64()
+		set, err := d.set()
+		if err != nil {
+			return nil, err
+		}
+		return DayEvent{Index: int(idx), TotalHits: hits, Active: set}, d.finish(kind)
+	case kindWeek:
+		idx := d.u32()
+		share := d.f64()
+		set, err := d.set()
+		if err != nil {
+			return nil, err
+		}
+		return WeekEvent{Index: int(idx), TopShare: share, Active: set}, d.finish(kind)
+	case kindICMP:
+		idx := d.u32()
+		set, err := d.set()
+		if err != nil {
+			return nil, err
+		}
+		return ICMPScanEvent{Index: int(idx), Responders: set}, d.finish(kind)
+	case kindBlockStats:
+		return d.blockStats()
+	case kindSurfaces:
+		servers, err := d.set()
+		if err != nil {
+			return nil, err
+		}
+		routers, err := d.set()
+		if err != nil {
+			return nil, err
+		}
+		return SurfacesEvent{Servers: servers, Routers: routers}, d.finish(kind)
+	case kindRouting:
+		return d.routing()
+	case kindRestructures:
+		return d.restructures()
+	}
+	return nil, nil // unknown kind: caller skips
+}
+
+// --- primitive append helpers ---------------------------------------
+
+func appendU8(b []byte, v uint8) []byte   { return append(b, v) }
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendSet(b []byte, s *ipv4.Set) []byte {
+	if s == nil {
+		return appendU32(b, 0)
+	}
+	blocks := s.Blocks()
+	b = appendU32(b, uint32(len(blocks)))
+	for _, blk := range blocks {
+		b = appendU32(b, uint32(blk))
+		bm := s.BlockBitmap(blk)
+		for i := 0; i < 4; i++ {
+			b = appendU64(b, bm[i])
+		}
+	}
+	return b
+}
+
+func appendPrefix(b []byte, p ipv4.Prefix) []byte {
+	b = appendU32(b, uint32(p.Addr()))
+	return appendU8(b, uint8(p.Bits()))
+}
+
+func appendMeta(b []byte, m Meta) []byte {
+	b = appendU64(b, m.World.Seed)
+	b = appendU32(b, uint32(m.World.NumASes))
+	b = appendU32(b, uint32(m.World.MeanBlocksPerAS))
+	r := m.Run
+	b = appendU32(b, uint32(r.Days))
+	b = appendU32(b, uint32(r.DailyStart))
+	b = appendU32(b, uint32(r.DailyLen))
+	b = appendU32(b, uint32(r.UADays))
+	b = appendU32(b, uint32(len(r.ICMPScanDays)))
+	for _, d := range r.ICMPScanDays {
+		b = appendU32(b, uint32(d))
+	}
+	for _, f := range []float64{r.PrefixChangeFrac, r.BlockChangeFrac,
+		r.BGPCoupleProb, r.BGPNoisePerDay, r.JoinFrac, r.LeaveFrac, r.TrafficGrowth} {
+		b = appendF64(b, f)
+	}
+	return appendU32(b, uint32(int32(r.Workers)))
+}
+
+func appendBlockStats(b []byte, ev BlockStatsEvent) []byte {
+	b = appendU32(b, uint32(ev.Block))
+	var flags uint8
+	if ev.Traffic != nil {
+		flags |= 1
+	}
+	if ev.UA != nil && ev.UA.Sketch != nil {
+		flags |= 2
+	}
+	b = appendU8(b, flags)
+	if ev.Traffic != nil {
+		for _, v := range ev.Traffic.DaysActive {
+			b = appendU16(b, v)
+		}
+		for _, v := range ev.Traffic.Hits {
+			b = appendF64(b, v)
+		}
+	}
+	if ev.UA != nil && ev.UA.Sketch != nil {
+		b = appendU64(b, uint64(ev.UA.Samples))
+		b = appendU8(b, ev.UA.Sketch.Precision())
+		b = append(b, ev.UA.Sketch.Registers()...)
+	}
+	return b
+}
+
+func appendRouting(b []byte, log *bgp.ChangeLog) []byte {
+	if log == nil {
+		b = appendU32(b, 0)
+		return appendU32(b, 0)
+	}
+	b = appendU32(b, uint32(log.NumDays()))
+	var routes []bgp.Route
+	if log.Base != nil {
+		routes = log.Base.Routes()
+	}
+	b = appendU32(b, uint32(len(routes)))
+	for _, r := range routes {
+		b = appendPrefix(b, r.Prefix)
+		b = appendU32(b, uint32(r.Origin))
+	}
+	for _, day := range log.DayChanges {
+		b = appendU32(b, uint32(len(day)))
+		for _, c := range day {
+			b = appendU8(b, uint8(c.Kind))
+			b = appendPrefix(b, c.Prefix)
+			b = appendU32(b, uint32(c.OldOrigin))
+			b = appendU32(b, uint32(c.NewOrigin))
+		}
+	}
+	return b
+}
+
+func appendRestructures(b []byte, rs []Restructure) []byte {
+	b = appendU32(b, uint32(len(rs)))
+	for _, r := range rs {
+		b = appendPrefix(b, r.Prefix)
+		b = appendU32(b, uint32(r.Day))
+		b = appendU8(b, uint8(r.Kind))
+		vis := uint8(0)
+		if r.BGPVisible {
+			vis = 1
+		}
+		b = appendU8(b, vis)
+		b = appendU8(b, uint8(r.BGPKind))
+	}
+	return b
+}
+
+// --- decoder ---------------------------------------------------------
+
+// decoder consumes a frame payload. Reads past the end set err instead
+// of panicking; callers check finish().
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = &FormatError{Msg: "frame payload too short"}
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || len(d.p) < n {
+		d.fail()
+		return nil
+	}
+	out := d.p[:n]
+	d.p = d.p[n:]
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a length field and validates it against the bytes that
+// could possibly remain (elemSize per element), so corrupted counts
+// fail fast instead of allocating gigabytes.
+func (d *decoder) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && n*elemSize > len(d.p) {
+		d.err = formatErrf("count %d exceeds remaining payload", n)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) finish(kind byte) error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.p) != 0 {
+		return formatErrf("frame 0x%02x has %d trailing bytes", kind, len(d.p))
+	}
+	return nil
+}
+
+func (d *decoder) set() (*ipv4.Set, error) {
+	n := d.count(36) // block(4) + bitmap(32)
+	s := ipv4.NewSet()
+	for i := 0; i < n; i++ {
+		blk := ipv4.Block(d.u32())
+		var bm ipv4.Bitmap256
+		for j := 0; j < 4; j++ {
+			bm[j] = d.u64()
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		s.AddBlockBitmap(blk, &bm)
+	}
+	return s, d.err
+}
+
+func (d *decoder) prefix() ipv4.Prefix {
+	addr := ipv4.Addr(d.u32())
+	bits := int(d.u8())
+	if d.err != nil {
+		return ipv4.Prefix{}
+	}
+	p, err := ipv4.NewPrefix(addr, bits)
+	if err != nil {
+		d.err = formatErrf("invalid prefix %v/%d", addr, bits)
+	}
+	return p
+}
+
+func (d *decoder) meta() (Meta, error) {
+	var m Meta
+	m.World.Seed = d.u64()
+	m.World.NumASes = int(d.u32())
+	m.World.MeanBlocksPerAS = int(d.u32())
+	r := &m.Run
+	r.Days = int(d.u32())
+	r.DailyStart = int(d.u32())
+	r.DailyLen = int(d.u32())
+	r.UADays = int(d.u32())
+	n := d.count(4)
+	for i := 0; i < n; i++ {
+		r.ICMPScanDays = append(r.ICMPScanDays, int(d.u32()))
+	}
+	for _, f := range []*float64{&r.PrefixChangeFrac, &r.BlockChangeFrac,
+		&r.BGPCoupleProb, &r.BGPNoisePerDay, &r.JoinFrac, &r.LeaveFrac, &r.TrafficGrowth} {
+		*f = d.f64()
+	}
+	r.Workers = int(int32(d.u32()))
+	if err := d.finish(kindMeta); err != nil {
+		return Meta{}, err
+	}
+	if r.Days < 0 || r.DailyLen < 0 || r.DailyLen > 1<<20 || r.Days > 1<<20 {
+		return Meta{}, formatErrf("implausible run geometry days=%d dailyLen=%d", r.Days, r.DailyLen)
+	}
+	// The world config drives synthnet.Generate on the analysis side;
+	// bound it so a corrupt meta frame cannot trigger a giant
+	// allocation there. 2^24 /24 blocks is the entire IPv4 space.
+	if m.World.NumASes > 1<<22 || m.World.MeanBlocksPerAS > 1<<16 ||
+		m.World.NumASes*m.World.MeanBlocksPerAS > 1<<24 {
+		return Meta{}, formatErrf("implausible world config ases=%d blocksPerAS=%d",
+			m.World.NumASes, m.World.MeanBlocksPerAS)
+	}
+	return m, nil
+}
+
+func (d *decoder) blockStats() (Event, error) {
+	ev := BlockStatsEvent{Block: ipv4.Block(d.u32())}
+	flags := d.u8()
+	if flags&1 != 0 {
+		bt := &BlockTraffic{}
+		for i := range bt.DaysActive {
+			bt.DaysActive[i] = d.u16()
+		}
+		for i := range bt.Hits {
+			bt.Hits[i] = d.f64()
+		}
+		ev.Traffic = bt
+	}
+	if flags&2 != 0 {
+		samples := d.u64()
+		p := d.u8()
+		if p < 4 || p > 16 {
+			if d.err == nil {
+				d.err = formatErrf("invalid HLL precision %d", p)
+			}
+			return nil, d.err
+		}
+		regs := d.take(1 << p)
+		if d.err != nil {
+			return nil, d.err
+		}
+		sketch, err := useragent.HLLFromRegisters(p, regs)
+		if err != nil {
+			return nil, formatErrf("bad HLL registers: %v", err)
+		}
+		ev.UA = &UAStat{Samples: int(samples), Sketch: sketch}
+	}
+	return ev, d.finish(kindBlockStats)
+}
+
+func (d *decoder) routing() (Event, error) {
+	numDays := d.count(0)
+	if numDays > 1<<20 {
+		return nil, formatErrf("implausible routing day count %d", numDays)
+	}
+	base := bgp.NewTable()
+	nRoutes := d.count(9)
+	for i := 0; i < nRoutes; i++ {
+		p := d.prefix()
+		origin := bgp.ASN(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		base.Insert(bgp.Route{Prefix: p, Origin: origin})
+	}
+	log := bgp.NewChangeLog(base, numDays)
+	for day := 0; day < numDays; day++ {
+		n := d.count(14)
+		for i := 0; i < n; i++ {
+			kind := bgp.ChangeKind(d.u8())
+			p := d.prefix()
+			oldO := bgp.ASN(d.u32())
+			newO := bgp.ASN(d.u32())
+			if d.err != nil {
+				return nil, d.err
+			}
+			log.Record(day, bgp.Change{Kind: kind, Prefix: p, OldOrigin: oldO, NewOrigin: newO})
+		}
+	}
+	return RoutingEvent{Log: log}, d.finish(kindRouting)
+}
+
+func (d *decoder) restructures() (Event, error) {
+	n := d.count(12)
+	rs := make([]Restructure, 0, n)
+	for i := 0; i < n; i++ {
+		r := Restructure{
+			Prefix: d.prefix(),
+			Day:    int(d.u32()),
+			Kind:   RestructureKind(d.u8()),
+		}
+		r.BGPVisible = d.u8() != 0
+		r.BGPKind = bgp.ChangeKind(d.u8())
+		if d.err != nil {
+			return nil, d.err
+		}
+		rs = append(rs, r)
+	}
+	return RestructuresEvent{Restructures: rs}, d.finish(kindRestructures)
+}

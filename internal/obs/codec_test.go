@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/useragent"
+	"ipscope/internal/xrand"
+)
+
+// sampleData builds a small but fully-populated dataset exercising
+// every event kind, deterministically from seed.
+func sampleData(t testing.TB, seed uint64) *Data {
+	t.Helper()
+	r := xrand.New(seed, "obs-test")
+	meta := Meta{}
+	meta.World.Seed = seed
+	meta.World.NumASes = 7
+	meta.World.MeanBlocksPerAS = 3
+	meta.Run = RunConfig{
+		Days: 28, DailyStart: 7, DailyLen: 14, UADays: 7,
+		ICMPScanDays:     []int{9, 12, 15},
+		PrefixChangeFrac: 0.25, BlockChangeFrac: 0.1,
+		BGPCoupleProb: 0.2, BGPNoisePerDay: 0.05,
+		JoinFrac: 0.07, LeaveFrac: 0.07, TrafficGrowth: 0.6,
+		Workers: 3,
+	}
+
+	d := &Data{}
+	if err := d.Observe(MetaEvent{Meta: meta}); err != nil {
+		t.Fatal(err)
+	}
+
+	randSet := func(n int) *ipv4.Set {
+		s := ipv4.NewSet()
+		for i := 0; i < n; i++ {
+			s.Add(ipv4.Addr(0x0a000000 + r.Uint64()%(1<<16)))
+		}
+		return s
+	}
+	for i := 0; i < meta.Run.DailyLen; i++ {
+		d.Observe(DayEvent{Index: i, Active: randSet(200), TotalHits: r.Float64() * 1e6})
+	}
+	for i := 0; i < meta.Run.NumWeeks(); i++ {
+		d.Observe(WeekEvent{Index: i, Active: randSet(400), TopShare: r.Float64()})
+	}
+	for i := range meta.Run.ICMPScanDays {
+		d.Observe(ICMPScanEvent{Index: i, Responders: randSet(100)})
+	}
+	for i := 0; i < 10; i++ {
+		blk := ipv4.Block(0x0a0000 + uint32(i))
+		bt := &BlockTraffic{}
+		for h := 0; h < 256; h += 3 {
+			bt.DaysActive[h] = uint16(r.Intn(15))
+			bt.Hits[h] = r.Float64() * 1000
+		}
+		sketch := useragent.NewHLL(10)
+		for j := 0; j < 50; j++ {
+			sketch.Add(r.Uint64())
+		}
+		d.Observe(BlockStatsEvent{Block: blk, Traffic: bt,
+			UA: &UAStat{Samples: 50 + i, Sketch: sketch}})
+	}
+	d.Observe(SurfacesEvent{Servers: randSet(50), Routers: randSet(20)})
+
+	base := bgp.NewTable()
+	var prefixes []ipv4.Prefix
+	for i := 0; i < 9; i++ {
+		p := ipv4.MustNewPrefix(ipv4.Addr(0x0a000000+uint32(i)<<12), 20)
+		prefixes = append(prefixes, p)
+		base.Insert(bgp.Route{Prefix: p, Origin: bgp.ASN(100 + i)})
+	}
+	log := bgp.NewChangeLog(base, meta.Run.Days)
+	for day := 1; day < meta.Run.Days; day++ {
+		if r.Intn(3) == 0 {
+			log.Record(day, bgp.Change{
+				Kind:      bgp.ChangeKind(r.Intn(3)),
+				Prefix:    prefixes[r.Intn(len(prefixes))],
+				OldOrigin: bgp.ASN(r.Intn(200)),
+				NewOrigin: bgp.ASN(r.Intn(200)),
+			})
+		}
+	}
+	d.Observe(RoutingEvent{Log: log})
+	d.Observe(RestructuresEvent{Restructures: []Restructure{
+		{Prefix: prefixes[0], Day: 10, Kind: Deactivate, BGPVisible: true, BGPKind: bgp.Withdraw},
+		{Prefix: prefixes[1], Day: 20, Kind: Activate},
+		{Prefix: prefixes[2], Day: 3, Kind: PolicySwitch, BGPVisible: true, BGPKind: bgp.OriginChange},
+	}})
+	return d
+}
+
+// requireEqualData fails unless two datasets are observably identical:
+// same sets, same float series bit for bit, same aggregates, sketches,
+// routing history and ground truth.
+func requireEqualData(t *testing.T, a, b *Data) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Meta, b.Meta) {
+		t.Fatalf("Meta differs:\n%+v\n%+v", a.Meta, b.Meta)
+	}
+	equalSets := func(name string, xs, ys []*ipv4.Set) {
+		if len(xs) != len(ys) {
+			t.Fatalf("%s: %d vs %d snapshots", name, len(xs), len(ys))
+		}
+		for i := range xs {
+			if !xs[i].Equal(ys[i]) {
+				t.Fatalf("%s[%d] differs", name, i)
+			}
+		}
+	}
+	equalSets("Daily", a.Daily, b.Daily)
+	equalSets("Weekly", a.Weekly, b.Weekly)
+	equalSets("ICMPScans", a.ICMPScans, b.ICMPScans)
+	if !a.ServerSet.Equal(b.ServerSet) || !a.RouterSet.Equal(b.RouterSet) {
+		t.Fatal("scan surfaces differ")
+	}
+	equalF64s := func(name string, xs, ys []float64) {
+		if len(xs) != len(ys) {
+			t.Fatalf("%s: length %d vs %d", name, len(xs), len(ys))
+		}
+		for i := range xs {
+			if math.Float64bits(xs[i]) != math.Float64bits(ys[i]) {
+				t.Fatalf("%s[%d]: %v vs %v", name, i, xs[i], ys[i])
+			}
+		}
+	}
+	equalF64s("DailyTotalHits", a.DailyTotalHits, b.DailyTotalHits)
+	equalF64s("WeeklyTopShare", a.WeeklyTopShare, b.WeeklyTopShare)
+	if len(a.Traffic) != len(b.Traffic) {
+		t.Fatalf("Traffic: %d vs %d blocks", len(a.Traffic), len(b.Traffic))
+	}
+	for blk, at := range a.Traffic {
+		bt := b.Traffic[blk]
+		if bt == nil || *at != *bt {
+			t.Fatalf("Traffic[%v] differs", blk)
+		}
+	}
+	if len(a.UA) != len(b.UA) {
+		t.Fatalf("UA: %d vs %d blocks", len(a.UA), len(b.UA))
+	}
+	for blk, au := range a.UA {
+		bu := b.UA[blk]
+		if bu == nil || au.Samples != bu.Samples ||
+			!bytes.Equal(au.Sketch.Registers(), bu.Sketch.Registers()) {
+			t.Fatalf("UA[%v] differs", blk)
+		}
+	}
+	if !reflect.DeepEqual(a.Restructures, b.Restructures) {
+		t.Fatal("Restructures differ")
+	}
+	if (a.Routing == nil) != (b.Routing == nil) {
+		t.Fatal("Routing presence differs")
+	}
+	if a.Routing != nil {
+		if !reflect.DeepEqual(a.Routing.DayChanges, b.Routing.DayChanges) {
+			t.Fatal("Routing.DayChanges differ")
+		}
+		var ar, br []bgp.Route
+		if a.Routing.Base != nil {
+			ar = a.Routing.Base.Routes()
+		}
+		if b.Routing.Base != nil {
+			br = b.Routing.Base.Routes()
+		}
+		if !reflect.DeepEqual(ar, br) {
+			t.Fatal("Routing.Base routes differ")
+		}
+	}
+}
+
+// TestCodecRoundTrip is the codec's core property: write→read over
+// several generated datasets reproduces the Source exactly.
+func TestCodecRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		d := sampleData(t, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		requireEqualData(t, d, got)
+	}
+}
+
+// TestCodecDeterministic: equal datasets encode to identical bytes.
+func TestCodecDeterministic(t *testing.T) {
+	d := sampleData(t, 3)
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("canonical encoding is not deterministic")
+	}
+}
+
+// TestCodecStreaming: a Writer used as a live Sink (events one by one)
+// produces a decodable stream equal to the source.
+func TestCodecStreaming(t *testing.T) {
+	d := sampleData(t, 4)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := d.WriteTo(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualData(t, d, got)
+}
+
+// TestCodecTruncated: every proper prefix of a valid stream must fail
+// with a typed error — never a panic, never silent success.
+func TestCodecTruncated(t *testing.T) {
+	d := sampleData(t, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cutting anywhere strictly before the end frame must error; step
+	// through a spread of offsets including every boundary-ish region.
+	step := len(full)/997 + 1
+	for cut := 0; cut < len(full); cut += step {
+		_, err := Decode(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d silently succeeded", cut, len(full))
+		}
+		var fe *FormatError
+		if !errors.Is(err, ErrTruncated) && !errors.As(err, &fe) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+}
+
+// TestCodecCorrupt: flipped bytes must produce typed errors (or, for
+// payload-internal flips that stay structurally valid, decode to
+// different data) — and must never panic.
+func TestCodecCorrupt(t *testing.T) {
+	d := sampleData(t, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	t.Run("magic", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		bad[0] ^= 0xFF
+		var fe *FormatError
+		if _, err := Decode(bytes.NewReader(bad)); !errors.As(err, &fe) {
+			t.Fatalf("bad magic: got %v, want FormatError", err)
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		bad[len(magic)] ^= 0xFF
+		var fe *FormatError
+		if _, err := Decode(bytes.NewReader(bad)); !errors.As(err, &fe) {
+			t.Fatalf("bad version: got %v, want FormatError", err)
+		}
+	})
+	t.Run("frame-length", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		// First frame header starts after magic+version; blow up its
+		// length field.
+		off := len(magic) + 2 + 1
+		bad[off] = 0xFF
+		_, err := Decode(bytes.NewReader(bad))
+		var fe *FormatError
+		if !errors.Is(err, ErrTruncated) && !errors.As(err, &fe) {
+			t.Fatalf("corrupt length: got %v, want typed error", err)
+		}
+	})
+	t.Run("index-out-of-range", func(t *testing.T) {
+		// A well-framed event whose index lies outside the geometry the
+		// meta frame declared must fail decoding, not silently leave a
+		// hole in the dataset.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		meta := d.Meta
+		if err := w.Observe(MetaEvent{Meta: meta}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Observe(DayEvent{Index: meta.Run.DailyLen + 3, Active: ipv4.NewSet()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var fe *FormatError
+		if _, err := Decode(&buf); !errors.As(err, &fe) {
+			t.Fatalf("out-of-range index: got %v, want FormatError", err)
+		}
+	})
+	t.Run("sweep", func(t *testing.T) {
+		// Flip a byte at a spread of positions; decoding must never
+		// panic, whatever the outcome.
+		step := len(full)/499 + 1
+		for off := 0; off < len(full); off += step {
+			bad := append([]byte(nil), full...)
+			bad[off] ^= 0x55
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic decoding corruption at %d: %v", off, r)
+					}
+				}()
+				_, _ = Decode(bytes.NewReader(bad))
+			}()
+		}
+	})
+}
+
+// TestSourceInterfaces: both *Data and FileSource satisfy Source.
+func TestSourceInterfaces(t *testing.T) {
+	d := sampleData(t, 6)
+	got, err := d.Observations()
+	if err != nil || got != d {
+		t.Fatalf("Data.Observations: %v %v", got, err)
+	}
+	path := t.TempDir() + "/dataset.obs"
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := FileSource(path).Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualData(t, d, fromFile)
+}
+
+// TestMetaWorldBounds: a corrupt meta frame with an implausible world
+// config must fail decoding instead of driving world regeneration into
+// a giant allocation downstream.
+func TestMetaWorldBounds(t *testing.T) {
+	m := Meta{}
+	m.World.NumASes = 1 << 23
+	m.World.MeanBlocksPerAS = 1 << 10
+	m.Run.Days, m.Run.DailyLen = 7, 7
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Observe(MetaEvent{Meta: m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var fe *FormatError
+	if _, err := Decode(&buf); !errors.As(err, &fe) {
+		t.Fatalf("implausible world config: got %v, want FormatError", err)
+	}
+}

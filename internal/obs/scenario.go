@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"ipscope/internal/ipv4"
+	"ipscope/internal/xrand"
+)
+
+// Replay scenarios: transforms over a stored dataset that answer
+// "what would the analyses have seen under a weaker vantage?" without
+// re-simulation. Both transforms return a new Data sharing unmodified
+// structures with the input; the input is not mutated.
+
+// TruncateWindow returns a copy of d whose daily window keeps only its
+// first n days, modelling a shorter collection campaign. Per-address
+// DaysActive counts are recomputed from the kept daily sets; per-address
+// hit totals are scaled by the kept fraction of active days (the
+// per-day split is not stored, so a uniform daily rate is assumed).
+// ICMP snapshots taken after the truncated window are dropped, and so
+// are the UA statistics: they were sampled on the trailing UADays of
+// the original window, which any truncation cuts into, and sketches
+// cannot be split per day — a shorter campaign would have sampled its
+// own trailing days. Weekly (year-level) series are unaffected.
+func (d *Data) TruncateWindow(n int) *Data {
+	if n <= 0 || n >= len(d.Daily) {
+		return d
+	}
+	out := *d
+	out.Meta.Run.DailyLen = n
+	out.Meta.Run.UADays = 0
+	out.UA = map[ipv4.Block]*UAStat{}
+	out.Daily = d.Daily[:n]
+	out.DailyTotalHits = d.DailyTotalHits[:n]
+
+	lastDay := d.Meta.Run.DailyStart + n
+	out.Meta.Run.ICMPScanDays = nil
+	out.ICMPScans = nil
+	for i, day := range d.Meta.Run.ICMPScanDays {
+		if day < lastDay {
+			out.Meta.Run.ICMPScanDays = append(out.Meta.Run.ICMPScanDays, day)
+			out.ICMPScans = append(out.ICMPScans, d.ICMPScans[i])
+		}
+	}
+
+	out.Traffic = make(map[ipv4.Block]*BlockTraffic, len(d.Traffic))
+	for _, blk := range d.TrafficBlocks() {
+		bt := d.Traffic[blk]
+		nt := &BlockTraffic{}
+		keep := false
+		for h := 0; h < 256; h++ {
+			if bt.DaysActive[h] == 0 {
+				continue
+			}
+			days := uint16(0)
+			a := blk.Addr(byte(h))
+			for _, s := range out.Daily {
+				if s.Contains(a) {
+					days++
+				}
+			}
+			if days == 0 {
+				continue
+			}
+			nt.DaysActive[h] = days
+			nt.Hits[h] = bt.Hits[h] * float64(days) / float64(bt.DaysActive[h])
+			keep = true
+		}
+		if keep {
+			out.Traffic[blk] = nt
+		}
+	}
+	return &out
+}
+
+// SubsampleVantage returns a copy of d as observed by a vantage that
+// monitors only a deterministic pseudo-random fraction frac of
+// addresses (a smaller CDN footprint, fewer monitored clients). All
+// per-address structures are filtered; daily/weekly total-traffic
+// series are scaled by the kept share of aggregate traffic. UA sketches
+// are kept for blocks that retain addresses (header sampling is
+// per-request, not per-address) and dropped otherwise.
+func (d *Data) SubsampleVantage(frac float64, seed uint64) *Data {
+	if frac >= 1 {
+		return d
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	keep := func(a ipv4.Addr) bool {
+		// Threshold on a splitmix of (addr, seed): deterministic and
+		// independent of iteration order.
+		h := xrand.Splitmix64(uint64(a) ^ xrand.Splitmix64(seed))
+		return float64(h>>11)/(1<<53) < frac
+	}
+	filter := func(s *ipv4.Set) *ipv4.Set {
+		out := ipv4.NewSet()
+		if s == nil {
+			return out
+		}
+		s.ForEach(func(a ipv4.Addr) {
+			if keep(a) {
+				out.Add(a)
+			}
+		})
+		return out
+	}
+	filterAll := func(ss []*ipv4.Set) []*ipv4.Set {
+		out := make([]*ipv4.Set, len(ss))
+		for i, s := range ss {
+			out[i] = filter(s)
+		}
+		return out
+	}
+
+	out := *d
+	out.Daily = filterAll(d.Daily)
+	out.Weekly = filterAll(d.Weekly)
+	out.ICMPScans = filterAll(d.ICMPScans)
+	out.ServerSet = filter(d.ServerSet)
+	out.RouterSet = filter(d.RouterSet)
+
+	var totalHits, keptHits float64
+	out.Traffic = make(map[ipv4.Block]*BlockTraffic, len(d.Traffic))
+	for _, blk := range d.TrafficBlocks() {
+		bt := d.Traffic[blk]
+		nt := &BlockTraffic{}
+		kept := false
+		for h := 0; h < 256; h++ {
+			if bt.DaysActive[h] == 0 {
+				continue
+			}
+			totalHits += bt.Hits[h]
+			if !keep(blk.Addr(byte(h))) {
+				continue
+			}
+			nt.DaysActive[h] = bt.DaysActive[h]
+			nt.Hits[h] = bt.Hits[h]
+			keptHits += bt.Hits[h]
+			kept = true
+		}
+		if kept {
+			out.Traffic[blk] = nt
+		}
+	}
+
+	out.UA = make(map[ipv4.Block]*UAStat, len(d.UA))
+	for blk, st := range d.UA {
+		// Keep a block's sketch only while the vantage still observes
+		// traffic there; when the input carries no traffic aggregates
+		// at all, there is nothing to gate on and sketches stay.
+		if len(d.Traffic) == 0 || out.Traffic[blk] != nil {
+			out.UA[blk] = st
+		}
+	}
+
+	scale := 0.0
+	if totalHits > 0 {
+		scale = keptHits / totalHits
+	}
+	out.DailyTotalHits = scaled(d.DailyTotalHits, scale)
+	return &out
+}
+
+func scaled(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v * f
+	}
+	return out
+}

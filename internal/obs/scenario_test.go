@@ -1,0 +1,93 @@
+package obs
+
+import "testing"
+
+func TestTruncateWindow(t *testing.T) {
+	d := sampleData(t, 8)
+	n := 7
+	got := d.TruncateWindow(n)
+	if len(got.Daily) != n || len(got.DailyTotalHits) != n {
+		t.Fatalf("window not truncated: %d daily sets", len(got.Daily))
+	}
+	if got.Meta.Run.DailyLen != n {
+		t.Errorf("meta DailyLen = %d", got.Meta.Run.DailyLen)
+	}
+	if got.Meta.Run.UADays > n {
+		t.Errorf("UADays %d exceeds window", got.Meta.Run.UADays)
+	}
+	// Scans after the truncated window are gone; the scan-day list and
+	// snapshot list stay aligned.
+	lastDay := got.Meta.Run.DailyStart + n
+	if len(got.Meta.Run.ICMPScanDays) != len(got.ICMPScans) {
+		t.Fatalf("scan days %d != snapshots %d",
+			len(got.Meta.Run.ICMPScanDays), len(got.ICMPScans))
+	}
+	for _, day := range got.Meta.Run.ICMPScanDays {
+		if day >= lastDay {
+			t.Errorf("scan day %d survived truncation to %d", day, lastDay)
+		}
+	}
+	// DaysActive is recomputed from the kept sets: never more than n.
+	for blk, bt := range got.Traffic {
+		for h := 0; h < 256; h++ {
+			if int(bt.DaysActive[h]) > n {
+				t.Fatalf("Traffic[%v] host %d active %d days in %d-day window",
+					blk, h, bt.DaysActive[h], n)
+			}
+		}
+	}
+	// UA statistics were sampled on the original window's trailing
+	// days, which the truncation cuts into: they must not survive.
+	if len(got.UA) != 0 || got.Meta.Run.UADays != 0 {
+		t.Errorf("truncated dataset kept %d UA blocks (UADays=%d)",
+			len(got.UA), got.Meta.Run.UADays)
+	}
+	// The input is untouched.
+	if len(d.Daily) == n || len(d.UA) == 0 {
+		t.Fatal("input dataset was mutated")
+	}
+}
+
+func TestSubsampleVantage(t *testing.T) {
+	d := sampleData(t, 8)
+	got := d.SubsampleVantage(0.5, 42)
+	full := d.DailyWindowUnion().Len()
+	kept := got.DailyWindowUnion().Len()
+	if kept == 0 || kept >= full {
+		t.Fatalf("subsample kept %d of %d addresses", kept, full)
+	}
+	if lo, hi := full/3, 2*full/3; kept < lo || kept > hi {
+		t.Errorf("kept %d of %d, want roughly half", kept, full)
+	}
+	// Deterministic: same fraction and seed, same result.
+	again := d.SubsampleVantage(0.5, 42)
+	for i := range got.Daily {
+		if !got.Daily[i].Equal(again.Daily[i]) {
+			t.Fatal("subsample not deterministic")
+		}
+	}
+	// Each filtered set is a subset of its original.
+	for i := range got.Daily {
+		if got.Daily[i].DiffCount(d.Daily[i]) != 0 {
+			t.Fatal("subsample invented addresses")
+		}
+	}
+	// UA sketches only survive for blocks the vantage still observes:
+	// a vantage that keeps (essentially) nothing keeps no sketches.
+	none := d.SubsampleVantage(1e-9, 42)
+	if len(none.Traffic) != 0 {
+		t.Fatalf("1e-9 vantage kept %d traffic blocks", len(none.Traffic))
+	}
+	if len(none.UA) != 0 {
+		t.Errorf("vantage with no traffic kept %d UA blocks", len(none.UA))
+	}
+	for blk := range got.UA {
+		if got.Traffic[blk] == nil {
+			t.Fatalf("UA sketch kept for unobserved block %v", blk)
+		}
+	}
+	// The no-op fraction returns the dataset unchanged.
+	if d.SubsampleVantage(1.0, 42) != d {
+		t.Error("frac=1 should be the identity")
+	}
+}

@@ -2,7 +2,8 @@ package scan
 
 import (
 	"ipscope/internal/ipv4"
-	"ipscope/internal/sim"
+	"ipscope/internal/obs"
+	"ipscope/internal/synthnet"
 )
 
 // Responder answers probes: the scanner's view of the network. In
@@ -80,21 +81,23 @@ type Campaign struct {
 	Routers *ipv4.Set
 }
 
-// FromResult assembles a Campaign from a simulation run.
-func FromResult(res *sim.Result) *Campaign {
+// FromObs assembles a Campaign from an observation dataset — live
+// (a *sim.Result's data) or decoded from storage; the scanner's view
+// is part of the dataset either way.
+func FromObs(d *obs.Data) *Campaign {
 	return &Campaign{
-		ICMP:    res.ICMPUnion(),
-		PerScan: res.ICMPScans,
-		Servers: res.ServerSet,
-		Routers: res.RouterSet,
+		ICMP:    d.ICMPUnion(),
+		PerScan: d.ICMPScans,
+		Servers: d.ServerSet,
+		Routers: d.RouterSet,
 	}
 }
 
-// Targets returns all routed prefixes of the simulated world, the
-// natural target list for a campaign.
-func Targets(res *sim.Result) []ipv4.Prefix {
+// Targets returns all routed prefixes of a world, the natural target
+// list for a campaign.
+func Targets(w *synthnet.World) []ipv4.Prefix {
 	var out []ipv4.Prefix
-	for _, as := range res.World.ASes {
+	for _, as := range w.ASes {
 		out = append(out, as.Prefixes...)
 	}
 	return out

@@ -155,7 +155,7 @@ func TestScan(t *testing.T) {
 func TestCampaignFromResult(t *testing.T) {
 	w := synthnet.Generate(synthnet.TinyConfig())
 	res := sim.Run(w, sim.TinyConfig())
-	c := FromResult(res)
+	c := FromObs(&res.Data)
 	if c.ICMP.Len() == 0 || len(c.PerScan) == 0 {
 		t.Fatal("empty campaign")
 	}
@@ -168,7 +168,7 @@ func TestCampaignFromResult(t *testing.T) {
 			t.Errorf("scan %d not contained in union", i)
 		}
 	}
-	targets := Targets(res)
+	targets := Targets(w)
 	if len(targets) == 0 {
 		t.Fatal("no targets")
 	}

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"errors"
 	"sort"
 	"sync/atomic"
 
 	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/par"
 	"ipscope/internal/synthnet"
 	"ipscope/internal/useragent"
@@ -15,20 +17,56 @@ import (
 func deviceFor(seed uint64) useragent.Device { return useragent.NewDevice(seed) }
 func botUA(seed uint64) string               { return useragent.BotUA(seed) }
 
-// shardAccum is what one shard of contiguous /24 blocks produces over
-// the whole run. Set contents are disjoint-by-block across shards, so
-// merging shards in ascending order reconstructs exactly the state the
-// sequential loop would have built.
+// shardAccum is the long-lived state one shard of contiguous /24
+// blocks carries across days: week accumulators and the static scan
+// surfaces. Per-day sets are built fresh each day and handed to the
+// day rendezvous instead of accumulating here.
 type shardAccum struct {
-	daily          []*ipv4.Set // activity per day of the daily window
-	weekly         []*ipv4.Set // activity per week
-	icmp           []*ipv4.Set // ICMP responders per campaign snapshot
+	weekly         []*ipv4.Set // activity per week (deposited at week close)
 	server, router *ipv4.Set
+}
+
+// emitter fans observation events out to the sinks. The engine
+// guarantees emissions are serialized (see closeDay), so no lock is
+// needed; a sink that errors receives no further events.
+type emitter struct {
+	sinks []obs.Sink
+	errs  []error
+}
+
+func newEmitter(sinks []obs.Sink) *emitter {
+	return &emitter{sinks: sinks, errs: make([]error, len(sinks))}
+}
+
+func (em *emitter) emit(e obs.Event) {
+	for i, s := range em.sinks {
+		if em.errs[i] == nil {
+			em.errs[i] = s.Observe(e)
+		}
+	}
+}
+
+func (em *emitter) err() error { return errors.Join(em.errs...) }
+
+// dayGather is the rendezvous for one emitting day: every shard
+// deposits its slice of the day's observations, and the shard whose
+// atomic countdown reaches zero merges the deposits in ascending shard
+// (= block) order and emits the day's events.
+type dayGather struct {
+	pending int32
+	daily   []*ipv4.Set // per shard; non-nil for daily-window days
+	// totals[shard] holds the shard's per-block hit totals for the day
+	// in ascending block order (zero-traffic blocks omitted, which is
+	// exact: adding 0.0 to a non-negative float sum changes nothing).
+	// Concatenating shards therefore reproduces the global block-order
+	// sum bit for bit, independent of the worker count.
+	totals [][]float64
+	icmp   []*ipv4.Set // per shard; non-nil for ICMP scan days
 }
 
 // runState is the shared, shard-partitioned state of one Run: the
 // per-block slots are written lock-free by the owning shard only, and
-// merged in block order afterwards.
+// merged in block order at the day rendezvous.
 type runState struct {
 	cfg      Config
 	w        *synthnet.World
@@ -37,19 +75,20 @@ type runState struct {
 	numWeeks int
 	uaStart  int
 	uaEnd    int
+	em       *emitter
 
-	traffic   []*BlockTraffic // per block index
-	ua        []*UAStat       // per block index
-	dayTotals [][]float64     // per block index: hits per daily-window day
+	traffic []*BlockTraffic // per block index
+	ua      []*UAStat       // per block index
 
-	// Weekly top-share rendezvous: each shard deposits its week's
-	// per-address hit values (ascending block order) into its slot and
-	// counts the close down; the last close computes the share and
-	// frees the week's values, so memory stays bounded by in-flight
-	// weeks instead of the whole run.
-	weekVals    [][][]float64 // [week][shard]
-	weekPending []int32       // remaining closes (shards x closes-per-week)
-	topShare    []float64     // [week], written once by the closing shard
+	// Per-day rendezvous (nil for days with nothing to emit) plus the
+	// week deposits read by the day that closes each week. A clamped
+	// final week deposits twice per shard; the later deposit overwrites
+	// the slot, preserving the sequential engine's last-close-wins
+	// semantics for the top-share values.
+	gathers      []*dayGather
+	weekSets     [][]*ipv4.Set // [week][shard]
+	weekVals     [][][]float64 // [week][shard]
+	weekCloseDay []int         // [week]: the day whose close emits the week
 }
 
 // Run simulates cfg.Days days of activity over world w, sharding the
@@ -58,104 +97,160 @@ type runState struct {
 // seeded stream, shards own contiguous block ranges, and all merges
 // happen in ascending block order.
 func Run(w *synthnet.World, cfg Config) *Result {
-	cfg = cfg.normalized()
-	res := &Result{
-		Config:  cfg,
-		World:   w,
-		Traffic: make(map[ipv4.Block]*BlockTraffic),
-		UA:      make(map[ipv4.Block]*UAStat),
-	}
+	res, _ := RunTo(w, cfg) // only extra sinks can fail; there are none
+	return res
+}
+
+// RunTo is Run with additional observation sinks attached: every event
+// the in-memory Result receives is also streamed, in the same order,
+// into each sink — an obs.Writer persisting the dataset, a network
+// connection to a collector. Events are emitted as the simulation
+// progresses (meta and ground truth up front, each day and week as it
+// completes across all shards, per-block aggregates and scan surfaces
+// at the end), so a consumer sees a live feed rather than a final
+// dump. The returned error joins any sink errors; the Result is fully
+// populated regardless.
+func RunTo(w *synthnet.World, cfg Config, sinks ...obs.Sink) (*Result, error) {
+	cfg = normalize(cfg)
+	res := &Result{Config: cfg, World: w}
+	em := newEmitter(append([]obs.Sink{res}, sinks...))
 
 	states := make([]*blockState, len(w.Blocks))
 	par.ForEach(len(w.Blocks), par.Workers(cfg.Workers), func(i int) {
 		states[i] = newBlockState(w.Blocks[i], cfg)
 	})
-	res.Routing = bgp.NewChangeLog(w.BaseRouting, cfg.Days)
-	scheduleRestructures(w, states, cfg, res)
-	scheduleBGPNoise(w, cfg, res)
+	routing := bgp.NewChangeLog(w.BaseRouting, cfg.Days)
+	restructures := scheduleRestructures(w, states, cfg, routing)
+	scheduleBGPNoise(w, cfg, routing)
+
+	em.emit(obs.MetaEvent{Meta: obs.Meta{World: w.Cfg, Run: cfg}})
+	em.emit(obs.RestructuresEvent{Restructures: restructures})
+	em.emit(obs.RoutingEvent{Log: routing})
 
 	rs := &runState{
-		cfg:       cfg,
-		w:         w,
-		states:    states,
-		scanDay:   make(map[int]int, len(cfg.ICMPScanDays)),
-		uaStart:   cfg.DailyStart + cfg.DailyLen - cfg.UADays,
-		uaEnd:     cfg.DailyStart + cfg.DailyLen,
-		traffic:   make([]*BlockTraffic, len(states)),
-		ua:        make([]*UAStat, len(states)),
-		dayTotals: make([][]float64, len(states)),
+		cfg:     cfg,
+		w:       w,
+		states:  states,
+		scanDay: make(map[int]int, len(cfg.ICMPScanDays)),
+		uaStart: cfg.DailyStart + cfg.DailyLen - cfg.UADays,
+		uaEnd:   cfg.DailyStart + cfg.DailyLen,
+		em:      em,
+		traffic: make([]*BlockTraffic, len(states)),
+		ua:      make([]*UAStat, len(states)),
 	}
 	for i, d := range cfg.ICMPScanDays {
 		rs.scanDay[d] = i
 	}
-	rs.numWeeks = cfg.Days / 7
-	if rs.numWeeks == 0 {
-		rs.numWeeks = 1
-	}
+	rs.numWeeks = cfg.NumWeeks()
 
 	// The observation loop: each shard animates its contiguous block
-	// range through all days independently.
+	// range through all days independently, synchronizing only at the
+	// per-day rendezvous of emitting days.
 	workers := par.Workers(cfg.Workers)
 	numShards := len(par.Split(len(states), workers))
-	rs.initWeekGather(numShards)
+	if numShards == 0 {
+		rs.emitEmptySchedule()
+		em.emit(obs.SurfacesEvent{Servers: ipv4.NewSet(), Routers: ipv4.NewSet()})
+		return res, em.err()
+	}
+	rs.initGathers(numShards)
 	accs := make([]*shardAccum, numShards)
 	par.ForEachShard(len(states), workers, func(shard, lo, hi int) {
 		accs[shard] = rs.runShard(shard, lo, hi)
 	})
 
-	rs.merge(res, accs)
-	return res
+	// Post-loop events: per-block aggregates in ascending block order,
+	// then the static scan surfaces merged in shard order.
+	for si := range rs.states {
+		if rs.traffic[si] == nil && rs.ua[si] == nil {
+			continue
+		}
+		em.emit(obs.BlockStatsEvent{
+			Block:   rs.w.Blocks[si].Block,
+			Traffic: rs.traffic[si],
+			UA:      rs.ua[si],
+		})
+	}
+	server, router := ipv4.NewSet(), ipv4.NewSet()
+	for _, acc := range accs {
+		server.UnionWith(acc.server)
+		router.UnionWith(acc.router)
+	}
+	em.emit(obs.SurfacesEvent{Servers: server, Routers: router})
+	return res, em.err()
 }
 
-// initWeekGather sizes the weekly top-share rendezvous: every shard
-// closes each week a fixed, precomputable number of times (normally
-// once; twice for a clamped final partial week).
-func (rs *runState) initWeekGather(numShards int) {
-	closes := make([]int32, rs.numWeeks)
-	for day := 0; day < rs.cfg.Days; day++ {
-		if (day+1)%7 == 0 || day == rs.cfg.Days-1 {
-			wk := day / 7
-			if wk >= rs.numWeeks {
-				wk = rs.numWeeks - 1
-			}
-			closes[wk]++
+// weekBoundary reports whether day closes a week (the last day of a
+// calendar week, or the run's final day closing a clamped partial
+// week).
+func (rs *runState) weekBoundary(day int) bool {
+	return (day+1)%7 == 0 || day == rs.cfg.Days-1
+}
+
+func (rs *runState) weekOf(day int) int {
+	wk := day / 7
+	if wk >= rs.numWeeks {
+		wk = rs.numWeeks - 1
+	}
+	return wk
+}
+
+// initGathers allocates the rendezvous for every day that emits
+// events: daily-window days, ICMP scan days and week boundaries.
+func (rs *runState) initGathers(numShards int) {
+	cfg := rs.cfg
+	rs.gathers = make([]*dayGather, cfg.Days)
+	rs.weekCloseDay = make([]int, rs.numWeeks)
+	rs.weekSets = make([][]*ipv4.Set, rs.numWeeks)
+	rs.weekVals = make([][][]float64, rs.numWeeks)
+	for wk := range rs.weekSets {
+		rs.weekSets[wk] = make([]*ipv4.Set, numShards)
+		rs.weekVals[wk] = make([][]float64, numShards)
+	}
+	for day := 0; day < cfg.Days; day++ {
+		inDaily := day >= cfg.DailyStart && day < cfg.DailyStart+cfg.DailyLen
+		_, isScan := rs.scanDay[day]
+		boundary := rs.weekBoundary(day)
+		if boundary {
+			rs.weekCloseDay[rs.weekOf(day)] = day // last boundary wins
+		}
+		if !inDaily && !isScan && !boundary {
+			continue
+		}
+		g := &dayGather{pending: int32(numShards)}
+		if inDaily {
+			g.daily = make([]*ipv4.Set, numShards)
+			g.totals = make([][]float64, numShards)
+		}
+		if isScan {
+			g.icmp = make([]*ipv4.Set, numShards)
+		}
+		rs.gathers[day] = g
+	}
+}
+
+// emitEmptySchedule emits the full day/week event schedule for a world
+// with no blocks, so sinks always see a complete dataset.
+func (rs *runState) emitEmptySchedule() {
+	cfg := rs.cfg
+	for day := 0; day < cfg.Days; day++ {
+		if day >= cfg.DailyStart && day < cfg.DailyStart+cfg.DailyLen {
+			rs.em.emit(obs.DayEvent{Index: day - cfg.DailyStart, Active: ipv4.NewSet()})
+		}
+		if idx, ok := rs.scanDay[day]; ok {
+			rs.em.emit(obs.ICMPScanEvent{Index: idx, Responders: ipv4.NewSet()})
 		}
 	}
-	rs.weekVals = make([][][]float64, rs.numWeeks)
-	rs.weekPending = make([]int32, rs.numWeeks)
-	rs.topShare = make([]float64, rs.numWeeks)
-	for wk := range rs.weekVals {
-		rs.weekVals[wk] = make([][]float64, numShards)
-		rs.weekPending[wk] = closes[wk] * int32(numShards)
+	for wk := 0; wk < rs.numWeeks; wk++ {
+		rs.em.emit(obs.WeekEvent{Index: wk, Active: ipv4.NewSet()})
 	}
-}
-
-// closeWeek deposits one shard's values for week wk. A clamped final
-// week closes twice per shard; the later deposit overwrites the slot,
-// preserving the sequential engine's last-close-wins semantics. The
-// goroutine performing the final close computes the share: the atomic
-// countdown orders it after every deposit, and concatenating slots in
-// shard order restores global ascending block order.
-func (rs *runState) closeWeek(wk, shard int, vals []float64) {
-	rs.weekVals[wk][shard] = vals
-	if atomic.AddInt32(&rs.weekPending[wk], -1) != 0 {
-		return
-	}
-	var all []float64
-	for _, v := range rs.weekVals[wk] {
-		all = append(all, v...)
-	}
-	rs.topShare[wk] = topShareVals(all, 0.10)
-	rs.weekVals[wk] = nil // week complete: free its values
 }
 
 // runShard animates blocks [lo, hi) through every simulated day.
 func (rs *runState) runShard(shard, lo, hi int) *shardAccum {
 	cfg := rs.cfg
 	acc := &shardAccum{
-		daily:  newSets(cfg.DailyLen),
 		weekly: newSets(rs.numWeeks),
-		icmp:   newSets(len(cfg.ICMPScanDays)),
 		server: ipv4.NewSet(),
 		router: ipv4.NewSet(),
 	}
@@ -164,14 +259,20 @@ func (rs *runState) runShard(shard, lo, hi int) *shardAccum {
 	var out dayOutput
 
 	for day := 0; day < cfg.Days; day++ {
-		wk := day / 7
-		if wk >= rs.numWeeks {
-			wk = rs.numWeeks - 1
-		}
+		wk := rs.weekOf(day)
 		inDaily := day >= cfg.DailyStart && day < cfg.DailyStart+cfg.DailyLen
-		di := day - cfg.DailyStart
 		inUA := day >= rs.uaStart && day < rs.uaEnd
-		scanIdx, isScanDay := rs.scanDay[day]
+		_, isScanDay := rs.scanDay[day]
+
+		g := rs.gathers[day]
+		var daySet, icmpSet *ipv4.Set
+		var dayTotals []float64
+		if g != nil && g.daily != nil {
+			daySet = ipv4.NewSet()
+		}
+		if g != nil && g.icmp != nil {
+			icmpSet = ipv4.NewSet()
+		}
 
 		for si := lo; si < hi; si++ {
 			bs := rs.states[si]
@@ -188,13 +289,8 @@ func (rs *runState) runShard(shard, lo, hi int) *shardAccum {
 					wh[h] += out.hits[h]
 				}
 				if inDaily {
-					acc.daily[di].AddBlockBitmap(blk, &out.bm)
-					dt := rs.dayTotals[si]
-					if dt == nil {
-						dt = make([]float64, cfg.DailyLen)
-						rs.dayTotals[si] = dt
-					}
-					dt[di] = out.total
+					daySet.AddBlockBitmap(blk, &out.bm)
+					dayTotals = append(dayTotals, out.total)
 					bt := rs.traffic[si]
 					if bt == nil {
 						bt = new(BlockTraffic)
@@ -212,16 +308,30 @@ func (rs *runState) runShard(shard, lo, hi int) *shardAccum {
 			if isScanDay {
 				resp := bs.icmpResponsive(day, &out.bm)
 				if !resp.IsEmpty() {
-					acc.icmp[scanIdx].AddBlockBitmap(blk, &resp)
+					icmpSet.AddBlockBitmap(blk, &resp)
 				}
 			}
 		}
 
-		// Close out the week: extract this shard's per-address hit
-		// values in block order and deposit them at the rendezvous.
-		if (day+1)%7 == 0 || day == cfg.Days-1 {
-			rs.closeWeek(wk, shard, weekValsOf(weekHits))
-			weekHits = make(map[ipv4.Block]*[256]float64)
+		// Deposit this shard's day at the rendezvous; the last shard to
+		// arrive merges and emits. Week deposits go in first so the
+		// closing day sees every shard's final week state.
+		if g != nil {
+			if g.daily != nil {
+				g.daily[shard] = daySet
+				g.totals[shard] = dayTotals
+			}
+			if g.icmp != nil {
+				g.icmp[shard] = icmpSet
+			}
+			if rs.weekBoundary(day) {
+				rs.weekVals[wk][shard] = weekValsOf(weekHits)
+				rs.weekSets[wk][shard] = acc.weekly[wk]
+				weekHits = make(map[ipv4.Block]*[256]float64)
+			}
+			if atomic.AddInt32(&g.pending, -1) == 0 {
+				rs.closeDay(day)
+			}
 		}
 	}
 
@@ -239,51 +349,53 @@ func (rs *runState) runShard(shard, lo, hi int) *shardAccum {
 	return acc
 }
 
-// merge folds the shard accumulators into res. Shards are visited in
-// ascending order and per-block slots in ascending block order, so the
-// result — including float accumulation — does not depend on the
-// worker count.
-func (rs *runState) merge(res *Result, accs []*shardAccum) {
+// closeDay runs in the goroutine of the last shard to finish day; all
+// other shards' deposits happen-before the pending countdown reached
+// zero, so their slots are safe to read. Emissions are globally
+// serialized: closeDay(d) finishes before the closing shard deposits
+// day d+1, and closeDay(d+1) needs that deposit — so no two closeDay
+// calls (and hence no two sink Observe calls) ever overlap.
+func (rs *runState) closeDay(day int) {
 	cfg := rs.cfg
-	res.Daily = newSets(cfg.DailyLen)
-	res.Weekly = newSets(rs.numWeeks)
-	res.ICMPScans = newSets(len(cfg.ICMPScanDays))
-	res.DailyTotalHits = make([]float64, cfg.DailyLen)
-	res.WeeklyTopShare = make([]float64, rs.numWeeks)
-	res.ServerSet = ipv4.NewSet()
-	res.RouterSet = ipv4.NewSet()
-
-	for _, acc := range accs {
-		for di, s := range acc.daily {
-			res.Daily[di].UnionWith(s)
+	g := rs.gathers[day]
+	if g.daily != nil {
+		di := day - cfg.DailyStart
+		set := ipv4.NewSet()
+		for _, s := range g.daily {
+			set.UnionWith(s)
 		}
-		for wk, s := range acc.weekly {
-			res.Weekly[wk].UnionWith(s)
-		}
-		for i, s := range acc.icmp {
-			res.ICMPScans[i].UnionWith(s)
-		}
-		res.ServerSet.UnionWith(acc.server)
-		res.RouterSet.UnionWith(acc.router)
-	}
-
-	// Weekly top-traffic shares were computed at the per-week
-	// rendezvous as shards finished each week.
-	copy(res.WeeklyTopShare, rs.topShare)
-
-	for si := range rs.states {
-		blk := rs.w.Blocks[si].Block
-		if bt := rs.traffic[si]; bt != nil {
-			res.Traffic[blk] = bt
-		}
-		if st := rs.ua[si]; st != nil {
-			res.UA[blk] = st
-		}
-		if dt := rs.dayTotals[si]; dt != nil {
-			for di, v := range dt {
-				res.DailyTotalHits[di] += v
+		// Sum per-block day totals in ascending block order so the
+		// float result is independent of the worker count.
+		total := 0.0
+		for _, vals := range g.totals {
+			for _, v := range vals {
+				total += v
 			}
 		}
+		rs.em.emit(obs.DayEvent{Index: di, Active: set, TotalHits: total})
+		g.daily, g.totals = nil, nil
+	}
+	if g.icmp != nil {
+		set := ipv4.NewSet()
+		for _, s := range g.icmp {
+			set.UnionWith(s)
+		}
+		rs.em.emit(obs.ICMPScanEvent{Index: rs.scanDay[day], Responders: set})
+		g.icmp = nil
+	}
+	if wk := rs.weekOf(day); rs.weekBoundary(day) && rs.weekCloseDay[wk] == day {
+		set := ipv4.NewSet()
+		for _, s := range rs.weekSets[wk] {
+			if s != nil {
+				set.UnionWith(s)
+			}
+		}
+		var all []float64
+		for _, v := range rs.weekVals[wk] {
+			all = append(all, v...)
+		}
+		rs.em.emit(obs.WeekEvent{Index: wk, Active: set, TopShare: topShareVals(all, 0.10)})
+		rs.weekSets[wk], rs.weekVals[wk] = nil, nil // week complete: free deposits
 	}
 }
 
@@ -379,8 +491,9 @@ func topShareVals(vals []float64, frac float64) float64 {
 
 // scheduleRestructures picks prefixes and blocks for mid-run assignment
 // changes, wires them into block states, and couples a fraction to BGP.
-func scheduleRestructures(w *synthnet.World, states []*blockState, cfg Config, res *Result) {
+func scheduleRestructures(w *synthnet.World, states []*blockState, cfg Config, routing *bgp.ChangeLog) []Restructure {
 	r := xrand.New(w.Seed, "restructure")
+	var restructures []Restructure
 	// Spread restructurings across (almost) the whole year, as in the
 	// wild; a small margin keeps the first/last snapshots comparable.
 	lo, hi := cfg.Days/20, cfg.Days*19/20
@@ -425,9 +538,9 @@ func scheduleRestructures(w *synthnet.World, states []*blockState, cfg Config, r
 				default:
 					re.BGPKind = bgp.OriginChange
 				}
-				recordBGP(res.Routing, w, p, day, re.BGPKind, r)
+				recordBGP(routing, w, p, day, re.BGPKind, r)
 			}
-			res.Restructures = append(res.Restructures, re)
+			restructures = append(restructures, re)
 			p.Blocks(func(b ipv4.Block) {
 				applyRestructure(w, states, b, day, kind, r)
 			})
@@ -449,11 +562,12 @@ func scheduleRestructures(w *synthnet.World, states []*blockState, cfg Config, r
 		} else if r.Float64() < 0.25 {
 			kind = Deactivate
 		}
-		res.Restructures = append(res.Restructures, Restructure{
+		restructures = append(restructures, Restructure{
 			Prefix: b.Block.Prefix(), Day: day, Kind: kind,
 		})
 		applyRestructure(w, states, b.Block, day, kind, r)
 	}
+	return restructures
 }
 
 func applyRestructure(w *synthnet.World, states []*blockState, blk ipv4.Block, day int, kind RestructureKind, r interface{ Intn(int) int }) {
@@ -502,7 +616,7 @@ func recordBGP(log *bgp.ChangeLog, w *synthnet.World, p ipv4.Prefix, day int, ki
 // scheduleBGPNoise adds background announce/withdraw flapping unrelated
 // to activity, so steadily-active addresses also see a small BGP-change
 // correlation (Figure 5c's baseline).
-func scheduleBGPNoise(w *synthnet.World, cfg Config, res *Result) {
+func scheduleBGPNoise(w *synthnet.World, cfg Config, routing *bgp.ChangeLog) {
 	r := xrand.New(w.Seed, "bgp-noise")
 	var prefixes []ipv4.Prefix
 	var origins []bgp.ASN
@@ -521,10 +635,10 @@ func scheduleBGPNoise(w *synthnet.World, cfg Config, res *Result) {
 		for i := 0; i < n; i++ {
 			j := r.Intn(len(prefixes))
 			// A flap: withdraw then re-announce next day.
-			res.Routing.Record(day, bgp.Change{Kind: bgp.Withdraw,
+			routing.Record(day, bgp.Change{Kind: bgp.Withdraw,
 				Prefix: prefixes[j], OldOrigin: origins[j]})
 			if day+1 < cfg.Days {
-				res.Routing.Record(day+1, bgp.Change{Kind: bgp.Announce,
+				routing.Record(day+1, bgp.Change{Kind: bgp.Announce,
 					Prefix: prefixes[j], NewOrigin: origins[j]})
 			}
 		}

@@ -11,55 +11,23 @@
 // static assignment, pool cycling, lease policies, gateways, bots,
 // network restructuring and subscriber churn — is modelled explicitly,
 // so each analysis can be validated against known generative intent.
+//
+// Observations leave the simulator as typed obs events: Run collects
+// them into the in-memory Result (an obs.Sink), and RunTo additionally
+// streams them into caller-supplied sinks (an obs.Writer, a TCP
+// connection to a collector) as each day and week completes.
 package sim
 
 import (
-	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/synthnet"
-	"ipscope/internal/useragent"
 )
 
-// Config controls a simulation run.
-type Config struct {
-	// Days is the total number of simulated days; defaults to 364
-	// (52 weeks, standing in for calendar year 2015).
-	Days int
-	// DailyStart/DailyLen delimit the high-resolution "daily dataset"
-	// window (the paper's 2015-08-17..2015-12-06 = 112 days).
-	DailyStart, DailyLen int
-	// UADays is how many trailing days of the daily window sample
-	// User-Agent strings (the paper restricts to the last month).
-	UADays int
-	// ICMPScanDays are the days (absolute) on which an ICMP campaign
-	// snapshot is taken; defaults to 8 days spread over the month
-	// starting at day DailyStart+56 (the paper's October).
-	ICMPScanDays []int
-	// PrefixChangeFrac is the fraction of routed prefixes that undergo
-	// a bulk restructuring during the year.
-	PrefixChangeFrac float64
-	// BlockChangeFrac is the fraction of individual /24 blocks that
-	// undergo a single-block assignment change.
-	BlockChangeFrac float64
-	// BGPCoupleProb is the probability a restructuring is accompanied
-	// by a visible BGP change (Table 2 suggests ~10-13%).
-	BGPCoupleProb float64
-	// BGPNoisePerDay is the expected number of unrelated BGP events
-	// per day per 1000 prefixes (background flapping).
-	BGPNoisePerDay float64
-	// JoinFrac/LeaveFrac are the fractions of subscribers whose
-	// lifetime starts/ends mid-year (long-term single-address churn).
-	JoinFrac, LeaveFrac float64
-	// TrafficGrowth is the relative growth of heavy-hitter (gateway,
-	// bot) traffic from the first to the last day, driving the
-	// traffic-consolidation trend of Figure 9(c).
-	TrafficGrowth float64
-	// Workers is the number of shards the /24 address space is split
-	// into for the observation loop; <= 0 means GOMAXPROCS. Every block
-	// evolves from its own seeded stream and shards merge in block
-	// order, so results are identical for any worker count.
-	Workers int
-}
+// Config controls a simulation run. It is the obs-layer RunConfig: the
+// same structure travels inside every stored dataset, which is what
+// lets analyses rebuild their context without re-simulation.
+type Config = obs.RunConfig
 
 // DefaultConfig returns the configuration used by the experiment
 // harness; values follow the paper's observations.
@@ -90,7 +58,7 @@ func TinyConfig() Config {
 	return c
 }
 
-func (c Config) normalized() Config {
+func normalize(c Config) Config {
 	d := DefaultConfig()
 	if c.Days <= 0 {
 		c.Days = d.Days
@@ -126,90 +94,34 @@ func (c Config) normalized() Config {
 }
 
 // RestructureKind classifies a ground-truth assignment change.
-type RestructureKind uint8
+type RestructureKind = obs.RestructureKind
 
 // Restructure kinds (Section 5: reallocation, reconfiguration,
 // repurposing; plus activation/deactivation of whole ranges).
 const (
-	PolicySwitch RestructureKind = iota // new assignment practice
-	Deactivate                          // range goes dark
-	Activate                            // unused range brought into service
+	PolicySwitch = obs.PolicySwitch // new assignment practice
+	Deactivate   = obs.Deactivate   // range goes dark
+	Activate     = obs.Activate     // unused range brought into service
 )
 
-// String returns the kind name.
-func (k RestructureKind) String() string {
-	switch k {
-	case PolicySwitch:
-		return "policy-switch"
-	case Deactivate:
-		return "deactivate"
-	case Activate:
-		return "activate"
-	}
-	return "unknown"
-}
-
 // Restructure records one scheduled assignment change (ground truth).
-type Restructure struct {
-	Prefix     ipv4.Prefix
-	Day        int
-	Kind       RestructureKind
-	BGPVisible bool
-	BGPKind    bgp.ChangeKind // meaningful if BGPVisible
-}
+type Restructure = obs.Restructure
 
 // BlockTraffic aggregates per-address activity over the daily window.
-type BlockTraffic struct {
-	DaysActive [256]uint16
-	Hits       [256]float64
-}
+type BlockTraffic = obs.BlockTraffic
 
 // UAStat summarizes sampled User-Agent strings for one /24 block.
-type UAStat struct {
-	Samples int
-	Sketch  *useragent.HLL
-}
+type UAStat = obs.UAStat
 
-// Unique returns the estimated number of distinct UA strings sampled.
-func (u *UAStat) Unique() float64 {
-	if u.Sketch == nil {
-		return 0
-	}
-	return u.Sketch.Estimate()
-}
-
-// Result is everything a simulation run produces.
+// Result is everything a simulation run produces: the in-memory
+// observation dataset plus the world it was generated from. Result is
+// the canonical in-memory obs.Sink — Run is just RunTo with no extra
+// sinks — and an obs.Source, so analyses consume live runs and stored
+// datasets through the same interface.
 type Result struct {
+	obs.Data
 	Config Config
 	World  *synthnet.World
-
-	// Daily[i] is the set of addresses active on day DailyStart+i.
-	Daily []*ipv4.Set
-	// DailyTotalHits[i] is the total request volume on day DailyStart+i.
-	DailyTotalHits []float64
-	// Weekly[wk] is the set of addresses active during week wk
-	// (union of its 7 days) across the whole run.
-	Weekly []*ipv4.Set
-	// WeeklyTopShare[wk] is the fraction of that week's traffic that
-	// went to the top 10% of addresses by traffic (Figure 9c).
-	WeeklyTopShare []float64
-	// Traffic holds per-address aggregates over the daily window.
-	Traffic map[ipv4.Block]*BlockTraffic
-	// UA holds per-block User-Agent sampling statistics for the UA window.
-	UA map[ipv4.Block]*UAStat
-	// ICMPScans[i] is the set of addresses that answered the ICMP
-	// campaign on Config.ICMPScanDays[i].
-	ICMPScans []*ipv4.Set
-	// ServerSet are addresses answering service-port scans (HTTP(S),
-	// SMTP, ...): the ZMap service-scan substitute.
-	ServerSet *ipv4.Set
-	// RouterSet are router addresses appearing in traceroutes (the
-	// Ark substitute).
-	RouterSet *ipv4.Set
-	// Routing is the year's BGP history as a change log.
-	Routing *bgp.ChangeLog
-	// Restructures is the ground-truth change schedule.
-	Restructures []Restructure
 }
 
 // DailyWindowUnion returns the union of all daily sets.
@@ -232,11 +144,4 @@ func (r *Result) ICMPUnion() *ipv4.Set {
 func weekendOf(d int) bool {
 	w := d % 7
 	return w == 2 || w == 3
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

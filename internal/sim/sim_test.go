@@ -394,7 +394,7 @@ func TestBGPLogPopulated(t *testing.T) {
 }
 
 func TestConfigNormalization(t *testing.T) {
-	c := Config{Days: 30}.normalized()
+	c := normalize(Config{Days: 30})
 	if c.DailyStart+c.DailyLen > c.Days {
 		t.Errorf("window overflows: %+v", c)
 	}

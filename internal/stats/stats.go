@@ -267,10 +267,3 @@ func BinIndex(v float64, nbins int) int {
 	}
 	return i
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

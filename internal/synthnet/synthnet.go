@@ -145,6 +145,10 @@ type Block struct {
 
 // World is a complete synthetic Internet.
 type World struct {
+	// Cfg is the (defaults-resolved) configuration the world was
+	// generated from; Generate(w.Cfg) reproduces the world exactly,
+	// which is how stored observation datasets regenerate their world.
+	Cfg      Config
 	Seed     uint64
 	ASes     []*AS
 	Blocks   []*Block
@@ -208,6 +212,7 @@ func Generate(cfg Config) *World {
 	}
 	r := xrand.New(cfg.Seed, "synthnet")
 	w := &World{
+		Cfg:     cfg,
 		Seed:    cfg.Seed,
 		ByBlock: make(map[ipv4.Block]int),
 		ASIndex: make(map[bgp.ASN]*AS),

@@ -192,10 +192,3 @@ func TestRDNSZoneStyles(t *testing.T) {
 		t.Errorf("only %d/%d static blocks taggable", statTagged, statTotal)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

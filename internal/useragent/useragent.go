@@ -169,6 +169,25 @@ func (h *HLL) Add(x uint64) {
 	}
 }
 
+// Precision returns the sketch's precision p (2^p registers).
+func (h *HLL) Precision() uint8 { return h.p }
+
+// Registers returns a copy of the register array, for serialization.
+func (h *HLL) Registers() []uint8 { return append([]uint8(nil), h.regs...) }
+
+// HLLFromRegisters reconstructs a sketch from a serialized register
+// array; len(regs) must be 2^p.
+func HLLFromRegisters(p uint8, regs []uint8) (*HLL, error) {
+	if p < 4 || p > 16 {
+		return nil, fmt.Errorf("useragent: invalid precision %d", p)
+	}
+	if len(regs) != 1<<p {
+		return nil, fmt.Errorf("useragent: %d registers for precision %d (want %d)",
+			len(regs), p, 1<<p)
+	}
+	return &HLL{p: p, regs: append([]uint8(nil), regs...)}, nil
+}
+
 // Merge folds o into h. Both sketches must share the same precision.
 func (h *HLL) Merge(o *HLL) error {
 	if h.p != o.p {
