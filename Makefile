@@ -1,9 +1,10 @@
 # The same targets CI runs, so humans and the pipeline never diverge.
 GO ?= go
 SMOKE_DIR ?= .pipeline-smoke
+SERVE_SMOKE_DIR ?= .serve-smoke
 SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check test race bench bench-smoke pipeline-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke pipeline-smoke serve-smoke ci
 
 all: build
 
@@ -50,4 +51,15 @@ pipeline-smoke:
 	cmp $(SMOKE_DIR)/report-direct.txt $(SMOKE_DIR)/report-dataset.txt
 	@echo "pipeline-smoke: reports byte-identical"
 
-ci: build vet fmt-check test race bench-smoke pipeline-smoke
+# End-to-end smoke of the serving layer: gen builds a small dataset,
+# ipscope-serve compiles it into a query index, and -selfcheck probes
+# every /v1 endpoint over real HTTP, verifying the JSON fields against
+# the index (which the serve test suite proves field-identical to the
+# batch report on the same dataset).
+serve-smoke:
+	rm -rf $(SERVE_SMOKE_DIR) && mkdir -p $(SERVE_SMOKE_DIR)
+	$(GO) run ./cmd/ipscope-gen $(SMOKE_FLAGS) -dataset $(SERVE_SMOKE_DIR)/serve.obs
+	$(GO) run ./cmd/ipscope-serve -dataset $(SERVE_SMOKE_DIR)/serve.obs -selfcheck
+	@echo "serve-smoke: all endpoints verified"
+
+ci: build vet fmt-check test race bench-smoke pipeline-smoke serve-smoke

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,7 +25,9 @@ import (
 	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
+	"ipscope/internal/query"
 	"ipscope/internal/scan"
+	"ipscope/internal/serve"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
 	"ipscope/internal/useragent"
@@ -679,4 +683,91 @@ func BenchmarkScanPermutation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(1<<20, "addrs/op")
+}
+
+// BenchmarkIndexBuild measures compiling an observation dataset into
+// the serving index (internal/query): the one-time cost that buys
+// microsecond point lookups on the request path.
+func BenchmarkIndexBuild(b *testing.B) {
+	ctx := benchContext(b)
+	for _, workers := range []int{1, 0} {
+		name := "1worker"
+		if workers == 0 {
+			name = "maxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			var blocks int
+			for i := 0; i < b.N; i++ {
+				idx, err := query.Build(ctx.Obs, query.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocks = idx.NumBlocks()
+			}
+			b.ReportMetric(float64(blocks), "blocks")
+		})
+	}
+}
+
+// BenchmarkServeLookup measures the HTTP serving path under parallel
+// clients — real sockets, the LRU+single-flight cache in front of the
+// index — for both a cache-friendly (hot) and a cache-hostile (cold,
+// every path distinct) load.
+func BenchmarkServeLookup(b *testing.B) {
+	ctx := benchContext(b)
+	idx, err := query.Build(ctx.Obs, query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := idx.Blocks()
+
+	run := func(b *testing.B, cacheSize int, paths func(i int) string) {
+		srv := serve.New(idx, serve.Config{CacheSize: cacheSize})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := ts.Client()
+		client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+		var n atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(n.Add(1))
+				resp, err := client.Get(ts.URL + paths(i))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		hits, misses, _ := srv.CacheStats()
+		if tot := hits + misses; tot > 0 {
+			b.ReportMetric(100*float64(hits)/float64(tot), "cachehit%")
+		}
+	}
+
+	b.Run("hot", func(b *testing.B) {
+		hotset := blocks
+		if len(hotset) > 32 {
+			hotset = hotset[:32]
+		}
+		run(b, 4096, func(i int) string {
+			return "/v1/block/" + hotset[i%len(hotset)].String()
+		})
+	})
+	b.Run("cold", func(b *testing.B) {
+		run(b, 64, func(i int) string {
+			blk := blocks[i%len(blocks)]
+			return "/v1/addr/" + blk.Addr(byte(i)).String()
+		})
+	})
+	b.Run("summary", func(b *testing.B) {
+		run(b, 4096, func(i int) string { return "/v1/summary" })
+	})
 }

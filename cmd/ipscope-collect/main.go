@@ -33,7 +33,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"ipscope/internal/cdnlog"
@@ -87,10 +89,22 @@ func ingestDataset(ingest, obsListen, store string) {
 		if lerr != nil {
 			log.Fatal(lerr)
 		}
+		// A signal while we block in Accept closes the listener, so the
+		// wait ends cleanly instead of leaving the process hanging.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-ctx.Done()
+			ln.Close()
+		}()
 		log.Printf("waiting for a dataset stream on %s", ln.Addr())
 		conn, aerr := ln.Accept()
+		interrupted := ctx.Err() != nil // before stop(), which also cancels ctx
+		stop()
 		ln.Close()
 		if aerr != nil {
+			if interrupted {
+				log.Fatal("interrupted while waiting for a dataset stream")
+			}
 			log.Fatal(aerr)
 		}
 		d, err = obs.Decode(conn)
@@ -126,7 +140,11 @@ func cdnlogDemo(edges, days, ases int, listen, replay string) {
 	agg := cdnlog.NewAggregator(days)
 	col := cdnlog.NewCollector(agg)
 	col.OnError = func(err error) { log.Printf("collector stream error: %v", err) }
-	addr, err := col.Listen(listen)
+	// A signal stops the accept loop cleanly; Close below then drains
+	// whatever connections are still in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	addr, err := col.ListenContext(ctx, listen)
 	if err != nil {
 		log.Fatal(err)
 	}

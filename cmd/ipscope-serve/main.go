@@ -1,0 +1,219 @@
+// Command ipscope-serve is the serving tier of the pipeline: it
+// compiles an observation dataset into a query index and answers
+// per-address / per-/24 / per-prefix / per-AS questions over an HTTP
+// JSON API, without ever paying the batch-report cost on the request
+// path.
+//
+//	-dataset FILE     serve a stored observation dataset (ipscope-gen
+//	                  -dataset FILE produces one); without it a world is
+//	                  simulated in-process from -seed/-ases/... flags
+//	-listen ADDR      bind address (default 127.0.0.1:8090; :0 picks an
+//	                  ephemeral port, printed on startup)
+//	-cache N          response cache capacity (0 = default, -1 = off)
+//	-access-log FILE  structured JSON access log ("-" = stderr)
+//	-workers N        index build fan-out (<=0 = GOMAXPROCS; the index
+//	                  is identical for any value)
+//	-selfcheck        start on an ephemeral port, probe every endpoint
+//	                  over real HTTP, verify responses against the
+//	                  index, then exit (CI smoke mode)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests drain before the process exits.
+//
+// Endpoints: /v1/addr/{ip}, /v1/block/{prefix24}, /v1/prefix/{cidr},
+// /v1/as/{asn}, /v1/summary, /v1/healthz.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
+	"ipscope/internal/query"
+	"ipscope/internal/serve"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ipscope-serve: ")
+
+	dataset := flag.String("dataset", "", "serve a stored observation dataset")
+	listen := flag.String("listen", "127.0.0.1:8090", "HTTP listen address")
+	cacheSize := flag.Int("cache", 0, "response cache capacity (0 = default, negative = disabled)")
+	accessLog := flag.String("access-log", "", `structured access log file ("-" = stderr)`)
+	workers := flag.Int("workers", 0, "index build workers (<=0 = GOMAXPROCS)")
+	selfcheck := flag.Bool("selfcheck", false, "probe every endpoint over HTTP and exit")
+	seed := flag.Uint64("seed", 1, "world seed (no -dataset)")
+	ases := flag.Int("ases", 300, "number of autonomous systems (no -dataset)")
+	blocksPerAS := flag.Int("blocks-per-as", 12, "mean /24 blocks per AS (no -dataset)")
+	days := flag.Int("days", 364, "simulated days (no -dataset)")
+	flag.Parse()
+
+	start := time.Now()
+	var src obs.Source
+	if *dataset != "" {
+		log.Printf("loading dataset %s...", *dataset)
+		src = obs.FileSource(*dataset)
+	} else {
+		log.Printf("no -dataset: generating world (%d ASes) and simulating %d days...", *ases, *days)
+		w := synthnet.Generate(synthnet.Config{Seed: *seed, NumASes: *ases, MeanBlocksPerAS: *blocksPerAS})
+		scfg := sim.DefaultConfig()
+		scfg.Days = *days
+		res := sim.Run(w, scfg)
+		src = &res.Data
+	}
+	idx, err := query.Build(src, query.Options{Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("index ready in %v: %d active /24 blocks, %d-day window",
+		time.Since(start).Round(time.Millisecond), idx.NumBlocks(), idx.DailyLen())
+
+	cfg := serve.Config{CacheSize: *cacheSize}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	srv := serve.New(idx, cfg)
+
+	bind := *listen
+	if *selfcheck {
+		bind = "127.0.0.1:0"
+	}
+	addr, err := srv.Listen(bind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s", addr)
+
+	if *selfcheck {
+		err := runSelfcheck(idx, "http://"+addr.String())
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(sctx); err == nil {
+			err = serr
+		}
+		if err != nil {
+			log.Fatalf("selfcheck: %v", err)
+		}
+		hits, misses, _ := srv.CacheStats()
+		log.Printf("selfcheck passed (cache: %d hits, %d misses)", hits, misses)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("signal received; draining in-flight requests...")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// runSelfcheck probes every endpoint over real HTTP and verifies the
+// JSON responses against the index the server was built from — the
+// same source of truth the batch report uses (the serve test suite
+// proves that identity), so CI can assert the full pipeline without
+// parsing report text.
+func runSelfcheck(idx *query.Index, base string) error {
+	getJSON := func(path string, out any) error {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return json.Unmarshal(body, out)
+	}
+
+	if idx.NumBlocks() == 0 {
+		return fmt.Errorf("index has no blocks")
+	}
+	blk := idx.Blocks()[idx.NumBlocks()/2]
+	want, _ := idx.Block(blk)
+
+	var gotBlock query.BlockView
+	if err := getJSON("/v1/block/"+blk.String(), &gotBlock); err != nil {
+		return err
+	}
+	if gotBlock != want {
+		return fmt.Errorf("/v1/block/%v = %+v, index says %+v", blk, gotBlock, want)
+	}
+
+	var gotAddr query.AddrView
+	addr := blk.Addr(0)
+	if err := getJSON("/v1/addr/"+addr.String(), &gotAddr); err != nil {
+		return err
+	}
+	if wantAddr := idx.Addr(addr); gotAddr != wantAddr {
+		return fmt.Errorf("/v1/addr/%v = %+v, index says %+v", addr, gotAddr, wantAddr)
+	}
+
+	var gotPrefix query.PrefixView
+	p := ipv4.MustNewPrefix(blk.First(), 20)
+	if err := getJSON("/v1/prefix/"+p.String(), &gotPrefix); err != nil {
+		return err
+	}
+	if gotPrefix.ActiveBlocks == 0 {
+		return fmt.Errorf("/v1/prefix/%v reports no active blocks", p)
+	}
+
+	var gotAS query.ASView
+	if err := getJSON(fmt.Sprintf("/v1/as/AS%d", want.AS), &gotAS); err != nil {
+		return err
+	}
+	if gotAS.ActiveBlocks == 0 {
+		return fmt.Errorf("/v1/as/AS%d reports no active blocks", want.AS)
+	}
+
+	var gotSummary query.Summary
+	if err := getJSON("/v1/summary", &gotSummary); err != nil {
+		return err
+	}
+	if gotSummary != idx.Summary() {
+		return fmt.Errorf("/v1/summary = %+v, index says %+v", gotSummary, idx.Summary())
+	}
+
+	var health map[string]any
+	if err := getJSON("/v1/healthz", &health); err != nil {
+		return err
+	}
+	if health["status"] != "ok" {
+		return fmt.Errorf("/v1/healthz = %v", health)
+	}
+
+	// Second pass over one endpoint must be served from cache.
+	if err := getJSON("/v1/block/"+blk.String(), &gotBlock); err != nil {
+		return err
+	}
+	return nil
+}

@@ -74,25 +74,10 @@ func (c *Context) ASOf(blk ipv4.Block) bgp.ASN { return c.World.ASOf(blk) }
 
 // CDNMonth returns the CDN's active set over the month that the ICMP
 // campaign ran (the paper compares a full month of CDN logs against
-// 8 ICMP snapshots, Section 3.2).
+// 8 ICMP snapshots, Section 3.2). The window definition lives on
+// obs.Data so the serving layer shares it.
 func (c *Context) CDNMonth() *ipv4.Set {
-	cfg := c.Obs.Meta.Run
-	if len(cfg.ICMPScanDays) == 0 {
-		return c.Obs.DailyWindowUnion()
-	}
-	first := cfg.ICMPScanDays[0]
-	last := cfg.ICMPScanDays[len(cfg.ICMPScanDays)-1]
-	// Expand to a full month around the scans, clamped to the window.
-	from := first - cfg.DailyStart
-	to := last - cfg.DailyStart + 1
-	if span := to - from; span < 28 {
-		from -= (28 - span) / 2
-		to = from + 28
-	}
-	if from < 0 {
-		from = 0
-	}
-	return core.WindowUnion(c.Obs.Daily, from, to)
+	return c.Obs.CampaignMonthUnion()
 }
 
 // TrafficIter adapts the dataset's per-address traffic aggregates to

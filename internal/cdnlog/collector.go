@@ -29,11 +29,13 @@ type Collector struct {
 	// Close itself are not reported.
 	OnError func(error)
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	err    error
-	closed bool
+	ln       net.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	err      error
+	closed   bool
+	stop     chan struct{} // closed by Close to release the ctx watcher
+	stopOnce sync.Once
 }
 
 // NewCollector creates a collector over agg.
@@ -42,14 +44,44 @@ func NewCollector(agg *Aggregator) *Collector { return &Collector{Agg: agg} }
 // Listen starts accepting connections on addr ("127.0.0.1:0" for an
 // ephemeral port) and returns the bound address.
 func (c *Collector) Listen(addr string) (net.Addr, error) {
+	return c.ListenContext(context.Background(), addr)
+}
+
+// ListenContext is Listen with a lifecycle bound to ctx: when ctx is
+// canceled the accept loop stops cleanly, exactly as if Close had been
+// called, so a collector wired to a signal context cannot leak its
+// accepting goroutine on exit. In-flight connections still drain;
+// call Close to wait for them.
+func (c *Collector) ListenContext(ctx context.Context, addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c.ln = ln
+	c.stop = make(chan struct{})
+	if ctx.Done() != nil {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			select {
+			case <-ctx.Done():
+				c.stopAccepting()
+			case <-c.stop:
+			}
+		}()
+	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return ln.Addr(), nil
+}
+
+// stopAccepting marks the collector as shutting down and closes the
+// listener, unblocking the accept loop without reporting its error.
+func (c *Collector) stopAccepting() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.ln.Close()
 }
 
 func (c *Collector) acceptLoop() {
@@ -126,13 +158,19 @@ func (c *Collector) serve(conn net.Conn) {
 }
 
 // Close stops accepting and waits for in-flight connections to drain.
-// It returns the first stream error observed, if any.
+// It returns the first stream error observed, if any. Close is also the
+// rendezvous after a context cancellation: ListenContext's watcher has
+// already stopped the accept loop, and Close waits for the remaining
+// connection goroutines.
 func (c *Collector) Close() error {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
 	if c.ln != nil {
 		c.ln.Close()
+	}
+	if c.stop != nil {
+		c.stopOnce.Do(func() { close(c.stop) })
 	}
 	c.wg.Wait()
 	c.mu.Lock()

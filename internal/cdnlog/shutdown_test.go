@@ -1,0 +1,95 @@
+package cdnlog
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"ipscope/internal/ipv4"
+)
+
+// TestCollectorContextShutdown proves a context cancellation stops the
+// accept loop cleanly: records delivered before the cancel survive, new
+// connections are refused, Close drains without an error, and the
+// collector's goroutines are gone afterwards.
+func TestCollectorContextShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	agg := NewAggregator(3)
+	col := NewCollector(agg)
+	ctx, cancel := context.WithCancel(context.Background())
+	addr, err := col.ListenContext(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edge, err := DialEdge(context.Background(), addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Log(Record{Addr: ipv4.MustParseAddr("10.0.0.1"), Day: 0, Hits: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Close(); err != nil { // waits for the delivery ack
+		t.Fatal(err)
+	}
+
+	cancel()
+
+	// The accept loop must stop: new connections are refused once the
+	// listener closes (poll briefly, cancellation is asynchronous).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr.String(), 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("collector still accepting after context cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Cancellation is not an error condition.
+	if err := col.Close(); err != nil {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+	if err := col.Err(); err != nil {
+		t.Fatalf("Err after cancel: %v", err)
+	}
+	if got := agg.TotalHits(); got != 2 {
+		t.Fatalf("pre-cancel records lost: TotalHits = %d, want 2", got)
+	}
+
+	// Every collector goroutine (watcher, accept loop, per-connection
+	// servers) must have exited.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCollectorCloseIdempotentWithContext checks Close after a cancel
+// (and a second Close) stays clean.
+func TestCollectorCloseIdempotentWithContext(t *testing.T) {
+	col := NewCollector(NewAggregator(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, err := col.ListenContext(ctx, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := col.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"ipscope/internal/bgp"
+	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/synthnet"
 	"ipscope/internal/useragent"
@@ -363,6 +364,29 @@ func (d *Data) YearUnion() *ipv4.Set {
 // ICMPUnion returns the union of all ICMP campaign snapshots.
 func (d *Data) ICMPUnion() *ipv4.Set {
 	return ipv4.UnionAll(d.ICMPScans, d.Meta.Run.Workers)
+}
+
+// CampaignMonthUnion returns the set of addresses active during the
+// month the ICMP campaign ran: the scan window expanded symmetrically
+// to at least 28 days, clamped to the daily window (the paper compares
+// a full month of CDN logs against 8 ICMP snapshots, Section 3.2).
+// Both the batch report's visibility/recapture experiments and the
+// query index's summary use this one definition, which is what keeps
+// their numbers field-identical.
+func (d *Data) CampaignMonthUnion() *ipv4.Set {
+	cfg := d.Meta.Run
+	if len(cfg.ICMPScanDays) == 0 {
+		return d.DailyWindowUnion()
+	}
+	first := cfg.ICMPScanDays[0]
+	last := cfg.ICMPScanDays[len(cfg.ICMPScanDays)-1]
+	from := first - cfg.DailyStart
+	to := last - cfg.DailyStart + 1
+	if span := to - from; span < 28 {
+		from -= (28 - span) / 2
+		to = from + 28
+	}
+	return core.WindowUnion(d.Daily, from, to)
 }
 
 // TrafficBlocks returns the blocks with traffic aggregates in ascending

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// canonical returns the dataset's canonical encoding, the equality
+// witness for the scenario edge-case tests: equal datasets encode to
+// identical bytes.
+func canonical(t *testing.T, d *Data) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTruncateWindowLongerThanRun(t *testing.T) {
+	d := sampleData(t, 11)
+	if got := d.TruncateWindow(len(d.Daily)); got != d {
+		t.Error("n == window length should be the identity")
+	}
+	if got := d.TruncateWindow(len(d.Daily) + 50); got != d {
+		t.Error("n beyond the window should be the identity")
+	}
+	if got := d.TruncateWindow(0); got != d {
+		t.Error("n == 0 should be the identity")
+	}
+	if got := d.TruncateWindow(-3); got != d {
+		t.Error("negative n should be the identity")
+	}
+}
+
+func TestTruncateWindowIdempotent(t *testing.T) {
+	d := sampleData(t, 12)
+	n := len(d.Daily) / 2
+	once := d.TruncateWindow(n)
+	twice := once.TruncateWindow(n)
+	if !bytes.Equal(canonical(t, once), canonical(t, twice)) {
+		t.Error("re-applying the same truncation changed the dataset")
+	}
+
+	// Composition: truncating in two steps equals truncating once to the
+	// smaller window (per-address hit scaling multiplies through).
+	small := n / 2
+	direct := d.TruncateWindow(small)
+	stepped := d.TruncateWindow(n).TruncateWindow(small)
+	if !bytes.Equal(canonical(t, direct), canonical(t, stepped)) {
+		t.Error("truncate(n1) then truncate(n2) differs from truncate(n2)")
+	}
+}
+
+func TestSubsampleVantageZeroFraction(t *testing.T) {
+	d := sampleData(t, 13)
+	for _, frac := range []float64{0, -0.5} {
+		got := d.SubsampleVantage(frac, 7)
+		if got == d {
+			t.Fatalf("frac=%v should not be the identity", frac)
+		}
+		for i, s := range got.Daily {
+			if s.Len() != 0 {
+				t.Fatalf("frac=%v: day %d kept %d addresses", frac, i, s.Len())
+			}
+		}
+		if got.YearUnion().Len() != 0 || got.ICMPUnion().Len() != 0 {
+			t.Errorf("frac=%v: weekly/ICMP sets not empty", frac)
+		}
+		if got.ServerSet.Len() != 0 || got.RouterSet.Len() != 0 {
+			t.Errorf("frac=%v: scan surfaces not empty", frac)
+		}
+		if len(got.Traffic) != 0 || len(got.UA) != 0 {
+			t.Errorf("frac=%v: kept %d traffic / %d UA blocks",
+				frac, len(got.Traffic), len(got.UA))
+		}
+		for i, h := range got.DailyTotalHits {
+			if h != 0 {
+				t.Fatalf("frac=%v: day %d total hits %v, want 0", frac, i, h)
+			}
+		}
+	}
+}
+
+func TestSubsampleVantageIdempotent(t *testing.T) {
+	d := sampleData(t, 14)
+	once := d.SubsampleVantage(0.5, 42)
+	twice := once.SubsampleVantage(0.5, 42)
+	if !bytes.Equal(canonical(t, once), canonical(t, twice)) {
+		t.Error("re-applying the same subsample changed the dataset")
+	}
+}

@@ -1,0 +1,219 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/cdnlog"
+	"ipscope/internal/core"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
+	"ipscope/internal/par"
+	"ipscope/internal/rdns"
+	"ipscope/internal/synthnet"
+)
+
+// Build compiles src into an Index. The world is regenerated
+// deterministically from the dataset's embedded configuration, exactly
+// as the batch analysis side does, so a stored dataset file is all a
+// serving node needs.
+func Build(src obs.Source, opts Options) (*Index, error) {
+	d, err := src.Observations()
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Daily) == 0 {
+		return nil, fmt.Errorf("query: dataset has no daily window")
+	}
+	world := synthnet.Generate(d.Meta.World)
+	w := opts.Workers
+
+	x := &Index{
+		meta:    metaInfo{seed: world.Seed, numASes: len(world.ASes)},
+		days:    len(d.Daily),
+		words:   (len(d.Daily) + 63) / 64,
+		routing: world.BaseRouting,
+		world:   world,
+		icmp:    d.ICMPUnion(),
+		servers: orEmpty(d.ServerSet),
+		routers: orEmpty(d.RouterSet),
+	}
+
+	// rDNS classification for every world block (not just active ones:
+	// /v1/addr enriches unallocated-but-routed space too). Zone
+	// classification is pure per block, so the fan-out cannot change the
+	// result.
+	pairs := par.Map(len(world.Blocks), w, func(i int) rdns.BlockTag {
+		b := world.Blocks[i]
+		return rdns.BlockTag{
+			Block: b.Block,
+			Tag:   rdns.ClassifyZone(world.RDNSZone(b), 0.6),
+		}
+	})
+	x.tags = rdns.NewTagIndex(pairs)
+
+	// Per-/24 records in ascending block order. Each block compiles from
+	// its own slice of the dataset into a preallocated slot, so shard
+	// boundaries cannot reorder anything.
+	dailyUnion := ipv4.UnionAll(d.Daily, w)
+	x.keys = dailyUnion.Blocks()
+	x.blocks = par.Map(len(x.keys), w, func(i int) blockData {
+		return x.compileBlock(d, x.keys[i])
+	})
+
+	x.buildAS()
+	x.buildSummary(d, dailyUnion)
+	return x, nil
+}
+
+func orEmpty(s *ipv4.Set) *ipv4.Set {
+	if s == nil {
+		return ipv4.NewSet()
+	}
+	return s
+}
+
+// compileBlock builds one block's packed record: a pure function of the
+// dataset, independent of every other block.
+func (x *Index) compileBlock(d *obs.Data, blk ipv4.Block) blockData {
+	bd := blockData{
+		blk:       blk,
+		timelines: make([]uint64, 256*x.words),
+	}
+
+	var union ipv4.Bitmap256
+	activeDays := 0
+	addrDays := 0
+	for day, s := range d.Daily {
+		bm := s.BlockBitmap(blk)
+		if bm == nil || bm.IsEmpty() {
+			continue
+		}
+		activeDays++
+		addrDays += bm.Count()
+		union.UnionWith(bm)
+		word, bit := day/64, uint(day%64)
+		bm.ForEach(func(h byte) {
+			bd.timelines[int(h)*x.words+word] |= 1 << bit
+		})
+	}
+
+	v := &bd.view
+	v.Block = blk.String()
+	v.FD = union.Count()
+	v.STU = float64(addrDays) / float64(len(d.Daily)*256)
+	v.ActiveDays = activeDays
+
+	if bt := d.Traffic[blk]; bt != nil {
+		t := &blockTraffic{}
+		for h := 0; h < 256; h++ {
+			t.daysActive[h] = bt.DaysActive[h]
+			t.hits[h] = bt.Hits[h]
+			v.TotalHits += bt.Hits[h]
+		}
+		bd.traffic = t
+	}
+	if ua := d.UA[blk]; ua != nil {
+		v.UASamples = ua.Samples
+		v.UAUnique = ua.Unique()
+	}
+
+	e := x.joinBlock(blk)
+	v.AS = e.as
+	v.Prefix = e.prefix
+	v.Country = e.country
+	v.RIR = e.rir
+	v.Pattern = e.pattern
+	v.RDNS = e.rdns
+	return bd
+}
+
+// buildAS folds the per-block records into per-AS footprints. Blocks
+// are walked in ascending order, so each AS's float accumulation order
+// is fixed regardless of build workers.
+func (x *Index) buildAS() {
+	x.byAS = make(map[bgp.ASN]*ASView, len(x.world.ASes))
+	for _, as := range x.world.ASes {
+		v := &ASView{
+			AS:      uint32(as.Num),
+			Kind:    as.Kind.String(),
+			Country: string(as.Country),
+			RIR:     as.RIR.String(),
+		}
+		for _, p := range as.Prefixes {
+			v.Prefixes = append(v.Prefixes, p.String())
+			v.RoutedBlocks += p.NumBlocks()
+		}
+		x.byAS[as.Num] = v
+	}
+	for i := range x.blocks {
+		bd := &x.blocks[i]
+		v, ok := x.byAS[bgp.ASN(bd.view.AS)]
+		if !ok {
+			// Activity in space the base table does not route (AS 0).
+			v = &ASView{AS: bd.view.AS, Kind: "unrouted", RIR: bd.view.RIR}
+			x.byAS[bgp.ASN(bd.view.AS)] = v
+		}
+		v.ActiveBlocks++
+		v.ActiveAddrs += bd.view.FD
+		v.TotalHits += bd.view.TotalHits
+	}
+	x.asNums = make([]bgp.ASN, 0, len(x.byAS))
+	for as := range x.byAS {
+		x.asNums = append(x.asNums, as)
+	}
+	sort.Slice(x.asNums, func(i, j int) bool { return x.asNums[i] < x.asNums[j] })
+}
+
+// buildSummary computes the dataset-level aggregates. Every number here
+// must stay field-identical to the batch report's (the serve tests
+// cross-check them), so it reuses the same internal/core and
+// internal/cdnlog machinery the analysis drivers call.
+func (x *Index) buildSummary(d *obs.Data, dailyUnion *ipv4.Set) {
+	run := d.Meta.Run
+	s := Summary{
+		Seed:         x.meta.seed,
+		NumASes:      x.meta.numASes,
+		WorldBlocks:  x.world.NumBlocks(),
+		Days:         run.Days,
+		DailyStart:   run.DailyStart,
+		DailyLen:     len(d.Daily),
+		Weeks:        len(d.Weekly),
+		ActiveBlocks: len(x.keys),
+		DailyUnion:   dailyUnion.Len(),
+		YearUnion:    d.YearUnion().Len(),
+		ICMPUnion:    x.icmp.Len(),
+		Daily:        cdnlog.Summarize(d.Daily, x.world.ASOf),
+		Weekly:       cdnlog.Summarize(d.Weekly, x.world.ASOf),
+	}
+
+	// Capture–recapture over the CDN month vs the ICMP union, with the
+	// same month window the batch RecaptureEstimate uses.
+	cdn := d.CampaignMonthUnion()
+	if est, err := core.RecaptureSets(cdn, x.icmp); err == nil {
+		s.Recapture = RecaptureSummary{
+			Valid: true, N1: est.N1, N2: est.N2, Both: est.Both,
+			LP: est.LincolnPetersen, Chapman: est.Chapman, SE: est.SE,
+			CI95Lo: est.CI95Lo, CI95Hi: est.CI95Hi,
+		}
+	}
+
+	// Daily churn series (Figure 4's raw material).
+	churn := core.ChurnSeries(d.Daily)
+	var upSum, upPct, downPct float64
+	for _, p := range churn {
+		upSum += float64(p.Up)
+		upPct += p.UpPct
+		downPct += p.DownPct
+	}
+	if n := len(churn); n > 0 {
+		s.Churn.MeanDailyUpEvents = upSum / float64(n)
+		s.Churn.MeanDailyUpPct = upPct / float64(n)
+		s.Churn.MeanDailyDownPct = downPct / float64(n)
+	}
+	if vs := core.VersusBaseline(d.Weekly); len(vs) > 0 && d.Weekly[0].Len() > 0 {
+		s.Churn.YearChurnFrac = float64(vs[len(vs)-1].Appear) / float64(d.Weekly[0].Len())
+	}
+	x.summary = s
+}

@@ -1,0 +1,397 @@
+// Package query compiles an observation dataset (any obs.Source) into
+// an immutable indexed view that answers per-address, per-/24,
+// per-prefix and per-AS questions in microseconds — the read path
+// behind cmd/ipscope-serve. Where the batch pipeline (internal/analysis)
+// regenerates whole reports, a query.Index pays the analysis cost once
+// at build time and then serves point lookups from packed structures:
+//
+//   - per-address activity timelines packed as day-bitsets (one bit per
+//     day of the daily window);
+//   - per-/24 rollups of FD, STU, traffic, UA sampling and the rDNS /
+//     ground-truth pattern class;
+//   - longest-prefix-match routing joins (internal/bgp) and registry
+//     enrichment (internal/registry) for any address, active or not;
+//   - dataset-level capture–recapture and churn summaries reusing
+//     internal/core, field-identical to the batch report's numbers.
+//
+// Determinism rule: index construction fans out across internal/par
+// shards but every per-block computation is a pure function of the
+// dataset written to a preallocated slot, and every floating-point
+// accumulation walks blocks in ascending block order — so an index
+// built from the same dataset is identical for any Options.Workers,
+// including 1 (enforced by TestBuildParallelEquivalence).
+package query
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/cdnlog"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/rdns"
+	"ipscope/internal/registry"
+	"ipscope/internal/synthnet"
+)
+
+// Options controls index construction.
+type Options struct {
+	// Workers bounds the build fan-out; <= 0 means GOMAXPROCS. The
+	// resulting index is identical for any value.
+	Workers int
+}
+
+// Index is the immutable compiled view. All lookup methods are safe for
+// concurrent use: nothing is mutated after Build returns.
+type Index struct {
+	meta    metaInfo
+	days    int // daily window length
+	words   int // uint64 words per packed per-address timeline
+	keys    []ipv4.Block
+	blocks  []blockData // parallel to keys, ascending block order
+	asNums  []bgp.ASN   // sorted
+	byAS    map[bgp.ASN]*ASView
+	routing *bgp.Table
+	world   *synthnet.World
+	tags    *rdns.TagIndex
+	summary Summary
+	icmp    *ipv4.Set
+	servers *ipv4.Set
+	routers *ipv4.Set
+}
+
+type metaInfo struct {
+	seed    uint64
+	numASes int
+}
+
+// blockData is the per-/24 index record: the serving view plus the
+// packed per-address structures backing address lookups.
+type blockData struct {
+	view BlockView
+	blk  ipv4.Block
+	// timelines holds 256 packed day-bitsets, words uint64 each:
+	// bit d of timelines[h*words+d/64] is set iff host h was active on
+	// day d of the daily window.
+	timelines []uint64
+	// hits/daysActive are shared with the dataset (never mutated).
+	traffic *blockTraffic
+}
+
+// blockTraffic mirrors obs.BlockTraffic without importing it into every
+// view; populated by Build from the dataset's aggregates.
+type blockTraffic struct {
+	daysActive [256]uint16
+	hits       [256]float64
+}
+
+// BlockView is the /v1/block response payload: one /24's rollup.
+type BlockView struct {
+	Block      string  `json:"block"`
+	AS         uint32  `json:"as"`
+	Prefix     string  `json:"prefix,omitempty"`
+	Country    string  `json:"country,omitempty"`
+	RIR        string  `json:"rir"`
+	RDNS       string  `json:"rdns"`
+	Pattern    string  `json:"pattern"`
+	FD         int     `json:"fd"`
+	STU        float64 `json:"stu"`
+	ActiveDays int     `json:"activeDays"`
+	TotalHits  float64 `json:"totalHits"`
+	UASamples  int     `json:"uaSamples"`
+	UAUnique   float64 `json:"uaUnique"`
+}
+
+// AddrView is the /v1/addr response payload: one address's activity
+// timeline plus its block, routing and registry enrichment.
+type AddrView struct {
+	Addr          string  `json:"addr"`
+	Block         string  `json:"block"`
+	AS            uint32  `json:"as"`
+	Prefix        string  `json:"prefix,omitempty"`
+	Country       string  `json:"country,omitempty"`
+	RIR           string  `json:"rir"`
+	RDNS          string  `json:"rdns"`
+	Pattern       string  `json:"pattern,omitempty"`
+	Active        bool    `json:"active"`
+	ActiveDays    int     `json:"activeDays"`
+	FirstDay      int     `json:"firstDay"`
+	LastDay       int     `json:"lastDay"`
+	Timeline      string  `json:"timeline,omitempty"`
+	Hits          float64 `json:"hits"`
+	MeanDailyHits float64 `json:"meanDailyHits"`
+	ICMPResponder bool    `json:"icmpResponder"`
+	Server        bool    `json:"server"`
+	Router        bool    `json:"router"`
+}
+
+// PrefixView is the /v1/prefix response payload: an aggregate over the
+// /24 blocks a CIDR covers.
+type PrefixView struct {
+	Prefix       string      `json:"prefix"`
+	Blocks       int         `json:"blocks"`
+	ActiveBlocks int         `json:"activeBlocks"`
+	ActiveAddrs  int         `json:"activeAddrs"`
+	MeanSTU      float64     `json:"meanSTU"`
+	TotalHits    float64     `json:"totalHits"`
+	Origins      []uint32    `json:"origins"`
+	BlockList    []BlockView `json:"blockList,omitempty"`
+	Truncated    bool        `json:"truncated,omitempty"`
+}
+
+// ASView is the /v1/as response payload: one origin AS's footprint.
+type ASView struct {
+	AS           uint32   `json:"as"`
+	Kind         string   `json:"kind"`
+	Country      string   `json:"country,omitempty"`
+	RIR          string   `json:"rir"`
+	Prefixes     []string `json:"prefixes"`
+	RoutedBlocks int      `json:"routedBlocks"`
+	ActiveBlocks int      `json:"activeBlocks"`
+	ActiveAddrs  int      `json:"activeAddrs"`
+	TotalHits    float64  `json:"totalHits"`
+}
+
+// ChurnSummary condenses the dataset's daily churn series (the numbers
+// behind the batch report's Figure 4).
+type ChurnSummary struct {
+	// MeanDailyUpEvents is the mean number of up events per daily
+	// transition, identical to the batch report's Figure 4 headline.
+	MeanDailyUpEvents float64 `json:"meanDailyUpEvents"`
+	// MeanDailyUpPct / MeanDailyDownPct are the mean churn percentages
+	// across daily transitions.
+	MeanDailyUpPct   float64 `json:"meanDailyUpPct"`
+	MeanDailyDownPct float64 `json:"meanDailyDownPct"`
+	// YearChurnFrac is |appear at last week vs week 0| / |week 0|.
+	YearChurnFrac float64 `json:"yearChurnFrac"`
+}
+
+// RecaptureSummary is the capture–recapture estimate over the CDN month
+// and the ICMP campaign union, field-identical to the batch report's.
+type RecaptureSummary struct {
+	Valid   bool    `json:"valid"`
+	N1      int     `json:"n1"`
+	N2      int     `json:"n2"`
+	Both    int     `json:"both"`
+	LP      float64 `json:"lincolnPetersen"`
+	Chapman float64 `json:"chapman"`
+	SE      float64 `json:"se"`
+	CI95Lo  float64 `json:"ci95Lo"`
+	CI95Hi  float64 `json:"ci95Hi"`
+}
+
+// Summary is the /v1/summary response payload: dataset identity and the
+// cross-dataset aggregates.
+type Summary struct {
+	Seed         uint64                `json:"seed"`
+	NumASes      int                   `json:"numASes"`
+	WorldBlocks  int                   `json:"worldBlocks"`
+	Days         int                   `json:"days"`
+	DailyStart   int                   `json:"dailyStart"`
+	DailyLen     int                   `json:"dailyLen"`
+	Weeks        int                   `json:"weeks"`
+	ActiveBlocks int                   `json:"activeBlocks"`
+	DailyUnion   int                   `json:"dailyUnion"`
+	YearUnion    int                   `json:"yearUnion"`
+	ICMPUnion    int                   `json:"icmpUnion"`
+	Daily        cdnlog.DatasetSummary `json:"daily"`
+	Weekly       cdnlog.DatasetSummary `json:"weekly"`
+	Recapture    RecaptureSummary      `json:"recapture"`
+	Churn        ChurnSummary          `json:"churn"`
+}
+
+// NumBlocks returns the number of indexed (active) /24 blocks.
+func (x *Index) NumBlocks() int { return len(x.keys) }
+
+// DailyLen returns the length of the indexed daily window.
+func (x *Index) DailyLen() int { return x.days }
+
+// Summary returns the dataset-level aggregates.
+func (x *Index) Summary() Summary { return x.summary }
+
+// blockIndex binary-searches the sorted key array.
+func (x *Index) blockIndex(blk ipv4.Block) (int, bool) {
+	i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= blk })
+	if i == len(x.keys) || x.keys[i] != blk {
+		return i, false
+	}
+	return i, true
+}
+
+// Block returns the rollup view for blk; ok is false when the block had
+// no activity in the daily window.
+func (x *Index) Block(blk ipv4.Block) (BlockView, bool) {
+	i, ok := x.blockIndex(blk)
+	if !ok {
+		return BlockView{}, false
+	}
+	return x.blocks[i].view, true
+}
+
+// Blocks returns the sorted list of indexed blocks.
+func (x *Index) Blocks() []ipv4.Block { return x.keys }
+
+// enrichment is the routing/registry/world/rDNS join for one block,
+// shared by the address and block views so the two endpoints cannot
+// drift on defaults.
+type enrichment struct {
+	as      uint32
+	prefix  string
+	country string
+	rir     string
+	pattern string
+	rdns    string
+}
+
+// joinBlock computes the enrichment for any block, active or not.
+func (x *Index) joinBlock(blk ipv4.Block) enrichment {
+	e := enrichment{rir: registry.ARIN.String()} // unattributed space reports ARIN
+	if r, ok := x.routing.Lookup(blk.First()); ok {
+		e.as = uint32(r.Origin)
+		e.prefix = r.Prefix.String()
+	}
+	if a, ok := x.world.Registry.LookupBlock(blk); ok {
+		e.country = string(a.Country)
+		e.rir = a.RIR.String()
+	}
+	if info, ok := x.world.BlockInfo(blk); ok {
+		e.pattern = info.Policy.String()
+	}
+	tag, _ := x.tags.Lookup(blk) // a miss reports Untagged
+	e.rdns = tag.String()
+	return e
+}
+
+// Addr returns the per-address view for a. The view is always
+// well-formed; Active reports whether the address appeared in the daily
+// window.
+func (x *Index) Addr(a ipv4.Addr) AddrView {
+	blk := a.Block()
+	e := x.joinBlock(blk)
+	v := AddrView{
+		Addr:     a.String(),
+		Block:    blk.String(),
+		AS:       e.as,
+		Prefix:   e.prefix,
+		Country:  e.country,
+		RIR:      e.rir,
+		Pattern:  e.pattern,
+		RDNS:     e.rdns,
+		FirstDay: -1,
+		LastDay:  -1,
+	}
+	v.ICMPResponder = x.icmp.Contains(a)
+	v.Server = x.servers.Contains(a)
+	v.Router = x.routers.Contains(a)
+
+	i, ok := x.blockIndex(blk)
+	if !ok {
+		return v
+	}
+	bd := &x.blocks[i]
+	h := int(a.Host())
+	tl := bd.timelines[h*x.words : (h+1)*x.words]
+	days := 0
+	for _, w := range tl {
+		days += bits.OnesCount64(w)
+	}
+	if days == 0 {
+		return v
+	}
+	v.Active = true
+	v.ActiveDays = days
+	v.FirstDay = firstBit(tl)
+	v.LastDay = lastBit(tl)
+	v.Timeline = timelineHex(tl)
+	if bd.traffic != nil {
+		v.Hits = bd.traffic.hits[h]
+		if da := int(bd.traffic.daysActive[h]); da > 0 {
+			v.MeanDailyHits = bd.traffic.hits[h] / float64(da)
+		}
+	}
+	return v
+}
+
+// Prefix aggregates the indexed blocks covered by p. maxBlocks caps the
+// embedded per-block list (0 = no list); the aggregate always covers
+// every active block. Prefixes shorter than /8 are rejected to bound
+// response size.
+func (x *Index) Prefix(p ipv4.Prefix, maxBlocks int) (PrefixView, error) {
+	if p.Bits() < 8 {
+		return PrefixView{}, fmt.Errorf("query: prefix %v too broad (min /8)", p)
+	}
+	v := PrefixView{Prefix: p.String(), Blocks: p.NumBlocks()}
+	first := uint32(p.FirstBlock())
+	last := first + uint32(p.NumBlocks()) - 1
+	lo, _ := x.blockIndex(ipv4.Block(first))
+	origins := map[uint32]bool{}
+	stuSum := 0.0
+	for i := lo; i < len(x.keys) && uint32(x.keys[i]) <= last; i++ {
+		bd := &x.blocks[i]
+		v.ActiveBlocks++
+		v.ActiveAddrs += bd.view.FD
+		v.TotalHits += bd.view.TotalHits
+		stuSum += bd.view.STU
+		origins[bd.view.AS] = true
+		if maxBlocks > 0 && len(v.BlockList) < maxBlocks {
+			v.BlockList = append(v.BlockList, bd.view)
+		} else if maxBlocks > 0 {
+			v.Truncated = true
+		}
+	}
+	if v.ActiveBlocks > 0 {
+		v.MeanSTU = stuSum / float64(v.ActiveBlocks)
+	}
+	v.Origins = make([]uint32, 0, len(origins))
+	for as := range origins {
+		v.Origins = append(v.Origins, as)
+	}
+	sort.Slice(v.Origins, func(i, j int) bool { return v.Origins[i] < v.Origins[j] })
+	return v, nil
+}
+
+// AS returns the footprint view for asn.
+func (x *Index) AS(asn bgp.ASN) (ASView, bool) {
+	v, ok := x.byAS[asn]
+	if !ok {
+		return ASView{}, false
+	}
+	return *v, true
+}
+
+// ASNs returns the sorted origin ASNs with indexed activity.
+func (x *Index) ASNs() []bgp.ASN { return x.asNums }
+
+// firstBit returns the index of the lowest set bit across words.
+func firstBit(words []uint64) int {
+	for i, w := range words {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// lastBit returns the index of the highest set bit across words.
+func lastBit(words []uint64) int {
+	for i := len(words) - 1; i >= 0; i-- {
+		if words[i] != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(words[i])
+		}
+	}
+	return -1
+}
+
+// timelineHex renders a packed timeline as fixed-width hex, one 16-char
+// group per word, least-significant word (earliest days) first; bit d of
+// the timeline is day d of the daily window.
+func timelineHex(words []uint64) string {
+	var b strings.Builder
+	b.Grow(len(words) * 16)
+	for _, w := range words {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}

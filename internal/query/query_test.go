@@ -1,0 +1,239 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/core"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+func testData(t testing.TB) *obs.Data {
+	t.Helper()
+	w := synthnet.Generate(synthnet.TinyConfig())
+	res := sim.Run(w, sim.TinyConfig())
+	return &res.Data
+}
+
+func testIndex(t testing.TB) *Index {
+	t.Helper()
+	idx, err := Build(testData(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestBuildBlockViewsMatchCore(t *testing.T) {
+	d := testData(t)
+	idx, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumBlocks() == 0 {
+		t.Fatal("no indexed blocks")
+	}
+	if got, want := idx.NumBlocks(), len(core.ActiveBlocks(d.Daily)); got != want {
+		t.Fatalf("NumBlocks = %d, want %d", got, want)
+	}
+	for _, blk := range idx.Blocks() {
+		v, ok := idx.Block(blk)
+		if !ok {
+			t.Fatalf("Block(%v) missing", blk)
+		}
+		if want := core.FillingDegree(d.Daily, blk); v.FD != want {
+			t.Errorf("%v: FD = %d, want %d", blk, v.FD, want)
+		}
+		if want := core.STU(d.Daily, blk); v.STU != want {
+			t.Errorf("%v: STU = %v, want %v", blk, v.STU, want)
+		}
+		var hits float64
+		if bt := d.Traffic[blk]; bt != nil {
+			for h := 0; h < 256; h++ {
+				hits += bt.Hits[h]
+			}
+		}
+		if v.TotalHits != hits {
+			t.Errorf("%v: TotalHits = %v, want %v", blk, v.TotalHits, hits)
+		}
+	}
+}
+
+func TestAddrTimeline(t *testing.T) {
+	d := testData(t)
+	idx, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk a handful of active addresses and verify the packed timeline
+	// against the raw daily sets.
+	checked := 0
+	for _, blk := range idx.Blocks() {
+		if checked >= 5 {
+			break
+		}
+		bm := ipv4.UnionAll(d.Daily, 0).BlockBitmap(blk)
+		var addr ipv4.Addr
+		found := false
+		bm.ForEach(func(h byte) {
+			if !found {
+				addr, found = blk.Addr(h), true
+			}
+		})
+		if !found {
+			continue
+		}
+		checked++
+		v := idx.Addr(addr)
+		if !v.Active {
+			t.Fatalf("%v should be active", addr)
+		}
+		days, first, last := 0, -1, -1
+		for day, s := range d.Daily {
+			if s.Contains(addr) {
+				days++
+				if first < 0 {
+					first = day
+				}
+				last = day
+			}
+		}
+		if v.ActiveDays != days || v.FirstDay != first || v.LastDay != last {
+			t.Errorf("%v: days/first/last = %d/%d/%d, want %d/%d/%d",
+				addr, v.ActiveDays, v.FirstDay, v.LastDay, days, first, last)
+		}
+		if v.Timeline == "" {
+			t.Errorf("%v: empty timeline", addr)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no active addresses checked")
+	}
+
+	// An address in never-active space: enriched but inactive.
+	v := idx.Addr(ipv4.MustParseAddr("203.0.113.9"))
+	if v.Active || v.ActiveDays != 0 || v.FirstDay != -1 {
+		t.Errorf("inactive addr view: %+v", v)
+	}
+	if v.RIR == "" || v.RDNS == "" {
+		t.Errorf("inactive addr should still be enriched: %+v", v)
+	}
+}
+
+func TestPrefixAggregate(t *testing.T) {
+	idx := testIndex(t)
+	blk := idx.Blocks()[0]
+	p := ipv4.MustNewPrefix(blk.First(), 20)
+	v, err := idx.Prefix(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ActiveBlocks == 0 {
+		t.Fatal("prefix over an active block reports no active blocks")
+	}
+	// Aggregate must equal the sum over the covered block views.
+	var fd int
+	var hits float64
+	for _, b := range idx.Blocks() {
+		if p.Contains(b.First()) {
+			bv, _ := idx.Block(b)
+			fd += bv.FD
+			hits += bv.TotalHits
+		}
+	}
+	if v.ActiveAddrs != fd {
+		t.Errorf("ActiveAddrs = %d, want %d", v.ActiveAddrs, fd)
+	}
+	if v.TotalHits != hits {
+		t.Errorf("TotalHits = %v, want %v", v.TotalHits, hits)
+	}
+	if len(v.Origins) == 0 {
+		t.Error("no origins")
+	}
+
+	if _, err := idx.Prefix(ipv4.MustParsePrefix("0.0.0.0/0"), 0); err == nil {
+		t.Error("too-broad prefix should be rejected")
+	}
+}
+
+func TestASFootprint(t *testing.T) {
+	idx := testIndex(t)
+	if len(idx.ASNs()) == 0 {
+		t.Fatal("no ASes")
+	}
+	// Per-AS active blocks must partition the indexed blocks.
+	total := 0
+	for _, asn := range idx.ASNs() {
+		v, ok := idx.AS(asn)
+		if !ok {
+			t.Fatalf("AS(%v) missing", asn)
+		}
+		total += v.ActiveBlocks
+	}
+	if total != idx.NumBlocks() {
+		t.Errorf("sum of per-AS active blocks = %d, want %d", total, idx.NumBlocks())
+	}
+	if _, ok := idx.AS(bgp.ASN(1)); ok {
+		t.Error("unknown ASN should miss")
+	}
+}
+
+// marshalIndex dumps every externally visible view of the index, the
+// equality witness for the parallel-equivalence test.
+func marshalIndex(t *testing.T, idx *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	check := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(idx.Summary())
+	for _, blk := range idx.Blocks() {
+		v, _ := idx.Block(blk)
+		check(v)
+		check(idx.Addr(blk.Addr(0)))
+		check(idx.Addr(blk.Addr(137)))
+	}
+	for _, asn := range idx.ASNs() {
+		v, _ := idx.AS(asn)
+		check(v)
+	}
+	for _, blk := range idx.Blocks() {
+		p := ipv4.MustNewPrefix(blk.First(), 20)
+		v, err := idx.Prefix(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(v)
+	}
+	return buf.Bytes()
+}
+
+func TestBuildParallelEquivalence(t *testing.T) {
+	d := testData(t)
+	one, err := Build(d, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Build(d, Options{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := marshalIndex(t, one), marshalIndex(t, many)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("index differs between 1 and 7 workers (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestBuildRejectsEmptyDataset(t *testing.T) {
+	if _, err := Build(&obs.Data{}, Options{}); err == nil {
+		t.Fatal("empty dataset should be rejected")
+	}
+}

@@ -7,6 +7,7 @@ package rdns
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ipscope/internal/ipv4"
@@ -142,4 +143,52 @@ func ClassifyBlock(lookup func(h byte) string, minConsistent float64) Tag {
 // ClassifyZone applies ClassifyBlock to a Zone.
 func ClassifyZone(z *Zone, minConsistent float64) Tag {
 	return ClassifyBlock(z.Lookup, minConsistent)
+}
+
+// BlockTag pairs a /24 block with its classified tag, the unit a
+// TagIndex is built from.
+type BlockTag struct {
+	Block ipv4.Block
+	Tag   Tag
+}
+
+// TagIndex is an immutable block→tag lookup table. Classifying a block
+// costs 256 PTR synth-and-match operations, far too slow for a
+// per-request path; a TagIndex is classified once (typically across a
+// worker pool) and then answers lookups with one binary search over a
+// block-sorted array.
+type TagIndex struct {
+	blocks []ipv4.Block
+	tags   []Tag
+}
+
+// NewTagIndex builds a TagIndex from classified pairs. The input may be
+// in any order; on duplicate blocks the last pair wins.
+func NewTagIndex(pairs []BlockTag) *TagIndex {
+	sorted := append([]BlockTag(nil), pairs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Block < sorted[j].Block })
+	t := &TagIndex{
+		blocks: make([]ipv4.Block, 0, len(sorted)),
+		tags:   make([]Tag, 0, len(sorted)),
+	}
+	for i, p := range sorted {
+		if i+1 < len(sorted) && sorted[i+1].Block == p.Block {
+			continue // a later duplicate supersedes this pair
+		}
+		t.blocks = append(t.blocks, p.Block)
+		t.tags = append(t.tags, p.Tag)
+	}
+	return t
+}
+
+// Len returns the number of indexed blocks.
+func (t *TagIndex) Len() int { return len(t.blocks) }
+
+// Lookup returns the tag for blk and whether the block is indexed.
+func (t *TagIndex) Lookup(blk ipv4.Block) (Tag, bool) {
+	i := sort.Search(len(t.blocks), func(i int) bool { return t.blocks[i] >= blk })
+	if i == len(t.blocks) || t.blocks[i] != blk {
+		return Untagged, false
+	}
+	return t.tags[i], true
 }

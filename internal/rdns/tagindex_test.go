@@ -1,0 +1,83 @@
+package rdns
+
+import (
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+func TestTagIndexLookup(t *testing.T) {
+	pairs := []BlockTag{
+		{Block: ipv4.Block(30), Tag: Dynamic},
+		{Block: ipv4.Block(10), Tag: Static},
+		{Block: ipv4.Block(20), Tag: Untagged},
+	}
+	idx := NewTagIndex(pairs)
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", idx.Len())
+	}
+	for _, tc := range pairs {
+		got, ok := idx.Lookup(tc.Block)
+		if !ok || got != tc.Tag {
+			t.Errorf("Lookup(%v) = %v,%v want %v,true", tc.Block, got, ok, tc.Tag)
+		}
+	}
+	if _, ok := idx.Lookup(ipv4.Block(15)); ok {
+		t.Error("Lookup of unindexed block should miss")
+	}
+	if tag, ok := idx.Lookup(ipv4.Block(40)); ok || tag != Untagged {
+		t.Error("miss should report Untagged,false")
+	}
+}
+
+func TestTagIndexDuplicateLastWins(t *testing.T) {
+	idx := NewTagIndex([]BlockTag{
+		{Block: ipv4.Block(7), Tag: Static},
+		{Block: ipv4.Block(7), Tag: Dynamic},
+	})
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", idx.Len())
+	}
+	if tag, _ := idx.Lookup(ipv4.Block(7)); tag != Dynamic {
+		t.Errorf("duplicate: got %v, want Dynamic (last wins)", tag)
+	}
+}
+
+func TestTagIndexEmpty(t *testing.T) {
+	idx := NewTagIndex(nil)
+	if idx.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", idx.Len())
+	}
+	if _, ok := idx.Lookup(ipv4.Block(1)); ok {
+		t.Error("empty index should miss")
+	}
+}
+
+// BenchmarkTagLookup shows why the serving layer must not classify PTR
+// zones per request: a TagIndex lookup vs a full ClassifyZone of the
+// same block.
+func BenchmarkTagLookup(b *testing.B) {
+	const n = 4096
+	pairs := make([]BlockTag, n)
+	zones := make([]*Zone, n)
+	for i := range pairs {
+		blk := ipv4.Block(0x010000 + uint32(i))
+		z := NewZone(blk, NamingStyle(1+i%3), "", 0.1, uint64(i))
+		zones[i] = z
+		pairs[i] = BlockTag{Block: blk, Tag: ClassifyZone(z, 0.6)}
+	}
+	idx := NewTagIndex(pairs)
+
+	b.Run("index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.Lookup(pairs[i%n].Block)
+		}
+	})
+	b.Run("classify-per-request", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ClassifyZone(zones[i%n], 0.6)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package registry
+
+import (
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+// benchAllocs builds a realistic allocation list: many small prefixes
+// plus a few giant delegations (which the old per-block map exploded
+// into tens of thousands of entries).
+func benchAllocs() []Allocation {
+	var out []Allocation
+	codes := []Country{"US", "DE", "CN", "BR", "JP", "GB", "IN", "FR"}
+	for i := 0; i < 2048; i++ {
+		blk := ipv4.Block(0x010000 + uint32(i)*4)
+		out = append(out, Allocation{
+			Prefix:  ipv4.MustNewPrefix(blk.First(), 22),
+			Country: codes[i%len(codes)],
+			RIR:     AllRIRs[i%NumRIRs],
+		})
+	}
+	// Two /8-scale delegations.
+	out = append(out,
+		Allocation{Prefix: ipv4.MustParsePrefix("60.0.0.0/8"), Country: "CN", RIR: APNIC},
+		Allocation{Prefix: ipv4.MustParsePrefix("90.0.0.0/8"), Country: "DE", RIR: RIPE},
+	)
+	return out
+}
+
+// linearLookupBlock is the naive reference: scan every allocation and
+// keep the last one covering the block (matching later-wins semantics).
+func linearLookupBlock(allocs []Allocation, blk ipv4.Block) (Allocation, bool) {
+	var out Allocation
+	found := false
+	a := blk.First()
+	for _, al := range allocs {
+		if al.Prefix.Contains(a) || al.Prefix.FirstBlock() == blk {
+			out, found = al, true
+		}
+	}
+	return out, found
+}
+
+func TestTableMatchesLinearReference(t *testing.T) {
+	allocs := benchAllocs()
+	tbl := NewTable(allocs)
+	probe := []ipv4.Block{
+		ipv4.Block(0x010000), ipv4.Block(0x010001), ipv4.Block(0x010FFF),
+		ipv4.MustParseAddr("60.1.2.3").Block(),
+		ipv4.MustParseAddr("90.200.2.3").Block(),
+		ipv4.MustParseAddr("200.0.0.1").Block(),
+	}
+	for _, blk := range probe {
+		want, wantOK := linearLookupBlock(allocs, blk)
+		got, gotOK := tbl.LookupBlock(blk)
+		if gotOK != wantOK || got.Country != want.Country || got.RIR != want.RIR {
+			t.Errorf("block %v: table (%v,%v,%v) != linear (%v,%v,%v)",
+				blk, got.Country, got.RIR, gotOK, want.Country, want.RIR, wantOK)
+		}
+	}
+}
+
+// BenchmarkTableLookupBlock proves the sorted-segment binary search win
+// over a linear scan of the allocation list: the serving layer performs
+// one of these lookups per enriched response.
+func BenchmarkTableLookupBlock(b *testing.B) {
+	allocs := benchAllocs()
+	probes := make([]ipv4.Block, 64)
+	for i := range probes {
+		probes[i] = ipv4.Block(0x010000 + uint32(i*117)%8192)
+	}
+
+	b.Run("binary", func(b *testing.B) {
+		tbl := NewTable(allocs)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl.LookupBlock(probes[i%len(probes)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linearLookupBlock(allocs, probes[i%len(probes)])
+		}
+	})
+}
+
+// BenchmarkCountryByCode compares the binary search against the linear
+// scan it replaced.
+func BenchmarkCountryByCode(b *testing.B) {
+	codes := []Country{"US", "KE", "JP", "NL", "ZZ"}
+	b.Run("binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CountryByCode(codes[i%len(codes)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			code := codes[i%len(codes)]
+			for _, c := range Countries {
+				if c.Code == code {
+					break
+				}
+			}
+		}
+	})
+}

@@ -6,6 +6,8 @@
 package registry
 
 import (
+	"sort"
+	"sync"
 	"time"
 
 	"ipscope/internal/ipv4"
@@ -126,12 +128,27 @@ var Countries = []CountryInfo{
 	{"KE", AFRINIC, 45, 35, 1, 0.5},
 }
 
-// CountryByCode returns the table entry for code.
+var (
+	countryIndexOnce sync.Once
+	countryIndex     []CountryInfo // Countries sorted by code
+)
+
+// CountryByCode returns the table entry for code. Lookups binary-search
+// a code-sorted copy of Countries built on first use: the serving layer
+// asks per request, so the scan the original table order implies is off
+// the hot path.
 func CountryByCode(code Country) (CountryInfo, bool) {
-	for _, c := range Countries {
-		if c.Code == code {
-			return c, true
-		}
+	countryIndexOnce.Do(func() {
+		countryIndex = append([]CountryInfo(nil), Countries...)
+		sort.Slice(countryIndex, func(i, j int) bool {
+			return countryIndex[i].Code < countryIndex[j].Code
+		})
+	})
+	i := sort.Search(len(countryIndex), func(i int) bool {
+		return countryIndex[i].Code >= code
+	})
+	if i < len(countryIndex) && countryIndex[i].Code == code {
+		return countryIndex[i], true
 	}
 	return CountryInfo{}, false
 }
@@ -159,27 +176,134 @@ type Allocation struct {
 // Table maps addresses to their allocation. Lookups use the /24 block
 // of the address: registry delegations are /24-aligned in practice and
 // in our generator.
+//
+// Internally the table is a sorted list of non-overlapping block
+// segments resolved once at construction, so a lookup is one binary
+// search regardless of how large the delegated prefixes are (the
+// previous implementation materialized a map entry per covered /24,
+// which a single /8 delegation turns into 65536 entries).
 type Table struct {
-	allocs  []Allocation
-	byBlock map[ipv4.Block]int32 // index into allocs
+	allocs []Allocation
+	segs   []segment
+}
+
+// segment is a run of /24 blocks [start, end] (inclusive) covered by
+// allocs[idx].
+type segment struct {
+	start, end uint32
+	idx        int32
 }
 
 // NewTable builds a lookup table over allocs. Later allocations win on
 // block overlap.
 func NewTable(allocs []Allocation) *Table {
-	t := &Table{
-		allocs:  append([]Allocation(nil), allocs...),
-		byBlock: make(map[ipv4.Block]int32),
+	t := &Table{allocs: append([]Allocation(nil), allocs...)}
+
+	// Boundary sweep: later allocations (larger index) win wherever
+	// coverage overlaps, so the winner at any block is the maximum
+	// active allocation index.
+	type event struct {
+		pos uint32 // first block at which the event takes effect
+		idx int32
+		add bool
 	}
+	events := make([]event, 0, 2*len(t.allocs))
 	for i, a := range t.allocs {
-		idx := int32(i)
-		a.Prefix.Blocks(func(b ipv4.Block) { t.byBlock[b] = idx })
+		start := uint32(a.Prefix.FirstBlock())
+		end := start + uint32(a.Prefix.NumBlocks()) // exclusive
+		events = append(events,
+			event{pos: start, idx: int32(i), add: true},
+			event{pos: end, idx: int32(i), add: false})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].pos != events[j].pos {
+			return events[i].pos < events[j].pos
+		}
+		// Removals before additions at the same boundary, so an
+		// allocation ending exactly where another starts hands over
+		// cleanly.
+		return !events[i].add && events[j].add
+	})
+
+	var heap maxIdxHeap
+	dead := make(map[int32]bool)
+	cur := int32(-1)
+	var segStart uint32
+	for k := 0; k < len(events); {
+		pos := events[k].pos
+		for ; k < len(events) && events[k].pos == pos; k++ {
+			if events[k].add {
+				heap.push(events[k].idx)
+			} else {
+				dead[events[k].idx] = true
+			}
+		}
+		top := int32(-1)
+		for heap.len() > 0 {
+			if dead[heap.top()] {
+				delete(dead, heap.top())
+				heap.pop()
+				continue
+			}
+			top = heap.top()
+			break
+		}
+		if top == cur {
+			continue
+		}
+		if cur >= 0 {
+			t.segs = append(t.segs, segment{start: segStart, end: pos - 1, idx: cur})
+		}
+		cur, segStart = top, pos
 	}
 	return t
 }
 
+// maxIdxHeap is a binary max-heap of allocation indices.
+type maxIdxHeap []int32
+
+func (h maxIdxHeap) len() int   { return len(h) }
+func (h maxIdxHeap) top() int32 { return h[0] }
+func (h *maxIdxHeap) push(v int32) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] >= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *maxIdxHeap) pop() {
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	*h = (*h)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && (*h)[l] > (*h)[big] {
+			big = l
+		}
+		if r < n && (*h)[r] > (*h)[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+	}
+}
+
 // Allocations returns the underlying allocation list.
 func (t *Table) Allocations() []Allocation { return t.allocs }
+
+// NumSegments returns the number of resolved coverage segments (for
+// tests and capacity planning).
+func (t *Table) NumSegments() int { return len(t.segs) }
 
 // Lookup returns the allocation covering a.
 func (t *Table) Lookup(a ipv4.Addr) (Allocation, bool) {
@@ -188,11 +312,12 @@ func (t *Table) Lookup(a ipv4.Addr) (Allocation, bool) {
 
 // LookupBlock returns the allocation covering blk.
 func (t *Table) LookupBlock(blk ipv4.Block) (Allocation, bool) {
-	i, ok := t.byBlock[blk]
-	if !ok {
+	b := uint32(blk)
+	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end >= b })
+	if i == len(t.segs) || t.segs[i].start > b {
 		return Allocation{}, false
 	}
-	return t.allocs[i], true
+	return t.allocs[t.segs[i].idx], true
 }
 
 // RIROf returns the registry for a block, defaulting to ARIN for

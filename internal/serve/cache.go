@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Response is one cached HTTP response body with its status code.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Cache is a bounded LRU response cache with single-flight filling:
+// concurrent requests for the same key share one computation instead of
+// racing to fill the same entry (the failure mode of glass's
+// check-then-update cache under a thundering herd). The index it fronts
+// is immutable, so entries never expire — eviction is purely capacity
+// driven.
+type Cache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	hits     uint64
+	misses   uint64
+}
+
+type lruEntry struct {
+	key  string
+	resp Response
+}
+
+type flight struct {
+	done chan struct{}
+	resp Response
+}
+
+// NewCache returns a cache holding at most capacity responses.
+// capacity <= 0 disables caching (every Do computes).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Stats reports cumulative cache behaviour. A single-flight wait counts
+// as a hit: the caller got the response without computing it.
+func (c *Cache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// Do returns the response for key, computing it with fill on a miss.
+// Exactly one caller computes a missing key at a time; the others block
+// until the computation finishes and share its result. hit reports
+// whether the caller avoided running fill itself.
+func (c *Cache) Do(key string, fill func() Response) (resp Response, hit bool) {
+	if c.cap <= 0 {
+		return fill(), false
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		resp = el.Value.(*lruEntry).resp
+		c.mu.Unlock()
+		return resp, true
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.resp, true
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	// A panicking fill must still release the flight: otherwise every
+	// later request for this key would block on fl.done forever. The
+	// panic propagates after cleanup; waiters get a 500 and the entry
+	// is not cached, so the next request retries.
+	filled := false
+	defer func() {
+		if !filled {
+			fl.resp = Response{
+				Status: 500,
+				Body:   []byte(`{"error":"internal error"}` + "\n"),
+			}
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if filled {
+			el := c.ll.PushFront(&lruEntry{key: key, resp: fl.resp})
+			c.items[key] = el
+			for c.ll.Len() > c.cap {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.items, oldest.Value.(*lruEntry).key)
+			}
+		}
+		c.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.resp = fill()
+	filled = true
+	return fl.resp, false
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	fill := func(v string) func() Response {
+		return func() Response { return Response{Status: 200, Body: []byte(v)} }
+	}
+	c.Do("a", fill("A"))
+	c.Do("b", fill("B"))
+	if _, hit := c.Do("a", fill("A2")); !hit {
+		t.Fatal("a should be cached")
+	}
+	// Inserting c evicts b (a was just touched).
+	c.Do("c", fill("C"))
+	if _, hit := c.Do("b", fill("B2")); hit {
+		t.Fatal("b should have been evicted")
+	}
+	// Reinserting b evicted a (the then-oldest entry); c stays.
+	if resp, hit := c.Do("c", fill("C2")); !hit || string(resp.Body) != "C" {
+		t.Fatalf("c: hit=%v body=%q", hit, resp.Body)
+	}
+	if _, hit := c.Do("a", fill("A3")); hit {
+		t.Fatal("a should have been evicted by b's reinsert")
+	}
+	hits, misses, size := c.Stats()
+	if size != 2 {
+		t.Errorf("size = %d, want 2", size)
+	}
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(16)
+	var calls atomic.Int64
+	var release sync.WaitGroup
+	release.Add(1)
+
+	const clients = 16
+	var wg sync.WaitGroup
+	results := make([]Response, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := c.Do("key", func() Response {
+				calls.Add(1)
+				release.Wait() // hold every waiter on this one computation
+				return Response{Status: 200, Body: []byte("shared")}
+			})
+			results[i] = resp
+		}(i)
+	}
+	release.Done()
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	for i, r := range results {
+		if string(r.Body) != "shared" {
+			t.Fatalf("client %d got %q", i, r.Body)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	n := 0
+	for i := 0; i < 3; i++ {
+		resp, hit := c.Do("k", func() Response {
+			n++
+			return Response{Status: 200, Body: []byte(fmt.Sprint(n))}
+		})
+		if hit {
+			t.Fatal("disabled cache reported a hit")
+		}
+		if string(resp.Body) != fmt.Sprint(i+1) {
+			t.Fatalf("iteration %d: body %q", i, resp.Body)
+		}
+	}
+}
+
+func TestCachePanicReleasesFlight(t *testing.T) {
+	c := NewCache(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do("k", func() Response { panic("handler bug") })
+	}()
+	// The key must not be wedged: the next request recomputes.
+	done := make(chan Response, 1)
+	go func() {
+		resp, _ := c.Do("k", func() Response {
+			return Response{Status: 200, Body: []byte("recovered")}
+		})
+		done <- resp
+	}()
+	select {
+	case resp := <-done:
+		if string(resp.Body) != "recovered" {
+			t.Fatalf("got %q", resp.Body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cache key wedged after a panicking fill")
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%16)
+			resp, _ := c.Do(key, func() Response {
+				return Response{Status: 200, Body: []byte(key)}
+			})
+			if string(resp.Body) != key {
+				t.Errorf("key %s got %q", key, resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

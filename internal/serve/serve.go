@@ -1,0 +1,309 @@
+// Package serve exposes a query.Index over an HTTP JSON API — the
+// user-facing read path of the pipeline (cmd/ipscope-serve). The shape
+// follows cached BGP looking-glass services: every endpoint is a point
+// lookup answered from the immutable index through a bounded LRU
+// response cache with single-flight filling, requests are access-logged
+// as structured JSON lines, and shutdown is graceful (in-flight
+// requests drain before Close returns).
+//
+// Endpoints:
+//
+//	GET /v1/addr/{ip}        one address's activity timeline + enrichment
+//	GET /v1/block/{prefix}   one /24's rollup (FD, STU, traffic, UA, tags)
+//	GET /v1/prefix/{cidr}    aggregate over a CIDR's /24 blocks
+//	GET /v1/as/{asn}         one origin AS's footprint ("AS64500" or "64500")
+//	GET /v1/summary          dataset identity + capture-recapture/churn summaries
+//	GET /v1/healthz          liveness + cache statistics (uncached)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/query"
+)
+
+// DefaultCacheSize bounds the response cache when Config.CacheSize is 0.
+const DefaultCacheSize = 4096
+
+// DefaultPrefixBlockList caps the per-block detail list embedded in a
+// /v1/prefix response.
+const DefaultPrefixBlockList = 16
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize bounds the LRU response cache; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// AccessLog, when non-nil, receives one JSON line per request.
+	AccessLog io.Writer
+}
+
+// Server serves a query.Index over HTTP.
+type Server struct {
+	idx     *query.Index
+	cache   *Cache
+	handler http.Handler
+
+	logMu sync.Mutex
+	logW  io.Writer
+
+	srvMu   sync.Mutex
+	httpSrv *http.Server
+	serveCh chan error
+}
+
+// New creates a Server over idx.
+func New(idx *query.Index, cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	s := &Server{
+		idx:   idx,
+		cache: NewCache(size),
+		logW:  cfg.AccessLog,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/addr/{ip}", s.cached(s.handleAddr))
+	mux.HandleFunc("GET /v1/block/{prefix...}", s.cached(s.handleBlock))
+	mux.HandleFunc("GET /v1/prefix/{cidr...}", s.cached(s.handlePrefix))
+	mux.HandleFunc("GET /v1/as/{asn}", s.cached(s.handleAS))
+	mux.HandleFunc("GET /v1/summary", s.cached(s.handleSummary))
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.handler = s.logged(mux)
+	return s
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// CacheStats reports the response cache counters.
+func (s *Server) CacheStats() (hits, misses uint64, size int) {
+	return s.cache.Stats()
+}
+
+// Listen binds addr ("127.0.0.1:0" for an ephemeral port) and serves in
+// the background until Shutdown.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.srvMu.Lock()
+	s.httpSrv = &http.Server{Handler: s.handler}
+	s.serveCh = make(chan error, 1)
+	srv, ch := s.httpSrv, s.serveCh
+	s.srvMu.Unlock()
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		ch <- err
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown stops accepting new requests and waits for in-flight ones to
+// drain (bounded by ctx). It returns the first serve error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.srvMu.Lock()
+	srv, ch := s.httpSrv, s.serveCh
+	s.srvMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// cached wraps a pure lookup in the LRU + single-flight cache, keyed by
+// the canonical request path.
+func (s *Server) cached(fn func(r *http.Request) (int, any)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		resp, hit := s.cache.Do(r.URL.Path, func() Response {
+			status, payload := fn(r)
+			body, err := json.Marshal(payload)
+			if err != nil {
+				status = http.StatusInternalServerError
+				body = []byte(`{"error":"encoding failed"}`)
+			}
+			return Response{Status: status, Body: append(body, '\n')}
+		})
+		if hit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleAddr(r *http.Request) (int, any) {
+	a, err := ipv4.ParseAddr(r.PathValue("ip"))
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	return http.StatusOK, s.idx.Addr(a)
+}
+
+// parse24 accepts "a.b.c.0/24" or a bare address inside the block.
+func parse24(raw string) (ipv4.Block, error) {
+	if i := strings.IndexByte(raw, '/'); i >= 0 {
+		p, err := ipv4.ParsePrefix(raw)
+		if err != nil {
+			return 0, err
+		}
+		if p.Bits() != 24 {
+			return 0, fmt.Errorf("block endpoint wants a /24, got /%d", p.Bits())
+		}
+		return p.FirstBlock(), nil
+	}
+	a, err := ipv4.ParseAddr(raw)
+	if err != nil {
+		return 0, err
+	}
+	return a.Block(), nil
+}
+
+func (s *Server) handleBlock(r *http.Request) (int, any) {
+	blk, err := parse24(r.PathValue("prefix"))
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	v, ok := s.idx.Block(blk)
+	if !ok {
+		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("block %v has no activity in the daily window", blk)}
+	}
+	return http.StatusOK, v
+}
+
+func (s *Server) handlePrefix(r *http.Request) (int, any) {
+	p, err := ipv4.ParsePrefix(r.PathValue("cidr"))
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	v, err := s.idx.Prefix(p, DefaultPrefixBlockList)
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	return http.StatusOK, v
+}
+
+func (s *Server) handleAS(r *http.Request) (int, any) {
+	raw := strings.TrimPrefix(strings.ToUpper(r.PathValue("asn")), "AS")
+	n, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid ASN %q", r.PathValue("asn"))}
+	}
+	v, ok := s.idx.AS(bgp.ASN(n))
+	if !ok {
+		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("AS%d not in dataset", n)}
+	}
+	return http.StatusOK, v
+}
+
+func (s *Server) handleSummary(r *http.Request) (int, any) {
+	return http.StatusOK, s.idx.Summary()
+}
+
+type healthBody struct {
+	Status      string `json:"status"`
+	Blocks      int    `json:"blocks"`
+	DailyLen    int    `json:"dailyLen"`
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	CacheSize   int    `json:"cacheSize"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(healthBody{
+		Status:      "ok",
+		Blocks:      s.idx.NumBlocks(),
+		DailyLen:    s.idx.DailyLen(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheSize:   size,
+	})
+}
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time     string  `json:"time"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Bytes    int     `json:"bytes"`
+	Duration float64 `json:"durMs"`
+	Cache    string  `json:"cache,omitempty"`
+}
+
+// statusWriter captures the status code and byte count of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// logged wraps next with structured JSON access logging.
+func (s *Server) logged(next http.Handler) http.Handler {
+	if s.logW == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		rec := accessRecord{
+			Time:     start.UTC().Format(time.RFC3339Nano),
+			Method:   r.Method,
+			Path:     r.URL.Path,
+			Status:   sw.status,
+			Bytes:    sw.bytes,
+			Duration: float64(time.Since(start).Microseconds()) / 1000,
+			Cache:    sw.Header().Get("X-Cache"),
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		s.logMu.Lock()
+		s.logW.Write(append(line, '\n'))
+		s.logMu.Unlock()
+	})
+}

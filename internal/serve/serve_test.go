@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ipscope/internal/analysis"
+	"ipscope/internal/core"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/query"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureCtx  *analysis.Context
+	fixtureIdx  *query.Index
+)
+
+// fixture builds one tiny world + simulation shared by the serve tests,
+// exposing both the batch-analysis view and the compiled index over the
+// same dataset.
+func fixture(t testing.TB) (*analysis.Context, *query.Index) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		w := synthnet.Generate(synthnet.TinyConfig())
+		res := sim.Run(w, sim.TinyConfig())
+		fixtureCtx = analysis.NewContextFromData(w, &res.Data)
+		idx, err := query.Build(&res.Data, query.Options{})
+		if err != nil {
+			panic(err)
+		}
+		fixtureIdx = idx
+	})
+	return fixtureCtx, fixtureIdx
+}
+
+func get(t *testing.T, h http.Handler, path string, out any) (status int, cache string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec.Code, rec.Header().Get("X-Cache")
+}
+
+// TestBlockFieldIdenticalToReport is the cross-check the acceptance
+// criteria demand: /v1/block fields must equal the numbers the batch
+// report computes from the same dataset (core.FillingDegree/STU and the
+// BlockFeatures the demographics figures consume).
+func TestBlockFieldIdenticalToReport(t *testing.T) {
+	ctx, idx := fixture(t)
+	h := New(idx, Config{}).Handler()
+
+	features := map[ipv4.Block]core.BlockFeatures{}
+	for _, f := range ctx.BlockFeatures() {
+		features[f.Block] = f
+	}
+
+	checked := 0
+	for i, blk := range idx.Blocks() {
+		if i%7 != 0 { // sample the block list, keep the test fast
+			continue
+		}
+		var v query.BlockView
+		status, _ := get(t, h, "/v1/block/"+blk.String(), &v)
+		if status != http.StatusOK {
+			t.Fatalf("GET block %v: status %d", blk, status)
+		}
+		if want := core.FillingDegree(ctx.Obs.Daily, blk); v.FD != want {
+			t.Errorf("%v: fd = %d, report says %d", blk, v.FD, want)
+		}
+		if want := core.STU(ctx.Obs.Daily, blk); v.STU != want {
+			t.Errorf("%v: stu = %v, report says %v", blk, v.STU, want)
+		}
+		f, ok := features[blk]
+		if !ok {
+			t.Errorf("%v: not in report's BlockFeatures", blk)
+			continue
+		}
+		if v.TotalHits != f.Traffic {
+			t.Errorf("%v: totalHits = %v, report says %v", blk, v.TotalHits, f.Traffic)
+		}
+		if as := ctx.ASOf(blk); uint32(as) != v.AS {
+			t.Errorf("%v: as = %d, report says %d", blk, v.AS, as)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no blocks checked")
+	}
+}
+
+// TestSummaryFieldIdenticalToReport cross-checks /v1/summary against
+// the batch report's Table 1, capture–recapture estimate and Figure 4
+// churn numbers over the same dataset.
+func TestSummaryFieldIdenticalToReport(t *testing.T) {
+	ctx, idx := fixture(t)
+	h := New(idx, Config{}).Handler()
+
+	var s query.Summary
+	if status, _ := get(t, h, "/v1/summary", &s); status != http.StatusOK {
+		t.Fatalf("summary status %d", status)
+	}
+
+	tab1 := analysis.Table1(ctx)
+	if s.Daily != tab1.Daily {
+		t.Errorf("daily summary = %+v, report says %+v", s.Daily, tab1.Daily)
+	}
+	if s.Weekly != tab1.Weekly {
+		t.Errorf("weekly summary = %+v, report says %+v", s.Weekly, tab1.Weekly)
+	}
+
+	rec := analysis.RecaptureEstimate(ctx)
+	if rec.Err != nil {
+		t.Fatalf("fixture recapture: %v", rec.Err)
+	}
+	if !s.Recapture.Valid {
+		t.Fatal("recapture invalid")
+	}
+	e := rec.Est
+	if s.Recapture.N1 != e.N1 || s.Recapture.N2 != e.N2 || s.Recapture.Both != e.Both {
+		t.Errorf("recapture inputs = %+v, report says n1=%d n2=%d m=%d", s.Recapture, e.N1, e.N2, e.Both)
+	}
+	if s.Recapture.Chapman != e.Chapman || s.Recapture.LP != e.LincolnPetersen ||
+		s.Recapture.SE != e.SE || s.Recapture.CI95Lo != e.CI95Lo || s.Recapture.CI95Hi != e.CI95Hi {
+		t.Errorf("recapture estimate = %+v, report says %+v", s.Recapture, e)
+	}
+
+	fig4 := analysis.Figure4(ctx)
+	if s.Churn.MeanDailyUpEvents != fig4.MeanUp {
+		t.Errorf("meanDailyUpEvents = %v, report says %v", s.Churn.MeanDailyUpEvents, fig4.MeanUp)
+	}
+	if s.Churn.YearChurnFrac != fig4.YearChurnFrac {
+		t.Errorf("yearChurnFrac = %v, report says %v", s.Churn.YearChurnFrac, fig4.YearChurnFrac)
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	_, idx := fixture(t)
+	h := New(idx, Config{}).Handler()
+	blk := idx.Blocks()[0]
+
+	t.Run("addr", func(t *testing.T) {
+		var v query.AddrView
+		status, _ := get(t, h, "/v1/addr/"+blk.Addr(0).String(), &v)
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if v.Block != blk.String() {
+			t.Errorf("block = %q, want %q", v.Block, blk.String())
+		}
+		if status, _ := get(t, h, "/v1/addr/not-an-ip", nil); status != http.StatusBadRequest {
+			t.Errorf("bad ip: status %d", status)
+		}
+	})
+
+	t.Run("block", func(t *testing.T) {
+		var a, b query.BlockView
+		if status, _ := get(t, h, "/v1/block/"+blk.String(), &a); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		// Bare in-block address resolves to the same /24.
+		if status, _ := get(t, h, "/v1/block/"+blk.Addr(9).String(), &b); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if a != b {
+			t.Error("CIDR and bare-address block lookups differ")
+		}
+		if status, _ := get(t, h, "/v1/block/10.0.0.0/16", nil); status != http.StatusBadRequest {
+			t.Errorf("non-/24: status %d", status)
+		}
+		if status, _ := get(t, h, "/v1/block/0.0.0.0/24", nil); status != http.StatusNotFound {
+			t.Errorf("inactive block: status %d", status)
+		}
+	})
+
+	t.Run("prefix", func(t *testing.T) {
+		var v query.PrefixView
+		p := ipv4.MustNewPrefix(blk.First(), 20)
+		if status, _ := get(t, h, "/v1/prefix/"+p.String(), &v); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if v.ActiveBlocks == 0 {
+			t.Error("no active blocks in covering prefix")
+		}
+		if status, _ := get(t, h, "/v1/prefix/0.0.0.0/0", nil); status != http.StatusBadRequest {
+			t.Errorf("too broad: status %d", status)
+		}
+	})
+
+	t.Run("as", func(t *testing.T) {
+		bv, _ := idx.Block(blk)
+		var v query.ASView
+		if status, _ := get(t, h, fmt.Sprintf("/v1/as/AS%d", bv.AS), &v); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		var v2 query.ASView
+		if status, _ := get(t, h, fmt.Sprintf("/v1/as/%d", bv.AS), &v2); status != http.StatusOK {
+			t.Fatalf("bare ASN: status %d", status)
+		}
+		if v.ActiveBlocks != v2.ActiveBlocks {
+			t.Error("AS-prefixed and bare ASN lookups differ")
+		}
+		if status, _ := get(t, h, "/v1/as/AS99999999", nil); status != http.StatusNotFound {
+			t.Errorf("unknown AS: status %d", status)
+		}
+		if status, _ := get(t, h, "/v1/as/banana", nil); status != http.StatusBadRequest {
+			t.Errorf("bad ASN: status %d", status)
+		}
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		var v map[string]any
+		if status, _ := get(t, h, "/v1/healthz", &v); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if v["status"] != "ok" {
+			t.Errorf("healthz = %v", v)
+		}
+	})
+}
+
+func TestCacheHeadersAndAccessLog(t *testing.T) {
+	_, idx := fixture(t)
+	var log bytes.Buffer
+	s := New(idx, Config{AccessLog: &log})
+	h := s.Handler()
+	path := "/v1/block/" + idx.Blocks()[0].String()
+
+	if _, cache := get(t, h, path, nil); cache != "miss" {
+		t.Errorf("first request: cache %q, want miss", cache)
+	}
+	if _, cache := get(t, h, path, nil); cache != "hit" {
+		t.Errorf("second request: cache %q, want hit", cache)
+	}
+
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), log.String())
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if rec["path"] != path || rec["status"] != float64(200) {
+			t.Errorf("line %d: %v", i, rec)
+		}
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	_, idx := fixture(t)
+	s := New(idx, Config{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr.String() + "/v1/summary"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}
