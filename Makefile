@@ -2,9 +2,10 @@
 GO ?= go
 SMOKE_DIR ?= .pipeline-smoke
 SERVE_SMOKE_DIR ?= .serve-smoke
+LIVE_SMOKE_DIR ?= .live-smoke
 SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check test race bench bench-smoke pipeline-smoke serve-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke ci
 
 all: build
 
@@ -62,4 +63,19 @@ serve-smoke:
 	$(GO) run ./cmd/ipscope-serve -dataset $(SERVE_SMOKE_DIR)/serve.obs -selfcheck
 	@echo "serve-smoke: all endpoints verified"
 
-ci: build vet fmt-check test race bench-smoke pipeline-smoke serve-smoke
+# Short fuzzing pass over the dataset decoder: proves FuzzDecode still
+# runs and gives the mutator a brief shot at fresh corpus.
+fuzz-smoke:
+	$(GO) test ./internal/obs -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s
+
+# End-to-end smoke of the live serving pipeline: ipscope-gen -connect
+# streams a paced simulation into ipscope-serve -obs-listen, the
+# /v1/healthz epoch must advance mid-stream, and the final /v1/summary
+# must match a batch -dump-summary over the persisted dataset.
+live-smoke:
+	rm -rf $(LIVE_SMOKE_DIR) && mkdir -p $(LIVE_SMOKE_DIR)
+	$(GO) build -o $(LIVE_SMOKE_DIR)/ipscope-gen ./cmd/ipscope-gen
+	$(GO) build -o $(LIVE_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
+	sh scripts/live_smoke.sh $(LIVE_SMOKE_DIR)
+
+ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke

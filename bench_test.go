@@ -685,6 +685,87 @@ func BenchmarkScanPermutation(b *testing.B) {
 	b.ReportMetric(1<<20, "addrs/op")
 }
 
+// BenchmarkIndexApplyDay is the incremental-indexing claim in numbers:
+// absorbing one more day into a warm query.Applier and publishing a new
+// epoch-stamped snapshot (what a live server pays per refresh) versus
+// compiling the whole dataset from scratch (what the pre-incremental
+// serving stack would have paid). Applying a day mutates the applier,
+// so iterations walk through a held-back run of days and re-warm a
+// fresh applier (untimed) only when they run out — the expensive warmup
+// amortizes over the whole run instead of repeating per iteration.
+func BenchmarkIndexApplyDay(b *testing.B) {
+	ctx := benchContext(b)
+	var events []obs.Event
+	record := obs.SinkFunc(func(e obs.Event) error { events = append(events, e); return nil })
+	if err := ctx.Obs.WriteTo(record); err != nil {
+		b.Fatal(err)
+	}
+	// Canonical replay order packs all day events contiguously; warm on
+	// everything before the second half of the window and hold the rest
+	// of the days back for the timed sections.
+	warmDays := len(ctx.Obs.Daily) / 2
+	warmEnd := -1
+	var held []obs.Event
+	for i, e := range events {
+		if de, ok := e.(obs.DayEvent); ok {
+			if de.Index == warmDays && warmEnd < 0 {
+				warmEnd = i
+			}
+			if de.Index >= warmDays {
+				held = append(held, e)
+			}
+		}
+	}
+	if warmEnd < 0 || len(held) == 0 {
+		b.Fatal("dataset too small to hold back days")
+	}
+	warm := events[:warmEnd]
+
+	b.Run("apply-day+publish", func(b *testing.B) {
+		var a *query.Applier
+		next := len(held) // force a warmup on the first iteration
+		var blocks int
+		for i := 0; i < b.N; i++ {
+			if next == len(held) {
+				b.StopTimer()
+				a = query.NewApplier(query.Options{})
+				for _, e := range warm {
+					if err := a.Observe(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := a.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+				next = 0
+				b.StartTimer()
+			}
+			if err := a.Observe(held[next]); err != nil {
+				b.Fatal(err)
+			}
+			next++
+			idx, err := a.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks = idx.NumBlocks()
+		}
+		b.ReportMetric(float64(blocks), "blocks")
+	})
+
+	b.Run("full-rebuild", func(b *testing.B) {
+		var blocks int
+		for i := 0; i < b.N; i++ {
+			idx, err := query.Build(ctx.Obs, query.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks = idx.NumBlocks()
+		}
+		b.ReportMetric(float64(blocks), "blocks")
+	})
+}
+
 // BenchmarkIndexBuild measures compiling an observation dataset into
 // the serving index (internal/query): the one-time cost that buys
 // microsecond point lookups on the request path.

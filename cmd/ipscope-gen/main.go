@@ -4,8 +4,10 @@
 //   - -dataset FILE streams the observation dataset to a file as the
 //     simulation progresses ("-" streams to stdout, so the dataset can
 //     be piped straight into ipscope-collect);
-//   - -connect ADDR streams the dataset to a TCP collector
-//     (ipscope-collect -obs-listen ADDR);
+//   - -connect ADDR streams the dataset to a TCP collector or live
+//     server (ipscope-collect -obs-listen ADDR, ipscope-serve
+//     -obs-listen ADDR); -day-delay paces the stream so a live
+//     consumer's epoch progression is observable in wall-clock time;
 //   - without either flag it exports the legacy open-format files:
 //     PREFIX.nro (NRO delegated-extended allocations), PREFIX.daily.bin
 //     (per-(address, day) records in the cdnlog wire format) and
@@ -29,6 +31,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ipscope/internal/cdnlog"
 	"ipscope/internal/ipv4"
@@ -51,6 +54,7 @@ func main() {
 	days := flag.Int("days", 364, "simulated days")
 	dataset := flag.String("dataset", "", `stream the observation dataset to FILE ("-" = stdout)`)
 	connect := flag.String("connect", "", "stream the observation dataset to a TCP collector at ADDR")
+	dayDelay := flag.Duration("day-delay", 0, "pace the stream: sleep this long after each emitted day (live-pipeline demos)")
 	prefix := flag.String("prefix", "ipscope-world", "output file prefix (legacy exports)")
 	flag.Parse()
 
@@ -60,15 +64,17 @@ func main() {
 	scfg.Days = *days
 
 	if *dataset != "" || *connect != "" {
-		streamDataset(w, scfg, *dataset, *connect)
+		streamDataset(w, scfg, *dataset, *connect, *dayDelay)
 		return
 	}
 	legacyExport(w, scfg, *seed, *prefix)
 }
 
 // streamDataset runs the simulation with obs.Writer sinks attached, so
-// days and weeks hit the wire as they complete.
-func streamDataset(w *synthnet.World, scfg sim.Config, dataset, connect string) {
+// days and weeks hit the wire as they complete. A positive dayDelay
+// throttles emission to roughly wall-clock-per-simulated-day, which
+// makes a live consumer's epoch progression observable.
+func streamDataset(w *synthnet.World, scfg sim.Config, dataset, connect string, dayDelay time.Duration) {
 	var sinks []obs.Sink
 	var writers []*obs.Writer
 	var finish []func() error
@@ -99,20 +105,43 @@ func streamDataset(w *synthnet.World, scfg sim.Config, dataset, connect string) 
 		attach(conn)
 		finish = append(finish, conn.Close)
 	}
+	// After the writers see each completed day, flush their buffers onto
+	// the wire — a live consumer (serve -obs-listen / -follow) must see
+	// frames as days close, not at bufio granularity — and sleep when
+	// pacing is requested. Flush errors are ignored here: a writer that
+	// failed (dead TCP peer) already carries its sticky error and has
+	// been dropped from the event tee; flushing must go on for the
+	// remaining healthy writers.
+	sinks = append(sinks, obs.SinkFunc(func(e obs.Event) error {
+		if _, ok := e.(obs.DayEvent); !ok {
+			return nil
+		}
+		for _, ow := range writers {
+			ow.Flush() //nolint:errcheck // sticky failure surfaces via the writer's own sink slot
+		}
+		if dayDelay > 0 {
+			time.Sleep(dayDelay)
+		}
+		return nil
+	}))
 
 	res, err := sim.RunTo(w, scfg, sinks...)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Close every writer and underlying file/connection even when a sink
+	// failed mid-run: one dead consumer (a reset TCP peer) must not cost
+	// the healthy ones their end frame — the persisted -dataset copy has
+	// to stay decodable. The first error still fails the process below.
 	for _, ow := range writers {
-		if err := ow.Close(); err != nil {
-			log.Fatal(err)
+		if cerr := ow.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
 	for _, fn := range finish {
-		if err := fn(); err != nil {
-			log.Fatal(err)
+		if ferr := fn(); ferr != nil && err == nil {
+			err = ferr
 		}
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 	log.Printf("streamed dataset: %d daily snapshots, %d weeks, %d traffic blocks",
 		len(res.Daily), len(res.Weekly), len(res.Traffic))

@@ -4,9 +4,23 @@
 // JSON API, without ever paying the batch-report cost on the request
 // path.
 //
+// Batch mode compiles one dataset and serves it frozen; live mode tails
+// a growing observation stream through the incremental applier
+// (internal/query.Applier), periodically publishing new epoch-stamped
+// snapshots while serving — so "ipscope-gen -connect ADDR | this
+// process" forms an end-to-end live pipeline whose /v1/healthz epoch
+// advances as simulated days complete.
+//
 //	-dataset FILE     serve a stored observation dataset (ipscope-gen
-//	                  -dataset FILE produces one); without it a world is
-//	                  simulated in-process from -seed/-ases/... flags
+//	                  -dataset FILE produces one); without it (and
+//	                  without a live flag) a world is simulated
+//	                  in-process from -seed/-ases/... flags
+//	-follow FILE      live: tail FILE as a producer appends to it,
+//	                  publishing snapshots as days arrive
+//	-obs-listen ADDR  live: accept one TCP observation stream
+//	                  (the peer runs "ipscope-gen -connect ADDR")
+//	-publish-every N  live: publish a new epoch every N applied days
+//	                  (default 1)
 //	-listen ADDR      bind address (default 127.0.0.1:8090; :0 picks an
 //	                  ephemeral port, printed on startup)
 //	-cache N          response cache capacity (0 = default, -1 = off)
@@ -16,6 +30,9 @@
 //	-selfcheck        start on an ephemeral port, probe every endpoint
 //	                  over real HTTP, verify responses against the
 //	                  index, then exit (CI smoke mode)
+//	-dump-summary     print the index summary as JSON and exit without
+//	                  serving (CI smoke mode: compare a live server's
+//	                  /v1/summary against the batch build)
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests drain before the process exits.
@@ -31,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,16 +68,50 @@ func main() {
 	log.SetPrefix("ipscope-serve: ")
 
 	dataset := flag.String("dataset", "", "serve a stored observation dataset")
+	follow := flag.String("follow", "", "live: tail a growing dataset file")
+	obsListen := flag.String("obs-listen", "", "live: accept one TCP observation stream on this address")
+	publishEvery := flag.Int("publish-every", 1, "live: publish a new epoch every N applied days")
 	listen := flag.String("listen", "127.0.0.1:8090", "HTTP listen address")
 	cacheSize := flag.Int("cache", 0, "response cache capacity (0 = default, negative = disabled)")
 	accessLog := flag.String("access-log", "", `structured access log file ("-" = stderr)`)
 	workers := flag.Int("workers", 0, "index build workers (<=0 = GOMAXPROCS)")
 	selfcheck := flag.Bool("selfcheck", false, "probe every endpoint over HTTP and exit")
+	dumpSummary := flag.Bool("dump-summary", false, "print the index summary as JSON and exit")
 	seed := flag.Uint64("seed", 1, "world seed (no -dataset)")
 	ases := flag.Int("ases", 300, "number of autonomous systems (no -dataset)")
 	blocksPerAS := flag.Int("blocks-per-as", 12, "mean /24 blocks per AS (no -dataset)")
 	days := flag.Int("days", 364, "simulated days (no -dataset)")
 	flag.Parse()
+
+	live := *follow != "" || *obsListen != ""
+	if *follow != "" && *obsListen != "" {
+		log.Fatal("use either -follow or -obs-listen, not both")
+	}
+	if live && (*dataset != "" || *selfcheck || *dumpSummary) {
+		log.Fatal("live modes (-follow/-obs-listen) exclude -dataset, -selfcheck and -dump-summary")
+	}
+	if *selfcheck && *dumpSummary {
+		log.Fatal("use either -selfcheck or -dump-summary, not both")
+	}
+
+	cfg := serve.Config{CacheSize: *cacheSize}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+
+	if live {
+		runLive(cfg, *listen, *follow, *obsListen, *publishEvery, *workers)
+		return
+	}
 
 	start := time.Now()
 	var src obs.Source
@@ -78,22 +130,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *dumpSummary {
+		if err := json.NewEncoder(os.Stdout).Encode(idx.Summary()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	log.Printf("index ready in %v: %d active /24 blocks, %d-day window",
 		time.Since(start).Round(time.Millisecond), idx.NumBlocks(), idx.DailyLen())
 
-	cfg := serve.Config{CacheSize: *cacheSize}
-	switch *accessLog {
-	case "":
-	case "-":
-		cfg.AccessLog = os.Stderr
-	default:
-		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		cfg.AccessLog = f
-	}
 	srv := serve.New(idx, cfg)
 
 	bind := *listen
@@ -121,16 +166,142 @@ func main() {
 		return
 	}
 
+	waitAndShutdown(srv)
+}
+
+// waitAndShutdown blocks until SIGINT/SIGTERM, then drains in-flight
+// requests.
+func waitAndShutdown(srv *serve.Server) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	log.Printf("signal received; draining in-flight requests...")
+	drain(srv)
+}
+
+// drain stops the server, letting in-flight requests finish.
+func drain(srv *serve.Server) {
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
 	log.Printf("bye")
+}
+
+// runLive serves a growing observation stream: events flow through the
+// incremental applier, and every publish interval the server atomically
+// swaps in a freshly published epoch — lookups keep being answered from
+// the previous snapshot in the meantime, and the HTTP endpoint is up
+// (warming) before the first day arrives.
+func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, workers int) {
+	if publishEvery < 1 {
+		publishEvery = 1
+	}
+	srv := serve.New(nil, cfg)
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (warming: no snapshot yet)", addr)
+
+	// One signal context covers the whole lifetime — stream, final
+	// publish and drain — so a signal landing at any point (including
+	// during the drain itself) is absorbed instead of killing the
+	// process mid-flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	applier := query.NewApplier(query.Options{Workers: workers})
+	lastPublished := 0
+	publish := func() error {
+		idx, err := applier.Snapshot()
+		if err != nil {
+			return err
+		}
+		srv.Publish(idx)
+		lastPublished = applier.Days()
+		log.Printf("published epoch %d: %d days applied, %d active /24 blocks",
+			idx.Epoch(), idx.DailyLen(), idx.NumBlocks())
+		return nil
+	}
+	sink := obs.SinkFunc(func(e obs.Event) error {
+		if err := applier.Observe(e); err != nil {
+			return err
+		}
+		if _, ok := e.(obs.DayEvent); ok && applier.Days()-lastPublished >= publishEvery {
+			return publish()
+		}
+		return nil
+	})
+
+	var streamErr error
+	if follow != "" {
+		log.Printf("following dataset file %s", follow)
+		streamErr = obs.Follow(ctx, follow, 0, sink)
+	} else {
+		streamErr = acceptStream(ctx, obsListen, sink)
+	}
+	if ctx.Err() != nil {
+		// Interrupted while streaming: drain and exit on this signal.
+		log.Printf("signal received; draining in-flight requests...")
+		drain(srv)
+		return
+	}
+	switch {
+	case streamErr != nil && applier.Epoch() == 0:
+		// The stream died before anything could be served.
+		log.Fatalf("live stream failed before any snapshot was published: %v", streamErr)
+	case streamErr != nil:
+		// A dead producer must not take the read path down with it: keep
+		// serving the last published epoch until the operator decides.
+		log.Printf("live stream failed: %v", streamErr)
+		log.Printf("continuing to serve epoch %d until signalled", applier.Epoch())
+	default:
+		// The stream completed: the end-of-stream aggregates (per-block
+		// traffic/UA, scan surfaces) arrived after the last day, so one
+		// final epoch folds them in; the server keeps serving it until
+		// signalled.
+		if err := publish(); err != nil {
+			log.Fatalf("final publish: %v", err)
+		}
+		log.Printf("stream complete; serving final epoch")
+	}
+	<-ctx.Done()
+	log.Printf("signal received; draining in-flight requests...")
+	drain(srv)
+}
+
+// acceptStream accepts one TCP connection and decodes its observation
+// stream into sink. A signal while waiting in Accept closes the
+// listener so the wait ends cleanly.
+func acceptStream(ctx context.Context, obsListen string, sink obs.Sink) error {
+	ln, err := net.Listen("tcp", obsListen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	log.Printf("waiting for an observation stream on %s", ln.Addr())
+	conn, err := ln.Accept()
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer conn.Close()
+	// A signal mid-stream must unblock the decoder's read, not just the
+	// accept loop, or graceful shutdown would wait on the peer.
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	log.Printf("stream connected from %s", conn.RemoteAddr())
+	return obs.StreamDecode(conn, sink)
 }
 
 // runSelfcheck probes every endpoint over real HTTP and verifies the

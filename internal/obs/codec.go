@@ -2,12 +2,14 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
@@ -112,6 +114,16 @@ func (w *Writer) Observe(e Event) error {
 	return nil
 }
 
+// Flush writes buffered frames to the underlying writer without ending
+// the stream, so a live consumer (a tailing reader, a TCP peer) sees
+// the events emitted so far promptly instead of at buffer granularity.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.fail(w.bw.Flush())
+}
+
 // Close writes the end frame and flushes buffered output. It does not
 // close the underlying writer.
 func (w *Writer) Close() error {
@@ -160,58 +172,61 @@ func WriteFile(path string, d *Data) error {
 	return f.Close()
 }
 
-// Decode reads one dataset stream from r. It returns ErrTruncated if
-// the stream ends before its end frame and a *FormatError for
-// structurally invalid input; it never panics on corrupt data.
-func Decode(r io.Reader) (*Data, error) {
+// StreamDecode reads one dataset stream from r, delivering each event
+// to sink as soon as its frame is decoded — the streaming counterpart
+// of Decode, and the read path live consumers (a tailing server, a
+// network ingest) attach to. It enforces the stream contract Decode
+// does: meta frame first, unknown frame kinds skipped, ErrTruncated if
+// the stream ends before its end frame, *FormatError for structurally
+// invalid input. A sink error stops the decode and is returned as is.
+func StreamDecode(r io.Reader, sink Sink) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	hdr := make([]byte, len(magic)+2)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		return nil, err
+		return err
 	}
 	if string(hdr[:len(magic)]) != string(magic) {
-		return nil, formatErrf("bad stream magic %q", hdr[:len(magic)])
+		return formatErrf("bad stream magic %q", hdr[:len(magic)])
 	}
 	if v := binary.BigEndian.Uint16(hdr[len(magic):]); v != Version {
-		return nil, formatErrf("unsupported dataset version %d (want %d)", v, Version)
+		return formatErrf("unsupported dataset version %d (want %d)", v, Version)
 	}
-	d := &Data{}
 	sawMeta := false
 	var fh [5]byte
 	for {
 		if _, err := io.ReadFull(br, fh[:]); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
-			return nil, err
+			return err
 		}
 		kind := fh[0]
 		n := binary.BigEndian.Uint32(fh[1:])
 		if n > maxFrameLen {
-			return nil, formatErrf("frame length %d exceeds limit", n)
+			return formatErrf("frame length %d exceeds limit", n)
 		}
 		if kind == kindEnd {
 			if n != 0 {
-				return nil, formatErrf("end frame with non-empty payload")
+				return formatErrf("end frame with non-empty payload")
 			}
 			if !sawMeta {
-				return nil, formatErrf("dataset stream has no meta frame")
+				return formatErrf("dataset stream has no meta frame")
 			}
-			return d, nil
+			return nil
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
-			return nil, err
+			return err
 		}
 		e, err := decodeEvent(kind, payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if e == nil {
 			continue // unknown frame kind: skip for forward compatibility
@@ -219,12 +234,23 @@ func Decode(r io.Reader) (*Data, error) {
 		if _, ok := e.(MetaEvent); ok {
 			sawMeta = true
 		} else if !sawMeta {
-			return nil, formatErrf("event frame 0x%02x before meta frame", kind)
+			return formatErrf("event frame 0x%02x before meta frame", kind)
 		}
-		if err := d.Observe(e); err != nil {
-			return nil, err
+		if err := sink.Observe(e); err != nil {
+			return err
 		}
 	}
+}
+
+// Decode reads one dataset stream from r. It returns ErrTruncated if
+// the stream ends before its end frame and a *FormatError for
+// structurally invalid input; it never panics on corrupt data.
+func Decode(r io.Reader) (*Data, error) {
+	d := &Data{}
+	if err := StreamDecode(r, d); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // DecodeFile reads a dataset from path.
@@ -242,6 +268,74 @@ type FileSource string
 
 // Observations decodes the file.
 func (p FileSource) Observations() (*Data, error) { return DecodeFile(string(p)) }
+
+// Follow tails the dataset file, streaming events into sink — the
+// tailing mode of FileSource. See the package-level Follow.
+func (p FileSource) Follow(ctx context.Context, poll time.Duration, sink Sink) error {
+	return Follow(ctx, string(p), poll, sink)
+}
+
+// DefaultFollowPoll is the poll interval Follow uses when given 0.
+const DefaultFollowPoll = 200 * time.Millisecond
+
+// Follow streams the dataset at path into sink as the file grows: a
+// producer (ipscope-gen -dataset FILE) appends frames while a consumer
+// tails them live. Instead of treating end-of-file as truncation the
+// way Decode does, Follow polls for appended bytes every poll interval
+// (0 means DefaultFollowPoll) and keeps decoding; it also waits for the
+// file to appear, so the consumer can start first. Follow returns nil
+// once the stream's end frame is read, ctx.Err() if the context is
+// cancelled while waiting, and otherwise whatever StreamDecode fails
+// with.
+func Follow(ctx context.Context, path string, poll time.Duration, sink Sink) error {
+	if poll <= 0 {
+		poll = DefaultFollowPoll
+	}
+	var f *os.File
+	for {
+		var err error
+		f, err = os.Open(path)
+		if err == nil {
+			break
+		}
+		if !os.IsNotExist(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+	defer f.Close()
+	return StreamDecode(&tailReader{ctx: ctx, f: f, poll: poll}, sink)
+}
+
+// tailReader turns end-of-file into "wait for more bytes": Read blocks
+// (polling) until the file grows, the context is cancelled, or a real
+// read error occurs. It never returns io.EOF.
+type tailReader struct {
+	ctx  context.Context
+	f    *os.File
+	poll time.Duration
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.f.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		select {
+		case <-t.ctx.Done():
+			return 0, t.ctx.Err()
+		case <-time.After(t.poll):
+		}
+	}
+}
 
 // --- event payload encoding -----------------------------------------
 

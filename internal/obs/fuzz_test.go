@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the dataset decoder. The
+// invariants, matching the codec's documented contract:
+//
+//   - Decode never panics, however corrupt the input (the corruption
+//     sweep in codec_test.go samples this; the fuzzer explores it);
+//   - every failure is a typed error (ErrTruncated, *FormatError) or an
+//     I/O error — never a silent partial dataset;
+//   - anything that decodes re-encodes canonically: Write(Decode(x))
+//     succeeds, and its output is a fixed point (decoding and
+//     re-encoding it reproduces the same bytes), which is the property
+//     the collect tier's deterministic stores rest on.
+//
+// The seed corpus is the canonical encoding of the codec round-trip
+// corpus (sampleData) plus truncated and bit-flipped variants, so the
+// fuzzer starts from structurally valid streams rather than rediscovering
+// the magic/version header.
+func FuzzDecode(f *testing.F) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, sampleData(f, seed)); err != nil {
+			f.Fatal(err)
+		}
+		b := buf.Bytes()
+		f.Add(b)
+		f.Add(b[:len(b)/2]) // truncated mid-stream
+		f.Add(b[:len(b)-1]) // missing end frame
+		flipped := bytes.Clone(b)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	// A minimal empty-but-well-formed stream (header + meta + end).
+	var empty bytes.Buffer
+	w := NewWriter(&empty)
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			var fe *FormatError
+			if !errors.Is(err, ErrTruncated) && !errors.As(err, &fe) {
+				t.Fatalf("Decode failed with untyped error %T: %v", err, err)
+			}
+			return
+		}
+		var once bytes.Buffer
+		if err := Write(&once, d); err != nil {
+			t.Fatalf("re-encoding a decoded dataset failed: %v", err)
+		}
+		d2, err := Decode(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical re-encoding does not decode: %v", err)
+		}
+		var twice bytes.Buffer
+		if err := Write(&twice, d2); err != nil {
+			t.Fatalf("second re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("canonical encoding is not a fixed point: %d vs %d bytes", once.Len(), twice.Len())
+		}
+	})
+}

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"errors"
 	"sort"
 
 	"ipscope/internal/bgp"
@@ -207,6 +208,51 @@ func (RestructuresEvent) isEvent() {}
 type Sink interface {
 	Observe(Event) error
 }
+
+// SinkFunc adapts a function to the Sink interface, the way
+// http.HandlerFunc adapts handlers.
+type SinkFunc func(Event) error
+
+// Observe calls f(e).
+func (f SinkFunc) Observe(e Event) error { return f(e) }
+
+// TeeSink fans one serialized event stream out to several sinks, so a
+// single live stream can feed storage and indexing (or any other pair
+// of consumers) concurrently. A sink that returns an error is dropped
+// from the fan-out and receives no further events; the stream keeps
+// flowing to the remaining sinks. Observe itself only fails once every
+// sink has failed, so the producer is not stopped by one bad consumer.
+type TeeSink struct {
+	sinks []Sink
+	errs  []error
+}
+
+// Tee returns a TeeSink delivering every event to each sink in order.
+func Tee(sinks ...Sink) *TeeSink {
+	return &TeeSink{sinks: sinks, errs: make([]error, len(sinks))}
+}
+
+// Observe delivers e to every sink that has not previously failed.
+func (t *TeeSink) Observe(e Event) error {
+	healthy := false
+	for i, s := range t.sinks {
+		if t.errs[i] != nil {
+			continue
+		}
+		if err := s.Observe(e); err != nil {
+			t.errs[i] = err
+		} else {
+			healthy = true
+		}
+	}
+	if !healthy && len(t.sinks) > 0 {
+		return t.Err()
+	}
+	return nil
+}
+
+// Err joins the errors of every failed sink (nil if none failed).
+func (t *TeeSink) Err() error { return errors.Join(t.errs...) }
 
 // Source yields a complete observation dataset. Implementations
 // include *Data itself, FileSource (a stored dataset), and *sim.Result

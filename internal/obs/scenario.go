@@ -71,6 +71,69 @@ func (d *Data) TruncateWindow(n int) *Data {
 	return &out
 }
 
+// TruncateLive returns the dataset a live consumer has accumulated at
+// the moment day n of the daily window (1-based: days 0..n-1 applied)
+// closed — the stream-prefix state, as opposed to TruncateWindow's
+// counterfactual shorter campaign. Events arrive in emission order
+// (see sim.RunTo), so at that moment the consumer holds: the first n
+// daily sets, every weekly snapshot whose closing day has passed, every
+// ICMP campaign snapshot taken on or before the last applied day, and
+// the up-front ground truth (routing, restructures) — but none of the
+// end-of-stream aggregates (per-block traffic/UA stats, scan surfaces),
+// which are only emitted after the simulated year completes. This is
+// the reference the incremental indexing layer (internal/query's
+// Applier) is held equivalent to.
+func (d *Data) TruncateLive(n int) *Data {
+	if n <= 0 || n > len(d.Daily) {
+		return d
+	}
+	run := d.Meta.Run
+	lastDay := run.DailyStart + n - 1
+	out := &Data{Meta: d.Meta}
+	out.Meta.Run.DailyLen = n
+	out.Daily = d.Daily[:n]
+	out.DailyTotalHits = d.DailyTotalHits[:n]
+
+	weeks := weeksClosedBy(run, lastDay)
+	out.Weekly = d.Weekly[:weeks]
+	out.WeeklyTopShare = d.WeeklyTopShare[:weeks]
+
+	out.Meta.Run.ICMPScanDays = nil
+	for i, day := range run.ICMPScanDays {
+		if day <= lastDay {
+			out.Meta.Run.ICMPScanDays = append(out.Meta.Run.ICMPScanDays, day)
+			out.ICMPScans = append(out.ICMPScans, d.ICMPScans[i])
+		}
+	}
+
+	out.Traffic = map[ipv4.Block]*BlockTraffic{}
+	out.UA = map[ipv4.Block]*UAStat{}
+	out.ServerSet = ipv4.NewSet()
+	out.RouterSet = ipv4.NewSet()
+	out.Routing = d.Routing
+	out.Restructures = d.Restructures
+	return out
+}
+
+// weeksClosedBy counts the weekly snapshots whose closing day is <= day.
+// Non-final weeks close on their last calendar day; the final (possibly
+// clamped) week closes on the run's last day, matching the engine's
+// emission schedule.
+func weeksClosedBy(run RunConfig, day int) int {
+	nw := run.NumWeeks()
+	k := 0
+	for wk := 0; wk < nw; wk++ {
+		close := (wk+1)*7 - 1
+		if wk == nw-1 {
+			close = run.Days - 1
+		}
+		if close <= day {
+			k++
+		}
+	}
+	return k
+}
+
 // SubsampleVantage returns a copy of d as observed by a vantage that
 // monitors only a deterministic pseudo-random fraction frac of
 // addresses (a smaller CDN footprint, fewer monitored clients). All

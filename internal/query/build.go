@@ -30,6 +30,7 @@ func Build(src obs.Source, opts Options) (*Index, error) {
 	w := opts.Workers
 
 	x := &Index{
+		epoch:   1,
 		meta:    metaInfo{seed: world.Seed, numASes: len(world.ASes)},
 		days:    len(d.Daily),
 		words:   (len(d.Daily) + 63) / 64,
@@ -39,19 +40,7 @@ func Build(src obs.Source, opts Options) (*Index, error) {
 		servers: orEmpty(d.ServerSet),
 		routers: orEmpty(d.RouterSet),
 	}
-
-	// rDNS classification for every world block (not just active ones:
-	// /v1/addr enriches unallocated-but-routed space too). Zone
-	// classification is pure per block, so the fan-out cannot change the
-	// result.
-	pairs := par.Map(len(world.Blocks), w, func(i int) rdns.BlockTag {
-		b := world.Blocks[i]
-		return rdns.BlockTag{
-			Block: b.Block,
-			Tag:   rdns.ClassifyZone(world.RDNSZone(b), 0.6),
-		}
-	})
-	x.tags = rdns.NewTagIndex(pairs)
+	x.tags = classifyWorld(world, w)
 
 	// Per-/24 records in ascending block order. Each block compiles from
 	// its own slice of the dataset into a preallocated slot, so shard
@@ -72,6 +61,21 @@ func orEmpty(s *ipv4.Set) *ipv4.Set {
 		return ipv4.NewSet()
 	}
 	return s
+}
+
+// classifyWorld computes the rDNS tag for every world block (not just
+// active ones: /v1/addr enriches unallocated-but-routed space too).
+// Zone classification is pure per block, so the fan-out cannot change
+// the result.
+func classifyWorld(world *synthnet.World, workers int) *rdns.TagIndex {
+	pairs := par.Map(len(world.Blocks), workers, func(i int) rdns.BlockTag {
+		b := world.Blocks[i]
+		return rdns.BlockTag{
+			Block: b.Block,
+			Tag:   rdns.ClassifyZone(world.RDNSZone(b), 0.6),
+		}
+	})
+	return rdns.NewTagIndex(pairs)
 }
 
 // compileBlock builds one block's packed record: a pure function of the

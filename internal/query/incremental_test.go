@@ -1,0 +1,203 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ipscope/internal/obs"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+var _ obs.Sink = (*Applier)(nil)
+
+// cutStream returns the length of the emission-order prefix a live
+// consumer has seen at the moment day `cut` of the daily window closed:
+// everything before the next day event, any week/ICMP event that closes
+// later, and the end-of-stream aggregates. The per-series keep counts
+// come from TruncateLive itself, so the prefix and the reference
+// dataset agree by construction.
+func cutStream(events []obs.Event, ref *obs.Data, cut int) int {
+	wkKeep, scanKeep := len(ref.Weekly), len(ref.ICMPScans)
+	for i, e := range events {
+		switch ev := e.(type) {
+		case obs.DayEvent:
+			if ev.Index >= cut {
+				return i
+			}
+		case obs.WeekEvent:
+			if ev.Index >= wkKeep {
+				return i
+			}
+		case obs.ICMPScanEvent:
+			if ev.Index >= scanKeep {
+				return i
+			}
+		case obs.BlockStatsEvent, obs.SurfacesEvent:
+			return i
+		}
+	}
+	return len(events)
+}
+
+// TestApplierEquivalence is the tentpole invariant: applying days 1..N
+// of the live stream and publishing must be view-identical — byte for
+// byte across summary, block, address, AS and prefix views — to a
+// monolithic Build over the dataset truncated to those N days, for
+// several N and worker counts. The applier publishes at every cut along
+// the way, so later cuts also exercise the clean-block reuse path
+// against earlier epochs.
+func TestApplierEquivalence(t *testing.T) {
+	type variant struct {
+		name string
+		cfg  sim.Config
+		cuts []int
+	}
+	long := sim.TinyConfig()
+	long.Days, long.DailyStart, long.DailyLen = 98, 14, 70
+	variants := []variant{
+		// Cuts probe the first day, early window, mid-window and the
+		// last day of the window.
+		{"tiny", sim.TinyConfig(), []int{1, 2, 13, 27, 28}},
+		// A >64-day window crosses the timeline word boundary between
+		// cuts 64 and 65, forcing the full repack path.
+		{"word-boundary", long, []int{50, 64, 65, 70}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			w := synthnet.Generate(synthnet.TinyConfig())
+			// Record the live emission stream; payloads may be retained
+			// without copying (the Sink contract).
+			var events []obs.Event
+			rec := obs.SinkFunc(func(e obs.Event) error { events = append(events, e); return nil })
+			res, err := sim.RunTo(w, v.cfg, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := &res.Data
+
+			for _, workers := range []int{1, 5} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					a := NewApplier(Options{Workers: workers})
+					fed := 0
+					for _, cut := range v.cuts {
+						trunc := d.TruncateLive(cut)
+						end := cutStream(events, trunc, cut)
+						for _, e := range events[fed:end] {
+							if err := a.Observe(e); err != nil {
+								t.Fatalf("observe %T: %v", e, err)
+							}
+						}
+						fed = end
+						snap, err := a.Snapshot()
+						if err != nil {
+							t.Fatalf("snapshot at day %d: %v", cut, err)
+						}
+						ref, err := Build(trunc, Options{Workers: 3})
+						if err != nil {
+							t.Fatalf("build truncated(%d): %v", cut, err)
+						}
+						got, want := marshalIndex(t, snap), marshalIndex(t, ref)
+						if !bytes.Equal(got, want) {
+							t.Fatalf("day %d: incremental snapshot differs from Build over truncated dataset (%d vs %d bytes)",
+								cut, len(got), len(want))
+						}
+					}
+
+					// End of stream: the remaining events (trailing
+					// weeks, per-block stats, surfaces) must converge
+					// the snapshot onto Build over the full dataset.
+					for _, e := range events[fed:] {
+						if err := a.Observe(e); err != nil {
+							t.Fatalf("observe %T: %v", e, err)
+						}
+					}
+					snap, err := a.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref, err := Build(d, Options{Workers: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(marshalIndex(t, snap), marshalIndex(t, ref)) {
+						t.Fatal("end-of-stream snapshot differs from Build over the full dataset")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestApplierEpochs pins the epoch contract: Build stamps 1, every
+// Snapshot bumps the counter (even without new events), and repeated
+// publishes of unchanged state are view-identical.
+func TestApplierEpochs(t *testing.T) {
+	d := testData(t)
+	b, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch() != 1 {
+		t.Errorf("Build epoch = %d, want 1", b.Epoch())
+	}
+
+	a := NewApplier(Options{})
+	if err := d.WriteTo(a); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Epoch() != 1 || s2.Epoch() != 2 || a.Epoch() != 2 {
+		t.Errorf("epochs = %d, %d (applier %d), want 1, 2 (2)", s1.Epoch(), s2.Epoch(), a.Epoch())
+	}
+	if !bytes.Equal(marshalIndex(t, s1), marshalIndex(t, s2)) {
+		t.Error("unchanged republish differs from previous snapshot")
+	}
+}
+
+// TestApplierStreamContract exercises the ordering errors: no events
+// before meta, no duplicate meta, sequential day indices, and no
+// snapshot before the first day.
+func TestApplierStreamContract(t *testing.T) {
+	d := testData(t)
+	meta := obs.MetaEvent{Meta: d.Meta}
+
+	a := NewApplier(Options{})
+	if err := a.Observe(obs.DayEvent{Index: 0, Active: d.Daily[0]}); err == nil {
+		t.Error("day before meta accepted")
+	}
+	if _, err := a.Snapshot(); err == nil {
+		t.Error("snapshot before meta accepted")
+	}
+
+	a = NewApplier(Options{})
+	if err := a.Observe(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(meta); err == nil {
+		t.Error("second meta accepted")
+	}
+	if _, err := a.Snapshot(); err == nil {
+		t.Error("snapshot with no days accepted")
+	}
+	if err := a.Observe(obs.DayEvent{Index: 1, Active: d.Daily[1]}); err == nil {
+		t.Error("out-of-order day accepted")
+	}
+	if err := a.Observe(obs.DayEvent{Index: 0, Active: d.Daily[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(obs.DayEvent{Index: 0, Active: d.Daily[0]}); err == nil {
+		t.Error("duplicate day accepted")
+	}
+	if _, err := a.Snapshot(); err != nil {
+		t.Errorf("snapshot after first day: %v", err)
+	}
+}

@@ -44,8 +44,13 @@ type Options struct {
 }
 
 // Index is the immutable compiled view. All lookup methods are safe for
-// concurrent use: nothing is mutated after Build returns.
+// concurrent use: nothing is mutated after Build (or Applier.Snapshot)
+// returns. Each Index is stamped with an epoch — a monotonically
+// increasing publish counter (Build produces epoch 1; an Applier bumps
+// it on every Snapshot) that serving layers use to version caches and
+// ETags across snapshot swaps.
 type Index struct {
+	epoch   uint64
 	meta    metaInfo
 	days    int // daily window length
 	words   int // uint64 words per packed per-address timeline
@@ -205,6 +210,9 @@ type Summary struct {
 // NumBlocks returns the number of indexed (active) /24 blocks.
 func (x *Index) NumBlocks() int { return len(x.keys) }
 
+// Epoch returns the publish counter this snapshot was stamped with.
+func (x *Index) Epoch() uint64 { return x.epoch }
+
 // DailyLen returns the length of the indexed daily window.
 func (x *Index) DailyLen() int { return x.days }
 
@@ -247,19 +255,26 @@ type enrichment struct {
 
 // joinBlock computes the enrichment for any block, active or not.
 func (x *Index) joinBlock(blk ipv4.Block) enrichment {
+	return join(x.routing, x.world, x.tags, blk)
+}
+
+// join is the routing/registry/world/rDNS lookup behind joinBlock,
+// shared with the incremental Applier so both construction paths
+// enrich identically.
+func join(routing *bgp.Table, world *synthnet.World, tags *rdns.TagIndex, blk ipv4.Block) enrichment {
 	e := enrichment{rir: registry.ARIN.String()} // unattributed space reports ARIN
-	if r, ok := x.routing.Lookup(blk.First()); ok {
+	if r, ok := routing.Lookup(blk.First()); ok {
 		e.as = uint32(r.Origin)
 		e.prefix = r.Prefix.String()
 	}
-	if a, ok := x.world.Registry.LookupBlock(blk); ok {
+	if a, ok := world.Registry.LookupBlock(blk); ok {
 		e.country = string(a.Country)
 		e.rir = a.RIR.String()
 	}
-	if info, ok := x.world.BlockInfo(blk); ok {
+	if info, ok := world.BlockInfo(blk); ok {
 		e.pattern = info.Policy.String()
 	}
-	tag, _ := x.tags.Lookup(blk) // a miss reports Untagged
+	tag, _ := tags.Lookup(blk) // a miss reports Untagged
 	e.rdns = tag.String()
 	return e
 }

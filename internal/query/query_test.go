@@ -161,6 +161,78 @@ func TestPrefixAggregate(t *testing.T) {
 	}
 }
 
+// TestPrefixTruncation pins the explicit-truncation contract: a
+// response whose block list was capped by maxBlocks must say so, a
+// response that fits exactly must not, and the aggregate fields must
+// cover every active block either way — including for the widest
+// accepted prefix (/8).
+func TestPrefixTruncation(t *testing.T) {
+	idx := testIndex(t)
+	blk := idx.Blocks()[0]
+
+	// The /8 covering the first active block: count its active blocks.
+	wide := ipv4.MustNewPrefix(blk.First(), 8)
+	active := 0
+	for _, b := range idx.Blocks() {
+		if wide.Contains(b.First()) {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("fixture has %d active blocks under %v; need >= 2", active, wide)
+	}
+
+	t.Run("capped", func(t *testing.T) {
+		v, err := idx.Prefix(wide, active-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Truncated {
+			t.Error("capped /8 response not marked truncated")
+		}
+		if len(v.BlockList) != active-1 {
+			t.Errorf("BlockList has %d entries, want %d", len(v.BlockList), active-1)
+		}
+		if v.ActiveBlocks != active {
+			t.Errorf("ActiveBlocks = %d, want %d (aggregate must ignore the cap)", v.ActiveBlocks, active)
+		}
+	})
+
+	t.Run("exact-fit", func(t *testing.T) {
+		v, err := idx.Prefix(wide, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Truncated {
+			t.Error("exact-fit response marked truncated")
+		}
+		if len(v.BlockList) != active {
+			t.Errorf("BlockList has %d entries, want %d", len(v.BlockList), active)
+		}
+	})
+
+	t.Run("no-list", func(t *testing.T) {
+		v, err := idx.Prefix(wide, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Truncated || v.BlockList != nil {
+			t.Errorf("maxBlocks=0 should omit the list without truncation: %+v", v)
+		}
+	})
+
+	t.Run("narrow-boundary", func(t *testing.T) {
+		p := ipv4.MustNewPrefix(blk.First(), 24)
+		v, err := idx.Prefix(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Truncated || len(v.BlockList) != 1 {
+			t.Errorf("single-block prefix at maxBlocks=1: truncated=%v list=%d", v.Truncated, len(v.BlockList))
+		}
+	})
+}
+
 func TestASFootprint(t *testing.T) {
 	idx := testIndex(t)
 	if len(idx.ASNs()) == 0 {

@@ -1,10 +1,22 @@
 // Package serve exposes a query.Index over an HTTP JSON API — the
 // user-facing read path of the pipeline (cmd/ipscope-serve). The shape
 // follows cached BGP looking-glass services: every endpoint is a point
-// lookup answered from the immutable index through a bounded LRU
-// response cache with single-flight filling, requests are access-logged
-// as structured JSON lines, and shutdown is graceful (in-flight
-// requests drain before Close returns).
+// lookup answered from an immutable index snapshot through a bounded
+// LRU response cache with single-flight filling, requests are
+// access-logged as structured JSON lines, and shutdown is graceful
+// (in-flight requests drain before Close returns).
+//
+// The server is epoch-aware: it holds an atomic pointer to the current
+// index snapshot, and Publish swaps in a new one without dropping
+// in-flight requests — a request uses whichever snapshot it loaded for
+// its whole lifetime. Cache keys carry the snapshot epoch, so a swap
+// instantly invalidates every stale entry (old-epoch entries age out of
+// the LRU), every cached response body carries an "epoch" field, and
+// every /v1/* lookup endpoint serves an epoch-derived ETag with
+// If-None-Match → 304 handling (healthz is exempt: its body mutates per
+// request, so it carries the epoch in the body instead). A server
+// published with no snapshot yet (live mode warming up) answers 503
+// with Retry-After until the first Publish.
 //
 // Endpoints:
 //
@@ -13,7 +25,7 @@
 //	GET /v1/prefix/{cidr}    aggregate over a CIDR's /24 blocks
 //	GET /v1/as/{asn}         one origin AS's footprint ("AS64500" or "64500")
 //	GET /v1/summary          dataset identity + capture-recapture/churn summaries
-//	GET /v1/healthz          liveness + cache statistics (uncached)
+//	GET /v1/healthz          liveness + current epoch + cache statistics (uncached)
 package serve
 
 import (
@@ -26,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipscope/internal/bgp"
@@ -49,9 +62,9 @@ type Config struct {
 	AccessLog io.Writer
 }
 
-// Server serves a query.Index over HTTP.
+// Server serves query.Index snapshots over HTTP.
 type Server struct {
-	idx     *query.Index
+	idx     atomic.Pointer[query.Index]
 	cache   *Cache
 	handler http.Handler
 
@@ -63,16 +76,19 @@ type Server struct {
 	serveCh chan error
 }
 
-// New creates a Server over idx.
+// New creates a Server over idx. A nil idx starts the server in warming
+// mode: every lookup answers 503 until the first Publish.
 func New(idx *query.Index, cfg Config) *Server {
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
 	}
 	s := &Server{
-		idx:   idx,
 		cache: NewCache(size),
 		logW:  cfg.AccessLog,
+	}
+	if idx != nil {
+		s.idx.Store(idx)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/addr/{ip}", s.cached(s.handleAddr))
@@ -84,6 +100,14 @@ func New(idx *query.Index, cfg Config) *Server {
 	s.handler = s.logged(mux)
 	return s
 }
+
+// Publish atomically swaps in a new index snapshot. In-flight requests
+// keep the snapshot they loaded; new requests (and their cache keys)
+// use the new epoch immediately, which strands every stale cache entry.
+func (s *Server) Publish(idx *query.Index) { s.idx.Store(idx) }
+
+// Index returns the currently published snapshot (nil while warming).
+func (s *Server) Index() *query.Index { return s.idx.Load() }
 
 // Handler returns the HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -130,18 +154,74 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return <-ch
 }
 
+// etagFor derives the entity tag every /v1/* endpoint serves from the
+// snapshot epoch: the index is immutable, so a resource changes exactly
+// when the epoch does.
+func etagFor(epoch uint64) string {
+	return fmt.Sprintf("\"ips-e%d\"", epoch)
+}
+
+// notModified reports whether the request's If-None-Match header
+// matches etag (or is the "*" wildcard).
+func notModified(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, c := range strings.Split(inm, ",") {
+		c = strings.TrimSpace(c)
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// withEpoch splices the snapshot epoch into a marshalled JSON object as
+// its leading field, so every cached body self-identifies the snapshot
+// it was computed from without every payload type carrying the field.
+func withEpoch(body []byte, epoch uint64) []byte {
+	if len(body) < 2 || body[0] != '{' {
+		return body
+	}
+	head := fmt.Sprintf(`{"epoch":%d`, epoch)
+	if body[1] != '}' {
+		head += ","
+	}
+	return append([]byte(head), body[1:]...)
+}
+
 // cached wraps a pure lookup in the LRU + single-flight cache, keyed by
-// the canonical request path.
-func (s *Server) cached(fn func(r *http.Request) (int, any)) http.HandlerFunc {
+// (snapshot epoch, canonical request path): a Publish strands every
+// old-epoch entry without touching in-flight fills. The handler runs
+// against the snapshot loaded at entry, answers 503 while no snapshot
+// is published yet, and honours If-None-Match with the epoch ETag.
+func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		resp, hit := s.cache.Do(r.URL.Path, func() Response {
-			status, payload := fn(r)
+		x := s.idx.Load()
+		if x == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"epoch":0,"error":"index warming up: no snapshot published yet"}`+"\n")
+			return
+		}
+		epoch := x.Epoch()
+		etag := etagFor(epoch)
+		w.Header().Set("ETag", etag)
+		if notModified(r, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		key := fmt.Sprintf("%d:%s", epoch, r.URL.Path)
+		resp, hit := s.cache.Do(key, func() Response {
+			status, payload := fn(x, r)
 			body, err := json.Marshal(payload)
 			if err != nil {
 				status = http.StatusInternalServerError
 				body = []byte(`{"error":"encoding failed"}`)
 			}
-			return Response{Status: status, Body: append(body, '\n')}
+			return Response{Status: status, Body: append(withEpoch(body, epoch), '\n')}
 		})
 		if hit {
 			w.Header().Set("X-Cache", "hit")
@@ -158,12 +238,12 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) handleAddr(r *http.Request) (int, any) {
+func (s *Server) handleAddr(x *query.Index, r *http.Request) (int, any) {
 	a, err := ipv4.ParseAddr(r.PathValue("ip"))
 	if err != nil {
 		return http.StatusBadRequest, errorBody{Error: err.Error()}
 	}
-	return http.StatusOK, s.idx.Addr(a)
+	return http.StatusOK, x.Addr(a)
 }
 
 // parse24 accepts "a.b.c.0/24" or a bare address inside the block.
@@ -185,49 +265,50 @@ func parse24(raw string) (ipv4.Block, error) {
 	return a.Block(), nil
 }
 
-func (s *Server) handleBlock(r *http.Request) (int, any) {
+func (s *Server) handleBlock(x *query.Index, r *http.Request) (int, any) {
 	blk, err := parse24(r.PathValue("prefix"))
 	if err != nil {
 		return http.StatusBadRequest, errorBody{Error: err.Error()}
 	}
-	v, ok := s.idx.Block(blk)
+	v, ok := x.Block(blk)
 	if !ok {
 		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("block %v has no activity in the daily window", blk)}
 	}
 	return http.StatusOK, v
 }
 
-func (s *Server) handlePrefix(r *http.Request) (int, any) {
+func (s *Server) handlePrefix(x *query.Index, r *http.Request) (int, any) {
 	p, err := ipv4.ParsePrefix(r.PathValue("cidr"))
 	if err != nil {
 		return http.StatusBadRequest, errorBody{Error: err.Error()}
 	}
-	v, err := s.idx.Prefix(p, DefaultPrefixBlockList)
+	v, err := x.Prefix(p, DefaultPrefixBlockList)
 	if err != nil {
 		return http.StatusBadRequest, errorBody{Error: err.Error()}
 	}
 	return http.StatusOK, v
 }
 
-func (s *Server) handleAS(r *http.Request) (int, any) {
+func (s *Server) handleAS(x *query.Index, r *http.Request) (int, any) {
 	raw := strings.TrimPrefix(strings.ToUpper(r.PathValue("asn")), "AS")
 	n, err := strconv.ParseUint(raw, 10, 32)
 	if err != nil {
 		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid ASN %q", r.PathValue("asn"))}
 	}
-	v, ok := s.idx.AS(bgp.ASN(n))
+	v, ok := x.AS(bgp.ASN(n))
 	if !ok {
 		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("AS%d not in dataset", n)}
 	}
 	return http.StatusOK, v
 }
 
-func (s *Server) handleSummary(r *http.Request) (int, any) {
-	return http.StatusOK, s.idx.Summary()
+func (s *Server) handleSummary(x *query.Index, r *http.Request) (int, any) {
+	return http.StatusOK, x.Summary()
 }
 
 type healthBody struct {
 	Status      string `json:"status"`
+	Epoch       uint64 `json:"epoch"`
 	Blocks      int    `json:"blocks"`
 	DailyLen    int    `json:"dailyLen"`
 	CacheHits   uint64 `json:"cacheHits"`
@@ -235,17 +316,27 @@ type healthBody struct {
 	CacheSize   int    `json:"cacheSize"`
 }
 
+// handleHealthz reports liveness, the current epoch and cache counters.
+// Unlike the lookup endpoints it serves no ETag and no 304: its body
+// mutates on every request (cache statistics), so an epoch validator
+// would freeze different representations under one tag — pollers read
+// the epoch from the body instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(healthBody{
-		Status:      "ok",
-		Blocks:      s.idx.NumBlocks(),
-		DailyLen:    s.idx.DailyLen(),
+	body := healthBody{
+		Status:      "warming",
 		CacheHits:   hits,
 		CacheMisses: misses,
 		CacheSize:   size,
-	})
+	}
+	if x := s.idx.Load(); x != nil {
+		body.Status = "ok"
+		body.Epoch = x.Epoch()
+		body.Blocks = x.NumBlocks()
+		body.DailyLen = x.DailyLen()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
 }
 
 // accessRecord is one structured access-log line.

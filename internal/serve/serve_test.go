@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -261,6 +262,258 @@ func TestCacheHeadersAndAccessLog(t *testing.T) {
 		if rec["path"] != path || rec["status"] != float64(200) {
 			t.Errorf("line %d: %v", i, rec)
 		}
+	}
+}
+
+// applierOver replays the fixture dataset into a fresh query.Applier,
+// giving tests a source of epoch-advancing snapshots over the same
+// data the static fixture index serves.
+func applierOver(t testing.TB) *query.Applier {
+	t.Helper()
+	ctx, _ := fixture(t)
+	a := query.NewApplier(query.Options{})
+	if err := ctx.Obs.WriteTo(a); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestETagAndConditionalGet(t *testing.T) {
+	_, idx := fixture(t)
+	h := New(idx, Config{}).Handler()
+	path := "/v1/block/" + idx.Blocks()[0].String()
+
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on response")
+	}
+
+	for _, inm := range []string{etag, "\"other\", " + etag, "*"} {
+		req = httptest.NewRequest("GET", path, nil)
+		req.Header.Set("If-None-Match", inm)
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			t.Errorf("If-None-Match %q: status %d, want 304", inm, rec.Code)
+		}
+		if rec.Body.Len() != 0 {
+			t.Errorf("If-None-Match %q: 304 with a body", inm)
+		}
+	}
+
+	req = httptest.NewRequest("GET", path, nil)
+	req.Header.Set("If-None-Match", `"ips-e999"`)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("stale If-None-Match: status %d, want 200", rec.Code)
+	}
+
+	// Healthz must NOT honour conditional GETs: its body (cache
+	// counters) changes per request, so an epoch validator would serve
+	// stale representations under one tag.
+	req = httptest.NewRequest("GET", "/v1/healthz", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz conditional GET: status %d, want 200", rec.Code)
+	}
+	if rec.Header().Get("ETag") != "" {
+		t.Error("healthz serves an ETag over a per-request-mutable body")
+	}
+}
+
+// TestEpochInEveryBody asserts the satellite contract: every cached
+// response body (success and error alike) and healthz carry the
+// snapshot epoch.
+func TestEpochInEveryBody(t *testing.T) {
+	_, idx := fixture(t)
+	h := New(idx, Config{}).Handler()
+	paths := []string{
+		"/v1/block/" + idx.Blocks()[0].String(),
+		"/v1/addr/" + idx.Blocks()[0].Addr(0).String(),
+		"/v1/prefix/" + ipv4.MustNewPrefix(idx.Blocks()[0].First(), 20).String(),
+		fmt.Sprintf("/v1/as/AS%d", func() uint32 { v, _ := idx.Block(idx.Blocks()[0]); return v.AS }()),
+		"/v1/summary",
+		"/v1/healthz",
+		"/v1/addr/not-an-ip",   // 400 error body
+		"/v1/block/0.0.0.0/24", // 404 error body
+		"/v1/as/AS99999999",    // 404 error body
+	}
+	for _, path := range paths {
+		var body map[string]any
+		status, _ := get(t, h, path, nil)
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s (status %d): bad JSON: %v", path, status, err)
+		}
+		if body["epoch"] != float64(idx.Epoch()) {
+			t.Errorf("%s: epoch = %v, want %d", path, body["epoch"], idx.Epoch())
+		}
+	}
+}
+
+func TestWarmingServer(t *testing.T) {
+	s := New(nil, Config{})
+	h := s.Handler()
+	if status, _ := get(t, h, "/v1/summary", nil); status != http.StatusServiceUnavailable {
+		t.Errorf("warming lookup: status %d, want 503", status)
+	}
+	var hb map[string]any
+	if status, _ := get(t, h, "/v1/healthz", &hb); status != http.StatusOK {
+		t.Errorf("warming healthz: status %d, want 200", status)
+	}
+	if hb["status"] != "warming" || hb["epoch"] != float64(0) {
+		t.Errorf("warming healthz body: %v", hb)
+	}
+
+	_, idx := fixture(t)
+	s.Publish(idx)
+	if status, _ := get(t, h, "/v1/summary", nil); status != http.StatusOK {
+		t.Errorf("post-publish lookup: status %d, want 200", status)
+	}
+}
+
+// TestPublishInvalidatesCache pins the epoch-keyed cache: a swap makes
+// the very next request a miss (stale entries are stranded under the
+// old epoch key) and the new body carries the new epoch and ETag.
+func TestPublishInvalidatesCache(t *testing.T) {
+	a := applierOver(t)
+	s1, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(s1, Config{})
+	h := srv.Handler()
+	path := "/v1/block/" + s1.Blocks()[0].String()
+
+	if _, cache := get(t, h, path, nil); cache != "miss" {
+		t.Fatalf("first request: cache %q", cache)
+	}
+	if _, cache := get(t, h, path, nil); cache != "hit" {
+		t.Fatalf("second request: cache %q", cache)
+	}
+	srv.Publish(s2)
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if c := rec.Header().Get("X-Cache"); c != "miss" {
+		t.Errorf("post-swap request: cache %q, want miss", c)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["epoch"] != float64(s2.Epoch()) {
+		t.Errorf("post-swap epoch = %v, want %d", body["epoch"], s2.Epoch())
+	}
+	if etag := rec.Header().Get("ETag"); !strings.Contains(etag, fmt.Sprint(s2.Epoch())) {
+		t.Errorf("post-swap ETag %q does not carry epoch %d", etag, s2.Epoch())
+	}
+}
+
+// TestServeAvailableDuringSwaps is the acceptance criterion: under
+// concurrent load over real sockets, at least 3 snapshot swaps must
+// produce zero 5xx responses and zero connection errors, and once a
+// swap lands, responses carry the new epoch.
+func TestServeAvailableDuringSwaps(t *testing.T) {
+	a := applierOver(t)
+	first, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(first, Config{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	base := "http://" + addr.String()
+	blocks := first.Blocks()
+
+	var stop atomic.Bool
+	var requests, fiveHundreds atomic.Int64
+	errCh := make(chan error, 64)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for i := 0; !stop.Load(); i++ {
+				path := "/v1/block/" + blocks[(c*31+i)%len(blocks)].String()
+				if i%7 == 0 {
+					path = "/v1/summary"
+				}
+				resp, err := client.Get(base + path)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode >= 500 {
+					fiveHundreds.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Publish >= 3 swaps while the load runs.
+	var last *query.Index
+	for i := 0; i < 3; i++ {
+		time.Sleep(30 * time.Millisecond)
+		snap, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Publish(snap)
+		last = snap
+	}
+	time.Sleep(30 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("client error during swaps: %v", err)
+	}
+	if n := fiveHundreds.Load(); n > 0 {
+		t.Errorf("%d 5xx responses across swaps (of %d requests)", n, requests.Load())
+	}
+	if requests.Load() == 0 {
+		t.Fatal("no requests completed")
+	}
+
+	// Post-swap: responses carry the final epoch.
+	resp, err := http.Get(base + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["epoch"] != float64(last.Epoch()) {
+		t.Errorf("post-swap epoch = %v, want %d", body["epoch"], last.Epoch())
 	}
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"errors"
 	"sort"
 	"sync/atomic"
 
@@ -26,27 +25,24 @@ type shardAccum struct {
 	server, router *ipv4.Set
 }
 
-// emitter fans observation events out to the sinks. The engine
-// guarantees emissions are serialized (see closeDay), so no lock is
-// needed; a sink that errors receives no further events.
+// emitter fans observation events out to the sinks via obs.Tee. The
+// engine guarantees emissions are serialized (see closeDay), so no lock
+// is needed; a sink that errors receives no further events. The
+// in-memory Result is always the first sink and never fails, so the tee
+// as a whole cannot fail and emission never stops the simulation.
 type emitter struct {
-	sinks []obs.Sink
-	errs  []error
+	tee *obs.TeeSink
 }
 
 func newEmitter(sinks []obs.Sink) *emitter {
-	return &emitter{sinks: sinks, errs: make([]error, len(sinks))}
+	return &emitter{tee: obs.Tee(sinks...)}
 }
 
 func (em *emitter) emit(e obs.Event) {
-	for i, s := range em.sinks {
-		if em.errs[i] == nil {
-			em.errs[i] = s.Observe(e)
-		}
-	}
+	em.tee.Observe(e) //nolint:errcheck // only fails once every sink failed
 }
 
-func (em *emitter) err() error { return errors.Join(em.errs...) }
+func (em *emitter) err() error { return em.tee.Err() }
 
 // dayGather is the rendezvous for one emitting day: every shard
 // deposits its slice of the day's observations, and the shard whose

@@ -1,0 +1,85 @@
+#!/bin/sh
+# live_smoke.sh DIR — end-to-end smoke of the live serving pipeline.
+#
+# Starts ipscope-serve in -obs-listen live mode, streams a paced
+# simulation into it with ipscope-gen -connect (persisting the same
+# stream to a dataset file), and asserts:
+#
+#   1. the /v1/healthz epoch advances while the stream is in flight
+#      (the server re-publishes snapshots without restarting);
+#   2. at end of stream, /v1/summary is byte-identical (modulo the
+#      epoch field) to a batch `ipscope-serve -dataset ... -dump-summary`
+#      over the persisted dataset — the incremental and monolithic
+#      index builds agree.
+#
+# Expects $DIR/ipscope-gen and $DIR/ipscope-serve to be prebuilt (the
+# Makefile's live-smoke target does this).
+set -eu
+
+dir=${1:?usage: live_smoke.sh DIR}
+obs_addr=127.0.0.1:19461
+http_addr=127.0.0.1:19462
+base="http://$http_addr"
+gen_flags="-seed 5 -ases 24 -blocks-per-as 6 -days 56"
+
+fetch() { curl -fsS --max-time 5 "$1"; }
+epoch_of() { fetch "$base/v1/healthz" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p'; }
+
+"$dir/ipscope-serve" -obs-listen "$obs_addr" -listen "$http_addr" -publish-every 7 \
+    2>"$dir/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for the HTTP endpoint (serving "warming" until the first epoch).
+i=0
+until fetch "$base/v1/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    [ "$i" -le 50 ] || { echo "live-smoke: server never came up"; cat "$dir/serve.log"; exit 1; }
+    sleep 0.2
+done
+
+# Stream a paced simulation into the live server, persisting a copy.
+"$dir/ipscope-gen" $gen_flags -connect "$obs_addr" -dataset "$dir/live.obs" -day-delay 15ms \
+    2>"$dir/gen.log" &
+gen_pid=$!
+
+# The epoch must advance while the stream is in flight.
+first=""
+i=0
+while :; do
+    e=$(epoch_of || true)
+    if [ -n "$e" ] && [ "$e" -ge 1 ]; then
+        if [ -z "$first" ]; then
+            first=$e
+        elif [ "$e" -gt "$first" ]; then
+            echo "live-smoke: epoch advanced $first -> $e mid-stream"
+            break
+        fi
+    fi
+    i=$((i+1))
+    [ "$i" -le 200 ] || { echo "live-smoke: epoch never advanced (stuck at '${first:-none}')"; exit 1; }
+    sleep 0.1
+done
+
+wait "$gen_pid"
+
+# After end of stream the final epoch folds in the trailing aggregates;
+# its summary must match the batch index over the persisted dataset.
+"$dir/ipscope-serve" -dataset "$dir/live.obs" -dump-summary >"$dir/batch-summary.json" 2>/dev/null
+i=0
+while :; do
+    fetch "$base/v1/summary" | sed 's/"epoch":[0-9]*,//' >"$dir/live-summary.json" || true
+    if cmp -s "$dir/live-summary.json" "$dir/batch-summary.json"; then
+        break
+    fi
+    i=$((i+1))
+    [ "$i" -le 50 ] || {
+        echo "live-smoke: live summary never converged on the batch summary"
+        diff "$dir/live-summary.json" "$dir/batch-summary.json" || true
+        exit 1
+    }
+    sleep 0.2
+done
+
+final=$(epoch_of)
+echo "live-smoke: final epoch $final; live /v1/summary matches batch dump-summary"
