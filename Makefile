@@ -1,11 +1,14 @@
 # The same targets CI runs, so humans and the pipeline never diverge.
 GO ?= go
+STATICCHECK ?= staticcheck
+STATICCHECK_VERSION = 2024.1.1
 SMOKE_DIR ?= .pipeline-smoke
 SERVE_SMOKE_DIR ?= .serve-smoke
 LIVE_SMOKE_DIR ?= .live-smoke
+CLUSTER_SMOKE_DIR ?= .cluster-smoke
 SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke ci
+.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke ci
 
 all: build
 
@@ -21,6 +24,17 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Static analysis beyond vet (checks pinned by staticcheck.conf). CI
+# installs the pinned version; locally, install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+lint:
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
+		echo "staticcheck not found; install with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+		exit 1; \
+	}
+	$(STATICCHECK) ./...
 
 test:
 	$(GO) test ./...
@@ -78,4 +92,15 @@ live-smoke:
 	$(GO) build -o $(LIVE_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
 	sh scripts/live_smoke.sh $(LIVE_SMOKE_DIR)
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke
+# End-to-end smoke of the sharded serving cluster: two block-partitioned
+# shards plus a scatter-gather router; the routed /v1/summary must
+# byte-equal the single-node batch summary, and killing one shard must
+# degrade only its blocks (see scripts/cluster_smoke.sh).
+cluster-smoke:
+	rm -rf $(CLUSTER_SMOKE_DIR) && mkdir -p $(CLUSTER_SMOKE_DIR)
+	$(GO) build -o $(CLUSTER_SMOKE_DIR)/ipscope-gen ./cmd/ipscope-gen
+	$(GO) build -o $(CLUSTER_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
+	$(GO) build -o $(CLUSTER_SMOKE_DIR)/ipscope-router ./cmd/ipscope-router
+	sh scripts/cluster_smoke.sh $(CLUSTER_SMOKE_DIR)
+
+ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke

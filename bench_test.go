@@ -22,6 +22,7 @@ import (
 	"ipscope/internal/analysis"
 	"ipscope/internal/bgp"
 	"ipscope/internal/cdnlog"
+	"ipscope/internal/cluster"
 	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
@@ -850,5 +851,104 @@ func BenchmarkServeLookup(b *testing.B) {
 	})
 	b.Run("summary", func(b *testing.B) {
 		run(b, 4096, func(i int) string { return "/v1/summary" })
+	})
+}
+
+// BenchmarkShardBuild measures compiling one shard's slice of the
+// dataset versus the full index: the horizontal-scaling claim is that
+// a shard only pays for its partition, so a quarter-partition build
+// (including the plan derivation and stream filtering a real shard
+// performs) must be measurably cheaper than the monolithic one.
+func BenchmarkShardBuild(b *testing.B) {
+	ctx := benchContext(b)
+	b.Run("full", func(b *testing.B) {
+		var blocks int
+		for i := 0; i < b.N; i++ {
+			idx, err := query.Build(ctx.Obs, query.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks = idx.NumBlocks()
+		}
+		b.ReportMetric(float64(blocks), "blocks")
+	})
+	b.Run("quarter-shard", func(b *testing.B) {
+		plan, err := cluster.PlanShards(ctx.World, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var blocks int
+		for i := 0; i < b.N; i++ {
+			idx, err := query.Build(cluster.PartitionSource(ctx.Obs, 0, 4),
+				query.Options{Keep: plan.Keep(0)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks = idx.NumBlocks()
+		}
+		b.ReportMetric(float64(blocks), "blocks")
+	})
+}
+
+// BenchmarkRouterLookup measures the scatter-gather front under
+// parallel clients — real sockets on both hops (client→router and
+// router→shards) over a two-shard cluster: proxied point lookups and
+// the fan-out merged summary.
+func BenchmarkRouterLookup(b *testing.B) {
+	ctx := benchContext(b)
+	const shards = 2
+	plan, err := cluster.PlanShards(ctx.World, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blocks []ipv4.Block
+	urls := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		idx, err := query.Build(cluster.PartitionSource(ctx.Obs, i, shards), query.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = append(blocks, idx.Blocks()...)
+		lo, hi := plan.Range(i)
+		srv := serve.New(idx, serve.Config{Shard: &serve.ShardInfo{Index: i, Count: shards, Lo: lo, Hi: hi}})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	router, err := cluster.NewRouter(urls, cluster.RouterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	run := func(b *testing.B, paths func(i int) string) {
+		client := rts.Client()
+		client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+		var n atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(n.Add(1))
+				resp, err := client.Get(rts.URL + paths(i))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+	}
+
+	b.Run("block", func(b *testing.B) {
+		run(b, func(i int) string { return "/v1/block/" + blocks[i%len(blocks)].String() })
+	})
+	b.Run("summary", func(b *testing.B) {
+		run(b, func(i int) string { return "/v1/summary" })
 	})
 }

@@ -1,0 +1,89 @@
+// Command ipscope-router is the scatter-gather front of a sharded
+// serving cluster: it speaks the same /v1/* API as a single
+// ipscope-serve node, but answers from a fleet of block-partitioned
+// shards (ipscope-serve -shard-index I -shard-count N).
+//
+// At startup the router reads every shard's /v1/cluster/info (retrying
+// while shards compile their slices), validates that the advertised
+// block ranges tile the whole /24 space exactly once, and then routes:
+//
+//   - /v1/addr and /v1/block proxy to the shard owning the block; the
+//     response carries the owning shard's epoch and ETag plus an
+//     X-Shard header;
+//   - /v1/summary, /v1/as and /v1/prefix fan out to the owning shards
+//     with bounded concurrency and fold the mergeable partials — the
+//     merged answer is byte-identical (modulo epoch metadata) to a
+//     single node over the unsharded dataset;
+//   - /v1/healthz aggregates shard health: 200 "ok" when every shard
+//     serves a snapshot, 503 "degraded" otherwise, with the minimum
+//     shard epoch as the cluster epoch.
+//
+// A dead shard degrades only its own blocks (503); every other shard
+// keeps answering.
+//
+//	-shards URLS   comma-separated shard base URLs, ascending range
+//	               order not required (ranges are discovered)
+//	-listen ADDR   bind address (default 127.0.0.1:8095)
+//	-gather N      fan-out concurrency bound (default 8)
+//	-info-timeout  how long to wait for shards at startup (default 30s)
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ipscope/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ipscope-router: ")
+
+	shards := flag.String("shards", "", "comma-separated shard base URLs (required)")
+	listen := flag.String("listen", "127.0.0.1:8095", "HTTP listen address")
+	gather := flag.Int("gather", cluster.DefaultGather, "scatter-gather concurrency bound")
+	infoTimeout := flag.Duration("info-timeout", cluster.DefaultInfoTimeout, "startup partition discovery timeout")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimSuffix(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("no shards: pass -shards http://host1:port,http://host2:port,...")
+	}
+
+	log.Printf("discovering partition behind %d shard(s)...", len(urls))
+	router, err := cluster.NewRouter(urls, cluster.RouterOptions{
+		Gather:      *gather,
+		InfoTimeout: *infoTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	addr, err := router.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing %d shard(s) on http://%s", router.NumShards(), addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("signal received; draining in-flight requests...")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := router.Shutdown(sctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}

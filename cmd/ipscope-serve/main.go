@@ -27,6 +27,9 @@
 //	-access-log FILE  structured JSON access log ("-" = stderr)
 //	-workers N        index build fan-out (<=0 = GOMAXPROCS; the index
 //	                  is identical for any value)
+//	-shard-count N    cluster: restrict this server to its slice of an
+//	                  N-way block partition (see cmd/ipscope-router)
+//	-shard-index I    cluster: which slice (0-based) this shard owns
 //	-selfcheck        start on an ephemeral port, probe every endpoint
 //	                  over real HTTP, verify responses against the
 //	                  index, then exit (CI smoke mode)
@@ -55,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"ipscope/internal/cluster"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
 	"ipscope/internal/query"
@@ -75,6 +79,8 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "response cache capacity (0 = default, negative = disabled)")
 	accessLog := flag.String("access-log", "", `structured access log file ("-" = stderr)`)
 	workers := flag.Int("workers", 0, "index build workers (<=0 = GOMAXPROCS)")
+	shardIndex := flag.Int("shard-index", 0, "cluster: this shard's index (with -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "cluster: total shards; >0 restricts this server to its block partition")
 	selfcheck := flag.Bool("selfcheck", false, "probe every endpoint over HTTP and exit")
 	dumpSummary := flag.Bool("dump-summary", false, "print the index summary as JSON and exit")
 	seed := flag.Uint64("seed", 1, "world seed (no -dataset)")
@@ -93,6 +99,9 @@ func main() {
 	if *selfcheck && *dumpSummary {
 		log.Fatal("use either -selfcheck or -dump-summary, not both")
 	}
+	if *shardCount > 0 && (*shardIndex < 0 || *shardIndex >= *shardCount) {
+		log.Fatalf("-shard-index %d outside 0..%d", *shardIndex, *shardCount-1)
+	}
 
 	cfg := serve.Config{CacheSize: *cacheSize}
 	switch *accessLog {
@@ -109,7 +118,7 @@ func main() {
 	}
 
 	if live {
-		runLive(cfg, *listen, *follow, *obsListen, *publishEvery, *workers)
+		runLive(cfg, *listen, *follow, *obsListen, *publishEvery, *workers, *shardIndex, *shardCount)
 		return
 	}
 
@@ -126,7 +135,27 @@ func main() {
 		res := sim.Run(w, scfg)
 		src = &res.Data
 	}
-	idx, err := query.Build(src, query.Options{Workers: *workers})
+	buildOpts := query.Options{Workers: *workers}
+	if *shardCount > 0 {
+		// Shard mode: derive the partition plan from the dataset's own
+		// meta and restrict both the dataset and the world-proportional
+		// build work to this shard's slice, so the index (and its
+		// memory) only covers the owned block range.
+		d, err := src.Observations()
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := cluster.PlanShards(synthnet.Generate(d.Meta.World), *shardCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := plan.Range(*shardIndex)
+		cfg.Shard = &serve.ShardInfo{Index: *shardIndex, Count: *shardCount, Lo: lo, Hi: hi}
+		src = obs.FilterSource(d, plan.Keep(*shardIndex))
+		buildOpts.Keep = plan.Keep(*shardIndex)
+		log.Printf("shard %d/%d: serving block range [%d, %d)", *shardIndex, *shardCount, lo, hi)
+	}
+	idx, err := query.Build(src, buildOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,7 +181,7 @@ func main() {
 	log.Printf("serving on http://%s", addr)
 
 	if *selfcheck {
-		err := runSelfcheck(idx, "http://"+addr.String())
+		err := runSelfcheck(idx, "http://"+addr.String(), srv.Shard())
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if serr := srv.Shutdown(sctx); err == nil {
@@ -194,7 +223,7 @@ func drain(srv *serve.Server) {
 // swaps in a freshly published epoch — lookups keep being answered from
 // the previous snapshot in the meantime, and the HTTP endpoint is up
 // (warming) before the first day arrives.
-func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, workers int) {
+func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, workers, shardIndex, shardCount int) {
 	if publishEvery < 1 {
 		publishEvery = 1
 	}
@@ -212,7 +241,15 @@ func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, w
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	applier := query.NewApplier(query.Options{Workers: workers})
+	// In shard mode the slice predicate only exists once the stream's
+	// meta event yields the partition plan; keep is bound then, before
+	// the meta event reaches the applier (same goroutine).
+	var keep func(b ipv4.Block) bool
+	applierOpts := query.Options{Workers: workers}
+	if shardCount > 0 {
+		applierOpts.Keep = func(b ipv4.Block) bool { return keep == nil || keep(b) }
+	}
+	applier := query.NewApplier(applierOpts)
 	lastPublished := 0
 	publish := func() error {
 		idx, err := applier.Snapshot()
@@ -225,7 +262,7 @@ func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, w
 			idx.Epoch(), idx.DailyLen(), idx.NumBlocks())
 		return nil
 	}
-	sink := obs.SinkFunc(func(e obs.Event) error {
+	var sink obs.Sink = obs.SinkFunc(func(e obs.Event) error {
 		if err := applier.Observe(e); err != nil {
 			return err
 		}
@@ -234,6 +271,18 @@ func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, w
 		}
 		return nil
 	})
+	if shardCount > 0 {
+		// Live shard mode: the partition plan is computed from the
+		// stream's meta event; from then on the applier only sees (and
+		// pays for) this shard's slice. The owned range is published to
+		// the server the moment it is known, so /v1/cluster/info can
+		// answer routers before the first epoch.
+		sink = cluster.PartitionSink(sink, shardIndex, shardCount, func(lo, hi uint32) {
+			keep = func(b ipv4.Block) bool { return uint32(b) >= lo && uint32(b) < hi }
+			srv.SetShard(serve.ShardInfo{Index: shardIndex, Count: shardCount, Lo: lo, Hi: hi})
+			log.Printf("shard %d/%d: applying block range [%d, %d)", shardIndex, shardCount, lo, hi)
+		})
+	}
 
 	var streamErr error
 	if follow != "" {
@@ -308,8 +357,12 @@ func acceptStream(ctx context.Context, obsListen string, sink obs.Sink) error {
 // JSON responses against the index the server was built from — the
 // same source of truth the batch report uses (the serve test suite
 // proves that identity), so CI can assert the full pipeline without
-// parsing report text.
-func runSelfcheck(idx *query.Index, base string) error {
+// parsing report text. It is partition-aware: probe targets come from
+// the index itself (so a shard only probes blocks it owns), and in
+// shard mode the cluster plane is verified too — the advertised range
+// must contain every indexed block and the mergeable summary partial
+// must finalize to the served summary.
+func runSelfcheck(idx *query.Index, base string, shard serve.ShardInfo) error {
 	getJSON := func(path string, out any) error {
 		resp, err := http.Get(base + path)
 		if err != nil {
@@ -380,6 +433,29 @@ func runSelfcheck(idx *query.Index, base string) error {
 	}
 	if health["status"] != "ok" {
 		return fmt.Errorf("/v1/healthz = %v", health)
+	}
+
+	// Cluster plane: the advertised partition must cover every indexed
+	// block, and the mergeable partial must finalize to the summary the
+	// server answers with.
+	var info serve.ShardInfo
+	if err := getJSON("/v1/cluster/info", &info); err != nil {
+		return err
+	}
+	if info != shard {
+		return fmt.Errorf("/v1/cluster/info = %+v, server says %+v", info, shard)
+	}
+	for _, b := range idx.Blocks() {
+		if !shard.Contains(b) {
+			return fmt.Errorf("indexed block %v outside advertised range [%d, %d)", b, shard.Lo, shard.Hi)
+		}
+	}
+	var partial query.SummaryPartial
+	if err := getJSON("/v1/cluster/summary", &partial); err != nil {
+		return err
+	}
+	if got := partial.Finalize(); got != idx.Summary() {
+		return fmt.Errorf("/v1/cluster/summary finalizes to %+v, index says %+v", got, idx.Summary())
 	}
 
 	// Second pass over one endpoint must be served from cache.

@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
+	"ipscope/internal/query"
+	"ipscope/internal/serve"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+var (
+	dataOnce sync.Once
+	data     *obs.Data
+	world    *synthnet.World
+)
+
+// clusterTestData simulates one shared dataset for the package (the
+// simulation dominates test cost; every test reads it immutably).
+func clusterTestData(t testing.TB) (*obs.Data, *synthnet.World) {
+	t.Helper()
+	dataOnce.Do(func() {
+		world = synthnet.Generate(synthnet.TinyConfig())
+		res := sim.Run(world, sim.TinyConfig())
+		data = &res.Data
+	})
+	return data, world
+}
+
+func TestPlanPartition(t *testing.T) {
+	_, w := clusterTestData(t)
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		plan, err := PlanShards(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NumShards() != n {
+			t.Fatalf("NumShards = %d, want %d", plan.NumShards(), n)
+		}
+		// Ranges must tile [0, 1<<24) in order.
+		next := uint32(0)
+		for i := 0; i < n; i++ {
+			lo, hi := plan.Range(i)
+			if lo != next || hi < lo {
+				t.Fatalf("shard %d/%d range [%d, %d) does not continue from %d", i, n, lo, hi, next)
+			}
+			next = hi
+		}
+		if next != 1<<24 {
+			t.Fatalf("%d-shard partition covers up to %d, want %d", n, next, uint32(1<<24))
+		}
+		// Owner agrees with the ranges, and every world block lands on
+		// exactly the shard whose range spans it.
+		for _, b := range w.Blocks {
+			i := plan.Owner(b.Block)
+			lo, hi := plan.Range(i)
+			if uint32(b.Block) < lo || uint32(b.Block) >= hi {
+				t.Fatalf("Owner(%v) = %d, outside [%d, %d)", b.Block, i, lo, hi)
+			}
+			if !plan.Keep(i)(b.Block) {
+				t.Fatalf("Keep(%d) rejects owned block %v", i, b.Block)
+			}
+		}
+		// Boundary blocks of the whole space are owned.
+		if got := plan.Owner(0); got != 0 {
+			t.Fatalf("Owner(0) = %d, want 0", got)
+		}
+		if got := plan.Owner(ipv4.Block(1<<24 - 1)); got != n-1 {
+			t.Fatalf("Owner(last) = %d, want %d", got, n-1)
+		}
+		// Determinism: a replan is identical.
+		again, _ := PlanShards(w, n)
+		for i := 0; i < n; i++ {
+			alo, ahi := again.Range(i)
+			lo, hi := plan.Range(i)
+			if alo != lo || ahi != hi {
+				t.Fatalf("replan changed shard %d range", i)
+			}
+		}
+	}
+	if _, err := PlanShards(w, 0); err == nil {
+		t.Fatal("PlanShards(w, 0) should fail")
+	}
+}
+
+func TestPartitionSinkBeforeMeta(t *testing.T) {
+	sink := PartitionSink(&obs.Data{}, 0, 2, nil)
+	if err := sink.Observe(obs.DayEvent{Index: 0, Active: ipv4.NewSet()}); err == nil {
+		t.Fatal("day event before meta should fail")
+	}
+}
+
+// epochField strips the epoch splice so routed and single-node bodies
+// can be compared modulo snapshot metadata.
+var epochField = regexp.MustCompile(`"epoch":\d+,?`)
+
+func normalize(body []byte) string {
+	return epochField.ReplaceAllString(string(body), "")
+}
+
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode, normalize(body)
+}
+
+// probePaths derives a request set from the single-node index that
+// exercises every endpoint: all active blocks, address timelines,
+// every AS (including zero-activity and unknown ones), prefixes of
+// many widths (guaranteed to span shard boundaries), and malformed
+// inputs whose error bodies must also match.
+func probePaths(x *query.Index) []string {
+	blocks := x.Blocks()
+	paths := []string{
+		"/v1/summary",
+		"/v1/as/AS999999",
+		"/v1/as/banana",
+		"/v1/addr/not-an-ip",
+		"/v1/block/1.2.3.0/23",
+		"/v1/prefix/0.0.0.0/4",
+		"/v1/prefix/banana",
+		"/v1/prefix/0.0.0.0/8",
+	}
+	for _, blk := range blocks {
+		paths = append(paths, "/v1/block/"+blk.String())
+	}
+	for i := 0; i < len(blocks); i += 5 {
+		blk := blocks[i]
+		paths = append(paths,
+			"/v1/addr/"+blk.Addr(0).String(),
+			"/v1/addr/"+blk.Addr(137).String())
+	}
+	// An inactive block: the smallest block number not indexed.
+	inactive := ipv4.Block(0)
+	for _, blk := range blocks {
+		if blk != inactive {
+			break
+		}
+		inactive++
+	}
+	paths = append(paths,
+		"/v1/block/"+inactive.String(),
+		"/v1/addr/"+inactive.Addr(9).String())
+	for _, asn := range x.ASNs() {
+		paths = append(paths, fmt.Sprintf("/v1/as/AS%d", asn))
+	}
+	for i := 0; i < len(blocks); i += 7 {
+		first := blocks[i].First()
+		for _, bits := range []int{9, 12, 16, 20, 24} {
+			paths = append(paths, "/v1/prefix/"+ipv4.MustNewPrefix(first, bits).String())
+		}
+	}
+	return paths
+}
+
+// buildShards compiles each shard's slice of the dataset — via the
+// batch build over a partition-filtered source, or via the incremental
+// applier fed the partition-filtered live stream — and serves each on
+// its own HTTP server.
+func buildShards(t *testing.T, d *obs.Data, plan Plan, n int, incremental bool) ([]*httptest.Server, []string) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		// Keep restricts world-proportional build work to the slice,
+		// exactly as a production shard runs — the equivalence must
+		// hold with it in place.
+		opts := query.Options{Keep: plan.Keep(i)}
+		var idx *query.Index
+		var err error
+		if incremental {
+			a := query.NewApplier(opts)
+			if err := d.WriteTo(PartitionSink(a, i, n, nil)); err != nil {
+				t.Fatalf("shard %d/%d stream: %v", i, n, err)
+			}
+			idx, err = a.Snapshot()
+		} else {
+			idx, err = query.Build(PartitionSource(d, i, n), opts)
+		}
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, n, err)
+		}
+		lo, hi := plan.Range(i)
+		srv := serve.New(idx, serve.Config{
+			Shard: &serve.ShardInfo{Index: i, Count: n, Lo: lo, Hi: hi},
+		})
+		servers[i] = httptest.NewServer(srv.Handler())
+		urls[i] = servers[i].URL
+	}
+	return servers, urls
+}
+
+// TestClusterEquivalence is the tentpole invariant: for 1, 2 and 4
+// shards — built both by the batch path and the incremental applier —
+// every routed /v1/* response (status and body) is byte-identical,
+// modulo the epoch metadata, to the single-node answer over the same
+// dataset.
+func TestClusterEquivalence(t *testing.T) {
+	d, w := clusterTestData(t)
+	full, err := query.Build(d, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(serve.New(full, serve.Config{}).Handler())
+	defer single.Close()
+
+	paths := probePaths(full)
+	type answer struct {
+		status int
+		body   string
+	}
+	want := make(map[string]answer, len(paths))
+	for _, p := range paths {
+		status, body := get(t, single.URL, p)
+		want[p] = answer{status, body}
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		plan, err := PlanShards(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name        string
+			incremental bool
+		}{{"build", false}, {"applier", true}} {
+			t.Run(fmt.Sprintf("shards=%d/%s", n, mode.name), func(t *testing.T) {
+				servers, urls := buildShards(t, d, plan, n, mode.incremental)
+				defer func() {
+					for _, s := range servers {
+						s.Close()
+					}
+				}()
+				router, err := NewRouter(urls, RouterOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rts := httptest.NewServer(router.Handler())
+				defer rts.Close()
+
+				mismatches := 0
+				for _, p := range paths {
+					status, body := get(t, rts.URL, p)
+					if status != want[p].status || body != want[p].body {
+						mismatches++
+						if mismatches <= 3 {
+							t.Errorf("%s:\n routed: %d %s\n single: %d %s",
+								p, status, body, want[p].status, want[p].body)
+						}
+					}
+				}
+				if mismatches > 0 {
+					t.Fatalf("%d of %d probes differ from single-node", mismatches, len(paths))
+				}
+			})
+		}
+	}
+}
+
+// TestRouterDegradedMode pins the failure contract: with one shard
+// down, lookups owned by the dead shard answer 503, lookups owned by
+// live shards keep answering 200, fan-out aggregates answer 503, and
+// /v1/healthz reports degraded with status 503.
+func TestRouterDegradedMode(t *testing.T) {
+	d, w := clusterTestData(t)
+	plan, err := PlanShards(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, urls := buildShards(t, d, plan, 2, false)
+	defer servers[0].Close()
+
+	router, err := NewRouter(urls, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	// One active block owned by each shard.
+	full, err := query.Build(d, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blk0, blk1 ipv4.Block
+	found0, found1 := false, false
+	for _, blk := range full.Blocks() {
+		if plan.Owner(blk) == 0 && !found0 {
+			blk0, found0 = blk, true
+		}
+		if plan.Owner(blk) == 1 && !found1 {
+			blk1, found1 = blk, true
+		}
+	}
+	if !found0 || !found1 {
+		t.Fatal("test world leaves a shard without active blocks")
+	}
+
+	servers[1].Close() // kill shard 1
+
+	if status, _ := get(t, rts.URL, "/v1/block/"+blk1.String()); status != http.StatusServiceUnavailable {
+		t.Fatalf("dead shard's block answered %d, want 503", status)
+	}
+	if status, _ := get(t, rts.URL, "/v1/block/"+blk0.String()); status != http.StatusOK {
+		t.Fatalf("live shard's block answered %d, want 200", status)
+	}
+	if status, _ := get(t, rts.URL, "/v1/summary"); status != http.StatusServiceUnavailable {
+		t.Fatalf("summary with a dead shard answered %d, want 503", status)
+	}
+	status, body := get(t, rts.URL, "/v1/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz answered %d, want 503", status)
+	}
+	if want := `"status":"degraded"`; !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(body) {
+		t.Fatalf("healthz body %q does not report degraded", body)
+	}
+}

@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/par"
+	"ipscope/internal/query"
+	"ipscope/internal/serve"
+)
+
+// RouterOptions tunes a Router.
+type RouterOptions struct {
+	// Client performs shard requests; nil means a client with a 10s
+	// timeout.
+	Client *http.Client
+	// Gather bounds the fan-out concurrency of scatter-gather
+	// endpoints; <= 0 means DefaultGather.
+	Gather int
+	// InfoTimeout bounds how long NewRouter waits for every shard to
+	// answer /v1/cluster/info (shards may still be compiling their
+	// slice); <= 0 means DefaultInfoTimeout.
+	InfoTimeout time.Duration
+}
+
+// DefaultGather bounds scatter-gather concurrency when unset.
+const DefaultGather = 8
+
+// DefaultInfoTimeout bounds the startup partition discovery.
+const DefaultInfoTimeout = 30 * time.Second
+
+// Router fronts a fleet of shard servers with the single-node /v1/*
+// API. Point lookups (/v1/addr, /v1/block) proxy to the shard owning
+// the block — the response, epoch field and ETag are the owning
+// shard's, with an X-Shard header naming it. Aggregates (/v1/summary,
+// /v1/as, /v1/prefix) fan out to the owning shards with bounded
+// concurrency, fold the mergeable partials, and answer with the
+// minimum epoch across the shards consulted — the oldest snapshot the
+// answer can depend on. A shard that cannot be reached degrades the
+// router: its blocks answer 503 while every other shard keeps serving,
+// and /v1/healthz aggregates to "degraded" with status 503.
+type Router struct {
+	shards []*shardState // ascending owned-range order
+	client *http.Client
+	gather int
+
+	handler http.Handler
+
+	srvMu   sync.Mutex
+	httpSrv *http.Server
+	serveCh chan error
+}
+
+// shardState is one shard's address, partition coordinates and the
+// highest epoch the router has observed it serving (from gathers and
+// health probes). Health itself is never cached: every lookup attempts
+// the shard and every /v1/healthz live-probes the fleet, so routing
+// decisions cannot go stale.
+type shardState struct {
+	base  string
+	info  serve.ShardInfo
+	epoch atomic.Uint64
+}
+
+// observeEpoch records a served epoch (monotonic: shards never roll
+// back a published snapshot).
+func (sh *shardState) observeEpoch(e uint64) {
+	for {
+		cur := sh.epoch.Load()
+		if e <= cur || sh.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// NewRouter discovers the partition behind the given shard base URLs
+// (e.g. "http://127.0.0.1:8091") by reading each shard's
+// /v1/cluster/info, validates that the owned ranges tile the whole
+// block space exactly once, and returns a Router serving the merged
+// /v1/* API.
+func NewRouter(urls []string, opts RouterOptions) (*Router, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: no shard URLs")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	gather := opts.Gather
+	if gather <= 0 {
+		gather = DefaultGather
+	}
+	infoTimeout := opts.InfoTimeout
+	if infoTimeout <= 0 {
+		infoTimeout = DefaultInfoTimeout
+	}
+
+	rt := &Router{client: client, gather: gather}
+	deadline := time.Now().Add(infoTimeout)
+	for _, base := range urls {
+		info, err := rt.fetchInfo(base, len(urls), deadline)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %s: %w", base, err)
+		}
+		rt.shards = append(rt.shards, &shardState{base: base, info: info})
+	}
+	sort.Slice(rt.shards, func(i, j int) bool { return rt.shards[i].info.Lo < rt.shards[j].info.Lo })
+	if err := validatePartition(rt.shards); err != nil {
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/addr/{ip}", rt.handleAddr)
+	mux.HandleFunc("GET /v1/block/{prefix...}", rt.handleBlock)
+	mux.HandleFunc("GET /v1/prefix/{cidr...}", rt.handlePrefix)
+	mux.HandleFunc("GET /v1/as/{asn}", rt.handleAS)
+	mux.HandleFunc("GET /v1/summary", rt.handleSummary)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	rt.handler = mux
+	return rt, nil
+}
+
+// validatePartition checks the sorted owned ranges tile [0, 1<<24)
+// exactly: no gaps, no overlaps, no replicas.
+func validatePartition(shards []*shardState) error {
+	next := uint32(0)
+	for _, sh := range shards {
+		if sh.info.Lo != next {
+			return fmt.Errorf("cluster: partition gap/overlap at block %d (shard %d starts at %d)", next, sh.info.Index, sh.info.Lo)
+		}
+		if sh.info.Hi < sh.info.Lo {
+			return fmt.Errorf("cluster: shard %d has inverted range [%d, %d)", sh.info.Index, sh.info.Lo, sh.info.Hi)
+		}
+		next = sh.info.Hi
+	}
+	if next != blockSpace {
+		return fmt.Errorf("cluster: partition covers blocks up to %d, want %d", next, uint32(blockSpace))
+	}
+	return nil
+}
+
+// fetchInfo reads one shard's partition coordinates, retrying until
+// the deadline while the shard is unreachable, still compiling its
+// slice, or not yet partition-aware: a live shard only learns its
+// range (and true shard count) from the stream's meta event, so until
+// then its info reports the default one-shard partition — treated
+// here as "not ready yet", not as a hard mismatch.
+func (rt *Router) fetchInfo(base string, wantCount int, deadline time.Time) (serve.ShardInfo, error) {
+	var lastErr error
+	for {
+		var info struct {
+			serve.ShardInfo
+			Epoch uint64 `json:"epoch"`
+		}
+		resp, err := rt.client.Get(base + "/v1/cluster/info")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case rerr != nil:
+				err = rerr
+			case resp.StatusCode != http.StatusOK:
+				err = fmt.Errorf("cluster info: status %d", resp.StatusCode)
+			default:
+				switch err = json.Unmarshal(body, &info); {
+				case err != nil:
+				case info.Count != wantCount:
+					err = fmt.Errorf("cluster info: shard reports a %d-shard partition, router fronts %d", info.Count, wantCount)
+				default:
+					return info.ShardInfo, nil
+				}
+			}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return serve.ShardInfo{}, fmt.Errorf("cluster info unavailable: %w", lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Handler returns the router's HTTP handler (for tests and embedding).
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// NumShards returns the number of shards behind the router.
+func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// Listen binds addr and serves in the background until Shutdown.
+func (rt *Router) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rt.srvMu.Lock()
+	rt.httpSrv = &http.Server{Handler: rt.handler}
+	rt.serveCh = make(chan error, 1)
+	srv, ch := rt.httpSrv, rt.serveCh
+	rt.srvMu.Unlock()
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		ch <- err
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown stops accepting new requests and drains in-flight ones.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.srvMu.Lock()
+	srv, ch := rt.httpSrv, rt.serveCh
+	rt.srvMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// ownerOf returns the shard owning blk.
+func (rt *Router) ownerOf(blk ipv4.Block) *shardState {
+	for _, sh := range rt.shards {
+		if sh.info.Contains(blk) {
+			return sh
+		}
+	}
+	// Unreachable: validatePartition proved full coverage.
+	return rt.shards[len(rt.shards)-1]
+}
+
+// minEpoch returns the lowest last-observed epoch across shards — the
+// oldest snapshot a merged answer can depend on (0 until every shard
+// has been observed serving).
+func (rt *Router) minEpoch() uint64 {
+	min := uint64(0)
+	for i, sh := range rt.shards {
+		if epoch := sh.epoch.Load(); i == 0 || epoch < min {
+			min = epoch
+		}
+	}
+	return min
+}
+
+// respond assembles a response exactly the way a shard's cache layer
+// does — same marshalling, same epoch splice, same ETag derivation —
+// so routed merged bodies are byte-compatible with single-node ones.
+func (rt *Router) respond(w http.ResponseWriter, r *http.Request, status int, payload any, epoch uint64) {
+	etag := serve.ETagFor(epoch)
+	w.Header().Set("ETag", etag)
+	if serve.NotModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		status = http.StatusInternalServerError
+		body = []byte(`{"error":"encoding failed"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(serve.WithEpoch(body, epoch), '\n'))
+}
+
+func (rt *Router) respondErr(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	rt.respond(w, r, status, serve.ErrorBody{Error: msg}, rt.minEpoch())
+}
+
+// proxy forwards a point lookup to the owning shard verbatim: the
+// client sees the shard's body (with the shard's epoch), the shard's
+// ETag and cache disposition, plus an X-Shard header naming the owner.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, sh *shardState) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, sh.base+r.URL.RequestURI(), nil)
+	if err != nil {
+		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.respondErr(w, r, http.StatusServiceUnavailable,
+			fmt.Sprintf("shard %d unavailable: %v", sh.info.Index, err))
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"ETag", "Content-Type", "X-Cache", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Shard", strconv.Itoa(sh.info.Index))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (rt *Router) handleAddr(w http.ResponseWriter, r *http.Request) {
+	a, err := ipv4.ParseAddr(r.PathValue("ip"))
+	if err != nil {
+		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.proxy(w, r, rt.ownerOf(a.Block()))
+}
+
+func (rt *Router) handleBlock(w http.ResponseWriter, r *http.Request) {
+	blk, err := serve.Parse24(r.PathValue("prefix"))
+	if err != nil {
+		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.proxy(w, r, rt.ownerOf(blk))
+}
+
+// gather fans path out to the given shards with bounded concurrency
+// and decodes each 200 body into T (plus the spliced epoch). Any
+// unreachable or non-200 shard fails the whole gather — a partial
+// aggregate would silently misreport the dataset.
+func gather[T any](rt *Router, ctx context.Context, shards []*shardState, path string) ([]T, uint64, error) {
+	out := make([]T, len(shards))
+	epochs := make([]uint64, len(shards))
+	var g par.Group
+	g.SetLimit(rt.gather)
+	for i, sh := range shards {
+		i, sh := i, sh
+		g.Go(func() error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+path, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return fmt.Errorf("shard %d unavailable: %v", sh.info.Index, err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return fmt.Errorf("shard %d unavailable: %v", sh.info.Index, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("shard %d answered status %d: %s", sh.info.Index, resp.StatusCode, body)
+			}
+			var ep struct {
+				Epoch uint64 `json:"epoch"`
+			}
+			if err := json.Unmarshal(body, &ep); err != nil {
+				return fmt.Errorf("shard %d: %v", sh.info.Index, err)
+			}
+			if err := json.Unmarshal(body, &out[i]); err != nil {
+				return fmt.Errorf("shard %d: %v", sh.info.Index, err)
+			}
+			epochs[i] = ep.Epoch
+			sh.observeEpoch(ep.Epoch)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, 0, err
+	}
+	min := epochs[0]
+	for _, e := range epochs[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	return out, min, nil
+}
+
+func (rt *Router) handleSummary(w http.ResponseWriter, r *http.Request) {
+	parts, epoch, err := gather[query.SummaryPartial](rt, r.Context(), rt.shards, "/v1/cluster/summary")
+	if err != nil {
+		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	merged, err := query.MergeSummaryPartials(parts)
+	if err != nil {
+		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
+		return
+	}
+	rt.respond(w, r, http.StatusOK, merged.Finalize(), epoch)
+}
+
+func (rt *Router) handleAS(w http.ResponseWriter, r *http.Request) {
+	n, err := serve.ParseASN(r.PathValue("asn"))
+	if err != nil {
+		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	parts, epoch, err := gather[query.ASPartial](rt, r.Context(), rt.shards, fmt.Sprintf("/v1/cluster/as/%d", n))
+	if err != nil {
+		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	v, ok := query.MergeASPartials(parts)
+	if !ok {
+		rt.respond(w, r, http.StatusNotFound, serve.ErrorBody{Error: serve.ErrASNotFound(n)}, epoch)
+		return
+	}
+	rt.respond(w, r, http.StatusOK, v, epoch)
+}
+
+func (rt *Router) handlePrefix(w http.ResponseWriter, r *http.Request) {
+	p, err := ipv4.ParsePrefix(r.PathValue("cidr"))
+	if err != nil {
+		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := query.CheckPrefix(p); err != nil {
+		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	first := uint32(p.FirstBlock())
+	last := first + uint32(p.NumBlocks()) - 1
+	var covering []*shardState
+	for _, sh := range rt.shards {
+		if sh.info.Hi > first && sh.info.Lo <= last {
+			covering = append(covering, sh)
+		}
+	}
+	parts, epoch, err := gather[query.PrefixPartial](rt, r.Context(), covering, "/v1/cluster/prefix/"+p.String())
+	if err != nil {
+		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	merged, err := query.MergePrefixPartials(parts, serve.DefaultPrefixBlockList)
+	if err != nil {
+		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
+		return
+	}
+	rt.respond(w, r, http.StatusOK, merged, epoch)
+}
+
+// routerHealth is the router's /v1/healthz body.
+type routerHealth struct {
+	Status string        `json:"status"`
+	Epoch  uint64        `json:"epoch"`
+	Shards []shardHealth `json:"shardStates"`
+}
+
+type shardHealth struct {
+	Shard  int    `json:"shard"`
+	URL    string `json:"url"`
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleHealthz live-probes every shard's /v1/healthz with bounded
+// concurrency, updates the per-shard health state, and aggregates:
+// 200 "ok" when every shard serves a snapshot, 503 "degraded"
+// otherwise, with the minimum shard epoch as the cluster epoch.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	states := make([]shardHealth, len(rt.shards))
+	var g par.Group
+	g.SetLimit(rt.gather)
+	for i, sh := range rt.shards {
+		i, sh := i, sh
+		g.Go(func() error {
+			st := shardHealth{Shard: sh.info.Index, URL: sh.base}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, sh.base+"/v1/healthz", nil)
+			if err == nil {
+				var resp *http.Response
+				if resp, err = rt.client.Do(req); err == nil {
+					var body struct {
+						Status string `json:"status"`
+						Epoch  uint64 `json:"epoch"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err == nil {
+						st.Status, st.Epoch = body.Status, body.Epoch
+					}
+				}
+			}
+			if err != nil {
+				st.Status, st.Error = "unreachable", err.Error()
+			} else if st.Status == "ok" {
+				sh.observeEpoch(st.Epoch)
+			}
+			states[i] = st
+			return nil
+		})
+	}
+	g.Wait() //nolint:errcheck // probe outcomes land in states
+
+	body := routerHealth{Status: "ok", Shards: states}
+	status := http.StatusOK
+	for i, st := range states {
+		if st.Status != "ok" {
+			body.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+		if i == 0 || st.Epoch < body.Epoch {
+			body.Epoch = st.Epoch
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}

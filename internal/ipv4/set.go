@@ -117,6 +117,22 @@ func (s *Set) Clone() *Set {
 	return out
 }
 
+// FilterBlocks returns a new set holding only the members whose /24
+// block satisfies keep — the block-partitioning primitive behind
+// cluster sharding (a partition of the block space yields disjoint
+// filtered sets whose cardinalities sum to the original's).
+func (s *Set) FilterBlocks(keep func(Block) bool) *Set {
+	out := &Set{m: make(map[Block]*Bitmap256)}
+	for b, bm := range s.m {
+		if keep(b) {
+			cp := *bm
+			out.m[b] = &cp
+			out.n += bm.Count()
+		}
+	}
+	return out
+}
+
 // UnionWith adds every member of o to s.
 func (s *Set) UnionWith(o *Set) {
 	for b, bm := range o.m {

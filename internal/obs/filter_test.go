@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"testing"
+
+	"ipscope/internal/ipv4"
+)
+
+// filterTestData hand-builds a small dataset spanning several /24
+// blocks (no simulator: sim imports obs).
+func filterTestData(t *testing.T) *Data {
+	t.Helper()
+	d := &Data{}
+	meta := Meta{Run: RunConfig{Days: 14, DailyStart: 0, DailyLen: 3, ICMPScanDays: []int{1}}}
+	events := []Event{MetaEvent{Meta: meta}}
+
+	blockAddrs := func(blocks []string, hosts int) *ipv4.Set {
+		s := ipv4.NewSet()
+		for _, b := range blocks {
+			blk := ipv4.MustParsePrefix(b).FirstBlock()
+			for h := 0; h < hosts; h++ {
+				s.Add(blk.Addr(byte(h)))
+			}
+		}
+		return s
+	}
+	days := []*ipv4.Set{
+		blockAddrs([]string{"10.0.0.0/24", "10.0.9.0/24", "192.168.3.0/24"}, 5),
+		blockAddrs([]string{"10.0.0.0/24", "192.168.3.0/24"}, 9),
+		blockAddrs([]string{"10.0.9.0/24", "172.16.0.0/24"}, 2),
+	}
+	for i, s := range days {
+		events = append(events, DayEvent{Index: i, Active: s, TotalHits: float64(100 + i)})
+	}
+	events = append(events,
+		WeekEvent{Index: 0, Active: blockAddrs([]string{"10.0.0.0/24", "172.16.0.0/24"}, 4), TopShare: 0.5},
+		WeekEvent{Index: 1, Active: blockAddrs([]string{"192.168.3.0/24"}, 4), TopShare: 0.6},
+		ICMPScanEvent{Index: 0, Responders: blockAddrs([]string{"10.0.0.0/24", "192.168.3.0/24"}, 3)},
+		BlockStatsEvent{Block: ipv4.MustParsePrefix("10.0.0.0/24").FirstBlock(), Traffic: &BlockTraffic{}},
+		BlockStatsEvent{Block: ipv4.MustParsePrefix("192.168.3.0/24").FirstBlock(), UA: &UAStat{Samples: 7}},
+		SurfacesEvent{
+			Servers: blockAddrs([]string{"10.0.9.0/24"}, 2),
+			Routers: blockAddrs([]string{"172.16.0.0/24"}, 2),
+		},
+	)
+	for _, e := range events {
+		if err := d.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestFilterSourcePartitions pins the property cluster sharding builds
+// on: filtering a dataset through the complementary halves of a block
+// partition yields disjoint slices whose per-day cardinalities sum to
+// the original's, with stream-global payloads intact.
+func TestFilterSourcePartitions(t *testing.T) {
+	d := filterTestData(t)
+	pivot := ipv4.MustParsePrefix("172.16.0.0/24").FirstBlock()
+	keepLo := func(b ipv4.Block) bool { return b < pivot }
+	keepHi := func(b ipv4.Block) bool { return b >= pivot }
+
+	lo, err := FilterSource(d, keepLo).Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := FilterSource(d, keepHi).Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(lo.Daily) != len(d.Daily) || len(hi.Daily) != len(d.Daily) {
+		t.Fatal("filtering must keep the window geometry")
+	}
+	for day := range d.Daily {
+		if got := lo.Daily[day].Len() + hi.Daily[day].Len(); got != d.Daily[day].Len() {
+			t.Fatalf("day %d: partition lens %d != original %d", day, got, d.Daily[day].Len())
+		}
+		if lo.Daily[day].IntersectCount(hi.Daily[day]) != 0 {
+			t.Fatalf("day %d: partitions overlap", day)
+		}
+		if lo.DailyTotalHits[day] != d.DailyTotalHits[day] {
+			t.Fatalf("day %d: global total hits must pass through", day)
+		}
+	}
+	for wk := range d.Weekly {
+		if got := lo.Weekly[wk].Len() + hi.Weekly[wk].Len(); got != d.Weekly[wk].Len() {
+			t.Fatalf("week %d: partition lens %d != original %d", wk, got, d.Weekly[wk].Len())
+		}
+		if lo.WeeklyTopShare[wk] != d.WeeklyTopShare[wk] {
+			t.Fatalf("week %d: global top share must pass through", wk)
+		}
+	}
+	if len(lo.Traffic) != 1 || len(hi.Traffic) != 0 {
+		t.Fatalf("traffic events misrouted: lo=%d hi=%d", len(lo.Traffic), len(hi.Traffic))
+	}
+	if len(lo.UA) != 0 || len(hi.UA) != 1 {
+		t.Fatalf("UA events misrouted: lo=%d hi=%d", len(lo.UA), len(hi.UA))
+	}
+	if got := lo.ICMPUnion().Len() + hi.ICMPUnion().Len(); got != d.ICMPUnion().Len() {
+		t.Fatalf("ICMP union partition lens %d != original %d", got, d.ICMPUnion().Len())
+	}
+	if lo.ServerSet.Len() != d.ServerSet.Len() || hi.ServerSet.Len() != 0 {
+		t.Fatal("server surface misrouted")
+	}
+	if hi.RouterSet.Len() != d.RouterSet.Len() || lo.RouterSet.Len() != 0 {
+		t.Fatal("router surface misrouted")
+	}
+	// The filtered datasets must not alias the original's sets.
+	lo.Daily[0].Add(ipv4.MustParseAddr("10.0.0.250"))
+	if d.Daily[0].Contains(ipv4.MustParseAddr("10.0.0.250")) {
+		t.Fatal("filtered set aliases the original")
+	}
+}

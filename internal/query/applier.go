@@ -2,9 +2,9 @@ package query
 
 import (
 	"fmt"
+	"sort"
 
 	"ipscope/internal/bgp"
-	"ipscope/internal/cdnlog"
 	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
@@ -63,10 +63,10 @@ type Applier struct {
 	cdn            *ipv4.Set
 	cdnFrom, cdnTo int
 
-	// Daily churn accumulators, advanced per transition in day order so
-	// float sums match ChurnSeries over the truncated window exactly.
-	churnN                            int
-	churnUpSum, churnUpPct, churnDown float64
+	// Daily churn raw material, appended per transition in day order:
+	// the integer inputs SummaryPartial.Finalize turns into the exact
+	// ChurnSeries percentage sequence.
+	ups, downs []int
 
 	epoch uint64
 	prev  *Index // last published snapshot, for clean-block reuse
@@ -83,52 +83,44 @@ type blockAcc struct {
 	addrDays   int
 	traffic    *blockTraffic
 	totalHits  float64
-	uaSamples  int
-	uaUnique   float64
-	hasUA      bool
-	e          enrichment
-	dirty      bool
+	// ua retains the block's stats event payload (immutable per the
+	// Sink contract): the view needs samples and the unique estimate,
+	// and the summary partial needs the sketch itself for the
+	// cross-shard HLL union.
+	ua    *obs.UAStat
+	e     enrichment
+	dirty bool
 }
 
-// seriesAccum advances cdnlog.Summarize incrementally: all counters are
-// integers folded in snapshot order, so the per-epoch summary equals a
-// batch Summarize over the applied snapshots.
+// seriesAccum advances one SeriesPartial incrementally: all counters
+// are integers folded in snapshot order (plus the per-snapshot AS
+// sets), so the per-epoch partial equals the one Build computes over
+// the applied snapshots.
 type seriesAccum struct {
-	union   *ipv4.Set
-	asUnion map[bgp.ASN]bool
-	ipSum   int
-	blkSum  int
-	asSum   int
-	snaps   int
+	union    *ipv4.Set
+	snapASes [][]uint32
+	ipSum    int
+	blkSum   int
+	snaps    int
 }
 
 func (sa *seriesAccum) observe(s *ipv4.Set, asOf func(ipv4.Block) bgp.ASN) {
 	sa.snaps++
 	sa.ipSum += s.Len()
 	sa.blkSum += s.NumBlocks()
-	asSeen := make(map[bgp.ASN]bool)
-	s.ForEachBlock(func(blk ipv4.Block, _ *ipv4.Bitmap256) {
-		if as := asOf(blk); as != 0 {
-			asSeen[as] = true
-			sa.asUnion[as] = true
-		}
-	})
-	sa.asSum += len(asSeen)
+	sa.snapASes = append(sa.snapASes, snapshotASes(s, asOf))
 	sa.union.UnionWith(s)
 }
 
-func (sa *seriesAccum) summary() cdnlog.DatasetSummary {
-	out := cdnlog.DatasetSummary{Snapshots: sa.snaps}
-	if sa.snaps == 0 {
-		return out
+func (sa *seriesAccum) partial() SeriesPartial {
+	return SeriesPartial{
+		Snapshots:   sa.snaps,
+		UnionIPs:    sa.union.Len(),
+		UnionBlocks: sa.union.NumBlocks(),
+		IPSum:       sa.ipSum,
+		BlockSum:    sa.blkSum,
+		SnapASes:    append([][]uint32(nil), sa.snapASes...),
 	}
-	out.TotalIPs = sa.union.Len()
-	out.AvgIPs = sa.ipSum / sa.snaps
-	out.TotalBlocks = sa.union.NumBlocks()
-	out.AvgBlocks = sa.blkSum / sa.snaps
-	out.TotalASes = len(sa.asUnion)
-	out.AvgASes = sa.asSum / sa.snaps
-	return out
 }
 
 // NewApplier returns an empty Applier. opts.Workers bounds the publish
@@ -185,9 +177,7 @@ func (a *Applier) Observe(e obs.Event) error {
 			acc.totalHits = total
 		}
 		if ev.UA != nil {
-			acc.hasUA = true
-			acc.uaSamples = ev.UA.Samples
-			acc.uaUnique = ev.UA.Unique()
+			acc.ua = ev.UA
 		}
 	case obs.SurfacesEvent:
 		if err := a.staging.Observe(ev); err != nil {
@@ -213,13 +203,13 @@ func (a *Applier) applyMeta(ev obs.MetaEvent) error {
 		return err
 	}
 	a.world = synthnet.Generate(ev.Meta.World)
-	a.tags = classifyWorld(a.world, a.opts.Workers)
+	a.tags = classifyWorld(a.world, a.opts.Workers, a.opts.Keep)
 	a.fullWords = (ev.Meta.Run.DailyLen + 63) / 64
 	a.accs = make(map[ipv4.Block]*blockAcc)
 	a.dailyUnion = ipv4.NewSet()
 	a.icmpUnion = ipv4.NewSet()
-	a.dSum = seriesAccum{union: a.dailyUnion, asUnion: make(map[bgp.ASN]bool)}
-	a.wSum = seriesAccum{union: ipv4.NewSet(), asUnion: make(map[bgp.ASN]bool)}
+	a.dSum = seriesAccum{union: a.dailyUnion}
+	a.wSum = seriesAccum{union: ipv4.NewSet()}
 	return nil
 }
 
@@ -231,19 +221,11 @@ func (a *Applier) applyDay(ev obs.DayEvent) error {
 		return err
 	}
 	// Churn transition against the previous day, in arrival order: the
-	// running sums see the exact value sequence ChurnSeries produces.
+	// appended integers are the exact inputs ChurnSeries would compute.
 	if ev.Index > 0 {
 		prev := a.staging.Daily[ev.Index-1]
-		up := ev.Active.DiffCount(prev)
-		down := prev.DiffCount(ev.Active)
-		a.churnN++
-		a.churnUpSum += float64(up)
-		if ev.Active.Len() > 0 {
-			a.churnUpPct += 100 * float64(up) / float64(ev.Active.Len())
-		}
-		if prev.Len() > 0 {
-			a.churnDown += 100 * float64(down) / float64(prev.Len())
-		}
+		a.ups = append(a.ups, ev.Active.DiffCount(prev))
+		a.downs = append(a.downs, prev.DiffCount(ev.Active))
 	}
 	day := ev.Index
 	a.days++
@@ -411,9 +393,9 @@ func (acc *blockAcc) compile(blk ipv4.Block, n, w, fullWords int) blockData {
 		bd.traffic = acc.traffic
 		v.TotalHits = acc.totalHits
 	}
-	if acc.hasUA {
-		v.UASamples = acc.uaSamples
-		v.UAUnique = acc.uaUnique
+	if acc.ua != nil {
+		v.UASamples = acc.ua.Samples
+		v.UAUnique = acc.ua.Unique()
 	}
 	v.AS = acc.e.as
 	v.Prefix = acc.e.prefix
@@ -424,12 +406,14 @@ func (acc *blockAcc) compile(blk ipv4.Block, n, w, fullWords int) blockData {
 	return bd
 }
 
-// assembleSummary fills x.summary from the running accumulators —
-// field-identical to buildSummary over the equivalent truncated
-// dataset, without revisiting any applied day.
+// assembleSummary fills x.partial and x.summary from the running
+// accumulators — identical to buildSummary over the equivalent
+// truncated dataset, without revisiting any applied day. Publishing
+// through the same SummaryPartial.Finalize path as Build is what lets
+// cluster shards mix batch-built and applier-built indexes freely.
 func (a *Applier) assembleSummary(x *Index, n int) {
 	run := a.meta.Run
-	s := Summary{
+	p := &SummaryPartial{
 		Seed:         x.meta.seed,
 		NumASes:      x.meta.numASes,
 		WorldBlocks:  a.world.NumBlocks(),
@@ -441,31 +425,43 @@ func (a *Applier) assembleSummary(x *Index, n int) {
 		DailyUnion:   a.dailyUnion.Len(),
 		YearUnion:    a.wSum.union.Len(),
 		ICMPUnion:    a.icmpUnion.Len(),
-		Daily:        a.dSum.summary(),
-		Weekly:       a.wSum.summary(),
+		Daily:        a.dSum.partial(),
+		Weekly:       a.wSum.partial(),
 	}
 
 	cdn := a.cdn
 	if a.scans == 0 {
 		cdn = a.dailyUnion // no campaign yet: the whole-window fallback
 	}
-	if est, err := core.RecaptureSets(cdn, a.icmpUnion); err == nil {
-		s.Recapture = RecaptureSummary{
-			Valid: true, N1: est.N1, N2: est.N2, Both: est.Both,
-			LP: est.LincolnPetersen, Chapman: est.Chapman, SE: est.SE,
-			CI95Lo: est.CI95Lo, CI95Hi: est.CI95Hi,
-		}
+	p.CDNMonth = cdn.Len()
+	p.CDNBoth = cdn.IntersectCount(a.icmpUnion)
+
+	p.DayLens = make([]int, n)
+	for i, s := range a.staging.Daily[:n] {
+		p.DayLens[i] = s.Len()
+	}
+	p.Ups = append([]int(nil), a.ups...)
+	p.Downs = append([]int(nil), a.downs...)
+
+	if a.weeks > 0 {
+		base := a.staging.Weekly[0]
+		p.WeekBase = base.Len()
+		p.WeekLastAppear = a.staging.Weekly[a.weeks-1].DiffCount(base)
 	}
 
-	if a.churnN > 0 {
-		s.Churn.MeanDailyUpEvents = a.churnUpSum / float64(a.churnN)
-		s.Churn.MeanDailyUpPct = a.churnUpPct / float64(a.churnN)
-		s.Churn.MeanDailyDownPct = a.churnDown / float64(a.churnN)
+	// Same fold set as Build's: exactly the blocks whose stats events
+	// carried a UA payload, in ascending order.
+	var blocks []ipv4.Block
+	for blk, acc := range a.accs {
+		if acc.ua != nil {
+			blocks = append(blocks, blk)
+		}
 	}
-	if a.weeks > 0 && a.staging.Weekly[0].Len() > 0 {
-		base := a.staging.Weekly[0]
-		last := a.staging.Weekly[a.weeks-1]
-		s.Churn.YearChurnFrac = float64(last.DiffCount(base)) / float64(base.Len())
-	}
-	x.summary = s
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	p.UASamples, p.UAPrecision, p.UARegisters = foldUA(blocks, func(blk ipv4.Block) *obs.UAStat {
+		return a.accs[blk].ua
+	})
+
+	x.partial = p
+	x.summary = p.Finalize()
 }

@@ -5,13 +5,12 @@ import (
 	"sort"
 
 	"ipscope/internal/bgp"
-	"ipscope/internal/cdnlog"
-	"ipscope/internal/core"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
 	"ipscope/internal/par"
 	"ipscope/internal/rdns"
 	"ipscope/internal/synthnet"
+	"ipscope/internal/useragent"
 )
 
 // Build compiles src into an Index. The world is regenerated
@@ -40,7 +39,7 @@ func Build(src obs.Source, opts Options) (*Index, error) {
 		servers: orEmpty(d.ServerSet),
 		routers: orEmpty(d.RouterSet),
 	}
-	x.tags = classifyWorld(world, w)
+	x.tags = classifyWorld(world, w, opts.Keep)
 
 	// Per-/24 records in ascending block order. Each block compiles from
 	// its own slice of the dataset into a preallocated slot, so shard
@@ -63,13 +62,24 @@ func orEmpty(s *ipv4.Set) *ipv4.Set {
 	return s
 }
 
-// classifyWorld computes the rDNS tag for every world block (not just
-// active ones: /v1/addr enriches unallocated-but-routed space too).
-// Zone classification is pure per block, so the fan-out cannot change
-// the result.
-func classifyWorld(world *synthnet.World, workers int) *rdns.TagIndex {
-	pairs := par.Map(len(world.Blocks), workers, func(i int) rdns.BlockTag {
-		b := world.Blocks[i]
+// classifyWorld computes the rDNS tag for every world block keep
+// accepts (nil = all; not just active blocks: /v1/addr enriches
+// unallocated-but-routed space too). Zone classification is pure per
+// block, so neither the fan-out nor the keep-restriction can change
+// any kept block's tag — a shard classifies exactly what a single
+// node would for its slice.
+func classifyWorld(world *synthnet.World, workers int, keep func(ipv4.Block) bool) *rdns.TagIndex {
+	blocks := world.Blocks
+	if keep != nil {
+		blocks = make([]*synthnet.Block, 0, len(world.Blocks))
+		for _, b := range world.Blocks {
+			if keep(b.Block) {
+				blocks = append(blocks, b)
+			}
+		}
+	}
+	pairs := par.Map(len(blocks), workers, func(i int) rdns.BlockTag {
+		b := blocks[i]
 		return rdns.BlockTag{
 			Block: b.Block,
 			Tag:   rdns.ClassifyZone(world.RDNSZone(b), 0.6),
@@ -170,13 +180,17 @@ func (x *Index) buildAS() {
 	sort.Slice(x.asNums, func(i, j int) bool { return x.asNums[i] < x.asNums[j] })
 }
 
-// buildSummary computes the dataset-level aggregates. Every number here
-// must stay field-identical to the batch report's (the serve tests
-// cross-check them), so it reuses the same internal/core and
-// internal/cdnlog machinery the analysis drivers call.
+// buildSummary computes the dataset-level aggregates via the mergeable
+// partial (partial.go): the partial holds exact integer counters, AS
+// sets and the union UA sketch; Finalize derives every float with the
+// expressions cdnlog.Summarize, core.ChurnSeries and core.Recapture
+// use, so the numbers stay field-identical to the batch report's (the
+// serve tests cross-check them) while remaining exactly mergeable
+// across cluster shards.
 func (x *Index) buildSummary(d *obs.Data, dailyUnion *ipv4.Set) {
 	run := d.Meta.Run
-	s := Summary{
+	yearUnion := d.YearUnion()
+	p := &SummaryPartial{
 		Seed:         x.meta.seed,
 		NumASes:      x.meta.numASes,
 		WorldBlocks:  x.world.NumBlocks(),
@@ -186,38 +200,73 @@ func (x *Index) buildSummary(d *obs.Data, dailyUnion *ipv4.Set) {
 		Weeks:        len(d.Weekly),
 		ActiveBlocks: len(x.keys),
 		DailyUnion:   dailyUnion.Len(),
-		YearUnion:    d.YearUnion().Len(),
+		YearUnion:    yearUnion.Len(),
 		ICMPUnion:    x.icmp.Len(),
-		Daily:        cdnlog.Summarize(d.Daily, x.world.ASOf),
-		Weekly:       cdnlog.Summarize(d.Weekly, x.world.ASOf),
+		Daily:        seriesPartialOf(d.Daily, dailyUnion, x.world.ASOf),
+		Weekly:       seriesPartialOf(d.Weekly, yearUnion, x.world.ASOf),
 	}
 
-	// Capture–recapture over the CDN month vs the ICMP union, with the
-	// same month window the batch RecaptureEstimate uses.
+	// Capture–recapture inputs over the CDN month vs the ICMP union,
+	// with the same month window the batch RecaptureEstimate uses.
 	cdn := d.CampaignMonthUnion()
-	if est, err := core.RecaptureSets(cdn, x.icmp); err == nil {
-		s.Recapture = RecaptureSummary{
-			Valid: true, N1: est.N1, N2: est.N2, Both: est.Both,
-			LP: est.LincolnPetersen, Chapman: est.Chapman, SE: est.SE,
-			CI95Lo: est.CI95Lo, CI95Hi: est.CI95Hi,
-		}
+	p.CDNMonth = cdn.Len()
+	p.CDNBoth = cdn.IntersectCount(x.icmp)
+
+	// Daily churn raw material (Figure 4's integers).
+	p.DayLens = make([]int, len(d.Daily))
+	for i, s := range d.Daily {
+		p.DayLens[i] = s.Len()
+	}
+	if n := len(d.Daily) - 1; n > 0 {
+		p.Ups = ipv4.DiffCounts(d.Daily[1:], d.Daily[:n], 0)
+		p.Downs = ipv4.DiffCounts(d.Daily[:n], d.Daily[1:], 0)
+	}
+	if len(d.Weekly) > 0 {
+		base := d.Weekly[0]
+		p.WeekBase = base.Len()
+		p.WeekLastAppear = d.Weekly[len(d.Weekly)-1].DiffCount(base)
 	}
 
-	// Daily churn series (Figure 4's raw material).
-	churn := core.ChurnSeries(d.Daily)
-	var upSum, upPct, downPct float64
-	for _, p := range churn {
-		upSum += float64(p.Up)
-		upPct += p.UpPct
-		downPct += p.DownPct
+	p.UASamples, p.UAPrecision, p.UARegisters = foldUA(uaBlocks(d.UA), func(blk ipv4.Block) *obs.UAStat {
+		return d.UA[blk]
+	})
+
+	x.partial = p
+	x.summary = p.Finalize()
+}
+
+// uaBlocks returns the UA-sampled blocks in ascending order.
+func uaBlocks(ua map[ipv4.Block]*obs.UAStat) []ipv4.Block {
+	out := make([]ipv4.Block, 0, len(ua))
+	for blk := range ua {
+		out = append(out, blk)
 	}
-	if n := len(churn); n > 0 {
-		s.Churn.MeanDailyUpEvents = upSum / float64(n)
-		s.Churn.MeanDailyUpPct = upPct / float64(n)
-		s.Churn.MeanDailyDownPct = downPct / float64(n)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// foldUA unions the per-block UA sketches (register-wise max, so any
+// fold order yields the same registers) and sums the sample counts.
+// Sketches are uniform-precision by construction (the engine allocates
+// them all alike); a mismatched sketch is skipped deterministically.
+func foldUA(blocks []ipv4.Block, statOf func(ipv4.Block) *obs.UAStat) (samples int, prec uint8, regs []byte) {
+	var merged *useragent.HLL
+	for _, blk := range blocks {
+		st := statOf(blk)
+		if st == nil {
+			continue
+		}
+		samples += st.Samples
+		if st.Sketch == nil {
+			continue
+		}
+		if merged == nil {
+			merged = useragent.NewHLL(st.Sketch.Precision())
+		}
+		merged.Merge(st.Sketch) //nolint:errcheck // uniform precision; mismatch skips the block
 	}
-	if vs := core.VersusBaseline(d.Weekly); len(vs) > 0 && d.Weekly[0].Len() > 0 {
-		s.Churn.YearChurnFrac = float64(vs[len(vs)-1].Appear) / float64(d.Weekly[0].Len())
+	if merged == nil {
+		return samples, 0, nil
 	}
-	x.summary = s
+	return samples, merged.Precision(), merged.Registers()
 }

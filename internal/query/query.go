@@ -41,6 +41,13 @@ type Options struct {
 	// Workers bounds the build fan-out; <= 0 means GOMAXPROCS. The
 	// resulting index is identical for any value.
 	Workers int
+	// Keep, when non-nil, restricts world-proportional construction
+	// work (rDNS zone classification) to the blocks it accepts — the
+	// shard-subset build path, paired with a partition-filtered
+	// dataset so the whole build scales with the slice, not the world.
+	// Lookups for rejected blocks still answer, with the Untagged rDNS
+	// default; a cluster router never routes a shard such a block.
+	Keep func(ipv4.Block) bool
 }
 
 // Index is the immutable compiled view. All lookup methods are safe for
@@ -62,6 +69,7 @@ type Index struct {
 	world   *synthnet.World
 	tags    *rdns.TagIndex
 	summary Summary
+	partial *SummaryPartial
 	icmp    *ipv4.Set
 	servers *ipv4.Set
 	routers *ipv4.Set
@@ -187,6 +195,17 @@ type RecaptureSummary struct {
 	CI95Hi  float64 `json:"ci95Hi"`
 }
 
+// UASummary aggregates the dataset's User-Agent sampling: total
+// samples and the estimated number of distinct UA strings across every
+// sampled block, from the union of the per-block HLL sketches. The
+// union is a register-wise max — commutative and associative — which is
+// what makes this the one Summary field whose distinct count merges
+// exactly across cluster shards without shipping the strings.
+type UASummary struct {
+	Samples  int     `json:"samples"`
+	UniqueUA float64 `json:"uniqueUA"`
+}
+
 // Summary is the /v1/summary response payload: dataset identity and the
 // cross-dataset aggregates.
 type Summary struct {
@@ -205,6 +224,7 @@ type Summary struct {
 	Weekly       cdnlog.DatasetSummary `json:"weekly"`
 	Recapture    RecaptureSummary      `json:"recapture"`
 	Churn        ChurnSummary          `json:"churn"`
+	UA           UASummary             `json:"ua"`
 }
 
 // NumBlocks returns the number of indexed (active) /24 blocks.
@@ -218,6 +238,14 @@ func (x *Index) DailyLen() int { return x.days }
 
 // Summary returns the dataset-level aggregates.
 func (x *Index) Summary() Summary { return x.summary }
+
+// SummaryPartial returns this index's mergeable share of the dataset
+// summary — what a cluster shard serves on /v1/cluster/summary. For an
+// unpartitioned index it describes the whole dataset, and finalizing
+// it reproduces Summary exactly. The returned value shares immutable
+// backing arrays with the index; callers must not mutate it (Merge
+// clones before folding).
+func (x *Index) SummaryPartial() SummaryPartial { return *x.partial }
 
 // blockIndex binary-searches the sorted key array.
 func (x *Index) blockIndex(blk ipv4.Block) (int, bool) {
@@ -329,42 +357,31 @@ func (x *Index) Addr(a ipv4.Addr) AddrView {
 	return v
 }
 
+// CheckPrefix validates a prefix for the prefix endpoints: prefixes
+// shorter than /8 are rejected to bound response size. The router and
+// every shard apply the same rule, so validation errors are identical
+// wherever a request lands.
+func CheckPrefix(p ipv4.Prefix) error {
+	if p.Bits() < 8 {
+		return fmt.Errorf("query: prefix %v too broad (min /8)", p)
+	}
+	return nil
+}
+
 // Prefix aggregates the indexed blocks covered by p. maxBlocks caps the
 // embedded per-block list (0 = no list); the aggregate always covers
 // every active block. Prefixes shorter than /8 are rejected to bound
 // response size.
+//
+// Prefix is implemented as the one-partial case of the cluster merge,
+// so a routed cross-shard aggregate equals the single-node answer by
+// construction rather than by parallel maintenance of two folds.
 func (x *Index) Prefix(p ipv4.Prefix, maxBlocks int) (PrefixView, error) {
-	if p.Bits() < 8 {
-		return PrefixView{}, fmt.Errorf("query: prefix %v too broad (min /8)", p)
+	part, err := x.PrefixPartial(p, maxBlocks)
+	if err != nil {
+		return PrefixView{}, err
 	}
-	v := PrefixView{Prefix: p.String(), Blocks: p.NumBlocks()}
-	first := uint32(p.FirstBlock())
-	last := first + uint32(p.NumBlocks()) - 1
-	lo, _ := x.blockIndex(ipv4.Block(first))
-	origins := map[uint32]bool{}
-	stuSum := 0.0
-	for i := lo; i < len(x.keys) && uint32(x.keys[i]) <= last; i++ {
-		bd := &x.blocks[i]
-		v.ActiveBlocks++
-		v.ActiveAddrs += bd.view.FD
-		v.TotalHits += bd.view.TotalHits
-		stuSum += bd.view.STU
-		origins[bd.view.AS] = true
-		if maxBlocks > 0 && len(v.BlockList) < maxBlocks {
-			v.BlockList = append(v.BlockList, bd.view)
-		} else if maxBlocks > 0 {
-			v.Truncated = true
-		}
-	}
-	if v.ActiveBlocks > 0 {
-		v.MeanSTU = stuSum / float64(v.ActiveBlocks)
-	}
-	v.Origins = make([]uint32, 0, len(origins))
-	for as := range origins {
-		v.Origins = append(v.Origins, as)
-	}
-	sort.Slice(v.Origins, func(i, j int) bool { return v.Origins[i] < v.Origins[j] })
-	return v, nil
+	return MergePrefixPartials([]PrefixPartial{part}, maxBlocks)
 }
 
 // AS returns the footprint view for asn.

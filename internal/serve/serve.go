@@ -53,6 +53,24 @@ const DefaultCacheSize = 4096
 // /v1/prefix response.
 const DefaultPrefixBlockList = 16
 
+// ShardInfo describes the slice of the /24 block space a shard serves:
+// its position in the partition and the owned block range [Lo, Hi) as
+// raw /24 block numbers (Hi may be 1<<24, one past the last block).
+// The cluster router learns the partition by reading every shard's
+// /v1/cluster/info, so shards are the single source of truth for who
+// owns what.
+type ShardInfo struct {
+	Index int    `json:"shard"`
+	Count int    `json:"shards"`
+	Lo    uint32 `json:"blockLo"`
+	Hi    uint32 `json:"blockHi"`
+}
+
+// Contains reports whether blk falls inside the shard's owned range.
+func (si ShardInfo) Contains(blk ipv4.Block) bool {
+	return uint32(blk) >= si.Lo && uint32(blk) < si.Hi
+}
+
 // Config tunes a Server.
 type Config struct {
 	// CacheSize bounds the LRU response cache; 0 means
@@ -60,11 +78,21 @@ type Config struct {
 	CacheSize int
 	// AccessLog, when non-nil, receives one JSON line per request.
 	AccessLog io.Writer
+	// Shard, when non-nil, marks this server as one shard of a
+	// block-partitioned cluster: /v1/cluster/info reports the owned
+	// range and /v1/healthz carries the partition coordinates. The
+	// cluster partial endpoints themselves are always registered — an
+	// unsharded server is simply the one-shard cluster, which is what
+	// lets the equivalence tests run a router over a single full
+	// server. Live shards that learn their range from the stream's
+	// meta event use SetShard instead.
+	Shard *ShardInfo
 }
 
 // Server serves query.Index snapshots over HTTP.
 type Server struct {
 	idx     atomic.Pointer[query.Index]
+	shard   atomic.Pointer[ShardInfo]
 	cache   *Cache
 	handler http.Handler
 
@@ -90,6 +118,9 @@ func New(idx *query.Index, cfg Config) *Server {
 	if idx != nil {
 		s.idx.Store(idx)
 	}
+	if cfg.Shard != nil {
+		s.shard.Store(cfg.Shard)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/addr/{ip}", s.cached(s.handleAddr))
 	mux.HandleFunc("GET /v1/block/{prefix...}", s.cached(s.handleBlock))
@@ -97,8 +128,27 @@ func New(idx *query.Index, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/as/{asn}", s.cached(s.handleAS))
 	mux.HandleFunc("GET /v1/summary", s.cached(s.handleSummary))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// Cluster plane: mergeable partials for the scatter-gather router.
+	mux.HandleFunc("GET /v1/cluster/info", s.handleClusterInfo)
+	mux.HandleFunc("GET /v1/cluster/summary", s.cached(s.handleClusterSummary))
+	mux.HandleFunc("GET /v1/cluster/as/{asn}", s.cached(s.handleClusterAS))
+	mux.HandleFunc("GET /v1/cluster/prefix/{cidr...}", s.cached(s.handleClusterPrefix))
 	s.handler = s.logged(mux)
 	return s
+}
+
+// SetShard publishes the server's partition coordinates after startup —
+// the live-shard path, where the owned range is only known once the
+// stream's meta event arrives and the partition plan can be computed.
+func (s *Server) SetShard(si ShardInfo) { s.shard.Store(&si) }
+
+// Shard returns the published partition coordinates, defaulting to the
+// one-shard cluster covering the whole block space.
+func (s *Server) Shard() ShardInfo {
+	if si := s.shard.Load(); si != nil {
+		return *si
+	}
+	return ShardInfo{Index: 0, Count: 1, Lo: 0, Hi: 1 << 24}
 }
 
 // Publish atomically swaps in a new index snapshot. In-flight requests
@@ -154,16 +204,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return <-ch
 }
 
-// etagFor derives the entity tag every /v1/* endpoint serves from the
+// ETagFor derives the entity tag every /v1/* endpoint serves from the
 // snapshot epoch: the index is immutable, so a resource changes exactly
 // when the epoch does.
-func etagFor(epoch uint64) string {
+func ETagFor(epoch uint64) string {
 	return fmt.Sprintf("\"ips-e%d\"", epoch)
 }
 
-// notModified reports whether the request's If-None-Match header
+// NotModified reports whether the request's If-None-Match header
 // matches etag (or is the "*" wildcard).
-func notModified(r *http.Request, etag string) bool {
+func NotModified(r *http.Request, etag string) bool {
 	inm := r.Header.Get("If-None-Match")
 	if inm == "" {
 		return false
@@ -177,10 +227,10 @@ func notModified(r *http.Request, etag string) bool {
 	return false
 }
 
-// withEpoch splices the snapshot epoch into a marshalled JSON object as
+// WithEpoch splices the snapshot epoch into a marshalled JSON object as
 // its leading field, so every cached body self-identifies the snapshot
 // it was computed from without every payload type carrying the field.
-func withEpoch(body []byte, epoch uint64) []byte {
+func WithEpoch(body []byte, epoch uint64) []byte {
 	if len(body) < 2 || body[0] != '{' {
 		return body
 	}
@@ -207,9 +257,9 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 			return
 		}
 		epoch := x.Epoch()
-		etag := etagFor(epoch)
+		etag := ETagFor(epoch)
 		w.Header().Set("ETag", etag)
-		if notModified(r, etag) {
+		if NotModified(r, etag) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
@@ -221,7 +271,7 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 				status = http.StatusInternalServerError
 				body = []byte(`{"error":"encoding failed"}`)
 			}
-			return Response{Status: status, Body: append(withEpoch(body, epoch), '\n')}
+			return Response{Status: status, Body: append(WithEpoch(body, epoch), '\n')}
 		})
 		if hit {
 			w.Header().Set("X-Cache", "hit")
@@ -234,20 +284,22 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 	}
 }
 
-type errorBody struct {
+// ErrorBody is the JSON error payload every endpoint (and the cluster
+// router, which must stay byte-compatible) uses.
+type ErrorBody struct {
 	Error string `json:"error"`
 }
 
 func (s *Server) handleAddr(x *query.Index, r *http.Request) (int, any) {
 	a, err := ipv4.ParseAddr(r.PathValue("ip"))
 	if err != nil {
-		return http.StatusBadRequest, errorBody{Error: err.Error()}
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
 	}
 	return http.StatusOK, x.Addr(a)
 }
 
-// parse24 accepts "a.b.c.0/24" or a bare address inside the block.
-func parse24(raw string) (ipv4.Block, error) {
+// Parse24 accepts "a.b.c.0/24" or a bare address inside the block.
+func Parse24(raw string) (ipv4.Block, error) {
 	if i := strings.IndexByte(raw, '/'); i >= 0 {
 		p, err := ipv4.ParsePrefix(raw)
 		if err != nil {
@@ -266,13 +318,13 @@ func parse24(raw string) (ipv4.Block, error) {
 }
 
 func (s *Server) handleBlock(x *query.Index, r *http.Request) (int, any) {
-	blk, err := parse24(r.PathValue("prefix"))
+	blk, err := Parse24(r.PathValue("prefix"))
 	if err != nil {
-		return http.StatusBadRequest, errorBody{Error: err.Error()}
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
 	}
 	v, ok := x.Block(blk)
 	if !ok {
-		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("block %v has no activity in the daily window", blk)}
+		return http.StatusNotFound, ErrorBody{Error: fmt.Sprintf("block %v has no activity in the daily window", blk)}
 	}
 	return http.StatusOK, v
 }
@@ -280,24 +332,38 @@ func (s *Server) handleBlock(x *query.Index, r *http.Request) (int, any) {
 func (s *Server) handlePrefix(x *query.Index, r *http.Request) (int, any) {
 	p, err := ipv4.ParsePrefix(r.PathValue("cidr"))
 	if err != nil {
-		return http.StatusBadRequest, errorBody{Error: err.Error()}
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
 	}
 	v, err := x.Prefix(p, DefaultPrefixBlockList)
 	if err != nil {
-		return http.StatusBadRequest, errorBody{Error: err.Error()}
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
 	}
 	return http.StatusOK, v
 }
 
-func (s *Server) handleAS(x *query.Index, r *http.Request) (int, any) {
-	raw := strings.TrimPrefix(strings.ToUpper(r.PathValue("asn")), "AS")
-	n, err := strconv.ParseUint(raw, 10, 32)
+// ParseASN parses "AS64500" or "64500". The router shares it (and its
+// error text) so a routed 400 is byte-identical to a single-node one.
+func ParseASN(raw string) (uint32, error) {
+	s := strings.TrimPrefix(strings.ToUpper(raw), "AS")
+	n, err := strconv.ParseUint(s, 10, 32)
 	if err != nil {
-		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid ASN %q", r.PathValue("asn"))}
+		return 0, fmt.Errorf("invalid ASN %q", raw)
+	}
+	return uint32(n), nil
+}
+
+// ErrASNotFound renders the 404 body text for an unknown AS, shared
+// with the router's merged not-found answer.
+func ErrASNotFound(n uint32) string { return fmt.Sprintf("AS%d not in dataset", n) }
+
+func (s *Server) handleAS(x *query.Index, r *http.Request) (int, any) {
+	n, err := ParseASN(r.PathValue("asn"))
+	if err != nil {
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
 	}
 	v, ok := x.AS(bgp.ASN(n))
 	if !ok {
-		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("AS%d not in dataset", n)}
+		return http.StatusNotFound, ErrorBody{Error: ErrASNotFound(n)}
 	}
 	return http.StatusOK, v
 }
@@ -306,14 +372,74 @@ func (s *Server) handleSummary(x *query.Index, r *http.Request) (int, any) {
 	return http.StatusOK, x.Summary()
 }
 
-type healthBody struct {
-	Status      string `json:"status"`
-	Epoch       uint64 `json:"epoch"`
+// handleClusterSummary serves this shard's mergeable share of the
+// dataset summary.
+func (s *Server) handleClusterSummary(x *query.Index, r *http.Request) (int, any) {
+	return http.StatusOK, x.SummaryPartial()
+}
+
+// handleClusterAS serves this shard's mergeable share of an AS
+// footprint. Unknown ASNs answer 200 with found=false — absence on one
+// shard is not absence in the cluster, so the 404 decision belongs to
+// the router after the gather.
+func (s *Server) handleClusterAS(x *query.Index, r *http.Request) (int, any) {
+	n, err := ParseASN(r.PathValue("asn"))
+	if err != nil {
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+	}
+	return http.StatusOK, x.ASPartial(bgp.ASN(n))
+}
+
+// handleClusterPrefix serves this shard's mergeable share of a CIDR
+// aggregate (over the blocks of the prefix this shard owns).
+func (s *Server) handleClusterPrefix(x *query.Index, r *http.Request) (int, any) {
+	p, err := ipv4.ParsePrefix(r.PathValue("cidr"))
+	if err != nil {
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+	}
+	v, err := x.PrefixPartial(p, DefaultPrefixBlockList)
+	if err != nil {
+		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+	}
+	return http.StatusOK, v
+}
+
+// clusterInfo is the /v1/cluster/info body: the shard's partition
+// coordinates plus enough state for a router to route and a smoke test
+// to probe. Unlike the cached lookups it answers even while warming
+// (epoch 0), so a router can learn the partition before the first
+// publish.
+type clusterInfo struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	ShardInfo
 	Blocks      int    `json:"blocks"`
-	DailyLen    int    `json:"dailyLen"`
-	CacheHits   uint64 `json:"cacheHits"`
-	CacheMisses uint64 `json:"cacheMisses"`
-	CacheSize   int    `json:"cacheSize"`
+	FirstActive string `json:"firstActive,omitempty"`
+}
+
+func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	body := clusterInfo{Status: "warming", ShardInfo: s.Shard()}
+	if x := s.idx.Load(); x != nil {
+		body.Status = "ok"
+		body.Epoch = x.Epoch()
+		body.Blocks = x.NumBlocks()
+		if blocks := x.Blocks(); len(blocks) > 0 {
+			body.FirstActive = blocks[0].String()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}
+
+type healthBody struct {
+	Status      string     `json:"status"`
+	Epoch       uint64     `json:"epoch"`
+	Blocks      int        `json:"blocks"`
+	DailyLen    int        `json:"dailyLen"`
+	CacheHits   uint64     `json:"cacheHits"`
+	CacheMisses uint64     `json:"cacheMisses"`
+	CacheSize   int        `json:"cacheSize"`
+	Partition   *ShardInfo `json:"partition,omitempty"`
 }
 
 // handleHealthz reports liveness, the current epoch and cache counters.
@@ -328,6 +454,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheHits:   hits,
 		CacheMisses: misses,
 		CacheSize:   size,
+		Partition:   s.shard.Load(),
 	}
 	if x := s.idx.Load(); x != nil {
 		body.Status = "ok"

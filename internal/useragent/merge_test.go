@@ -1,0 +1,130 @@
+package useragent
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The cluster summary fold (internal/query's SummaryPartial) merges
+// per-shard HLL sketches in whatever grouping the partition dictates
+// and requires the result to be exact — identical registers no matter
+// how the union is ordered or parenthesized, and identical to a sketch
+// that saw the union stream directly. These tests pin that algebra.
+
+// sketchOf builds a sketch over the given item streams.
+func sketchOf(p uint8, streams ...[]string) *HLL {
+	h := NewHLL(p)
+	for _, s := range streams {
+		for _, item := range s {
+			h.AddString(item)
+		}
+	}
+	return h
+}
+
+// items generates n distinct strings from a namespace.
+func items(ns string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%d", ns, i)
+	}
+	return out
+}
+
+func regsEqual(a, b *HLL) bool {
+	ra, rb := a.Registers(), b.Registers()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHLLMergeCommutative(t *testing.T) {
+	// Overlapping streams: commutativity must hold with shared items.
+	sa, sb := items("a", 500), append(items("a", 100), items("b", 400)...)
+	ab := sketchOf(12, sa)
+	ab.Merge(sketchOf(12, sb)) //nolint:errcheck
+	ba := sketchOf(12, sb)
+	ba.Merge(sketchOf(12, sa)) //nolint:errcheck
+	if !regsEqual(ab, ba) {
+		t.Fatal("Merge(a,b) != Merge(b,a)")
+	}
+	if ab.Estimate() != ba.Estimate() {
+		t.Fatalf("estimates differ: %v vs %v", ab.Estimate(), ba.Estimate())
+	}
+}
+
+func TestHLLMergeAssociative(t *testing.T) {
+	sa, sb, sc := items("a", 300), items("b", 300), items("c", 300)
+	// (a ∪ b) ∪ c
+	left := sketchOf(12, sa)
+	left.Merge(sketchOf(12, sb)) //nolint:errcheck
+	left.Merge(sketchOf(12, sc)) //nolint:errcheck
+	// a ∪ (b ∪ c)
+	bc := sketchOf(12, sb)
+	bc.Merge(sketchOf(12, sc)) //nolint:errcheck
+	right := sketchOf(12, sa)
+	right.Merge(bc) //nolint:errcheck
+	if !regsEqual(left, right) {
+		t.Fatal("Merge is not associative")
+	}
+}
+
+func TestHLLMergeEqualsUnionStream(t *testing.T) {
+	// The property the cross-shard summary fold relies on: merging
+	// per-shard sketches is register-identical to one sketch that
+	// observed the concatenated stream — for any number of shards and
+	// with duplicated items across shards.
+	all := items("ua", 2000)
+	for _, shards := range []int{1, 2, 4, 7} {
+		parts := make([][]string, shards)
+		for i, item := range all {
+			parts[i%shards] = append(parts[i%shards], item)
+		}
+		// Duplicate some items into every shard.
+		for i := range parts {
+			parts[i] = append(parts[i], all[:25]...)
+		}
+		merged := NewHLL(12)
+		for _, part := range parts {
+			if err := merged.Merge(sketchOf(12, part)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		union := sketchOf(12, all)
+		if !regsEqual(merged, union) {
+			t.Fatalf("%d-shard merge differs from union-stream sketch", shards)
+		}
+		if merged.Estimate() != union.Estimate() {
+			t.Fatalf("%d-shard merged estimate %v != union estimate %v",
+				shards, merged.Estimate(), union.Estimate())
+		}
+	}
+}
+
+func TestHLLMergeIdempotent(t *testing.T) {
+	a := sketchOf(12, items("a", 500))
+	b := sketchOf(12, items("a", 500))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !regsEqual(a, b) {
+		t.Fatal("merging an identical sketch changed the registers")
+	}
+}
+
+func TestHLLMergeIdentity(t *testing.T) {
+	a := sketchOf(12, items("a", 500))
+	before := sketchOf(12, items("a", 500))
+	if err := a.Merge(NewHLL(12)); err != nil {
+		t.Fatal(err)
+	}
+	if !regsEqual(a, before) {
+		t.Fatal("merging an empty sketch changed the registers")
+	}
+}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench_delta.sh BASELINE.json CURRENT.json — print a markdown table of
+# per-benchmark ns/op deltas between two `go test -json -bench` event
+# streams (the BENCH_ci.json format bench-smoke writes).
+#
+# Warn-only by design: the table lands in the CI job summary so perf
+# movement is visible per commit, but nothing gates on it yet (one
+# -benchtime=1x iteration is far too noisy to fail a build on).
+set -eu
+
+old=${1:?usage: bench_delta.sh BASELINE.json CURRENT.json}
+new=${2:?usage: bench_delta.sh BASELINE.json CURRENT.json}
+
+# Pull "BenchmarkName-P <iters> <ns> ns/op ..." result lines out of the
+# test2json stream and emit "name ns" pairs. test2json may split one
+# result line across several output events, so the fragments are
+# reassembled (strip event framing, join, then split on the escaped
+# newlines) before parsing.
+extract() {
+    sed -n 's/.*"Output":"\(.*\)".*/\1/p' "$1" \
+        | tr -d '\n' \
+        | sed 's/\\n/\n/g; s/\\t/	/g' \
+        | awk '/^Benchmark/ && /ns\/op/ { print $1, $3 }'
+}
+
+tmp_old=$(mktemp)
+tmp_new=$(mktemp)
+trap 'rm -f "$tmp_old" "$tmp_new"' EXIT
+extract "$old" >"$tmp_old"
+extract "$new" >"$tmp_new"
+
+echo "### Benchmark delta vs committed baseline (1 iteration, warn-only)"
+echo
+echo "| benchmark | baseline ns/op | current ns/op | delta |"
+echo "|---|---:|---:|---:|"
+awk '
+    NR == FNR { old[$1] = $2; next }
+    {
+        seen[$1] = 1
+        if ($1 in old && old[$1] + 0 > 0) {
+            d = ($2 - old[$1]) * 100 / old[$1]
+            printf "| %s | %s | %s | %+.1f%% |\n", $1, old[$1], $2, d
+        } else {
+            printf "| %s | — | %s | new |\n", $1, $2
+        }
+    }
+    END {
+        for (name in old) {
+            if (!(name in seen)) {
+                printf "| %s | %s | — | removed |\n", name, old[name]
+            }
+        }
+    }
+' "$tmp_old" "$tmp_new"
