@@ -6,9 +6,10 @@ SMOKE_DIR ?= .pipeline-smoke
 SERVE_SMOKE_DIR ?= .serve-smoke
 LIVE_SMOKE_DIR ?= .live-smoke
 CLUSTER_SMOKE_DIR ?= .cluster-smoke
+RPC_SMOKE_DIR ?= .rpc-smoke
 SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke ci
+.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke ci
 
 all: build
 
@@ -77,10 +78,12 @@ serve-smoke:
 	$(GO) run ./cmd/ipscope-serve -dataset $(SERVE_SMOKE_DIR)/serve.obs -selfcheck
 	@echo "serve-smoke: all endpoints verified"
 
-# Short fuzzing pass over the dataset decoder: proves FuzzDecode still
-# runs and gives the mutator a brief shot at fresh corpus.
+# Short fuzzing passes over the binary decoders: proves FuzzDecode
+# (dataset codec) and FuzzRPCDecode (shard↔router RPC codec) still run
+# and gives the mutator a brief shot at fresh corpus.
 fuzz-smoke:
 	$(GO) test ./internal/obs -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s
+	$(GO) test ./internal/rpc -run='^$$' -fuzz='^FuzzRPCDecode$$' -fuzztime=10s
 
 # End-to-end smoke of the live serving pipeline: ipscope-gen -connect
 # streams a paced simulation into ipscope-serve -obs-listen, the
@@ -103,4 +106,15 @@ cluster-smoke:
 	$(GO) build -o $(CLUSTER_SMOKE_DIR)/ipscope-router ./cmd/ipscope-router
 	sh scripts/cluster_smoke.sh $(CLUSTER_SMOKE_DIR)
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke
+# End-to-end smoke of the binary RPC shard transport: the same cluster
+# topology with shards on -rpc-listen and the router on -transport=rpc;
+# the routed summary must byte-equal the batch summary, and a killed
+# shard must degrade exactly as over HTTP (see scripts/rpc_smoke.sh).
+rpc-smoke:
+	rm -rf $(RPC_SMOKE_DIR) && mkdir -p $(RPC_SMOKE_DIR)
+	$(GO) build -o $(RPC_SMOKE_DIR)/ipscope-gen ./cmd/ipscope-gen
+	$(GO) build -o $(RPC_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
+	$(GO) build -o $(RPC_SMOKE_DIR)/ipscope-router ./cmd/ipscope-router
+	sh scripts/rpc_smoke.sh $(RPC_SMOKE_DIR)
+
+ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke

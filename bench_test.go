@@ -27,8 +27,10 @@ import (
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
 	"ipscope/internal/query"
+	"ipscope/internal/rpc"
 	"ipscope/internal/scan"
 	"ipscope/internal/serve"
+	"ipscope/internal/serve/wire"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
 	"ipscope/internal/useragent"
@@ -890,18 +892,18 @@ func BenchmarkShardBuild(b *testing.B) {
 	})
 }
 
-// BenchmarkRouterLookup measures the scatter-gather front under
-// parallel clients — real sockets on both hops (client→router and
-// router→shards) over a two-shard cluster: proxied point lookups and
-// the fan-out merged summary.
-func BenchmarkRouterLookup(b *testing.B) {
+// benchCluster stands up a two-shard cluster (HTTP + RPC listeners on
+// every shard) fronted by a router speaking the given transport, and
+// returns the routed base URL, the active blocks, and the first
+// shard's RPC address for direct bulk calls.
+func benchCluster(b *testing.B, transport string) (rtsURL string, blocks []ipv4.Block, rpcAddr string) {
+	b.Helper()
 	ctx := benchContext(b)
 	const shards = 2
 	plan, err := cluster.PlanShards(ctx.World, shards)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var blocks []ipv4.Block
 	urls := make([]string, shards)
 	for i := 0; i < shards; i++ {
 		idx, err := query.Build(cluster.PartitionSource(ctx.Obs, i, shards), query.Options{})
@@ -910,45 +912,105 @@ func BenchmarkRouterLookup(b *testing.B) {
 		}
 		blocks = append(blocks, idx.Blocks()...)
 		lo, hi := plan.Range(i)
-		srv := serve.New(idx, serve.Config{Shard: &serve.ShardInfo{Index: i, Count: shards, Lo: lo, Hi: hi}})
+		srv := serve.New(idx, serve.Config{Shard: &wire.ShardInfo{Index: i, Count: shards, Lo: lo, Hi: hi}})
+		rs := rpc.NewServer(srv, rpc.Options{})
+		raddr, err := rs.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { rs.Shutdown(context.Background()) })
+		srv.SetRPCAddr(raddr.String())
+		if i == 0 {
+			rpcAddr = raddr.String()
+		}
 		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
+		b.Cleanup(ts.Close)
 		urls[i] = ts.URL
 	}
-	router, err := cluster.NewRouter(urls, cluster.RouterOptions{})
+	router, err := cluster.NewRouter(urls, cluster.RouterOptions{Transport: transport})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(func() { router.Close() })
 	rts := httptest.NewServer(router.Handler())
-	defer rts.Close()
+	b.Cleanup(rts.Close)
+	return rts.URL, blocks, rpcAddr
+}
 
-	run := func(b *testing.B, paths func(i int) string) {
-		client := rts.Client()
-		client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+// benchRoutedGets hammers the routed base URL with parallel clients —
+// real sockets on both hops (client→router and router→shards).
+func benchRoutedGets(b *testing.B, rtsURL string, paths func(i int) string) {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	defer client.CloseIdleConnections()
+	var n atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(n.Add(1))
+			resp, err := client.Get(rtsURL + paths(i))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkRouterLookup measures the scatter-gather front over the
+// HTTP-JSON shard transport: proxied point lookups and the fan-out
+// merged summary.
+func BenchmarkRouterLookup(b *testing.B) {
+	rtsURL, blocks, _ := benchCluster(b, cluster.TransportHTTP)
+	b.Run("block", func(b *testing.B) {
+		benchRoutedGets(b, rtsURL, func(i int) string { return "/v1/block/" + blocks[i%len(blocks)].String() })
+	})
+	b.Run("summary", func(b *testing.B) {
+		benchRoutedGets(b, rtsURL, func(i int) string { return "/v1/summary" })
+	})
+}
+
+// BenchmarkRouterLookupRPC measures the same routed workload over the
+// binary RPC shard transport — the public hop stays HTTP, only the
+// router↔shard hop changes — plus a direct 16-address bulk lookup
+// against one shard's RPC endpoint (the amortized path a batch client
+// uses instead of 16 round trips).
+func BenchmarkRouterLookupRPC(b *testing.B) {
+	rtsURL, blocks, rpcAddr := benchCluster(b, cluster.TransportRPC)
+	b.Run("block", func(b *testing.B) {
+		benchRoutedGets(b, rtsURL, func(i int) string { return "/v1/block/" + blocks[i%len(blocks)].String() })
+	})
+	b.Run("summary", func(b *testing.B) {
+		benchRoutedGets(b, rtsURL, func(i int) string { return "/v1/summary" })
+	})
+	b.Run("bulk-16", func(b *testing.B) {
+		rc := rpc.NewClient(rpcAddr, rpc.ClientOptions{})
+		defer rc.Close()
 		var n atomic.Int64
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
+			addrs := make([]uint32, 16)
 			for pb.Next() {
 				i := int(n.Add(1))
-				resp, err := client.Get(rts.URL + paths(i))
+				for j := range addrs {
+					blk := blocks[(i*16+j)%len(blocks)]
+					addrs[j] = uint32(blk.Addr(uint8(j)))
+				}
+				views, _, err := rc.BulkAddr(context.Background(), addrs)
 				if err != nil {
 					b.Error(err)
 					return
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					b.Errorf("status %d", resp.StatusCode)
+				if len(views) != len(addrs) {
+					b.Errorf("bulk answered %d views for %d addrs", len(views), len(addrs))
 					return
 				}
 			}
 		})
-	}
-
-	b.Run("block", func(b *testing.B) {
-		run(b, func(i int) string { return "/v1/block/" + blocks[i%len(blocks)].String() })
-	})
-	b.Run("summary", func(b *testing.B) {
-		run(b, func(i int) string { return "/v1/summary" })
 	})
 }

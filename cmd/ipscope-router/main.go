@@ -24,6 +24,11 @@
 //	-shards URLS   comma-separated shard base URLs, ascending range
 //	               order not required (ranges are discovered)
 //	-listen ADDR   bind address (default 127.0.0.1:8095)
+//	-transport T   shard transport: "http" (JSON over the public API,
+//	               the default) or "rpc" (persistent pipelined binary
+//	               connections to shards started with -rpc-listen;
+//	               shards advertising no RPC endpoint fall back to
+//	               HTTP individually)
 //	-gather N      fan-out concurrency bound (default 8)
 //	-info-timeout  how long to wait for shards at startup (default 30s)
 package main
@@ -47,6 +52,7 @@ func main() {
 
 	shards := flag.String("shards", "", "comma-separated shard base URLs (required)")
 	listen := flag.String("listen", "127.0.0.1:8095", "HTTP listen address")
+	transport := flag.String("transport", cluster.TransportHTTP, `shard transport: "http" or "rpc"`)
 	gather := flag.Int("gather", cluster.DefaultGather, "scatter-gather concurrency bound")
 	infoTimeout := flag.Duration("info-timeout", cluster.DefaultInfoTimeout, "startup partition discovery timeout")
 	flag.Parse()
@@ -63,6 +69,7 @@ func main() {
 
 	log.Printf("discovering partition behind %d shard(s)...", len(urls))
 	router, err := cluster.NewRouter(urls, cluster.RouterOptions{
+		Transport:   *transport,
 		Gather:      *gather,
 		InfoTimeout: *infoTimeout,
 	})
@@ -85,5 +92,6 @@ func main() {
 	if err := router.Shutdown(sctx); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
+	router.Close()
 	log.Printf("bye")
 }

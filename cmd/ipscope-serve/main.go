@@ -23,6 +23,10 @@
 //	                  (default 1)
 //	-listen ADDR      bind address (default 127.0.0.1:8090; :0 picks an
 //	                  ephemeral port, printed on startup)
+//	-rpc-listen ADDR  also serve the binary RPC protocol (internal/rpc)
+//	                  on ADDR and advertise it in /v1/cluster/info, so a
+//	                  router running -transport=rpc upgrades its
+//	                  connection to this shard
 //	-cache N          response cache capacity (0 = default, -1 = off)
 //	-access-log FILE  structured JSON access log ("-" = stderr)
 //	-workers N        index build fan-out (<=0 = GOMAXPROCS; the index
@@ -62,7 +66,9 @@ import (
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
 	"ipscope/internal/query"
+	"ipscope/internal/rpc"
 	"ipscope/internal/serve"
+	"ipscope/internal/serve/wire"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
 )
@@ -76,6 +82,7 @@ func main() {
 	obsListen := flag.String("obs-listen", "", "live: accept one TCP observation stream on this address")
 	publishEvery := flag.Int("publish-every", 1, "live: publish a new epoch every N applied days")
 	listen := flag.String("listen", "127.0.0.1:8090", "HTTP listen address")
+	rpcListen := flag.String("rpc-listen", "", "also serve the binary RPC protocol on this address")
 	cacheSize := flag.Int("cache", 0, "response cache capacity (0 = default, negative = disabled)")
 	accessLog := flag.String("access-log", "", `structured access log file ("-" = stderr)`)
 	workers := flag.Int("workers", 0, "index build workers (<=0 = GOMAXPROCS)")
@@ -118,7 +125,7 @@ func main() {
 	}
 
 	if live {
-		runLive(cfg, *listen, *follow, *obsListen, *publishEvery, *workers, *shardIndex, *shardCount)
+		runLive(cfg, *listen, *rpcListen, *follow, *obsListen, *publishEvery, *workers, *shardIndex, *shardCount)
 		return
 	}
 
@@ -150,7 +157,7 @@ func main() {
 			log.Fatal(err)
 		}
 		lo, hi := plan.Range(*shardIndex)
-		cfg.Shard = &serve.ShardInfo{Index: *shardIndex, Count: *shardCount, Lo: lo, Hi: hi}
+		cfg.Shard = &wire.ShardInfo{Index: *shardIndex, Count: *shardCount, Lo: lo, Hi: hi}
 		src = obs.FilterSource(d, plan.Keep(*shardIndex))
 		buildOpts.Keep = plan.Keep(*shardIndex)
 		log.Printf("shard %d/%d: serving block range [%d, %d)", *shardIndex, *shardCount, lo, hi)
@@ -169,6 +176,7 @@ func main() {
 		time.Since(start).Round(time.Millisecond), idx.NumBlocks(), idx.DailyLen())
 
 	srv := serve.New(idx, cfg)
+	rpcSrv := startRPC(srv, *rpcListen)
 
 	bind := *listen
 	if *selfcheck {
@@ -187,6 +195,11 @@ func main() {
 		if serr := srv.Shutdown(sctx); err == nil {
 			err = serr
 		}
+		if rpcSrv != nil {
+			if serr := rpcSrv.Shutdown(sctx); err == nil {
+				err = serr
+			}
+		}
 		if err != nil {
 			log.Fatalf("selfcheck: %v", err)
 		}
@@ -195,25 +208,48 @@ func main() {
 		return
 	}
 
-	waitAndShutdown(srv)
+	waitAndShutdown(srv, rpcSrv)
+}
+
+// startRPC binds the binary RPC listener when -rpc-listen is set; the
+// advertised address reaches routers via /v1/cluster/info, so it is
+// published before the HTTP listener comes up.
+func startRPC(srv *serve.Server, addr string) *rpc.Server {
+	if addr == "" {
+		return nil
+	}
+	rs := rpc.NewServer(srv, rpc.Options{})
+	raddr, err := rs.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetRPCAddr(raddr.String())
+	log.Printf("rpc on %s", raddr)
+	return rs
 }
 
 // waitAndShutdown blocks until SIGINT/SIGTERM, then drains in-flight
 // requests.
-func waitAndShutdown(srv *serve.Server) {
+func waitAndShutdown(srv *serve.Server, rpcSrv *rpc.Server) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	log.Printf("signal received; draining in-flight requests...")
-	drain(srv)
+	drain(srv, rpcSrv)
 }
 
-// drain stops the server, letting in-flight requests finish.
-func drain(srv *serve.Server) {
+// drain stops the server (HTTP and, if bound, RPC), letting in-flight
+// requests finish.
+func drain(srv *serve.Server, rpcSrv *rpc.Server) {
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Fatalf("shutdown: %v", err)
+	}
+	if rpcSrv != nil {
+		if err := rpcSrv.Shutdown(sctx); err != nil {
+			log.Fatalf("rpc shutdown: %v", err)
+		}
 	}
 	log.Printf("bye")
 }
@@ -223,11 +259,12 @@ func drain(srv *serve.Server) {
 // swaps in a freshly published epoch — lookups keep being answered from
 // the previous snapshot in the meantime, and the HTTP endpoint is up
 // (warming) before the first day arrives.
-func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, workers, shardIndex, shardCount int) {
+func runLive(cfg serve.Config, listen, rpcListen, follow, obsListen string, publishEvery, workers, shardIndex, shardCount int) {
 	if publishEvery < 1 {
 		publishEvery = 1
 	}
 	srv := serve.New(nil, cfg)
+	rpcSrv := startRPC(srv, rpcListen)
 	addr, err := srv.Listen(listen)
 	if err != nil {
 		log.Fatal(err)
@@ -279,7 +316,7 @@ func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, w
 		// answer routers before the first epoch.
 		sink = cluster.PartitionSink(sink, shardIndex, shardCount, func(lo, hi uint32) {
 			keep = func(b ipv4.Block) bool { return uint32(b) >= lo && uint32(b) < hi }
-			srv.SetShard(serve.ShardInfo{Index: shardIndex, Count: shardCount, Lo: lo, Hi: hi})
+			srv.SetShard(wire.ShardInfo{Index: shardIndex, Count: shardCount, Lo: lo, Hi: hi})
 			log.Printf("shard %d/%d: applying block range [%d, %d)", shardIndex, shardCount, lo, hi)
 		})
 	}
@@ -294,7 +331,7 @@ func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, w
 	if ctx.Err() != nil {
 		// Interrupted while streaming: drain and exit on this signal.
 		log.Printf("signal received; draining in-flight requests...")
-		drain(srv)
+		drain(srv, rpcSrv)
 		return
 	}
 	switch {
@@ -318,7 +355,7 @@ func runLive(cfg serve.Config, listen, follow, obsListen string, publishEvery, w
 	}
 	<-ctx.Done()
 	log.Printf("signal received; draining in-flight requests...")
-	drain(srv)
+	drain(srv, rpcSrv)
 }
 
 // acceptStream accepts one TCP connection and decodes its observation
@@ -362,7 +399,7 @@ func acceptStream(ctx context.Context, obsListen string, sink obs.Sink) error {
 // shard mode the cluster plane is verified too — the advertised range
 // must contain every indexed block and the mergeable summary partial
 // must finalize to the served summary.
-func runSelfcheck(idx *query.Index, base string, shard serve.ShardInfo) error {
+func runSelfcheck(idx *query.Index, base string, shard wire.ShardInfo) error {
 	getJSON := func(path string, out any) error {
 		resp, err := http.Get(base + path)
 		if err != nil {
@@ -438,7 +475,7 @@ func runSelfcheck(idx *query.Index, base string, shard serve.ShardInfo) error {
 	// Cluster plane: the advertised partition must cover every indexed
 	// block, and the mergeable partial must finalize to the summary the
 	// server answers with.
-	var info serve.ShardInfo
+	var info wire.ShardInfo
 	if err := getJSON("/v1/cluster/info", &info); err != nil {
 		return err
 	}

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/query"
+	"ipscope/internal/rpc"
+	"ipscope/internal/serve/wire"
+)
+
+// Client is the router's transport-abstracted view of one shard: point
+// lookups plus the typed cluster partials the scatter-gather endpoints
+// fold. Two implementations exist — HTTP-JSON against the shard's
+// public API (the universal fallback) and binary RPC against the
+// shard's -rpc-listen endpoint (internal/rpc). Both must produce
+// byte-identical routed responses; TestClusterEquivalence runs the full
+// probe set over each.
+type Client interface {
+	// Point performs one /v1/addr or /v1/block lookup, returning the
+	// complete HTTP response the router relays to the caller.
+	Point(ctx context.Context, req PointRequest) (PointResponse, error)
+	// Summary fetches the shard's mergeable summary partial and the
+	// snapshot epoch it was computed from.
+	Summary(ctx context.Context) (query.SummaryPartial, uint64, error)
+	// AS fetches the shard's mergeable share of one AS footprint.
+	AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, error)
+	// Prefix fetches the shard's mergeable share of a CIDR aggregate.
+	Prefix(ctx context.Context, cidr string) (query.PrefixPartial, uint64, error)
+	// Health probes the shard's liveness, returning its status string
+	// and epoch.
+	Health(ctx context.Context) (status string, epoch uint64, err error)
+	// Transport names the wire protocol ("http" or "rpc") for
+	// observability (router healthz).
+	Transport() string
+	// Close releases persistent connections.
+	Close() error
+}
+
+// PointRequest is one point lookup as the router received it.
+type PointRequest struct {
+	// URI is the original request URI (path + query), which the HTTP
+	// transport forwards verbatim.
+	URI string
+	// IsAddr distinguishes /v1/addr (Addr valid) from /v1/block (Block
+	// valid) for the typed transport.
+	IsAddr bool
+	Addr   ipv4.Addr
+	Block  ipv4.Block
+	// IfNoneMatch carries the caller's validator for 304 handling.
+	IfNoneMatch string
+}
+
+// PointResponse is the complete relayed response: status, body and the
+// headers the router forwards.
+type PointResponse struct {
+	Status      int
+	Body        []byte
+	ETag        string
+	ContentType string
+	XCache      string
+	RetryAfter  string
+}
+
+// --- HTTP-JSON transport ---------------------------------------------
+
+// httpShardClient speaks the shard's public JSON API — the universal
+// transport, also the fallback when a shard advertises no RPC endpoint.
+type httpShardClient struct {
+	idx  int
+	base string
+	hc   *http.Client
+}
+
+func newHTTPShardClient(idx int, base string, hc *http.Client) *httpShardClient {
+	return &httpShardClient{idx: idx, base: base, hc: hc}
+}
+
+func (c *httpShardClient) Transport() string { return "http" }
+
+func (c *httpShardClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+func (c *httpShardClient) Point(ctx context.Context, pr PointRequest) (PointResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pr.URI, nil)
+	if err != nil {
+		return PointResponse{}, err
+	}
+	if pr.IfNoneMatch != "" {
+		req.Header.Set("If-None-Match", pr.IfNoneMatch)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return PointResponse{}, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return PointResponse{}, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+	}
+	return PointResponse{
+		Status:      resp.StatusCode,
+		Body:        body,
+		ETag:        resp.Header.Get("ETag"),
+		ContentType: resp.Header.Get("Content-Type"),
+		XCache:      resp.Header.Get("X-Cache"),
+		RetryAfter:  resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+// fetchJSON gets base+path and decodes the 200 body into out plus the
+// spliced epoch. Error texts are part of the router's degraded-mode
+// contract, mirrored by the RPC transport.
+func (c *httpShardClient) fetchJSON(ctx context.Context, path string, out any) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("shard %d answered status %d: %s", c.idx, resp.StatusCode, body)
+	}
+	var ep struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &ep); err != nil {
+		return 0, fmt.Errorf("shard %d: %v", c.idx, err)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return 0, fmt.Errorf("shard %d: %v", c.idx, err)
+	}
+	return ep.Epoch, nil
+}
+
+func (c *httpShardClient) Summary(ctx context.Context) (query.SummaryPartial, uint64, error) {
+	var p query.SummaryPartial
+	epoch, err := c.fetchJSON(ctx, "/v1/cluster/summary", &p)
+	return p, epoch, err
+}
+
+func (c *httpShardClient) AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, error) {
+	var p query.ASPartial
+	epoch, err := c.fetchJSON(ctx, fmt.Sprintf("/v1/cluster/as/%d", asn), &p)
+	return p, epoch, err
+}
+
+func (c *httpShardClient) Prefix(ctx context.Context, cidr string) (query.PrefixPartial, uint64, error) {
+	var p query.PrefixPartial
+	epoch, err := c.fetchJSON(ctx, "/v1/cluster/prefix/"+cidr, &p)
+	return p, epoch, err
+}
+
+func (c *httpShardClient) Health(ctx context.Context) (string, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", 0, err
+	}
+	return body.Status, body.Epoch, nil
+}
+
+// --- binary RPC transport --------------------------------------------
+
+// rpcShardClient speaks internal/rpc's typed binary protocol over
+// persistent pipelined connections, reconstructing HTTP responses with
+// the same wire helpers the shard's own serving path uses — which is
+// what keeps routed bodies byte-identical to the HTTP transport's.
+type rpcShardClient struct {
+	idx int
+	rc  *rpc.Client
+}
+
+func newRPCShardClient(idx int, addr string) *rpcShardClient {
+	return &rpcShardClient{idx: idx, rc: rpc.NewClient(addr, rpc.ClientOptions{})}
+}
+
+func (c *rpcShardClient) Transport() string { return "rpc" }
+
+func (c *rpcShardClient) Close() error { return c.rc.Close() }
+
+// wrapErr maps transport failures onto the HTTP transport's error
+// texts, so degraded-mode behaviour (TestRouterDegradedMode) is
+// transport-independent.
+func (c *rpcShardClient) wrapErr(err error) error {
+	if se, ok := err.(*rpc.StatusError); ok {
+		return fmt.Errorf("shard %d answered status %d: %s", c.idx, se.Code, se.Msg)
+	}
+	return fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+}
+
+func (c *rpcShardClient) Point(ctx context.Context, pr PointRequest) (PointResponse, error) {
+	var (
+		status  int
+		payload any
+		epoch   uint64
+	)
+	if pr.IsAddr {
+		view, e, err := c.rc.Addr(ctx, uint32(pr.Addr))
+		if err != nil {
+			return c.pointErr(err)
+		}
+		status, payload, epoch = http.StatusOK, view, e
+	} else {
+		view, found, e, err := c.rc.Block(ctx, uint32(pr.Block))
+		if err != nil {
+			return c.pointErr(err)
+		}
+		if found {
+			status, payload, epoch = http.StatusOK, view, e
+		} else {
+			status, payload, epoch = http.StatusNotFound, wire.ErrorBody{Error: wire.ErrBlockNotFound(pr.Block)}, e
+		}
+	}
+	etag := wire.ETagFor(epoch)
+	if wire.ETagMatch(pr.IfNoneMatch, etag) {
+		return PointResponse{Status: http.StatusNotModified, ETag: etag}, nil
+	}
+	status, body := wire.Encode(status, payload, epoch)
+	return PointResponse{
+		Status:      status,
+		Body:        body,
+		ETag:        etag,
+		ContentType: "application/json",
+	}, nil
+}
+
+// pointErr turns a typed shard error into the HTTP response the shard
+// itself would have served — the warming 503 is the live case — and a
+// transport failure into an error for the router's unavailable path.
+func (c *rpcShardClient) pointErr(err error) (PointResponse, error) {
+	se, ok := err.(*rpc.StatusError)
+	if !ok {
+		return PointResponse{}, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+	}
+	if se.Code == http.StatusServiceUnavailable && se.Msg == wire.WarmingError {
+		return PointResponse{
+			Status:      http.StatusServiceUnavailable,
+			Body:        wire.WarmingBody(),
+			ContentType: "application/json",
+			RetryAfter:  "1",
+		}, nil
+	}
+	status, body := wire.Encode(se.Code, wire.ErrorBody{Error: se.Msg}, 0)
+	return PointResponse{Status: status, Body: body, ContentType: "application/json"}, nil
+}
+
+func (c *rpcShardClient) Summary(ctx context.Context) (query.SummaryPartial, uint64, error) {
+	p, epoch, err := c.rc.Summary(ctx)
+	if err != nil {
+		return query.SummaryPartial{}, 0, c.wrapErr(err)
+	}
+	return p, epoch, nil
+}
+
+func (c *rpcShardClient) AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, error) {
+	p, epoch, err := c.rc.AS(ctx, asn)
+	if err != nil {
+		return query.ASPartial{}, 0, c.wrapErr(err)
+	}
+	return p, epoch, nil
+}
+
+func (c *rpcShardClient) Prefix(ctx context.Context, cidr string) (query.PrefixPartial, uint64, error) {
+	p, epoch, err := c.rc.Prefix(ctx, cidr, wire.DefaultPrefixBlockList)
+	if err != nil {
+		return query.PrefixPartial{}, 0, c.wrapErr(err)
+	}
+	return p, epoch, nil
+}
+
+func (c *rpcShardClient) Health(ctx context.Context) (string, uint64, error) {
+	h, err := c.rc.Health(ctx)
+	if err != nil {
+		return "", 0, err
+	}
+	return h.Status, h.Epoch, nil
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,7 +13,9 @@ import (
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
 	"ipscope/internal/query"
+	"ipscope/internal/rpc"
 	"ipscope/internal/serve"
+	"ipscope/internal/serve/wire"
 	"ipscope/internal/sim"
 	"ipscope/internal/synthnet"
 )
@@ -169,13 +172,30 @@ func probePaths(x *query.Index) []string {
 	return paths
 }
 
+// testShard is one shard under test: its HTTP server plus, when the
+// shard was built withRPC, its binary RPC listener.
+type testShard struct {
+	http *httptest.Server
+	rpc  *rpc.Server
+}
+
+// Close kills the shard — both listeners — as a router would observe a
+// dead node.
+func (s *testShard) Close() {
+	s.http.Close()
+	if s.rpc != nil {
+		s.rpc.Shutdown(context.Background())
+	}
+}
+
 // buildShards compiles each shard's slice of the dataset — via the
 // batch build over a partition-filtered source, or via the incremental
 // applier fed the partition-filtered live stream — and serves each on
-// its own HTTP server.
-func buildShards(t *testing.T, d *obs.Data, plan Plan, n int, incremental bool) ([]*httptest.Server, []string) {
+// its own HTTP server. withRPC(i) additionally binds shard i's binary
+// RPC listener and advertises it in /v1/cluster/info.
+func buildShards(t *testing.T, d *obs.Data, plan Plan, n int, incremental bool, withRPC func(i int) bool) ([]*testShard, []string) {
 	t.Helper()
-	servers := make([]*httptest.Server, n)
+	shards := make([]*testShard, n)
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
 		// Keep restricts world-proportional build work to the slice,
@@ -198,13 +218,26 @@ func buildShards(t *testing.T, d *obs.Data, plan Plan, n int, incremental bool) 
 		}
 		lo, hi := plan.Range(i)
 		srv := serve.New(idx, serve.Config{
-			Shard: &serve.ShardInfo{Index: i, Count: n, Lo: lo, Hi: hi},
+			Shard: &wire.ShardInfo{Index: i, Count: n, Lo: lo, Hi: hi},
 		})
-		servers[i] = httptest.NewServer(srv.Handler())
-		urls[i] = servers[i].URL
+		sh := &testShard{}
+		if withRPC != nil && withRPC(i) {
+			sh.rpc = rpc.NewServer(srv, rpc.Options{})
+			addr, err := sh.rpc.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("shard %d/%d rpc listen: %v", i, n, err)
+			}
+			srv.SetRPCAddr(addr.String())
+		}
+		sh.http = httptest.NewServer(srv.Handler())
+		shards[i] = sh
+		urls[i] = sh.http.URL
 	}
-	return servers, urls
+	return shards, urls
 }
+
+// allRPC is the withRPC predicate giving every shard an RPC listener.
+func allRPC(int) bool { return true }
 
 // TestClusterEquivalence is the tentpole invariant: for 1, 2 and 4
 // shards — built both by the batch path and the incremental applier —
@@ -240,58 +273,101 @@ func TestClusterEquivalence(t *testing.T) {
 			name        string
 			incremental bool
 		}{{"build", false}, {"applier", true}} {
-			t.Run(fmt.Sprintf("shards=%d/%s", n, mode.name), func(t *testing.T) {
-				servers, urls := buildShards(t, d, plan, n, mode.incremental)
-				defer func() {
-					for _, s := range servers {
-						s.Close()
+			for _, transport := range []string{TransportHTTP, TransportRPC} {
+				t.Run(fmt.Sprintf("shards=%d/%s/%s", n, mode.name, transport), func(t *testing.T) {
+					shards, urls := buildShards(t, d, plan, n, mode.incremental, allRPC)
+					defer func() {
+						for _, s := range shards {
+							s.Close()
+						}
+					}()
+					router, err := NewRouter(urls, RouterOptions{Transport: transport})
+					if err != nil {
+						t.Fatal(err)
 					}
-				}()
-				router, err := NewRouter(urls, RouterOptions{})
-				if err != nil {
-					t.Fatal(err)
-				}
-				rts := httptest.NewServer(router.Handler())
-				defer rts.Close()
+					defer router.Close()
+					rts := httptest.NewServer(router.Handler())
+					defer rts.Close()
 
-				mismatches := 0
-				for _, p := range paths {
-					status, body := get(t, rts.URL, p)
-					if status != want[p].status || body != want[p].body {
-						mismatches++
-						if mismatches <= 3 {
-							t.Errorf("%s:\n routed: %d %s\n single: %d %s",
-								p, status, body, want[p].status, want[p].body)
+					mismatches := 0
+					for _, p := range paths {
+						status, body := get(t, rts.URL, p)
+						if status != want[p].status || body != want[p].body {
+							mismatches++
+							if mismatches <= 3 {
+								t.Errorf("%s:\n routed: %d %s\n single: %d %s",
+									p, status, body, want[p].status, want[p].body)
+							}
 						}
 					}
-				}
-				if mismatches > 0 {
-					t.Fatalf("%d of %d probes differ from single-node", mismatches, len(paths))
-				}
-			})
+					if mismatches > 0 {
+						t.Fatalf("%d of %d probes differ from single-node", mismatches, len(paths))
+					}
+				})
+			}
 		}
 	}
 }
 
-// TestRouterDegradedMode pins the failure contract: with one shard
-// down, lookups owned by the dead shard answer 503, lookups owned by
-// live shards keep answering 200, fan-out aggregates answer 503, and
-// /v1/healthz reports degraded with status 503.
+// TestRouterTransportFallback pins the mixed-fleet contract: under
+// -transport=rpc a shard that advertises no RPC endpoint is reached
+// over HTTP instead, and routed answers stay byte-identical to
+// single-node. The per-shard transport is visible in /v1/healthz.
+func TestRouterTransportFallback(t *testing.T) {
+	d, w := clusterTestData(t)
+	full, err := query.Build(d, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(serve.New(full, serve.Config{}).Handler())
+	defer single.Close()
+
+	plan, err := PlanShards(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only shard 0 speaks RPC; shard 1 is an HTTP-only node.
+	shards, urls := buildShards(t, d, plan, 2, false, func(i int) bool { return i == 0 })
+	defer func() {
+		for _, s := range shards {
+			s.Close()
+		}
+	}()
+	router, err := NewRouter(urls, RouterOptions{Transport: TransportRPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	for _, p := range probePaths(full) {
+		wantStatus, wantBody := get(t, single.URL, p)
+		status, body := get(t, rts.URL, p)
+		if status != wantStatus || body != wantBody {
+			t.Fatalf("%s:\n routed: %d %s\n single: %d %s", p, status, body, wantStatus, wantBody)
+		}
+	}
+
+	_, health := get(t, rts.URL, "/v1/healthz")
+	for _, want := range []string{`"transport":"rpc"`, `"transport":"http"`} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(health) {
+			t.Fatalf("healthz %q does not report %s", health, want)
+		}
+	}
+}
+
+// TestRouterDegradedMode pins the failure contract, identically for
+// both transports: with one shard down, lookups owned by the dead
+// shard answer 503, lookups owned by live shards keep answering 200,
+// fan-out aggregates answer 503, and /v1/healthz reports degraded with
+// status 503.
 func TestRouterDegradedMode(t *testing.T) {
 	d, w := clusterTestData(t)
 	plan, err := PlanShards(w, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	servers, urls := buildShards(t, d, plan, 2, false)
-	defer servers[0].Close()
-
-	router, err := NewRouter(urls, RouterOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rts := httptest.NewServer(router.Handler())
-	defer rts.Close()
 
 	// One active block owned by each shard.
 	full, err := query.Build(d, query.Options{})
@@ -312,22 +388,37 @@ func TestRouterDegradedMode(t *testing.T) {
 		t.Fatal("test world leaves a shard without active blocks")
 	}
 
-	servers[1].Close() // kill shard 1
+	for _, transport := range []string{TransportHTTP, TransportRPC} {
+		t.Run(transport, func(t *testing.T) {
+			shards, urls := buildShards(t, d, plan, 2, false, allRPC)
+			defer shards[0].Close()
 
-	if status, _ := get(t, rts.URL, "/v1/block/"+blk1.String()); status != http.StatusServiceUnavailable {
-		t.Fatalf("dead shard's block answered %d, want 503", status)
-	}
-	if status, _ := get(t, rts.URL, "/v1/block/"+blk0.String()); status != http.StatusOK {
-		t.Fatalf("live shard's block answered %d, want 200", status)
-	}
-	if status, _ := get(t, rts.URL, "/v1/summary"); status != http.StatusServiceUnavailable {
-		t.Fatalf("summary with a dead shard answered %d, want 503", status)
-	}
-	status, body := get(t, rts.URL, "/v1/healthz")
-	if status != http.StatusServiceUnavailable {
-		t.Fatalf("healthz answered %d, want 503", status)
-	}
-	if want := `"status":"degraded"`; !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(body) {
-		t.Fatalf("healthz body %q does not report degraded", body)
+			router, err := NewRouter(urls, RouterOptions{Transport: transport})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer router.Close()
+			rts := httptest.NewServer(router.Handler())
+			defer rts.Close()
+
+			shards[1].Close() // kill shard 1: both listeners
+
+			if status, _ := get(t, rts.URL, "/v1/block/"+blk1.String()); status != http.StatusServiceUnavailable {
+				t.Fatalf("dead shard's block answered %d, want 503", status)
+			}
+			if status, _ := get(t, rts.URL, "/v1/block/"+blk0.String()); status != http.StatusOK {
+				t.Fatalf("live shard's block answered %d, want 200", status)
+			}
+			if status, _ := get(t, rts.URL, "/v1/summary"); status != http.StatusServiceUnavailable {
+				t.Fatalf("summary with a dead shard answered %d, want 503", status)
+			}
+			status, body := get(t, rts.URL, "/v1/healthz")
+			if status != http.StatusServiceUnavailable {
+				t.Fatalf("healthz answered %d, want 503", status)
+			}
+			if want := `"status":"degraded"`; !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(body) {
+				t.Fatalf("healthz body %q does not report degraded", body)
+			}
+		})
 	}
 }

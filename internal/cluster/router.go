@@ -16,14 +16,29 @@ import (
 	"ipscope/internal/ipv4"
 	"ipscope/internal/par"
 	"ipscope/internal/query"
-	"ipscope/internal/serve"
+	"ipscope/internal/serve/wire"
+)
+
+// Shard transports selectable via RouterOptions.Transport.
+const (
+	// TransportHTTP proxies and gathers over the shards' public JSON
+	// API — the universal default.
+	TransportHTTP = "http"
+	// TransportRPC uses the binary RPC protocol (internal/rpc) for
+	// every shard that advertises an RPC endpoint in its cluster info,
+	// falling back to HTTP per shard otherwise.
+	TransportRPC = "rpc"
 )
 
 // RouterOptions tunes a Router.
 type RouterOptions struct {
-	// Client performs shard requests; nil means a client with a 10s
-	// timeout.
-	Client *http.Client
+	// HTTPClient performs shard HTTP requests (discovery always, data
+	// traffic on the HTTP transport); nil means a client tuned for
+	// persistent shard connections (see newShardHTTPClient).
+	HTTPClient *http.Client
+	// Transport selects the shard data transport: TransportHTTP
+	// (default) or TransportRPC.
+	Transport string
 	// Gather bounds the fan-out concurrency of scatter-gather
 	// endpoints; <= 0 means DefaultGather.
 	Gather int
@@ -39,19 +54,36 @@ const DefaultGather = 8
 // DefaultInfoTimeout bounds the startup partition discovery.
 const DefaultInfoTimeout = 30 * time.Second
 
+// newShardHTTPClient builds the default client for router→shard HTTP
+// traffic. The zero-value http.Transport keeps only 2 idle connections
+// per host (DefaultMaxIdleConnsPerHost), so a gather=8 fan-out or a
+// point-lookup burst re-dials the same shard on nearly every request;
+// a router talks to a small, fixed fleet and should keep every
+// connection warm.
+func newShardHTTPClient() *http.Client {
+	return &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
 // Router fronts a fleet of shard servers with the single-node /v1/*
-// API. Point lookups (/v1/addr, /v1/block) proxy to the shard owning
-// the block — the response, epoch field and ETag are the owning
-// shard's, with an X-Shard header naming it. Aggregates (/v1/summary,
-// /v1/as, /v1/prefix) fan out to the owning shards with bounded
-// concurrency, fold the mergeable partials, and answer with the
-// minimum epoch across the shards consulted — the oldest snapshot the
-// answer can depend on. A shard that cannot be reached degrades the
-// router: its blocks answer 503 while every other shard keeps serving,
-// and /v1/healthz aggregates to "degraded" with status 503.
+// API. Point lookups (/v1/addr, /v1/block) go to the shard owning the
+// block — the response, epoch field and ETag are the owning shard's,
+// with an X-Shard header naming it. Aggregates (/v1/summary, /v1/as,
+// /v1/prefix) fan out to the owning shards with bounded concurrency,
+// fold the mergeable partials, and answer with the minimum epoch across
+// the shards consulted — the oldest snapshot the answer can depend on.
+// A shard that cannot be reached degrades the router: its blocks answer
+// 503 while every other shard keeps serving, and /v1/healthz aggregates
+// to "degraded" with status 503. Shard traffic runs over the transport
+// selected at construction; the public surface is identical over both.
 type Router struct {
 	shards []*shardState // ascending owned-range order
-	client *http.Client
 	gather int
 
 	handler http.Handler
@@ -61,15 +93,16 @@ type Router struct {
 	serveCh chan error
 }
 
-// shardState is one shard's address, partition coordinates and the
-// highest epoch the router has observed it serving (from gathers and
-// health probes). Health itself is never cached: every lookup attempts
-// the shard and every /v1/healthz live-probes the fleet, so routing
-// decisions cannot go stale.
+// shardState is one shard's address, partition coordinates, transport
+// client and the highest epoch the router has observed it serving
+// (from gathers and health probes). Health itself is never cached:
+// every lookup attempts the shard and every /v1/healthz live-probes the
+// fleet, so routing decisions cannot go stale.
 type shardState struct {
-	base  string
-	info  serve.ShardInfo
-	epoch atomic.Uint64
+	base   string
+	info   wire.ShardInfo
+	client Client
+	epoch  atomic.Uint64
 }
 
 // observeEpoch records a served epoch (monotonic: shards never roll
@@ -87,14 +120,23 @@ func (sh *shardState) observeEpoch(e uint64) {
 // (e.g. "http://127.0.0.1:8091") by reading each shard's
 // /v1/cluster/info, validates that the owned ranges tile the whole
 // block space exactly once, and returns a Router serving the merged
-// /v1/* API.
+// /v1/* API. Discovery always runs over HTTP; with TransportRPC, data
+// traffic upgrades to the binary protocol for every shard advertising
+// an rpcAddr, shard by shard.
 func NewRouter(urls []string, opts RouterOptions) (*Router, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("cluster: no shard URLs")
 	}
-	client := opts.Client
-	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = newShardHTTPClient()
+	}
+	transport := opts.Transport
+	if transport == "" {
+		transport = TransportHTTP
+	}
+	if transport != TransportHTTP && transport != TransportRPC {
+		return nil, fmt.Errorf("cluster: unknown transport %q", transport)
 	}
 	gather := opts.Gather
 	if gather <= 0 {
@@ -105,17 +147,24 @@ func NewRouter(urls []string, opts RouterOptions) (*Router, error) {
 		infoTimeout = DefaultInfoTimeout
 	}
 
-	rt := &Router{client: client, gather: gather}
+	rt := &Router{gather: gather}
 	deadline := time.Now().Add(infoTimeout)
 	for _, base := range urls {
-		info, err := rt.fetchInfo(base, len(urls), deadline)
+		info, err := fetchInfo(hc, base, len(urls), deadline)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %s: %w", base, err)
 		}
-		rt.shards = append(rt.shards, &shardState{base: base, info: info})
+		sh := &shardState{base: base, info: info.ShardInfo}
+		if transport == TransportRPC && info.RPCAddr != "" {
+			sh.client = newRPCShardClient(info.Index, info.RPCAddr)
+		} else {
+			sh.client = newHTTPShardClient(info.Index, base, hc)
+		}
+		rt.shards = append(rt.shards, sh)
 	}
 	sort.Slice(rt.shards, func(i, j int) bool { return rt.shards[i].info.Lo < rt.shards[j].info.Lo })
 	if err := validatePartition(rt.shards); err != nil {
+		rt.Close()
 		return nil, err
 	}
 
@@ -149,20 +198,17 @@ func validatePartition(shards []*shardState) error {
 	return nil
 }
 
-// fetchInfo reads one shard's partition coordinates, retrying until
-// the deadline while the shard is unreachable, still compiling its
-// slice, or not yet partition-aware: a live shard only learns its
-// range (and true shard count) from the stream's meta event, so until
-// then its info reports the default one-shard partition — treated
-// here as "not ready yet", not as a hard mismatch.
-func (rt *Router) fetchInfo(base string, wantCount int, deadline time.Time) (serve.ShardInfo, error) {
+// fetchInfo reads one shard's cluster info, retrying until the deadline
+// while the shard is unreachable, still compiling its slice, or not yet
+// partition-aware: a live shard only learns its range (and true shard
+// count) from the stream's meta event, so until then its info reports
+// the default one-shard partition — treated here as "not ready yet",
+// not as a hard mismatch.
+func fetchInfo(hc *http.Client, base string, wantCount int, deadline time.Time) (wire.ClusterInfo, error) {
 	var lastErr error
 	for {
-		var info struct {
-			serve.ShardInfo
-			Epoch uint64 `json:"epoch"`
-		}
-		resp, err := rt.client.Get(base + "/v1/cluster/info")
+		var info wire.ClusterInfo
+		resp, err := hc.Get(base + "/v1/cluster/info")
 		if err == nil {
 			body, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
@@ -177,13 +223,13 @@ func (rt *Router) fetchInfo(base string, wantCount int, deadline time.Time) (ser
 				case info.Count != wantCount:
 					err = fmt.Errorf("cluster info: shard reports a %d-shard partition, router fronts %d", info.Count, wantCount)
 				default:
-					return info.ShardInfo, nil
+					return info, nil
 				}
 			}
 		}
 		lastErr = err
 		if time.Now().After(deadline) {
-			return serve.ShardInfo{}, fmt.Errorf("cluster info unavailable: %w", lastErr)
+			return wire.ClusterInfo{}, fmt.Errorf("cluster info unavailable: %w", lastErr)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -194,6 +240,16 @@ func (rt *Router) Handler() http.Handler { return rt.handler }
 
 // NumShards returns the number of shards behind the router.
 func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// Close releases every shard client's persistent connections. It does
+// not stop a Listen-ing server — use Shutdown for that.
+func (rt *Router) Close() {
+	for _, sh := range rt.shards {
+		if sh.client != nil {
+			sh.client.Close()
+		}
+	}
+}
 
 // Listen binds addr and serves in the background until Shutdown.
 func (rt *Router) Listen(addr string) (net.Addr, error) {
@@ -254,57 +310,37 @@ func (rt *Router) minEpoch() uint64 {
 	return min
 }
 
-// respond assembles a response exactly the way a shard's cache layer
-// does — same marshalling, same epoch splice, same ETag derivation —
-// so routed merged bodies are byte-compatible with single-node ones.
-func (rt *Router) respond(w http.ResponseWriter, r *http.Request, status int, payload any, epoch uint64) {
-	etag := serve.ETagFor(epoch)
-	w.Header().Set("ETag", etag)
-	if serve.NotModified(r, etag) {
-		w.WriteHeader(http.StatusNotModified)
-		return
-	}
-	body, err := json.Marshal(payload)
-	if err != nil {
-		status = http.StatusInternalServerError
-		body = []byte(`{"error":"encoding failed"}`)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(append(serve.WithEpoch(body, epoch), '\n'))
-}
-
 func (rt *Router) respondErr(w http.ResponseWriter, r *http.Request, status int, msg string) {
-	rt.respond(w, r, status, serve.ErrorBody{Error: msg}, rt.minEpoch())
+	wire.Respond(w, r, status, wire.ErrorBody{Error: msg}, rt.minEpoch())
 }
 
-// proxy forwards a point lookup to the owning shard verbatim: the
-// client sees the shard's body (with the shard's epoch), the shard's
-// ETag and cache disposition, plus an X-Shard header naming the owner.
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, sh *shardState) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, sh.base+r.URL.RequestURI(), nil)
+// relay answers a point lookup with the owning shard's response —
+// body, epoch field, ETag and cache disposition are the shard's, plus
+// an X-Shard header naming the owner. The transport client either
+// produced the shard's exact bytes (HTTP proxies them verbatim, RPC
+// reconstructs them with the shared wire helpers) or failed, which is
+// the 503 unavailable path.
+func (rt *Router) relay(w http.ResponseWriter, r *http.Request, sh *shardState, pr PointRequest) {
+	pr.URI = r.URL.RequestURI()
+	pr.IfNoneMatch = r.Header.Get("If-None-Match")
+	resp, err := sh.client.Point(r.Context(), pr)
 	if err != nil {
-		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
+		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	if inm := r.Header.Get("If-None-Match"); inm != "" {
-		req.Header.Set("If-None-Match", inm)
-	}
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		rt.respondErr(w, r, http.StatusServiceUnavailable,
-			fmt.Sprintf("shard %d unavailable: %v", sh.info.Index, err))
-		return
-	}
-	defer resp.Body.Close()
-	for _, h := range []string{"ETag", "Content-Type", "X-Cache", "Retry-After"} {
-		if v := resp.Header.Get(h); v != "" {
+	for h, v := range map[string]string{
+		"ETag":         resp.ETag,
+		"Content-Type": resp.ContentType,
+		"X-Cache":      resp.XCache,
+		"Retry-After":  resp.RetryAfter,
+	} {
+		if v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	w.Header().Set("X-Shard", strconv.Itoa(sh.info.Index))
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.WriteHeader(resp.Status)
+	w.Write(resp.Body)
 }
 
 func (rt *Router) handleAddr(w http.ResponseWriter, r *http.Request) {
@@ -313,23 +349,24 @@ func (rt *Router) handleAddr(w http.ResponseWriter, r *http.Request) {
 		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rt.proxy(w, r, rt.ownerOf(a.Block()))
+	rt.relay(w, r, rt.ownerOf(a.Block()), PointRequest{IsAddr: true, Addr: a})
 }
 
 func (rt *Router) handleBlock(w http.ResponseWriter, r *http.Request) {
-	blk, err := serve.Parse24(r.PathValue("prefix"))
+	blk, err := wire.Parse24(r.PathValue("prefix"))
 	if err != nil {
 		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rt.proxy(w, r, rt.ownerOf(blk))
+	rt.relay(w, r, rt.ownerOf(blk), PointRequest{Block: blk})
 }
 
-// gather fans path out to the given shards with bounded concurrency
-// and decodes each 200 body into T (plus the spliced epoch). Any
-// unreachable or non-200 shard fails the whole gather — a partial
-// aggregate would silently misreport the dataset.
-func gather[T any](rt *Router, ctx context.Context, shards []*shardState, path string) ([]T, uint64, error) {
+// gatherPartials fans one fetch out to the given shards with bounded
+// concurrency. Any unreachable or failing shard fails the whole gather
+// — a partial aggregate would silently misreport the dataset. The
+// returned epoch is the minimum across shards.
+func gatherPartials[T any](rt *Router, ctx context.Context, shards []*shardState,
+	fetch func(context.Context, Client) (T, uint64, error)) ([]T, uint64, error) {
 	out := make([]T, len(shards))
 	epochs := make([]uint64, len(shards))
 	var g par.Group
@@ -337,33 +374,12 @@ func gather[T any](rt *Router, ctx context.Context, shards []*shardState, path s
 	for i, sh := range shards {
 		i, sh := i, sh
 		g.Go(func() error {
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+path, nil)
+			v, epoch, err := fetch(ctx, sh.client)
 			if err != nil {
 				return err
 			}
-			resp, err := rt.client.Do(req)
-			if err != nil {
-				return fmt.Errorf("shard %d unavailable: %v", sh.info.Index, err)
-			}
-			defer resp.Body.Close()
-			body, err := io.ReadAll(resp.Body)
-			if err != nil {
-				return fmt.Errorf("shard %d unavailable: %v", sh.info.Index, err)
-			}
-			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("shard %d answered status %d: %s", sh.info.Index, resp.StatusCode, body)
-			}
-			var ep struct {
-				Epoch uint64 `json:"epoch"`
-			}
-			if err := json.Unmarshal(body, &ep); err != nil {
-				return fmt.Errorf("shard %d: %v", sh.info.Index, err)
-			}
-			if err := json.Unmarshal(body, &out[i]); err != nil {
-				return fmt.Errorf("shard %d: %v", sh.info.Index, err)
-			}
-			epochs[i] = ep.Epoch
-			sh.observeEpoch(ep.Epoch)
+			out[i], epochs[i] = v, epoch
+			sh.observeEpoch(epoch)
 			return nil
 		})
 	}
@@ -380,7 +396,10 @@ func gather[T any](rt *Router, ctx context.Context, shards []*shardState, path s
 }
 
 func (rt *Router) handleSummary(w http.ResponseWriter, r *http.Request) {
-	parts, epoch, err := gather[query.SummaryPartial](rt, r.Context(), rt.shards, "/v1/cluster/summary")
+	parts, epoch, err := gatherPartials(rt, r.Context(), rt.shards,
+		func(ctx context.Context, c Client) (query.SummaryPartial, uint64, error) {
+			return c.Summary(ctx)
+		})
 	if err != nil {
 		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
 		return
@@ -390,26 +409,29 @@ func (rt *Router) handleSummary(w http.ResponseWriter, r *http.Request) {
 		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
-	rt.respond(w, r, http.StatusOK, merged.Finalize(), epoch)
+	wire.Respond(w, r, http.StatusOK, merged.Finalize(), epoch)
 }
 
 func (rt *Router) handleAS(w http.ResponseWriter, r *http.Request) {
-	n, err := serve.ParseASN(r.PathValue("asn"))
+	n, err := wire.ParseASN(r.PathValue("asn"))
 	if err != nil {
 		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	parts, epoch, err := gather[query.ASPartial](rt, r.Context(), rt.shards, fmt.Sprintf("/v1/cluster/as/%d", n))
+	parts, epoch, err := gatherPartials(rt, r.Context(), rt.shards,
+		func(ctx context.Context, c Client) (query.ASPartial, uint64, error) {
+			return c.AS(ctx, n)
+		})
 	if err != nil {
 		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	v, ok := query.MergeASPartials(parts)
 	if !ok {
-		rt.respond(w, r, http.StatusNotFound, serve.ErrorBody{Error: serve.ErrASNotFound(n)}, epoch)
+		wire.Respond(w, r, http.StatusNotFound, wire.ErrorBody{Error: wire.ErrASNotFound(n)}, epoch)
 		return
 	}
-	rt.respond(w, r, http.StatusOK, v, epoch)
+	wire.Respond(w, r, http.StatusOK, v, epoch)
 }
 
 func (rt *Router) handlePrefix(w http.ResponseWriter, r *http.Request) {
@@ -430,65 +452,43 @@ func (rt *Router) handlePrefix(w http.ResponseWriter, r *http.Request) {
 			covering = append(covering, sh)
 		}
 	}
-	parts, epoch, err := gather[query.PrefixPartial](rt, r.Context(), covering, "/v1/cluster/prefix/"+p.String())
+	cidr := p.String()
+	parts, epoch, err := gatherPartials(rt, r.Context(), covering,
+		func(ctx context.Context, c Client) (query.PrefixPartial, uint64, error) {
+			return c.Prefix(ctx, cidr)
+		})
 	if err != nil {
 		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	merged, err := query.MergePrefixPartials(parts, serve.DefaultPrefixBlockList)
+	merged, err := query.MergePrefixPartials(parts, wire.DefaultPrefixBlockList)
 	if err != nil {
 		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
-	rt.respond(w, r, http.StatusOK, merged, epoch)
+	wire.Respond(w, r, http.StatusOK, merged, epoch)
 }
 
-// routerHealth is the router's /v1/healthz body.
-type routerHealth struct {
-	Status string        `json:"status"`
-	Epoch  uint64        `json:"epoch"`
-	Shards []shardHealth `json:"shardStates"`
-}
-
-type shardHealth struct {
-	Shard  int    `json:"shard"`
-	URL    string `json:"url"`
-	Status string `json:"status"`
-	Epoch  uint64 `json:"epoch"`
-	Error  string `json:"error,omitempty"`
-}
-
-// handleHealthz live-probes every shard's /v1/healthz with bounded
-// concurrency, updates the per-shard health state, and aggregates:
-// 200 "ok" when every shard serves a snapshot, 503 "degraded"
-// otherwise, with the minimum shard epoch as the cluster epoch.
+// handleHealthz live-probes every shard with bounded concurrency,
+// updates the per-shard health state, and aggregates: 200 "ok" when
+// every shard serves a snapshot, 503 "degraded" otherwise, with the
+// minimum shard epoch as the cluster epoch.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	states := make([]shardHealth, len(rt.shards))
+	states := make([]wire.RouterShardHealth, len(rt.shards))
 	var g par.Group
 	g.SetLimit(rt.gather)
 	for i, sh := range rt.shards {
 		i, sh := i, sh
 		g.Go(func() error {
-			st := shardHealth{Shard: sh.info.Index, URL: sh.base}
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, sh.base+"/v1/healthz", nil)
-			if err == nil {
-				var resp *http.Response
-				if resp, err = rt.client.Do(req); err == nil {
-					var body struct {
-						Status string `json:"status"`
-						Epoch  uint64 `json:"epoch"`
-					}
-					err = json.NewDecoder(resp.Body).Decode(&body)
-					resp.Body.Close()
-					if err == nil {
-						st.Status, st.Epoch = body.Status, body.Epoch
-					}
-				}
-			}
+			st := wire.RouterShardHealth{Shard: sh.info.Index, URL: sh.base, Transport: sh.client.Transport()}
+			status, epoch, err := sh.client.Health(r.Context())
 			if err != nil {
 				st.Status, st.Error = "unreachable", err.Error()
-			} else if st.Status == "ok" {
-				sh.observeEpoch(st.Epoch)
+			} else {
+				st.Status, st.Epoch = status, epoch
+				if status == "ok" {
+					sh.observeEpoch(epoch)
+				}
 			}
 			states[i] = st
 			return nil
@@ -496,7 +496,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	g.Wait() //nolint:errcheck // probe outcomes land in states
 
-	body := routerHealth{Status: "ok", Shards: states}
+	body := wire.RouterHealth{Status: "ok", Shards: states}
 	status := http.StatusOK
 	for i, st := range states {
 		if st.Status != "ok" {

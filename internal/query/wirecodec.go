@@ -1,0 +1,551 @@
+package query
+
+// Binary wire codec for the query views and mergeable partials — the
+// payloads of the shard↔router RPC protocol (internal/rpc). It follows
+// the obs codec discipline: big-endian, length-validated counts so
+// corrupt input cannot trigger huge allocations, typed errors instead
+// of panics, and a canonical encoding (decode∘encode is the identity on
+// valid bytes, which the RPC fuzz target checks).
+//
+// Two fidelity rules keep RPC-reconstructed JSON byte-identical to the
+// HTTP path:
+//
+//   - every slice is encoded behind a presence byte (0 = nil,
+//     1 = present + count), because encoding/json distinguishes nil
+//     (null) from empty ([]) for fields without omitempty —
+//     ASView.Prefixes is the live example;
+//   - ints travel as two's-complement u64 (AddrView.FirstDay/LastDay
+//     can be -1) and floats as raw IEEE-754 bits, so no value is
+//     rounded or clamped in transit.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// WireError reports structurally invalid wire-codec input: a short
+// payload, an implausible count, or a non-canonical byte.
+type WireError struct{ Msg string }
+
+// Error returns the message.
+func (e *WireError) Error() string { return "query: " + e.Msg }
+
+func wireErrf(format string, args ...any) error {
+	return &WireError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- append helpers --------------------------------------------------
+
+func wU8(b []byte, v uint8) []byte   { return append(b, v) }
+func wU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func wU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func wInt(b []byte, v int) []byte    { return wU64(b, uint64(int64(v))) }
+func wF64(b []byte, v float64) []byte {
+	return wU64(b, math.Float64bits(v))
+}
+
+func wBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func wString(b []byte, s string) []byte {
+	b = wU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// wPresence encodes the nil-vs-present distinction for a slice of
+// length n (n < 0 means nil). Present slices are followed by a u32
+// count and their elements.
+func wPresence(b []byte, isNil bool, n int) []byte {
+	if isNil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return wU32(b, uint32(n))
+}
+
+func wU32Slice(b []byte, s []uint32) []byte {
+	b = wPresence(b, s == nil, len(s))
+	for _, v := range s {
+		b = wU32(b, v)
+	}
+	return b
+}
+
+func wF64Slice(b []byte, s []float64) []byte {
+	b = wPresence(b, s == nil, len(s))
+	for _, v := range s {
+		b = wF64(b, v)
+	}
+	return b
+}
+
+func wIntSlice(b []byte, s []int) []byte {
+	b = wPresence(b, s == nil, len(s))
+	for _, v := range s {
+		b = wInt(b, v)
+	}
+	return b
+}
+
+func wBytes(b []byte, s []byte) []byte {
+	b = wPresence(b, s == nil, len(s))
+	return append(b, s...)
+}
+
+func wStringSlice(b []byte, s []string) []byte {
+	b = wPresence(b, s == nil, len(s))
+	for _, v := range s {
+		b = wString(b, v)
+	}
+	return b
+}
+
+// --- decoder ---------------------------------------------------------
+
+// wdec consumes a wire payload. Reads past the end latch err instead of
+// panicking; non-canonical bytes (a presence byte other than 0/1, a
+// bool other than 0/1) are rejected so every valid encoding is the
+// unique encoding of its value.
+type wdec struct {
+	p   []byte
+	err error
+}
+
+func (d *wdec) fail() {
+	if d.err == nil {
+		d.err = &WireError{Msg: "wire payload too short"}
+	}
+}
+
+func (d *wdec) take(n int) []byte {
+	if d.err != nil || len(d.p) < n {
+		d.fail()
+		return nil
+	}
+	out := d.p[:n]
+	d.p = d.p[n:]
+	return out
+}
+
+func (d *wdec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wdec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *wdec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *wdec) i() int       { return int(int64(d.u64())) }
+func (d *wdec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *wdec) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = wireErrf("non-canonical bool byte")
+		}
+		return false
+	}
+}
+
+func (d *wdec) str() string {
+	n := int(d.u32())
+	if d.err == nil && n > len(d.p) {
+		d.err = wireErrf("string length %d exceeds remaining payload", n)
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// presence reads a slice header: present reports nil vs non-nil, n the
+// element count (validated against the bytes that could possibly
+// remain, elemSize per element).
+func (d *wdec) presence(elemSize int) (present bool, n int) {
+	switch d.u8() {
+	case 0:
+		return false, 0
+	case 1:
+	default:
+		if d.err == nil {
+			d.err = wireErrf("non-canonical presence byte")
+		}
+		return false, 0
+	}
+	n = int(d.u32())
+	if d.err == nil && n*elemSize > len(d.p) {
+		d.err = wireErrf("count %d exceeds remaining payload", n)
+	}
+	if d.err != nil {
+		return false, 0
+	}
+	return true, n
+}
+
+func (d *wdec) u32Slice() []uint32 {
+	present, n := d.presence(4)
+	if !present {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out
+}
+
+func (d *wdec) f64Slice() []float64 {
+	present, n := d.presence(8)
+	if !present {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *wdec) intSlice() []int {
+	present, n := d.presence(8)
+	if !present {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.i()
+	}
+	return out
+}
+
+func (d *wdec) bytes() []byte {
+	present, n := d.presence(1)
+	if !present {
+		return nil
+	}
+	return append([]byte{}, d.take(n)...)
+}
+
+func (d *wdec) strSlice() []string {
+	present, n := d.presence(4) // 4 = minimum encoded size of ""
+	if !present {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+// --- BlockView -------------------------------------------------------
+
+// AppendBlockViewWire appends v's canonical wire encoding to b.
+func AppendBlockViewWire(b []byte, v *BlockView) []byte {
+	b = wString(b, v.Block)
+	b = wU32(b, v.AS)
+	b = wString(b, v.Prefix)
+	b = wString(b, v.Country)
+	b = wString(b, v.RIR)
+	b = wString(b, v.RDNS)
+	b = wString(b, v.Pattern)
+	b = wInt(b, v.FD)
+	b = wF64(b, v.STU)
+	b = wInt(b, v.ActiveDays)
+	b = wF64(b, v.TotalHits)
+	b = wInt(b, v.UASamples)
+	b = wF64(b, v.UAUnique)
+	return b
+}
+
+func (d *wdec) blockView() BlockView {
+	var v BlockView
+	v.Block = d.str()
+	v.AS = d.u32()
+	v.Prefix = d.str()
+	v.Country = d.str()
+	v.RIR = d.str()
+	v.RDNS = d.str()
+	v.Pattern = d.str()
+	v.FD = d.i()
+	v.STU = d.f64()
+	v.ActiveDays = d.i()
+	v.TotalHits = d.f64()
+	v.UASamples = d.i()
+	v.UAUnique = d.f64()
+	return v
+}
+
+// DecodeBlockViewWire decodes one BlockView from p, returning the
+// remaining bytes.
+func DecodeBlockViewWire(p []byte) (BlockView, []byte, error) {
+	d := &wdec{p: p}
+	v := d.blockView()
+	if d.err != nil {
+		return BlockView{}, nil, d.err
+	}
+	return v, d.p, nil
+}
+
+// --- AddrView --------------------------------------------------------
+
+// AppendAddrViewWire appends v's canonical wire encoding to b.
+func AppendAddrViewWire(b []byte, v *AddrView) []byte {
+	b = wString(b, v.Addr)
+	b = wString(b, v.Block)
+	b = wU32(b, v.AS)
+	b = wString(b, v.Prefix)
+	b = wString(b, v.Country)
+	b = wString(b, v.RIR)
+	b = wString(b, v.RDNS)
+	b = wString(b, v.Pattern)
+	b = wBool(b, v.Active)
+	b = wInt(b, v.ActiveDays)
+	b = wInt(b, v.FirstDay)
+	b = wInt(b, v.LastDay)
+	b = wString(b, v.Timeline)
+	b = wF64(b, v.Hits)
+	b = wF64(b, v.MeanDailyHits)
+	b = wBool(b, v.ICMPResponder)
+	b = wBool(b, v.Server)
+	b = wBool(b, v.Router)
+	return b
+}
+
+func (d *wdec) addrView() AddrView {
+	var v AddrView
+	v.Addr = d.str()
+	v.Block = d.str()
+	v.AS = d.u32()
+	v.Prefix = d.str()
+	v.Country = d.str()
+	v.RIR = d.str()
+	v.RDNS = d.str()
+	v.Pattern = d.str()
+	v.Active = d.bool()
+	v.ActiveDays = d.i()
+	v.FirstDay = d.i()
+	v.LastDay = d.i()
+	v.Timeline = d.str()
+	v.Hits = d.f64()
+	v.MeanDailyHits = d.f64()
+	v.ICMPResponder = d.bool()
+	v.Server = d.bool()
+	v.Router = d.bool()
+	return v
+}
+
+// DecodeAddrViewWire decodes one AddrView from p, returning the
+// remaining bytes.
+func DecodeAddrViewWire(p []byte) (AddrView, []byte, error) {
+	d := &wdec{p: p}
+	v := d.addrView()
+	if d.err != nil {
+		return AddrView{}, nil, d.err
+	}
+	return v, d.p, nil
+}
+
+// --- SummaryPartial --------------------------------------------------
+
+func appendSeriesPartial(b []byte, p *SeriesPartial) []byte {
+	b = wInt(b, p.Snapshots)
+	b = wInt(b, p.UnionIPs)
+	b = wInt(b, p.UnionBlocks)
+	b = wInt(b, p.IPSum)
+	b = wInt(b, p.BlockSum)
+	b = wPresence(b, p.SnapASes == nil, len(p.SnapASes))
+	for _, s := range p.SnapASes {
+		b = wU32Slice(b, s)
+	}
+	return b
+}
+
+func (d *wdec) seriesPartial() SeriesPartial {
+	var p SeriesPartial
+	p.Snapshots = d.i()
+	p.UnionIPs = d.i()
+	p.UnionBlocks = d.i()
+	p.IPSum = d.i()
+	p.BlockSum = d.i()
+	present, n := d.presence(1) // 1 = minimum encoded size of a nil inner slice
+	if present {
+		p.SnapASes = make([][]uint32, n)
+		for i := range p.SnapASes {
+			p.SnapASes[i] = d.u32Slice()
+		}
+	}
+	return p
+}
+
+// AppendSummaryPartialWire appends p's canonical wire encoding to b.
+func AppendSummaryPartialWire(b []byte, p *SummaryPartial) []byte {
+	b = wU64(b, p.Seed)
+	b = wInt(b, p.NumASes)
+	b = wInt(b, p.WorldBlocks)
+	b = wInt(b, p.Days)
+	b = wInt(b, p.DailyStart)
+	b = wInt(b, p.DailyLen)
+	b = wInt(b, p.Weeks)
+	b = wInt(b, p.ActiveBlocks)
+	b = wInt(b, p.DailyUnion)
+	b = wInt(b, p.YearUnion)
+	b = wInt(b, p.ICMPUnion)
+	b = appendSeriesPartial(b, &p.Daily)
+	b = appendSeriesPartial(b, &p.Weekly)
+	b = wInt(b, p.CDNMonth)
+	b = wInt(b, p.CDNBoth)
+	b = wIntSlice(b, p.DayLens)
+	b = wIntSlice(b, p.Ups)
+	b = wIntSlice(b, p.Downs)
+	b = wInt(b, p.WeekBase)
+	b = wInt(b, p.WeekLastAppear)
+	b = wInt(b, p.UASamples)
+	b = wU8(b, p.UAPrecision)
+	b = wBytes(b, p.UARegisters)
+	return b
+}
+
+// DecodeSummaryPartialWire decodes one SummaryPartial from p, returning
+// the remaining bytes.
+func DecodeSummaryPartialWire(p []byte) (SummaryPartial, []byte, error) {
+	d := &wdec{p: p}
+	var v SummaryPartial
+	v.Seed = d.u64()
+	v.NumASes = d.i()
+	v.WorldBlocks = d.i()
+	v.Days = d.i()
+	v.DailyStart = d.i()
+	v.DailyLen = d.i()
+	v.Weeks = d.i()
+	v.ActiveBlocks = d.i()
+	v.DailyUnion = d.i()
+	v.YearUnion = d.i()
+	v.ICMPUnion = d.i()
+	v.Daily = d.seriesPartial()
+	v.Weekly = d.seriesPartial()
+	v.CDNMonth = d.i()
+	v.CDNBoth = d.i()
+	v.DayLens = d.intSlice()
+	v.Ups = d.intSlice()
+	v.Downs = d.intSlice()
+	v.WeekBase = d.i()
+	v.WeekLastAppear = d.i()
+	v.UASamples = d.i()
+	v.UAPrecision = d.u8()
+	v.UARegisters = d.bytes()
+	if d.err != nil {
+		return SummaryPartial{}, nil, d.err
+	}
+	return v, d.p, nil
+}
+
+// --- ASPartial -------------------------------------------------------
+
+// AppendASPartialWire appends p's canonical wire encoding to b.
+func AppendASPartialWire(b []byte, p *ASPartial) []byte {
+	b = wBool(b, p.Found)
+	b = wU32(b, p.AS)
+	b = wString(b, p.Kind)
+	b = wString(b, p.Country)
+	b = wString(b, p.RIR)
+	b = wStringSlice(b, p.Prefixes)
+	b = wInt(b, p.RoutedBlocks)
+	b = wInt(b, p.ActiveBlocks)
+	b = wInt(b, p.ActiveAddrs)
+	b = wF64Slice(b, p.Hits)
+	return b
+}
+
+// DecodeASPartialWire decodes one ASPartial from p, returning the
+// remaining bytes.
+func DecodeASPartialWire(p []byte) (ASPartial, []byte, error) {
+	d := &wdec{p: p}
+	var v ASPartial
+	v.Found = d.bool()
+	v.AS = d.u32()
+	v.Kind = d.str()
+	v.Country = d.str()
+	v.RIR = d.str()
+	v.Prefixes = d.strSlice()
+	v.RoutedBlocks = d.i()
+	v.ActiveBlocks = d.i()
+	v.ActiveAddrs = d.i()
+	v.Hits = d.f64Slice()
+	if d.err != nil {
+		return ASPartial{}, nil, d.err
+	}
+	return v, d.p, nil
+}
+
+// --- PrefixPartial ---------------------------------------------------
+
+// AppendPrefixPartialWire appends p's canonical wire encoding to b.
+func AppendPrefixPartialWire(b []byte, p *PrefixPartial) []byte {
+	b = wString(b, p.Prefix)
+	b = wInt(b, p.Blocks)
+	b = wInt(b, p.ActiveBlocks)
+	b = wInt(b, p.ActiveAddrs)
+	b = wF64Slice(b, p.STU)
+	b = wF64Slice(b, p.Hits)
+	b = wU32Slice(b, p.Origins)
+	b = wPresence(b, p.BlockList == nil, len(p.BlockList))
+	for i := range p.BlockList {
+		b = AppendBlockViewWire(b, &p.BlockList[i])
+	}
+	return b
+}
+
+// DecodePrefixPartialWire decodes one PrefixPartial from p, returning
+// the remaining bytes.
+func DecodePrefixPartialWire(p []byte) (PrefixPartial, []byte, error) {
+	d := &wdec{p: p}
+	var v PrefixPartial
+	v.Prefix = d.str()
+	v.Blocks = d.i()
+	v.ActiveBlocks = d.i()
+	v.ActiveAddrs = d.i()
+	v.STU = d.f64Slice()
+	v.Hits = d.f64Slice()
+	v.Origins = d.u32Slice()
+	// 76 = minimum encoded BlockView: 6 empty strings (4 bytes each) +
+	// 3 ints + 3 floats (8 bytes each) + the AS u32.
+	present, n := d.presence(76)
+	if present {
+		v.BlockList = make([]BlockView, n)
+		for i := range v.BlockList {
+			v.BlockList[i] = d.blockView()
+		}
+	}
+	if d.err != nil {
+		return PrefixPartial{}, nil, d.err
+	}
+	return v, d.p, nil
+}

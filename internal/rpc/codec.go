@@ -1,0 +1,715 @@
+// Package rpc is the compact binary RPC protocol for shard↔router
+// traffic — the internal fast path behind the unchanged public /v1/*
+// JSON API. It reuses the obs codec discipline: a fixed magic plus
+// version preface guards against desynchronized or mismatched peers,
+// every message is a length-prefixed frame, counts are validated before
+// allocation, decoding never panics on corrupt input (typed errors
+// only), and encodings are canonical — decode∘encode is the identity,
+// which FuzzRPCDecode enforces.
+//
+// Wire format (all integers big endian):
+//
+//	preface := magic("ipsrpc") version(2)        — sent by BOTH peers
+//	frame   := kind(1) id(4) length(4) payload[length]
+//
+// The id echoes from request to response, which is what permits
+// pipelining: a client may write any number of request frames before
+// reading, and matches responses by id. Response kinds are the request
+// kind with the high bit set; kindError (0xFF) answers any request with
+// a status code + message instead of its typed response.
+//
+// Bulk requests page thrift-style: the client sends CurrIndex (the
+// offset already consumed), the server answers at most its page size of
+// entries from that offset plus NextIndex and More; the client loops
+// until More is false. One logical N-address lookup therefore costs
+// ceil(N/page) round trips on one persistent connection, instead of N
+// HTTP requests.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"ipscope/internal/query"
+	"ipscope/internal/serve/wire"
+)
+
+// Version is the current protocol version, exchanged in the preface.
+const Version = 1
+
+const maxFrameLen = 1 << 28 // 256 MiB: far above any real frame
+
+var magic = []byte("ipsrpc")
+
+// Request kinds; the matching response kind is kind|respBit.
+const (
+	kindInfo      = 0x01
+	kindHealth    = 0x02
+	kindSummary   = 0x03
+	kindAS        = 0x04
+	kindPrefix    = 0x05
+	kindAddr      = 0x06
+	kindBlock     = 0x07
+	kindBulkAddr  = 0x08
+	kindBulkBlock = 0x09
+
+	respBit   = 0x80
+	kindError = 0xFF
+)
+
+// ErrTruncated is returned when a peer closes mid-frame or mid-preface.
+var ErrTruncated = errors.New("rpc: truncated stream")
+
+// FormatError reports structurally invalid protocol input: bad magic,
+// an unsupported version, a malformed frame, or a corrupt payload.
+type FormatError struct{ Msg string }
+
+// Error returns the message.
+func (e *FormatError) Error() string { return "rpc: " + e.Msg }
+
+func formatErrf(format string, args ...any) error {
+	return &FormatError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Msg is one typed protocol message (request or response).
+type Msg interface {
+	// Kind returns the frame kind byte identifying the message type.
+	Kind() byte
+	append(b []byte) []byte
+}
+
+// --- message types ---------------------------------------------------
+
+// InfoReq asks for the shard's cluster info (partition coordinates).
+type InfoReq struct{}
+
+// InfoResp carries the same fields as GET /v1/cluster/info.
+type InfoResp struct{ Info wire.ClusterInfo }
+
+// HealthReq asks for the shard's liveness.
+type HealthReq struct{}
+
+// HealthResp carries the health fields the router's aggregate probe
+// consumes (the HTTP healthz additionally reports cache counters, which
+// are meaningless over RPC — responses are not served from the HTTP
+// response cache).
+type HealthResp struct {
+	Status   string
+	Epoch    uint64
+	Blocks   int
+	DailyLen int
+}
+
+// SummaryReq asks for the shard's mergeable summary partial.
+type SummaryReq struct{}
+
+// SummaryResp is the typed /v1/cluster/summary.
+type SummaryResp struct {
+	Epoch   uint64
+	Partial query.SummaryPartial
+}
+
+// ASReq asks for the shard's mergeable share of one AS footprint.
+type ASReq struct{ ASN uint32 }
+
+// ASResp is the typed /v1/cluster/as/{asn}.
+type ASResp struct {
+	Epoch   uint64
+	Partial query.ASPartial
+}
+
+// PrefixReq asks for the shard's mergeable share of a CIDR aggregate.
+type PrefixReq struct {
+	Prefix    string
+	MaxBlocks int
+}
+
+// PrefixResp is the typed /v1/cluster/prefix/{cidr}.
+type PrefixResp struct {
+	Epoch   uint64
+	Partial query.PrefixPartial
+}
+
+// AddrReq asks for one address's view (the /v1/addr point lookup).
+type AddrReq struct{ Addr uint32 }
+
+// AddrResp carries the view plus the snapshot epoch it was computed
+// from — the typed form of the JSON body's spliced "epoch" field, from
+// which the router re-derives the ETag.
+type AddrResp struct {
+	Epoch uint64
+	View  query.AddrView
+}
+
+// BlockReq asks for one /24's view (the /v1/block point lookup).
+type BlockReq struct{ Block uint32 }
+
+// BlockResp carries the view when the block has activity; Found=false
+// is the typed form of the HTTP 404.
+type BlockResp struct {
+	Epoch uint64
+	Found bool
+	View  query.BlockView
+}
+
+// BulkAddrReq asks for many addresses in one round trip, starting at
+// offset CurrIndex into Addrs.
+type BulkAddrReq struct {
+	CurrIndex int
+	Addrs     []uint32
+}
+
+// BulkAddrResp answers Views for Addrs[CurrIndex : NextIndex); More
+// reports whether entries remain past NextIndex.
+type BulkAddrResp struct {
+	Epoch     uint64
+	CurrIndex int
+	NextIndex int
+	More      bool
+	Views     []query.AddrView
+}
+
+// BulkBlockReq asks for many /24s in one round trip, starting at offset
+// CurrIndex into Blocks.
+type BulkBlockReq struct {
+	CurrIndex int
+	Blocks    []uint32
+}
+
+// BlockEntry is one bulk block answer; Found=false is the typed 404.
+type BlockEntry struct {
+	Found bool
+	View  query.BlockView
+}
+
+// BulkBlockResp answers Entries for Blocks[CurrIndex : NextIndex).
+type BulkBlockResp struct {
+	Epoch     uint64
+	CurrIndex int
+	NextIndex int
+	More      bool
+	Entries   []BlockEntry
+}
+
+// ErrorResp answers any request with an HTTP-equivalent status code and
+// message instead of its typed response — 503 while the shard is
+// warming (Msg = wire.WarmingError), 400 for an invalid prefix.
+type ErrorResp struct {
+	Code int
+	Msg  string
+}
+
+// --- primitive helpers (append) --------------------------------------
+
+func appendU8(b []byte, v uint8) []byte   { return append(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendInt(b []byte, v int) []byte    { return appendU64(b, uint64(int64(v))) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendU32s(b []byte, s []uint32) []byte {
+	b = appendU32(b, uint32(len(s)))
+	for _, v := range s {
+		b = appendU32(b, v)
+	}
+	return b
+}
+
+// --- primitive helpers (decode) --------------------------------------
+
+// dec consumes a frame payload, latching the first error instead of
+// panicking (the obs decoder idiom).
+type dec struct {
+	p   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = &FormatError{Msg: "frame payload too short"}
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil || len(d.p) < n {
+		d.fail()
+		return nil
+	}
+	out := d.p[:n]
+	d.p = d.p[n:]
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *dec) i() int { return int(int64(d.u64())) }
+
+func (d *dec) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = formatErrf("non-canonical bool byte")
+		}
+		return false
+	}
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err == nil && n > len(d.p) {
+		d.err = formatErrf("string length %d exceeds remaining payload", n)
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a length field and validates it against the bytes that
+// could possibly remain (elemSize per element).
+func (d *dec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && n*elemSize > len(d.p) {
+		d.err = formatErrf("count %d exceeds remaining payload", n)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return n
+}
+
+func (d *dec) u32s() []uint32 {
+	n := d.count(4)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out
+}
+
+// sub hands the remaining bytes to a query wire decoder and resumes
+// after what it consumed.
+func sub[T any](d *dec, decode func([]byte) (T, []byte, error)) T {
+	var zero T
+	if d.err != nil {
+		return zero
+	}
+	v, rest, err := decode(d.p)
+	if err != nil {
+		d.err = err
+		return zero
+	}
+	d.p = rest
+	return v
+}
+
+func (d *dec) finish(kind byte) error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.p) != 0 {
+		return formatErrf("frame 0x%02x has %d trailing bytes", kind, len(d.p))
+	}
+	return nil
+}
+
+// --- per-message encodings -------------------------------------------
+
+// Kind implements Msg.
+func (InfoReq) Kind() byte             { return kindInfo }
+func (InfoReq) append(b []byte) []byte { return b }
+
+// Kind implements Msg.
+func (InfoResp) Kind() byte { return kindInfo | respBit }
+func (m InfoResp) append(b []byte) []byte {
+	b = appendString(b, m.Info.Status)
+	b = appendU64(b, m.Info.Epoch)
+	b = appendInt(b, m.Info.Index)
+	b = appendInt(b, m.Info.Count)
+	b = appendU32(b, m.Info.Lo)
+	b = appendU32(b, m.Info.Hi)
+	b = appendString(b, m.Info.RPCAddr)
+	b = appendInt(b, m.Info.Blocks)
+	b = appendString(b, m.Info.FirstActive)
+	return b
+}
+
+// Kind implements Msg.
+func (HealthReq) Kind() byte             { return kindHealth }
+func (HealthReq) append(b []byte) []byte { return b }
+
+// Kind implements Msg.
+func (HealthResp) Kind() byte { return kindHealth | respBit }
+func (m HealthResp) append(b []byte) []byte {
+	b = appendString(b, m.Status)
+	b = appendU64(b, m.Epoch)
+	b = appendInt(b, m.Blocks)
+	b = appendInt(b, m.DailyLen)
+	return b
+}
+
+// Kind implements Msg.
+func (SummaryReq) Kind() byte             { return kindSummary }
+func (SummaryReq) append(b []byte) []byte { return b }
+
+// Kind implements Msg.
+func (SummaryResp) Kind() byte { return kindSummary | respBit }
+func (m SummaryResp) append(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	return query.AppendSummaryPartialWire(b, &m.Partial)
+}
+
+// Kind implements Msg.
+func (ASReq) Kind() byte { return kindAS }
+func (m ASReq) append(b []byte) []byte {
+	return appendU32(b, m.ASN)
+}
+
+// Kind implements Msg.
+func (ASResp) Kind() byte { return kindAS | respBit }
+func (m ASResp) append(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	return query.AppendASPartialWire(b, &m.Partial)
+}
+
+// Kind implements Msg.
+func (PrefixReq) Kind() byte { return kindPrefix }
+func (m PrefixReq) append(b []byte) []byte {
+	b = appendString(b, m.Prefix)
+	return appendInt(b, m.MaxBlocks)
+}
+
+// Kind implements Msg.
+func (PrefixResp) Kind() byte { return kindPrefix | respBit }
+func (m PrefixResp) append(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	return query.AppendPrefixPartialWire(b, &m.Partial)
+}
+
+// Kind implements Msg.
+func (AddrReq) Kind() byte { return kindAddr }
+func (m AddrReq) append(b []byte) []byte {
+	return appendU32(b, m.Addr)
+}
+
+// Kind implements Msg.
+func (AddrResp) Kind() byte { return kindAddr | respBit }
+func (m AddrResp) append(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	return query.AppendAddrViewWire(b, &m.View)
+}
+
+// Kind implements Msg.
+func (BlockReq) Kind() byte { return kindBlock }
+func (m BlockReq) append(b []byte) []byte {
+	return appendU32(b, m.Block)
+}
+
+// Kind implements Msg.
+func (BlockResp) Kind() byte { return kindBlock | respBit }
+func (m BlockResp) append(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	b = appendBool(b, m.Found)
+	if m.Found {
+		b = query.AppendBlockViewWire(b, &m.View)
+	}
+	return b
+}
+
+// Kind implements Msg.
+func (BulkAddrReq) Kind() byte { return kindBulkAddr }
+func (m BulkAddrReq) append(b []byte) []byte {
+	b = appendInt(b, m.CurrIndex)
+	return appendU32s(b, m.Addrs)
+}
+
+// Kind implements Msg.
+func (BulkAddrResp) Kind() byte { return kindBulkAddr | respBit }
+func (m BulkAddrResp) append(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	b = appendInt(b, m.CurrIndex)
+	b = appendInt(b, m.NextIndex)
+	b = appendBool(b, m.More)
+	b = appendU32(b, uint32(len(m.Views)))
+	for i := range m.Views {
+		b = query.AppendAddrViewWire(b, &m.Views[i])
+	}
+	return b
+}
+
+// Kind implements Msg.
+func (BulkBlockReq) Kind() byte { return kindBulkBlock }
+func (m BulkBlockReq) append(b []byte) []byte {
+	b = appendInt(b, m.CurrIndex)
+	return appendU32s(b, m.Blocks)
+}
+
+// Kind implements Msg.
+func (BulkBlockResp) Kind() byte { return kindBulkBlock | respBit }
+func (m BulkBlockResp) append(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	b = appendInt(b, m.CurrIndex)
+	b = appendInt(b, m.NextIndex)
+	b = appendBool(b, m.More)
+	b = appendU32(b, uint32(len(m.Entries)))
+	for i := range m.Entries {
+		b = appendBool(b, m.Entries[i].Found)
+		if m.Entries[i].Found {
+			b = query.AppendBlockViewWire(b, &m.Entries[i].View)
+		}
+	}
+	return b
+}
+
+// Kind implements Msg.
+func (ErrorResp) Kind() byte { return kindError }
+func (m ErrorResp) append(b []byte) []byte {
+	b = appendU32(b, uint32(m.Code))
+	return appendString(b, m.Msg)
+}
+
+// EncodePayload returns m's canonical payload bytes (the frame body,
+// without the kind/id/length header). Exposed for the codec tests and
+// the fuzz target.
+func EncodePayload(m Msg) []byte { return m.append(nil) }
+
+// DecodePayload decodes one message payload of the given kind. It
+// returns *FormatError (or *query.WireError from a nested view codec)
+// for structurally invalid input and never panics; trailing bytes are
+// an error, so every valid encoding is canonical.
+func DecodePayload(kind byte, p []byte) (Msg, error) {
+	d := &dec{p: p}
+	var m Msg
+	switch kind {
+	case kindInfo:
+		m = InfoReq{}
+	case kindInfo | respBit:
+		var r InfoResp
+		r.Info.Status = d.str()
+		r.Info.Epoch = d.u64()
+		r.Info.Index = d.i()
+		r.Info.Count = d.i()
+		r.Info.Lo = d.u32()
+		r.Info.Hi = d.u32()
+		r.Info.RPCAddr = d.str()
+		r.Info.Blocks = d.i()
+		r.Info.FirstActive = d.str()
+		m = r
+	case kindHealth:
+		m = HealthReq{}
+	case kindHealth | respBit:
+		var r HealthResp
+		r.Status = d.str()
+		r.Epoch = d.u64()
+		r.Blocks = d.i()
+		r.DailyLen = d.i()
+		m = r
+	case kindSummary:
+		m = SummaryReq{}
+	case kindSummary | respBit:
+		var r SummaryResp
+		r.Epoch = d.u64()
+		r.Partial = sub(d, query.DecodeSummaryPartialWire)
+		m = r
+	case kindAS:
+		m = ASReq{ASN: d.u32()}
+	case kindAS | respBit:
+		var r ASResp
+		r.Epoch = d.u64()
+		r.Partial = sub(d, query.DecodeASPartialWire)
+		m = r
+	case kindPrefix:
+		var r PrefixReq
+		r.Prefix = d.str()
+		r.MaxBlocks = d.i()
+		m = r
+	case kindPrefix | respBit:
+		var r PrefixResp
+		r.Epoch = d.u64()
+		r.Partial = sub(d, query.DecodePrefixPartialWire)
+		m = r
+	case kindAddr:
+		m = AddrReq{Addr: d.u32()}
+	case kindAddr | respBit:
+		var r AddrResp
+		r.Epoch = d.u64()
+		r.View = sub(d, query.DecodeAddrViewWire)
+		m = r
+	case kindBlock:
+		m = BlockReq{Block: d.u32()}
+	case kindBlock | respBit:
+		var r BlockResp
+		r.Epoch = d.u64()
+		r.Found = d.bool()
+		if r.Found {
+			r.View = sub(d, query.DecodeBlockViewWire)
+		}
+		m = r
+	case kindBulkAddr:
+		var r BulkAddrReq
+		r.CurrIndex = d.i()
+		r.Addrs = d.u32s()
+		m = r
+	case kindBulkAddr | respBit:
+		var r BulkAddrResp
+		r.Epoch = d.u64()
+		r.CurrIndex = d.i()
+		r.NextIndex = d.i()
+		r.More = d.bool()
+		// 80 = minimum encoded AddrView: 8 empty strings (4 bytes each),
+		// 3 ints + 2 floats (8 bytes each), 4 bools, the AS u32.
+		n := d.count(80)
+		r.Views = make([]query.AddrView, n)
+		for i := range r.Views {
+			r.Views[i] = sub(d, query.DecodeAddrViewWire)
+		}
+		m = r
+	case kindBulkBlock:
+		var r BulkBlockReq
+		r.CurrIndex = d.i()
+		r.Blocks = d.u32s()
+		m = r
+	case kindBulkBlock | respBit:
+		var r BulkBlockResp
+		r.Epoch = d.u64()
+		r.CurrIndex = d.i()
+		r.NextIndex = d.i()
+		r.More = d.bool()
+		n := d.count(1) // 1 = a not-found entry's lone bool
+		r.Entries = make([]BlockEntry, n)
+		for i := range r.Entries {
+			r.Entries[i].Found = d.bool()
+			if r.Entries[i].Found {
+				r.Entries[i].View = sub(d, query.DecodeBlockViewWire)
+			}
+		}
+		m = r
+	case kindError:
+		var r ErrorResp
+		r.Code = int(d.u32())
+		r.Msg = d.str()
+		m = r
+	default:
+		return nil, formatErrf("unknown frame kind 0x%02x", kind)
+	}
+	if err := d.finish(kind); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- preface + frame I/O ----------------------------------------------
+
+// writePreface writes the magic + version preface.
+func writePreface(w io.Writer) error {
+	var buf [8]byte
+	copy(buf[:], magic)
+	binary.BigEndian.PutUint16(buf[6:], Version)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readPreface validates the peer's magic + version preface.
+func readPreface(r io.Reader) error {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return err
+	}
+	if string(buf[:6]) != string(magic) {
+		return formatErrf("bad stream magic %q", buf[:6])
+	}
+	if v := binary.BigEndian.Uint16(buf[6:]); v != Version {
+		return formatErrf("unsupported protocol version %d (want %d)", v, Version)
+	}
+	return nil
+}
+
+// writeFrame writes one message frame. The caller flushes.
+func writeFrame(w io.Writer, id uint32, m Msg) error {
+	payload := m.append(nil)
+	if len(payload) > maxFrameLen {
+		return formatErrf("frame of %d bytes exceeds the %d-byte limit", len(payload), maxFrameLen)
+	}
+	var hdr [9]byte
+	hdr[0] = m.Kind()
+	binary.BigEndian.PutUint32(hdr[1:], id)
+	binary.BigEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one message frame.
+func readFrame(r io.Reader) (id uint32, m Msg, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, ErrTruncated
+		}
+		return 0, nil, err // io.EOF between frames = clean close
+	}
+	kind := hdr[0]
+	id = binary.BigEndian.Uint32(hdr[1:])
+	n := binary.BigEndian.Uint32(hdr[5:])
+	if n > maxFrameLen {
+		return 0, nil, formatErrf("frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, ErrTruncated
+		}
+		return 0, nil, err
+	}
+	m, err = DecodePayload(kind, payload)
+	return id, m, err
+}

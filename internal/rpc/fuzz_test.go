@@ -1,0 +1,42 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ipscope/internal/query"
+)
+
+// FuzzRPCDecode fuzzes the payload decoder with arbitrary bytes under
+// every frame kind. The invariants mirror the obs codec fuzz target:
+// decoding never panics, failures are the typed protocol errors
+// (*FormatError, or *query.WireError from a nested view codec), and any
+// accepted payload is canonical — re-encoding the decoded message
+// reproduces the input bytes exactly (the fixed point that makes byte
+// equality across transports provable).
+func FuzzRPCDecode(f *testing.F) {
+	for _, m := range testMessages() {
+		f.Add(m.Kind(), EncodePayload(m))
+	}
+	f.Add(byte(0x42), []byte{})                                       // unknown kind
+	f.Add(byte(kindBulkAddr|respBit), bytes.Repeat([]byte{0xFF}, 40)) // huge counts
+
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		m, err := DecodePayload(kind, payload)
+		if err != nil {
+			var fe *FormatError
+			var we *query.WireError
+			if !errors.As(err, &fe) && !errors.As(err, &we) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		if m.Kind() != kind {
+			t.Fatalf("decoded kind 0x%02x from frame kind 0x%02x", m.Kind(), kind)
+		}
+		if again := EncodePayload(m); !bytes.Equal(again, payload) {
+			t.Fatalf("decode∘encode not the identity:\n in:  %x\n out: %x", payload, again)
+		}
+	})
+}

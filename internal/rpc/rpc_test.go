@@ -1,0 +1,465 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ipscope/internal/query"
+	"ipscope/internal/serve"
+	"ipscope/internal/serve/wire"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+// --- codec tests (mirror the obs codec suite) ------------------------
+
+// testMessages covers every message type with fixtures exercising the
+// edge values the codec must carry faithfully: empty and non-empty
+// strings, nil vs empty slices, negative ints, extreme floats.
+func testMessages() []Msg {
+	return []Msg{
+		InfoReq{},
+		InfoResp{Info: wire.ClusterInfo{Status: "ok", Epoch: 9,
+			ShardInfo: wire.ShardInfo{Index: 1, Count: 4, Lo: 1 << 22, Hi: 1 << 23},
+			RPCAddr:   "127.0.0.1:9999",
+			Blocks:    321, FirstActive: "10.0.0.0/24"}},
+		InfoResp{},
+		HealthReq{},
+		HealthResp{Status: "warming", Epoch: 0, Blocks: 0, DailyLen: 0},
+		HealthResp{Status: "ok", Epoch: 3, Blocks: 12, DailyLen: 84},
+		SummaryReq{},
+		SummaryResp{Epoch: 5, Partial: query.SummaryPartial{Seed: 17, Days: 112,
+			Daily:   query.SeriesPartial{Snapshots: 2, SnapASes: [][]uint32{{1, 2}, nil}},
+			DayLens: []int{1, 2}, UARegisters: []byte{0, 9}}},
+		ASReq{ASN: 64500},
+		ASResp{Epoch: 1, Partial: query.ASPartial{Found: true, AS: 64500,
+			Prefixes: []string{"10.0.0.0/8"}, Hits: []float64{math.MaxFloat64, -1}}},
+		ASResp{Partial: query.ASPartial{AS: 7}},
+		PrefixReq{Prefix: "10.0.0.0/12", MaxBlocks: 16},
+		PrefixReq{},
+		PrefixResp{Epoch: 2, Partial: query.PrefixPartial{Prefix: "10.0.0.0/12",
+			Blocks: 1 << 12, STU: []float64{0.5}, Origins: []uint32{1},
+			BlockList: []query.BlockView{{Block: "10.0.0.0/24", AS: 1, FD: 3}}}},
+		AddrReq{Addr: 0xC0A80101},
+		AddrResp{Epoch: 4, View: query.AddrView{Addr: "192.168.1.1", FirstDay: -1, LastDay: -1}},
+		BlockReq{Block: 0xC0A801},
+		BlockResp{Epoch: 4, Found: true, View: query.BlockView{Block: "192.168.1.0/24", STU: 0.125}},
+		BlockResp{Epoch: 4, Found: false},
+		BulkAddrReq{CurrIndex: 3, Addrs: []uint32{1, 2, 3, 4}},
+		BulkAddrReq{Addrs: []uint32{}},
+		BulkAddrResp{Epoch: 1, CurrIndex: 0, NextIndex: 2, More: true,
+			Views: []query.AddrView{{Addr: "0.0.0.1"}, {Addr: "0.0.0.2", Active: true}}},
+		BulkBlockReq{CurrIndex: 1, Blocks: []uint32{9, 10}},
+		BulkBlockResp{Epoch: 1, CurrIndex: 1, NextIndex: 2, More: false,
+			Entries: []BlockEntry{{Found: false}, {Found: true, View: query.BlockView{Block: "0.0.10.0/24"}}}},
+		ErrorResp{Code: 503, Msg: wire.WarmingError},
+		ErrorResp{Code: 400, Msg: ""},
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	for _, m := range testMessages() {
+		enc := EncodePayload(m)
+		got, err := DecodePayload(m.Kind(), enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%T: round trip = %+v, want %+v", m, got, m)
+		}
+		// Canonical: the decode re-encodes to the same bytes.
+		if again := EncodePayload(got); !bytes.Equal(again, enc) {
+			t.Fatalf("%T: re-encode differs", m)
+		}
+	}
+}
+
+func TestPayloadTruncated(t *testing.T) {
+	for _, m := range testMessages() {
+		enc := EncodePayload(m)
+		for n := 0; n < len(enc); n++ {
+			if _, err := DecodePayload(m.Kind(), enc[:n]); err == nil {
+				t.Fatalf("%T: decoding %d of %d bytes succeeded", m, n, len(enc))
+			}
+		}
+		// Trailing garbage is rejected: encodings are canonical.
+		if _, err := DecodePayload(m.Kind(), append(append([]byte{}, enc...), 0)); err == nil {
+			t.Fatalf("%T: trailing byte accepted", m)
+		}
+	}
+}
+
+func TestPayloadCorrupt(t *testing.T) {
+	if _, err := DecodePayload(0x42, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// A bulk response whose count field claims far more views than the
+	// payload could hold must error before allocating.
+	enc := EncodePayload(BulkAddrResp{})
+	bad := append([]byte{}, enc[:len(enc)-4]...)
+	bad = append(bad, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodePayload(kindBulkAddr|respBit, bad); err == nil {
+		t.Fatal("implausible view count accepted")
+	}
+	// A non-canonical More byte is rejected.
+	enc = EncodePayload(BulkAddrResp{More: true})
+	bad = append([]byte{}, enc...)
+	bad[8+8+8] = 3
+	if _, err := DecodePayload(kindBulkAddr|respBit, bad); err == nil {
+		t.Fatal("non-canonical bool accepted")
+	}
+}
+
+func TestPrefaceAndFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writePreface(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := readPreface(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad magic and wrong version are *FormatError.
+	if err := readPreface(bytes.NewReader([]byte("HTTP/1.1"))); err == nil {
+		t.Fatal("bad magic accepted")
+	} else if _, ok := err.(*FormatError); !ok {
+		t.Fatalf("bad magic: error %T, want *FormatError", err)
+	}
+	future := append([]byte{}, buf.Bytes()...)
+	future[7] = 99
+	if err := readPreface(bytes.NewReader(future)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// A short preface is ErrTruncated.
+	if err := readPreface(bytes.NewReader(buf.Bytes()[:5])); err != ErrTruncated {
+		t.Fatalf("short preface: %v, want ErrTruncated", err)
+	}
+
+	// Frame round trip preserves the id and message.
+	var fb bytes.Buffer
+	want := ASReq{ASN: 9}
+	if err := writeFrame(&fb, 77, want); err != nil {
+		t.Fatal(err)
+	}
+	frame := fb.Bytes()
+	id, m, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 || m != want {
+		t.Fatalf("readFrame = (%d, %+v), want (77, %+v)", id, m, want)
+	}
+	// Every truncation of the frame fails typed: mid-header and
+	// mid-payload are ErrTruncated, never a panic.
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := readFrame(bytes.NewReader(frame[:n])); err == nil {
+			t.Fatalf("frame[:%d] accepted", n)
+		}
+	}
+	// An absurd length field is rejected before allocation.
+	huge := append([]byte{}, frame...)
+	huge[5], huge[6], huge[7], huge[8] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := readFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+// --- server/client integration ---------------------------------------
+
+var (
+	backendOnce sync.Once
+	backendSrv  *serve.Server
+	backendIdx  *query.Index
+)
+
+// testBackend builds one tiny-world shard backend shared by the
+// integration tests.
+func testBackend(t testing.TB) (*serve.Server, *query.Index) {
+	t.Helper()
+	backendOnce.Do(func() {
+		w := synthnet.Generate(synthnet.TinyConfig())
+		res := sim.Run(w, sim.TinyConfig())
+		idx, err := query.Build(&res.Data, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backendIdx = idx
+		backendSrv = serve.New(idx, serve.Config{})
+	})
+	return backendSrv, backendIdx
+}
+
+// startServer runs an RPC server over the shared backend and returns a
+// connected client; both are torn down with the test.
+func startServer(t *testing.T, opts Options) *Client {
+	t.Helper()
+	be, _ := testBackend(t)
+	srv := NewServer(be, opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	c := NewClient(addr.String(), ClientOptions{})
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientServerPoint(t *testing.T) {
+	c := startServer(t, Options{})
+	_, idx := testBackend(t)
+	ctx := context.Background()
+	epoch := idx.Epoch()
+
+	blk := idx.Blocks()[0]
+	view, found, e, err := c.Block(ctx, uint32(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || e != epoch {
+		t.Fatalf("Block(%v) = found=%v epoch=%d, want true, %d", blk, found, e, epoch)
+	}
+	if want, _ := idx.Block(blk); view != want {
+		t.Fatalf("Block(%v) = %+v, want %+v", blk, view, want)
+	}
+
+	// A block with no activity answers found=false, not an error.
+	inactive := uint32(blk) + 1
+	for _, b := range idx.Blocks() {
+		if uint32(b) == inactive {
+			inactive++
+		}
+	}
+	if _, found, _, err := c.Block(ctx, inactive); err != nil || found {
+		t.Fatalf("inactive block: found=%v err=%v", found, err)
+	}
+
+	addr := blk.Addr(7)
+	aview, e, err := c.Addr(ctx, uint32(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != epoch || aview != idx.Addr(addr) {
+		t.Fatalf("Addr(%v) mismatch", addr)
+	}
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != "ok" || info.Epoch != epoch || info.Blocks != idx.NumBlocks() {
+		t.Fatalf("Info = %+v", info)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Epoch != epoch {
+		t.Fatalf("Health = %+v", h)
+	}
+}
+
+func TestClientServerPartials(t *testing.T) {
+	c := startServer(t, Options{})
+	_, idx := testBackend(t)
+	ctx := context.Background()
+
+	p, e, err := c.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != idx.Epoch() {
+		t.Fatalf("summary epoch %d, want %d", e, idx.Epoch())
+	}
+	if got, want := p.Finalize(), idx.Summary(); got != want {
+		t.Fatalf("summary partial finalizes to %+v, want %+v", got, want)
+	}
+
+	asn := idx.ASNs()[0]
+	ap, _, err := c.AS(ctx, uint32(asn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := idx.ASPartial(asn); !reflect.DeepEqual(ap, want) {
+		t.Fatalf("AS partial = %+v, want %+v", ap, want)
+	}
+
+	// An invalid prefix answers a 400 StatusError, like the HTTP API.
+	if _, _, err := c.Prefix(ctx, "banana", 16); err == nil {
+		t.Fatal("invalid prefix accepted")
+	} else if se, ok := err.(*StatusError); !ok || se.Code != 400 {
+		t.Fatalf("invalid prefix: %v, want 400 StatusError", err)
+	}
+}
+
+// TestWarmingBackend pins the typed form of the HTTP warming 503.
+func TestWarmingBackend(t *testing.T) {
+	srv := NewServer(serve.New(nil, serve.Config{}), Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	c := NewClient(addr.String(), ClientOptions{})
+	defer c.Close()
+
+	ctx := context.Background()
+	if _, _, _, err := c.Block(ctx, 1); err == nil {
+		t.Fatal("warming shard answered a block lookup")
+	} else if se, ok := err.(*StatusError); !ok || se.Code != 503 || se.Msg != wire.WarmingError {
+		t.Fatalf("warming error = %v", err)
+	}
+	// Info still answers while warming.
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != "warming" {
+		t.Fatalf("warming Info.Status = %q", info.Status)
+	}
+}
+
+// TestBulkEqualsSingles is the bulk contract: a BulkAddr/BulkBlock
+// answer — forced across several More pages by a tiny server page size
+// — is element-for-element identical to N single lookups, including
+// the not-found entries, and the JSON each view marshals to is
+// byte-identical.
+func TestBulkEqualsSingles(t *testing.T) {
+	c := startServer(t, Options{BulkPage: 3})
+	_, idx := testBackend(t)
+	ctx := context.Background()
+
+	blocks := idx.Blocks()
+	if len(blocks) <= 7 {
+		t.Fatalf("tiny world too small: %d blocks", len(blocks))
+	}
+	// 10 targets spanning active and inactive blocks: forces 4 pages at
+	// page size 3 (a non-aligned final page).
+	var addrs, blks []uint32
+	for i := 0; i < 10; i++ {
+		b := uint32(blocks[(i*3)%len(blocks)])
+		if i%3 == 2 {
+			b++ // often inactive: the not-found path must page identically
+		}
+		blks = append(blks, b)
+		addrs = append(addrs, b<<8|uint32(i))
+	}
+
+	views, epoch, err := c.BulkAddr(ctx, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != idx.Epoch() || len(views) != len(addrs) {
+		t.Fatalf("BulkAddr: epoch=%d len=%d", epoch, len(views))
+	}
+	for i, a := range addrs {
+		single, _, err := c.Addr(ctx, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if views[i] != single {
+			t.Fatalf("bulk view %d = %+v, single = %+v", i, views[i], single)
+		}
+		bj, _ := json.Marshal(views[i])
+		sj, _ := json.Marshal(single)
+		if !bytes.Equal(bj, sj) {
+			t.Fatalf("bulk JSON %d differs: %s vs %s", i, bj, sj)
+		}
+	}
+
+	entries, epoch, err := c.BulkBlock(ctx, blks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != idx.Epoch() || len(entries) != len(blks) {
+		t.Fatalf("BulkBlock: epoch=%d len=%d", epoch, len(entries))
+	}
+	sawNotFound := false
+	for i, b := range blks {
+		view, found, _, err := c.Block(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entries[i].Found != found || entries[i].View != view {
+			t.Fatalf("bulk entry %d = %+v, single = (%v, %+v)", i, entries[i], found, view)
+		}
+		sawNotFound = sawNotFound || !found
+	}
+	if !sawNotFound {
+		t.Fatal("probe set never exercised the not-found path")
+	}
+
+	// Empty bulk is a valid degenerate call.
+	if views, _, err := c.BulkAddr(ctx, nil); err != nil || len(views) != 0 {
+		t.Fatalf("empty BulkAddr = (%d views, %v)", len(views), err)
+	}
+}
+
+// TestPipelining issues many concurrent requests over the client's
+// small connection pool; responses must all match their requests (the
+// id demux under fire).
+func TestPipelining(t *testing.T) {
+	c := startServer(t, Options{})
+	_, idx := testBackend(t)
+	blocks := idx.Blocks()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				blk := blocks[(g*50+i)%len(blocks)]
+				want, _ := idx.Block(blk)
+				view, found, _, err := c.Block(ctx, uint32(blk))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !found || view != want {
+					errs <- &FormatError{Msg: "response/request mismatch under pipelining"}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestGarbagePeer pins the server's behaviour against a non-RPC peer:
+// the connection is dropped, the process survives.
+func TestGarbagePeer(t *testing.T) {
+	be, _ := testBackend(t)
+	srv := NewServer(be, Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close on us rather than answer.
+	buf := make([]byte, 1)
+	if n, _ := conn.Read(buf); n != 0 {
+		t.Fatalf("server answered %d bytes to a garbage preface", n)
+	}
+}

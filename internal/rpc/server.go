@@ -1,0 +1,240 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/http"
+	"sync"
+
+	"ipscope/internal/bgp"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/query"
+	"ipscope/internal/serve/wire"
+)
+
+// DefaultBulkPage bounds how many entries one bulk response carries
+// when Options.BulkPage is 0; clients page with CurrIndex/NextIndex.
+const DefaultBulkPage = 256
+
+// Backend is the shard state the RPC server answers from —
+// serve.Server implements it, so the HTTP and RPC listeners of one
+// shard serve the same atomically-published snapshots.
+type Backend interface {
+	// Index returns the current snapshot (nil while warming).
+	Index() *query.Index
+	// Shard returns the partition coordinates.
+	Shard() wire.ShardInfo
+	// ClusterInfo returns the /v1/cluster/info equivalent.
+	ClusterInfo() wire.ClusterInfo
+	// Health returns the /v1/healthz equivalent.
+	Health() wire.Health
+}
+
+// Options tunes a Server.
+type Options struct {
+	// BulkPage caps entries per bulk response; 0 means DefaultBulkPage.
+	// Tests shrink it to force paging across the More boundary.
+	BulkPage int
+}
+
+// Server answers the binary RPC protocol over persistent TCP
+// connections. Each connection's requests are handled sequentially in
+// arrival order (responses echo the request id, so a pipelining client
+// matches them up); separate connections are independent.
+type Server struct {
+	be   Backend
+	page int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server answering from be.
+func NewServer(be Backend, opts Options) *Server {
+	page := opts.BulkPage
+	if page <= 0 {
+		page = DefaultBulkPage
+	}
+	return &Server{be: be, page: page, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr ("127.0.0.1:0" for an ephemeral port) and serves in
+// the background until Shutdown.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown closes the listener and every open connection, then waits
+// for the connection handlers to exit (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// serveConn runs one connection's request loop: preface exchange, then
+// frames until the peer closes or a protocol error occurs. The write
+// buffer is flushed only when no further request is already buffered,
+// so a pipelined burst is answered in one writev instead of one flush
+// per response.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if err := readPreface(br); err != nil {
+		return
+	}
+	if err := writePreface(bw); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	for {
+		id, req, err := readFrame(br)
+		if err != nil {
+			return // clean close, truncation, or garbage: drop the conn
+		}
+		if err := writeFrame(bw, id, s.handle(req)); err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handle answers one request. Data requests against a warming shard
+// (no published snapshot) answer the typed form of the HTTP 503.
+func (s *Server) handle(req Msg) Msg {
+	switch r := req.(type) {
+	case InfoReq:
+		return InfoResp{Info: s.be.ClusterInfo()}
+	case HealthReq:
+		h := s.be.Health()
+		return HealthResp{Status: h.Status, Epoch: h.Epoch, Blocks: h.Blocks, DailyLen: h.DailyLen}
+	default:
+		x := s.be.Index()
+		if x == nil {
+			return ErrorResp{Code: http.StatusServiceUnavailable, Msg: wire.WarmingError}
+		}
+		return s.handleData(x, r)
+	}
+}
+
+func (s *Server) handleData(x *query.Index, req Msg) Msg {
+	epoch := x.Epoch()
+	switch r := req.(type) {
+	case SummaryReq:
+		return SummaryResp{Epoch: epoch, Partial: x.SummaryPartial()}
+	case ASReq:
+		return ASResp{Epoch: epoch, Partial: x.ASPartial(bgp.ASN(r.ASN))}
+	case PrefixReq:
+		p, err := ipv4.ParsePrefix(r.Prefix)
+		if err != nil {
+			return ErrorResp{Code: http.StatusBadRequest, Msg: err.Error()}
+		}
+		partial, err := x.PrefixPartial(p, r.MaxBlocks)
+		if err != nil {
+			return ErrorResp{Code: http.StatusBadRequest, Msg: err.Error()}
+		}
+		return PrefixResp{Epoch: epoch, Partial: partial}
+	case AddrReq:
+		return AddrResp{Epoch: epoch, View: x.Addr(ipv4.Addr(r.Addr))}
+	case BlockReq:
+		v, ok := x.Block(ipv4.Block(r.Block))
+		return BlockResp{Epoch: epoch, Found: ok, View: v}
+	case BulkAddrReq:
+		lo, hi, more := s.pageBounds(r.CurrIndex, len(r.Addrs))
+		resp := BulkAddrResp{Epoch: epoch, CurrIndex: lo, NextIndex: hi, More: more}
+		resp.Views = make([]query.AddrView, 0, hi-lo)
+		for _, a := range r.Addrs[lo:hi] {
+			resp.Views = append(resp.Views, x.Addr(ipv4.Addr(a)))
+		}
+		return resp
+	case BulkBlockReq:
+		lo, hi, more := s.pageBounds(r.CurrIndex, len(r.Blocks))
+		resp := BulkBlockResp{Epoch: epoch, CurrIndex: lo, NextIndex: hi, More: more}
+		resp.Entries = make([]BlockEntry, 0, hi-lo)
+		for _, blk := range r.Blocks[lo:hi] {
+			v, ok := x.Block(ipv4.Block(blk))
+			resp.Entries = append(resp.Entries, BlockEntry{Found: ok, View: v})
+		}
+		return resp
+	}
+	return ErrorResp{Code: http.StatusBadRequest, Msg: "unexpected request kind"}
+}
+
+// pageBounds clamps a bulk request's CurrIndex to [0, n] and answers at
+// most one page from there.
+func (s *Server) pageBounds(curr, n int) (lo, hi int, more bool) {
+	lo = curr
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n {
+		lo = n
+	}
+	hi = lo + s.page
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, hi < n
+}

@@ -18,6 +18,11 @@
 // published with no snapshot yet (live mode warming up) answers 503
 // with Retry-After until the first Publish.
 //
+// The /v1/* body and error contract itself — typed payloads, epoch
+// splice, ETag derivation, path-parameter parsing — lives in the
+// internal/serve/wire package, shared with the cluster router and the
+// binary RPC transport so every serving path produces identical bytes.
+//
 // Endpoints:
 //
 //	GET /v1/addr/{ip}        one address's activity timeline + enrichment
@@ -35,8 +40,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,32 +47,11 @@ import (
 	"ipscope/internal/bgp"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/query"
+	"ipscope/internal/serve/wire"
 )
 
 // DefaultCacheSize bounds the response cache when Config.CacheSize is 0.
 const DefaultCacheSize = 4096
-
-// DefaultPrefixBlockList caps the per-block detail list embedded in a
-// /v1/prefix response.
-const DefaultPrefixBlockList = 16
-
-// ShardInfo describes the slice of the /24 block space a shard serves:
-// its position in the partition and the owned block range [Lo, Hi) as
-// raw /24 block numbers (Hi may be 1<<24, one past the last block).
-// The cluster router learns the partition by reading every shard's
-// /v1/cluster/info, so shards are the single source of truth for who
-// owns what.
-type ShardInfo struct {
-	Index int    `json:"shard"`
-	Count int    `json:"shards"`
-	Lo    uint32 `json:"blockLo"`
-	Hi    uint32 `json:"blockHi"`
-}
-
-// Contains reports whether blk falls inside the shard's owned range.
-func (si ShardInfo) Contains(blk ipv4.Block) bool {
-	return uint32(blk) >= si.Lo && uint32(blk) < si.Hi
-}
 
 // Config tunes a Server.
 type Config struct {
@@ -86,13 +68,14 @@ type Config struct {
 	// lets the equivalence tests run a router over a single full
 	// server. Live shards that learn their range from the stream's
 	// meta event use SetShard instead.
-	Shard *ShardInfo
+	Shard *wire.ShardInfo
 }
 
 // Server serves query.Index snapshots over HTTP.
 type Server struct {
 	idx     atomic.Pointer[query.Index]
-	shard   atomic.Pointer[ShardInfo]
+	shard   atomic.Pointer[wire.ShardInfo]
+	rpcAddr atomic.Pointer[string]
 	cache   *Cache
 	handler http.Handler
 
@@ -140,15 +123,29 @@ func New(idx *query.Index, cfg Config) *Server {
 // SetShard publishes the server's partition coordinates after startup —
 // the live-shard path, where the owned range is only known once the
 // stream's meta event arrives and the partition plan can be computed.
-func (s *Server) SetShard(si ShardInfo) { s.shard.Store(&si) }
+func (s *Server) SetShard(si wire.ShardInfo) { s.shard.Store(&si) }
 
 // Shard returns the published partition coordinates, defaulting to the
 // one-shard cluster covering the whole block space.
-func (s *Server) Shard() ShardInfo {
+func (s *Server) Shard() wire.ShardInfo {
 	if si := s.shard.Load(); si != nil {
 		return *si
 	}
-	return ShardInfo{Index: 0, Count: 1, Lo: 0, Hi: 1 << 24}
+	return wire.ShardInfo{Index: 0, Count: 1, Lo: 0, Hi: 1 << 24}
+}
+
+// SetRPCAddr advertises the shard's binary RPC endpoint (host:port) in
+// /v1/cluster/info, letting a router running -transport=rpc upgrade its
+// connection to this shard.
+func (s *Server) SetRPCAddr(addr string) { s.rpcAddr.Store(&addr) }
+
+// RPCAddr returns the advertised RPC endpoint ("" when RPC is not
+// enabled on this shard).
+func (s *Server) RPCAddr() string {
+	if a := s.rpcAddr.Load(); a != nil {
+		return *a
+	}
+	return ""
 }
 
 // Publish atomically swaps in a new index snapshot. In-flight requests
@@ -204,43 +201,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return <-ch
 }
 
-// ETagFor derives the entity tag every /v1/* endpoint serves from the
-// snapshot epoch: the index is immutable, so a resource changes exactly
-// when the epoch does.
-func ETagFor(epoch uint64) string {
-	return fmt.Sprintf("\"ips-e%d\"", epoch)
-}
-
-// NotModified reports whether the request's If-None-Match header
-// matches etag (or is the "*" wildcard).
-func NotModified(r *http.Request, etag string) bool {
-	inm := r.Header.Get("If-None-Match")
-	if inm == "" {
-		return false
-	}
-	for _, c := range strings.Split(inm, ",") {
-		c = strings.TrimSpace(c)
-		if c == etag || c == "*" {
-			return true
-		}
-	}
-	return false
-}
-
-// WithEpoch splices the snapshot epoch into a marshalled JSON object as
-// its leading field, so every cached body self-identifies the snapshot
-// it was computed from without every payload type carrying the field.
-func WithEpoch(body []byte, epoch uint64) []byte {
-	if len(body) < 2 || body[0] != '{' {
-		return body
-	}
-	head := fmt.Sprintf(`{"epoch":%d`, epoch)
-	if body[1] != '}' {
-		head += ","
-	}
-	return append([]byte(head), body[1:]...)
-}
-
 // cached wraps a pure lookup in the LRU + single-flight cache, keyed by
 // (snapshot epoch, canonical request path): a Publish strands every
 // old-epoch entry without touching in-flight fills. The handler runs
@@ -253,25 +213,21 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("Retry-After", "1")
 			w.WriteHeader(http.StatusServiceUnavailable)
-			io.WriteString(w, `{"epoch":0,"error":"index warming up: no snapshot published yet"}`+"\n")
+			w.Write(wire.WarmingBody())
 			return
 		}
 		epoch := x.Epoch()
-		etag := ETagFor(epoch)
+		etag := wire.ETagFor(epoch)
 		w.Header().Set("ETag", etag)
-		if NotModified(r, etag) {
+		if wire.NotModified(r, etag) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 		key := fmt.Sprintf("%d:%s", epoch, r.URL.Path)
 		resp, hit := s.cache.Do(key, func() Response {
 			status, payload := fn(x, r)
-			body, err := json.Marshal(payload)
-			if err != nil {
-				status = http.StatusInternalServerError
-				body = []byte(`{"error":"encoding failed"}`)
-			}
-			return Response{Status: status, Body: append(WithEpoch(body, epoch), '\n')}
+			status, body := wire.Encode(status, payload, epoch)
+			return Response{Status: status, Body: body}
 		})
 		if hit {
 			w.Header().Set("X-Cache", "hit")
@@ -284,47 +240,22 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 	}
 }
 
-// ErrorBody is the JSON error payload every endpoint (and the cluster
-// router, which must stay byte-compatible) uses.
-type ErrorBody struct {
-	Error string `json:"error"`
-}
-
 func (s *Server) handleAddr(x *query.Index, r *http.Request) (int, any) {
 	a, err := ipv4.ParseAddr(r.PathValue("ip"))
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
 	return http.StatusOK, x.Addr(a)
 }
 
-// Parse24 accepts "a.b.c.0/24" or a bare address inside the block.
-func Parse24(raw string) (ipv4.Block, error) {
-	if i := strings.IndexByte(raw, '/'); i >= 0 {
-		p, err := ipv4.ParsePrefix(raw)
-		if err != nil {
-			return 0, err
-		}
-		if p.Bits() != 24 {
-			return 0, fmt.Errorf("block endpoint wants a /24, got /%d", p.Bits())
-		}
-		return p.FirstBlock(), nil
-	}
-	a, err := ipv4.ParseAddr(raw)
-	if err != nil {
-		return 0, err
-	}
-	return a.Block(), nil
-}
-
 func (s *Server) handleBlock(x *query.Index, r *http.Request) (int, any) {
-	blk, err := Parse24(r.PathValue("prefix"))
+	blk, err := wire.Parse24(r.PathValue("prefix"))
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
 	v, ok := x.Block(blk)
 	if !ok {
-		return http.StatusNotFound, ErrorBody{Error: fmt.Sprintf("block %v has no activity in the daily window", blk)}
+		return http.StatusNotFound, wire.ErrorBody{Error: wire.ErrBlockNotFound(blk)}
 	}
 	return http.StatusOK, v
 }
@@ -332,38 +263,23 @@ func (s *Server) handleBlock(x *query.Index, r *http.Request) (int, any) {
 func (s *Server) handlePrefix(x *query.Index, r *http.Request) (int, any) {
 	p, err := ipv4.ParsePrefix(r.PathValue("cidr"))
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
-	v, err := x.Prefix(p, DefaultPrefixBlockList)
+	v, err := x.Prefix(p, wire.DefaultPrefixBlockList)
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
 	return http.StatusOK, v
 }
 
-// ParseASN parses "AS64500" or "64500". The router shares it (and its
-// error text) so a routed 400 is byte-identical to a single-node one.
-func ParseASN(raw string) (uint32, error) {
-	s := strings.TrimPrefix(strings.ToUpper(raw), "AS")
-	n, err := strconv.ParseUint(s, 10, 32)
-	if err != nil {
-		return 0, fmt.Errorf("invalid ASN %q", raw)
-	}
-	return uint32(n), nil
-}
-
-// ErrASNotFound renders the 404 body text for an unknown AS, shared
-// with the router's merged not-found answer.
-func ErrASNotFound(n uint32) string { return fmt.Sprintf("AS%d not in dataset", n) }
-
 func (s *Server) handleAS(x *query.Index, r *http.Request) (int, any) {
-	n, err := ParseASN(r.PathValue("asn"))
+	n, err := wire.ParseASN(r.PathValue("asn"))
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
 	v, ok := x.AS(bgp.ASN(n))
 	if !ok {
-		return http.StatusNotFound, ErrorBody{Error: ErrASNotFound(n)}
+		return http.StatusNotFound, wire.ErrorBody{Error: wire.ErrASNotFound(n)}
 	}
 	return http.StatusOK, v
 }
@@ -383,9 +299,9 @@ func (s *Server) handleClusterSummary(x *query.Index, r *http.Request) (int, any
 // shard is not absence in the cluster, so the 404 decision belongs to
 // the router after the gather.
 func (s *Server) handleClusterAS(x *query.Index, r *http.Request) (int, any) {
-	n, err := ParseASN(r.PathValue("asn"))
+	n, err := wire.ParseASN(r.PathValue("asn"))
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
 	return http.StatusOK, x.ASPartial(bgp.ASN(n))
 }
@@ -395,30 +311,20 @@ func (s *Server) handleClusterAS(x *query.Index, r *http.Request) (int, any) {
 func (s *Server) handleClusterPrefix(x *query.Index, r *http.Request) (int, any) {
 	p, err := ipv4.ParsePrefix(r.PathValue("cidr"))
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
-	v, err := x.PrefixPartial(p, DefaultPrefixBlockList)
+	v, err := x.PrefixPartial(p, wire.DefaultPrefixBlockList)
 	if err != nil {
-		return http.StatusBadRequest, ErrorBody{Error: err.Error()}
+		return http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}
 	}
 	return http.StatusOK, v
 }
 
-// clusterInfo is the /v1/cluster/info body: the shard's partition
-// coordinates plus enough state for a router to route and a smoke test
-// to probe. Unlike the cached lookups it answers even while warming
-// (epoch 0), so a router can learn the partition before the first
-// publish.
-type clusterInfo struct {
-	Status string `json:"status"`
-	Epoch  uint64 `json:"epoch"`
-	ShardInfo
-	Blocks      int    `json:"blocks"`
-	FirstActive string `json:"firstActive,omitempty"`
-}
-
-func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
-	body := clusterInfo{Status: "warming", ShardInfo: s.Shard()}
+// ClusterInfo assembles the /v1/cluster/info body from the server's
+// current state. Exposed so the binary RPC server answers Info requests
+// with exactly the fields the HTTP endpoint serves.
+func (s *Server) ClusterInfo() wire.ClusterInfo {
+	body := wire.ClusterInfo{Status: "warming", ShardInfo: s.Shard(), RPCAddr: s.RPCAddr()}
 	if x := s.idx.Load(); x != nil {
 		body.Status = "ok"
 		body.Epoch = x.Epoch()
@@ -427,29 +333,21 @@ func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
 			body.FirstActive = blocks[0].String()
 		}
 	}
+	return body
+}
+
+// handleClusterInfo answers even while warming (epoch 0), so a router
+// can learn the partition before the first publish.
+func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(body)
+	json.NewEncoder(w).Encode(s.ClusterInfo())
 }
 
-type healthBody struct {
-	Status      string     `json:"status"`
-	Epoch       uint64     `json:"epoch"`
-	Blocks      int        `json:"blocks"`
-	DailyLen    int        `json:"dailyLen"`
-	CacheHits   uint64     `json:"cacheHits"`
-	CacheMisses uint64     `json:"cacheMisses"`
-	CacheSize   int        `json:"cacheSize"`
-	Partition   *ShardInfo `json:"partition,omitempty"`
-}
-
-// handleHealthz reports liveness, the current epoch and cache counters.
-// Unlike the lookup endpoints it serves no ETag and no 304: its body
-// mutates on every request (cache statistics), so an epoch validator
-// would freeze different representations under one tag — pollers read
-// the epoch from the body instead.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// Health assembles the /v1/healthz body from the server's current
+// state, shared with the binary RPC server's Health frames.
+func (s *Server) Health() wire.Health {
 	hits, misses, size := s.cache.Stats()
-	body := healthBody{
+	body := wire.Health{
 		Status:      "warming",
 		CacheHits:   hits,
 		CacheMisses: misses,
@@ -462,8 +360,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body.Blocks = x.NumBlocks()
 		body.DailyLen = x.DailyLen()
 	}
+	return body
+}
+
+// handleHealthz reports liveness, the current epoch and cache counters.
+// Unlike the lookup endpoints it serves no ETag and no 304: its body
+// mutates on every request (cache statistics), so an epoch validator
+// would freeze different representations under one tag — pollers read
+// the epoch from the body instead.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(body)
+	json.NewEncoder(w).Encode(s.Health())
 }
 
 // accessRecord is one structured access-log line.

@@ -1,0 +1,224 @@
+// Package wire is the single definition of the /v1/* wire contract:
+// the typed request/response bodies, the error payloads and texts, the
+// epoch splice every JSON body carries, and the epoch-derived ETag
+// validation — shared by the shard server (internal/serve), the cluster
+// router (internal/cluster), the binary RPC transport (internal/rpc)
+// and the selfcheck/smoke probes, so a routed response cannot drift
+// from a single-node one by reimplementing any of it.
+//
+// The package deliberately holds no server state: everything here is a
+// pure function of (payload, epoch, request), which is what makes the
+// byte-stability invariants (TestClusterEquivalence, the smoke scripts'
+// summary diffs) checkable — the same inputs produce the same bytes on
+// every node that links this package.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ipscope/internal/ipv4"
+)
+
+// DefaultPrefixBlockList caps the per-block detail list embedded in a
+// /v1/prefix response. Part of the body contract: every shard and the
+// router must apply the same cap or merged block lists drift.
+const DefaultPrefixBlockList = 16
+
+// ErrorBody is the JSON error payload every /v1/* endpoint uses —
+// single-node, routed, and reconstructed from RPC frames alike.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// WarmingError is the error text a server with no published snapshot
+// answers 503 with. One definition, so the router's RPC transport can
+// reconstruct the warming body byte-identically.
+const WarmingError = "index warming up: no snapshot published yet"
+
+// WarmingBody returns the full 503 warming response body (epoch 0,
+// trailing newline) exactly as the shard's cache layer writes it.
+func WarmingBody() []byte {
+	return []byte(`{"epoch":0,"error":"` + WarmingError + `"}` + "\n")
+}
+
+// ErrASNotFound renders the 404 body text for an unknown AS, shared by
+// the shard server and the router's merged not-found answer.
+func ErrASNotFound(n uint32) string { return fmt.Sprintf("AS%d not in dataset", n) }
+
+// ErrBlockNotFound renders the 404 body text for a /24 with no activity
+// in the daily window, shared by the shard server and the router's RPC
+// transport (which reconstructs the body from a typed frame).
+func ErrBlockNotFound(blk ipv4.Block) string {
+	return fmt.Sprintf("block %v has no activity in the daily window", blk)
+}
+
+// ETagFor derives the entity tag every /v1/* endpoint serves from the
+// snapshot epoch: indexes are immutable, so a resource changes exactly
+// when the epoch does.
+func ETagFor(epoch uint64) string {
+	return fmt.Sprintf("\"ips-e%d\"", epoch)
+}
+
+// ETagMatch reports whether an If-None-Match header value matches etag
+// (or is the "*" wildcard).
+func ETagMatch(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	for _, c := range strings.Split(inm, ",") {
+		c = strings.TrimSpace(c)
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// NotModified reports whether the request's If-None-Match header
+// matches etag.
+func NotModified(r *http.Request, etag string) bool {
+	return ETagMatch(r.Header.Get("If-None-Match"), etag)
+}
+
+// WithEpoch splices the snapshot epoch into a marshalled JSON object as
+// its leading field, so every body self-identifies the snapshot it was
+// computed from without every payload type carrying the field.
+func WithEpoch(body []byte, epoch uint64) []byte {
+	if len(body) < 2 || body[0] != '{' {
+		return body
+	}
+	head := fmt.Sprintf(`{"epoch":%d`, epoch)
+	if body[1] != '}' {
+		head += ","
+	}
+	return append([]byte(head), body[1:]...)
+}
+
+// Encode marshals a /v1/* payload into its final body bytes — epoch
+// spliced, trailing newline — exactly as the shard cache layer and the
+// router both serve it. A marshal failure degrades to the canonical 500
+// body, mirroring the serving path's behaviour.
+func Encode(status int, payload any, epoch uint64) (int, []byte) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		status = http.StatusInternalServerError
+		body = []byte(`{"error":"encoding failed"}`)
+	}
+	return status, append(WithEpoch(body, epoch), '\n')
+}
+
+// Respond writes a full /v1/* response — epoch ETag, If-None-Match
+// handling, epoch-spliced JSON body — the way a shard's cache layer
+// assembles it, so routed bodies are byte-compatible with single-node
+// ones. Used by the cluster router for merged and error responses.
+func Respond(w http.ResponseWriter, r *http.Request, status int, payload any, epoch uint64) {
+	etag := ETagFor(epoch)
+	w.Header().Set("ETag", etag)
+	if NotModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	status, body := Encode(status, payload, epoch)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// Parse24 accepts "a.b.c.0/24" or a bare address inside the block —
+// the /v1/block path parameter contract.
+func Parse24(raw string) (ipv4.Block, error) {
+	if i := strings.IndexByte(raw, '/'); i >= 0 {
+		p, err := ipv4.ParsePrefix(raw)
+		if err != nil {
+			return 0, err
+		}
+		if p.Bits() != 24 {
+			return 0, fmt.Errorf("block endpoint wants a /24, got /%d", p.Bits())
+		}
+		return p.FirstBlock(), nil
+	}
+	a, err := ipv4.ParseAddr(raw)
+	if err != nil {
+		return 0, err
+	}
+	return a.Block(), nil
+}
+
+// ParseASN parses "AS64500" or "64500" — the /v1/as path parameter
+// contract. The router shares it (and its error text) so a routed 400
+// is byte-identical to a single-node one.
+func ParseASN(raw string) (uint32, error) {
+	s := strings.TrimPrefix(strings.ToUpper(raw), "AS")
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("invalid ASN %q", raw)
+	}
+	return uint32(n), nil
+}
+
+// ShardInfo describes the slice of the /24 block space a shard serves:
+// its position in the partition and the owned block range [Lo, Hi) as
+// raw /24 block numbers (Hi may be 1<<24, one past the last block).
+// The cluster router learns the partition by reading every shard's
+// /v1/cluster/info, so shards are the single source of truth for who
+// owns what.
+type ShardInfo struct {
+	Index int    `json:"shard"`
+	Count int    `json:"shards"`
+	Lo    uint32 `json:"blockLo"`
+	Hi    uint32 `json:"blockHi"`
+}
+
+// Contains reports whether blk falls inside the shard's owned range.
+func (si ShardInfo) Contains(blk ipv4.Block) bool {
+	return uint32(blk) >= si.Lo && uint32(blk) < si.Hi
+}
+
+// ClusterInfo is the /v1/cluster/info body: the shard's partition
+// coordinates plus enough state for a router to route and a smoke test
+// to probe. RPCAddr, when non-empty, advertises the shard's binary RPC
+// endpoint (internal/rpc); a router running -transport=rpc upgrades to
+// it, and falls back to HTTP for shards that do not advertise one.
+type ClusterInfo struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	ShardInfo
+	RPCAddr     string `json:"rpcAddr,omitempty"`
+	Blocks      int    `json:"blocks"`
+	FirstActive string `json:"firstActive,omitempty"`
+}
+
+// Health is the shard server's /v1/healthz body.
+type Health struct {
+	Status      string     `json:"status"`
+	Epoch       uint64     `json:"epoch"`
+	Blocks      int        `json:"blocks"`
+	DailyLen    int        `json:"dailyLen"`
+	CacheHits   uint64     `json:"cacheHits"`
+	CacheMisses uint64     `json:"cacheMisses"`
+	CacheSize   int        `json:"cacheSize"`
+	Partition   *ShardInfo `json:"partition,omitempty"`
+}
+
+// RouterHealth is the cluster router's /v1/healthz body: the aggregate
+// verdict plus one entry per shard.
+type RouterHealth struct {
+	Status string              `json:"status"`
+	Epoch  uint64              `json:"epoch"`
+	Shards []RouterShardHealth `json:"shardStates"`
+}
+
+// RouterShardHealth is one shard's health as the router observed it on
+// this probe.
+type RouterShardHealth struct {
+	Shard     int    `json:"shard"`
+	URL       string `json:"url"`
+	Transport string `json:"transport,omitempty"`
+	Status    string `json:"status"`
+	Epoch     uint64 `json:"epoch"`
+	Error     string `json:"error,omitempty"`
+}

@@ -1,0 +1,105 @@
+#!/bin/sh
+# rpc_smoke.sh DIR — end-to-end smoke of the binary RPC shard
+# transport.
+#
+# Generates a dataset, starts two block-partitioned ipscope-serve
+# shards with -rpc-listen, fronts them with an ipscope-router running
+# -transport=rpc, and asserts:
+#
+#   1. the router upgraded every shard connection to RPC (visible as
+#      "transport":"rpc" per shard in the router's /v1/healthz);
+#   2. the routed /v1/summary — gathered over binary RPC — is
+#      byte-identical (modulo the epoch field) to a single-node
+#      `ipscope-serve -dataset ... -dump-summary` over the same
+#      dataset;
+#   3. point lookups owned by each shard answer 200 through the router;
+#   4. killing one shard degrades exactly as over HTTP: its blocks
+#      answer 503, the other shard's blocks keep answering 200, and
+#      /v1/healthz reports degraded with status 503.
+#
+# Expects $DIR/ipscope-gen, $DIR/ipscope-serve and $DIR/ipscope-router
+# to be prebuilt (the Makefile's rpc-smoke target does this).
+set -eu
+
+dir=${1:?usage: rpc_smoke.sh DIR}
+shard0_addr=127.0.0.1:19481
+shard1_addr=127.0.0.1:19482
+shard0_rpc=127.0.0.1:19484
+shard1_rpc=127.0.0.1:19485
+router_addr=127.0.0.1:19483
+base="http://$router_addr"
+gen_flags="-seed 5 -ases 24 -blocks-per-as 6 -days 56"
+
+fetch() { curl -fsS --max-time 5 "$1"; }
+status_of() { curl -s -o /dev/null -w '%{http_code}' --max-time 5 "$1"; }
+
+"$dir/ipscope-gen" $gen_flags -dataset "$dir/rpc.obs"
+
+"$dir/ipscope-serve" -dataset "$dir/rpc.obs" -shard-index 0 -shard-count 2 \
+    -listen "$shard0_addr" -rpc-listen "$shard0_rpc" 2>"$dir/shard0.log" &
+shard0_pid=$!
+"$dir/ipscope-serve" -dataset "$dir/rpc.obs" -shard-index 1 -shard-count 2 \
+    -listen "$shard1_addr" -rpc-listen "$shard1_rpc" 2>"$dir/shard1.log" &
+shard1_pid=$!
+trap 'kill "$shard0_pid" "$shard1_pid" "${router_pid:-}" 2>/dev/null || true' EXIT INT TERM
+
+for shard in "$shard0_addr" "$shard1_addr"; do
+    i=0
+    until fetch "http://$shard/v1/healthz" >/dev/null 2>&1; do
+        i=$((i+1))
+        [ "$i" -le 100 ] || { echo "rpc-smoke: shard $shard never came up"; cat "$dir"/shard*.log; exit 1; }
+        sleep 0.2
+    done
+done
+
+"$dir/ipscope-router" -shards "http://$shard0_addr,http://$shard1_addr" \
+    -transport rpc -listen "$router_addr" 2>"$dir/router.log" &
+router_pid=$!
+i=0
+until fetch "$base/v1/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    [ "$i" -le 100 ] || { echo "rpc-smoke: router never came up"; cat "$dir/router.log"; exit 1; }
+    sleep 0.2
+done
+
+# 1. Every shard connection must have upgraded to RPC.
+rpc_shards=$(fetch "$base/v1/healthz" | grep -o '"transport":"rpc"' | wc -l)
+[ "$rpc_shards" -eq 2 ] || {
+    echo "rpc-smoke: $rpc_shards of 2 shards speak rpc"; fetch "$base/v1/healthz"; exit 1;
+}
+echo "rpc-smoke: router upgraded both shard connections to rpc"
+
+# 2. The RPC-gathered summary must byte-equal the single-node batch
+# summary.
+"$dir/ipscope-serve" -dataset "$dir/rpc.obs" -dump-summary >"$dir/batch-summary.json" 2>/dev/null
+fetch "$base/v1/summary" | sed 's/"epoch":[0-9]*,//' >"$dir/routed-summary.json"
+if ! cmp -s "$dir/routed-summary.json" "$dir/batch-summary.json"; then
+    echo "rpc-smoke: routed /v1/summary differs from single-node dump-summary"
+    diff "$dir/routed-summary.json" "$dir/batch-summary.json" || true
+    exit 1
+fi
+echo "rpc-smoke: routed /v1/summary over rpc byte-equals single-node summary"
+
+# 3. A block owned by each shard answers through the router.
+b0=$(fetch "http://$shard0_addr/v1/cluster/info" | sed -n 's/.*"firstActive":"\([^"]*\)".*/\1/p')
+b1=$(fetch "http://$shard1_addr/v1/cluster/info" | sed -n 's/.*"firstActive":"\([^"]*\)".*/\1/p')
+[ -n "$b0" ] && [ -n "$b1" ] || { echo "rpc-smoke: a shard reports no active blocks"; exit 1; }
+fetch "$base/v1/block/$b0" >/dev/null
+fetch "$base/v1/block/$b1" >/dev/null
+echo "rpc-smoke: routed lookups for $b0 (shard 0) and $b1 (shard 1) answered 200"
+
+# 4. Degraded mode over RPC: kill shard 1; its blocks 503, shard 0
+# keeps serving — identical to the HTTP transport's contract.
+kill "$shard1_pid"
+wait "$shard1_pid" 2>/dev/null || true
+
+code=$(status_of "$base/v1/block/$b1")
+[ "$code" = "503" ] || { echo "rpc-smoke: dead shard's block answered $code, want 503"; exit 1; }
+code=$(status_of "$base/v1/block/$b0")
+[ "$code" = "200" ] || { echo "rpc-smoke: live shard's block answered $code, want 200"; exit 1; }
+code=$(status_of "$base/v1/healthz")
+[ "$code" = "503" ] || { echo "rpc-smoke: degraded healthz answered $code, want 503"; exit 1; }
+curl -s --max-time 5 "$base/v1/healthz" | grep -q '"status":"degraded"' \
+    || { echo "rpc-smoke: healthz body does not report degraded"; exit 1; }
+
+echo "rpc-smoke: one-shard-down degrades identically over rpc; healthz reports degraded"
