@@ -7,9 +7,10 @@ SERVE_SMOKE_DIR ?= .serve-smoke
 LIVE_SMOKE_DIR ?= .live-smoke
 CLUSTER_SMOKE_DIR ?= .cluster-smoke
 RPC_SMOKE_DIR ?= .rpc-smoke
+SNAPSHOT_SMOKE_DIR ?= .snapshot-smoke
 SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke ci
+.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke ci
 
 all: build
 
@@ -79,11 +80,13 @@ serve-smoke:
 	@echo "serve-smoke: all endpoints verified"
 
 # Short fuzzing passes over the binary decoders: proves FuzzDecode
-# (dataset codec) and FuzzRPCDecode (shard↔router RPC codec) still run
-# and gives the mutator a brief shot at fresh corpus.
+# (dataset codec), FuzzRPCDecode (shard↔router RPC codec) and
+# FuzzSnapshotDecode (persistent index snapshots) still run and gives
+# the mutator a brief shot at fresh corpus.
 fuzz-smoke:
 	$(GO) test ./internal/obs -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s
 	$(GO) test ./internal/rpc -run='^$$' -fuzz='^FuzzRPCDecode$$' -fuzztime=10s
+	$(GO) test ./internal/query -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=10s
 
 # End-to-end smoke of the live serving pipeline: ipscope-gen -connect
 # streams a paced simulation into ipscope-serve -obs-listen, the
@@ -117,4 +120,17 @@ rpc-smoke:
 	$(GO) build -o $(RPC_SMOKE_DIR)/ipscope-router ./cmd/ipscope-router
 	sh scripts/rpc_smoke.sh $(RPC_SMOKE_DIR)
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke
+# End-to-end smoke of persistent index snapshots: batch
+# save→verify→load→serve must byte-equal the build that saved it, and a
+# kill -9'd live shard must restart from its -snapshot-dir checkpoint,
+# catch up, and converge the routed cluster summary on the batch one
+# (see scripts/snapshot_smoke.sh).
+snapshot-smoke:
+	rm -rf $(SNAPSHOT_SMOKE_DIR) && mkdir -p $(SNAPSHOT_SMOKE_DIR)
+	$(GO) build -o $(SNAPSHOT_SMOKE_DIR)/ipscope-gen ./cmd/ipscope-gen
+	$(GO) build -o $(SNAPSHOT_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
+	$(GO) build -o $(SNAPSHOT_SMOKE_DIR)/ipscope-router ./cmd/ipscope-router
+	$(GO) build -o $(SNAPSHOT_SMOKE_DIR)/ipscope-snapshot ./cmd/ipscope-snapshot
+	sh scripts/snapshot_smoke.sh $(SNAPSHOT_SMOKE_DIR)
+
+ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -791,6 +792,53 @@ func BenchmarkIndexBuild(b *testing.B) {
 			b.ReportMetric(float64(blocks), "blocks")
 		})
 	}
+}
+
+// BenchmarkColdStart pins the persistent-snapshot payoff: restoring the
+// serving index from an on-disk snapshot ("load", the mmap path — cost
+// O(sections), not O(addresses)) against compiling it from the dataset
+// ("build", what a snapshot-less restart pays). The two sub-benchmarks
+// share one world so their ratio is the cold-start speedup; the
+// snapshot-smoke acceptance floor is 10x.
+func BenchmarkColdStart(b *testing.B) {
+	ctx := benchContext(b)
+	idx, err := query.Build(ctx.Obs, query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "coldstart.ipsnap")
+	data := query.EncodeSnapshot(idx, nil)
+	if err := query.WriteSnapshotFile(path, data); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("load", func(b *testing.B) {
+		var blocks int
+		for i := 0; i < b.N; i++ {
+			loaded, err := query.LoadSnapshotFile(path, query.LoadOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks = loaded.Index.NumBlocks()
+			loaded.Close()
+		}
+		if blocks != idx.NumBlocks() {
+			b.Fatalf("loaded %d blocks, built %d", blocks, idx.NumBlocks())
+		}
+		b.ReportMetric(float64(blocks), "blocks")
+		b.ReportMetric(float64(len(data)), "snapshotBytes")
+	})
+	b.Run("build", func(b *testing.B) {
+		var blocks int
+		for i := 0; i < b.N; i++ {
+			bidx, err := query.Build(ctx.Obs, query.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks = bidx.NumBlocks()
+		}
+		b.ReportMetric(float64(blocks), "blocks")
+	})
 }
 
 // BenchmarkServeLookup measures the HTTP serving path under parallel

@@ -21,6 +21,25 @@
 //	                  (the peer runs "ipscope-gen -connect ADDR")
 //	-publish-every N  live: publish a new epoch every N applied days
 //	                  (default 1)
+//	-snapshot-save FILE
+//	                  batch: after the build, persist the index as an
+//	                  on-disk snapshot (atomic rename; the shard range is
+//	                  embedded when -shard-count is in effect)
+//	-snapshot-load FILE
+//	                  batch: skip the build entirely and serve a saved
+//	                  snapshot — hot sections map zero-copy, so cold
+//	                  start is milliseconds instead of a full rebuild;
+//	                  a sharded snapshot restores its own partition range
+//	-snapshot-dir DIR live: checkpoint the applier into DIR as epochs
+//	                  publish, and on startup resume from the newest
+//	                  readable checkpoint, tailing the stream from the
+//	                  cut instead of replaying it from the beginning
+//	-snapshot-every N live: checkpoint every N published epochs
+//	                  (default 1)
+//	-snapshot-keep N  live: retain only the newest N checkpoints
+//	                  (default 3)
+//	-follow-poll DUR  live: -follow poll interval (default 200ms; tests
+//	                  and smoke scripts lower it)
 //	-listen ADDR      bind address (default 127.0.0.1:8090; :0 picks an
 //	                  ephemeral port, printed on startup)
 //	-rpc-listen ADDR  also serve the binary RPC protocol (internal/rpc)
@@ -59,6 +78,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"syscall"
 	"time"
 
@@ -81,6 +102,12 @@ func main() {
 	follow := flag.String("follow", "", "live: tail a growing dataset file")
 	obsListen := flag.String("obs-listen", "", "live: accept one TCP observation stream on this address")
 	publishEvery := flag.Int("publish-every", 1, "live: publish a new epoch every N applied days")
+	snapSave := flag.String("snapshot-save", "", "batch: persist the built index as a snapshot file")
+	snapLoad := flag.String("snapshot-load", "", "batch: serve a saved snapshot instead of building")
+	snapDir := flag.String("snapshot-dir", "", "live: checkpoint directory (resume from newest on startup)")
+	snapEvery := flag.Int("snapshot-every", 1, "live: checkpoint every N published epochs")
+	snapKeep := flag.Int("snapshot-keep", 3, "live: retain only the newest N checkpoints")
+	followPoll := flag.Duration("follow-poll", 0, "live: -follow poll interval (0 = default 200ms)")
 	listen := flag.String("listen", "127.0.0.1:8090", "HTTP listen address")
 	rpcListen := flag.String("rpc-listen", "", "also serve the binary RPC protocol on this address")
 	cacheSize := flag.Int("cache", 0, "response cache capacity (0 = default, negative = disabled)")
@@ -109,6 +136,21 @@ func main() {
 	if *shardCount > 0 && (*shardIndex < 0 || *shardIndex >= *shardCount) {
 		log.Fatalf("-shard-index %d outside 0..%d", *shardIndex, *shardCount-1)
 	}
+	if live && (*snapSave != "" || *snapLoad != "") {
+		log.Fatal("-snapshot-save/-snapshot-load are batch flags; live modes use -snapshot-dir")
+	}
+	if !live && *snapDir != "" {
+		log.Fatal("-snapshot-dir requires a live mode (-follow or -obs-listen)")
+	}
+	if *snapLoad != "" && *dataset != "" {
+		log.Fatal("use either -snapshot-load or -dataset, not both")
+	}
+	if *snapLoad != "" && *shardCount > 0 {
+		log.Fatal("-snapshot-load restores the partition range saved in the snapshot; drop -shard-count")
+	}
+	if *followPoll != 0 && *follow == "" {
+		log.Fatal("-follow-poll only applies to -follow")
+	}
 
 	cfg := serve.Config{CacheSize: *cacheSize}
 	switch *accessLog {
@@ -125,46 +167,44 @@ func main() {
 	}
 
 	if live {
-		runLive(cfg, *listen, *rpcListen, *follow, *obsListen, *publishEvery, *workers, *shardIndex, *shardCount)
+		runLive(cfg, *listen, *rpcListen, liveOptions{
+			follow:       *follow,
+			obsListen:    *obsListen,
+			publishEvery: *publishEvery,
+			workers:      *workers,
+			shardIndex:   *shardIndex,
+			shardCount:   *shardCount,
+			snapshotDir:  *snapDir,
+			snapEvery:    *snapEvery,
+			snapKeep:     *snapKeep,
+			followPoll:   *followPoll,
+		})
 		return
 	}
 
 	start := time.Now()
-	var src obs.Source
-	if *dataset != "" {
-		log.Printf("loading dataset %s...", *dataset)
-		src = obs.FileSource(*dataset)
+	var idx *query.Index
+	if *snapLoad != "" {
+		loaded, err := query.LoadSnapshotFile(*snapLoad, query.LoadOptions{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx = loaded.Index
+		if sh := loaded.Info.Shard; sh != nil {
+			cfg.Shard = &wire.ShardInfo{Index: sh.Index, Count: sh.Count, Lo: sh.Lo, Hi: sh.Hi}
+			log.Printf("shard %d/%d: serving block range [%d, %d)", sh.Index, sh.Count, sh.Lo, sh.Hi)
+		}
+		log.Printf("loaded snapshot %s in %v: epoch %d",
+			*snapLoad, time.Since(start).Round(time.Microsecond), idx.Epoch())
 	} else {
-		log.Printf("no -dataset: generating world (%d ASes) and simulating %d days...", *ases, *days)
-		w := synthnet.Generate(synthnet.Config{Seed: *seed, NumASes: *ases, MeanBlocksPerAS: *blocksPerAS})
-		scfg := sim.DefaultConfig()
-		scfg.Days = *days
-		res := sim.Run(w, scfg)
-		src = &res.Data
+		idx = buildIndex(&cfg, *dataset, *seed, *ases, *blocksPerAS, *days, *workers, *shardIndex, *shardCount)
 	}
-	buildOpts := query.Options{Workers: *workers}
-	if *shardCount > 0 {
-		// Shard mode: derive the partition plan from the dataset's own
-		// meta and restrict both the dataset and the world-proportional
-		// build work to this shard's slice, so the index (and its
-		// memory) only covers the owned block range.
-		d, err := src.Observations()
-		if err != nil {
+	if *snapSave != "" {
+		data := query.EncodeSnapshot(idx, shardRangeOf(cfg.Shard))
+		if err := query.WriteSnapshotFile(*snapSave, data); err != nil {
 			log.Fatal(err)
 		}
-		plan, err := cluster.PlanShards(synthnet.Generate(d.Meta.World), *shardCount)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lo, hi := plan.Range(*shardIndex)
-		cfg.Shard = &wire.ShardInfo{Index: *shardIndex, Count: *shardCount, Lo: lo, Hi: hi}
-		src = obs.FilterSource(d, plan.Keep(*shardIndex))
-		buildOpts.Keep = plan.Keep(*shardIndex)
-		log.Printf("shard %d/%d: serving block range [%d, %d)", *shardIndex, *shardCount, lo, hi)
-	}
-	idx, err := query.Build(src, buildOpts)
-	if err != nil {
-		log.Fatal(err)
+		log.Printf("snapshot saved to %s (%d bytes)", *snapSave, len(data))
 	}
 	if *dumpSummary {
 		if err := json.NewEncoder(os.Stdout).Encode(idx.Summary()); err != nil {
@@ -211,6 +251,58 @@ func main() {
 	waitAndShutdown(srv, rpcSrv)
 }
 
+// shardRangeOf translates the server's advertised partition into the
+// snapshot codec's shard range (nil when unsharded).
+func shardRangeOf(sh *wire.ShardInfo) *query.ShardRange {
+	if sh == nil {
+		return nil
+	}
+	return &query.ShardRange{Index: sh.Index, Count: sh.Count, Lo: sh.Lo, Hi: sh.Hi}
+}
+
+// buildIndex compiles the batch-mode index from a stored dataset or an
+// in-process simulation, restricting to the owned slice in shard mode
+// (and recording the partition range in cfg for /v1/cluster/info).
+func buildIndex(cfg *serve.Config, dataset string, seed uint64, ases, blocksPerAS, days, workers, shardIndex, shardCount int) *query.Index {
+	var src obs.Source
+	if dataset != "" {
+		log.Printf("loading dataset %s...", dataset)
+		src = obs.FileSource(dataset)
+	} else {
+		log.Printf("no -dataset: generating world (%d ASes) and simulating %d days...", ases, days)
+		w := synthnet.Generate(synthnet.Config{Seed: seed, NumASes: ases, MeanBlocksPerAS: blocksPerAS})
+		scfg := sim.DefaultConfig()
+		scfg.Days = days
+		res := sim.Run(w, scfg)
+		src = &res.Data
+	}
+	buildOpts := query.Options{Workers: workers}
+	if shardCount > 0 {
+		// Shard mode: derive the partition plan from the dataset's own
+		// meta and restrict both the dataset and the world-proportional
+		// build work to this shard's slice, so the index (and its
+		// memory) only covers the owned block range.
+		d, err := src.Observations()
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := cluster.PlanShards(synthnet.Generate(d.Meta.World), shardCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := plan.Range(shardIndex)
+		cfg.Shard = &wire.ShardInfo{Index: shardIndex, Count: shardCount, Lo: lo, Hi: hi}
+		src = obs.FilterSource(d, plan.Keep(shardIndex))
+		buildOpts.Keep = plan.Keep(shardIndex)
+		log.Printf("shard %d/%d: serving block range [%d, %d)", shardIndex, shardCount, lo, hi)
+	}
+	idx, err := query.Build(src, buildOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return idx
+}
+
 // startRPC binds the binary RPC listener when -rpc-listen is set; the
 // advertised address reaches routers via /v1/cluster/info, so it is
 // published before the HTTP listener comes up.
@@ -254,14 +346,38 @@ func drain(srv *serve.Server, rpcSrv *rpc.Server) {
 	log.Printf("bye")
 }
 
+// liveOptions bundles the live-mode knobs: stream source, publish
+// cadence, partition slice and snapshot checkpointing.
+type liveOptions struct {
+	follow, obsListen      string
+	publishEvery, workers  int
+	shardIndex, shardCount int
+	snapshotDir            string
+	snapEvery, snapKeep    int
+	followPoll             time.Duration
+}
+
 // runLive serves a growing observation stream: events flow through the
 // incremental applier, and every publish interval the server atomically
 // swaps in a freshly published epoch — lookups keep being answered from
 // the previous snapshot in the meantime, and the HTTP endpoint is up
 // (warming) before the first day arrives.
-func runLive(cfg serve.Config, listen, rpcListen, follow, obsListen string, publishEvery, workers, shardIndex, shardCount int) {
-	if publishEvery < 1 {
-		publishEvery = 1
+//
+// With -snapshot-dir, every Nth published epoch is also checkpointed to
+// disk (atomic rename, bounded retention), and startup resumes from the
+// newest readable checkpoint: the saved index is published immediately
+// and the stream is tailed from the cut — already-applied frames are
+// discarded at the frame level, so restart cost is O(snapshot sections),
+// not O(replayed days).
+func runLive(cfg serve.Config, listen, rpcListen string, o liveOptions) {
+	if o.publishEvery < 1 {
+		o.publishEvery = 1
+	}
+	if o.snapEvery < 1 {
+		o.snapEvery = 1
+	}
+	if o.snapKeep < 1 {
+		o.snapKeep = 1
 	}
 	srv := serve.New(nil, cfg)
 	rpcSrv := startRPC(srv, rpcListen)
@@ -279,15 +395,58 @@ func runLive(cfg serve.Config, listen, rpcListen, follow, obsListen string, publ
 	defer stop()
 
 	// In shard mode the slice predicate only exists once the stream's
-	// meta event yields the partition plan; keep is bound then, before
-	// the meta event reaches the applier (same goroutine).
+	// meta event yields the partition plan (or, on resume, the range
+	// saved in the checkpoint); keep is bound then, before the meta
+	// event reaches the applier (same goroutine).
 	var keep func(b ipv4.Block) bool
-	applierOpts := query.Options{Workers: workers}
-	if shardCount > 0 {
+	applierOpts := query.Options{Workers: o.workers}
+	if o.shardCount > 0 {
 		applierOpts.Keep = func(b ipv4.Block) bool { return keep == nil || keep(b) }
 	}
-	applier := query.NewApplier(applierOpts)
-	lastPublished := 0
+
+	var (
+		applier   *query.Applier
+		skip      obs.SkipCounts
+		resumed   bool
+		snapShard *query.ShardRange
+	)
+	if o.snapshotDir != "" {
+		if err := os.MkdirAll(o.snapshotDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if loaded, name := loadNewestSnapshot(o.snapshotDir, query.LoadOptions{Workers: o.workers}); loaded != nil {
+			sh := loaded.Info.Shard
+			switch {
+			case o.shardCount == 0 && sh != nil:
+				log.Fatalf("checkpoint %s belongs to shard %d/%d but no -shard-count was given", name, sh.Index, sh.Count)
+			case o.shardCount > 0 && (sh == nil || sh.Index != o.shardIndex || sh.Count != o.shardCount):
+				log.Fatalf("checkpoint %s does not match -shard-index %d -shard-count %d", name, o.shardIndex, o.shardCount)
+			}
+			if sh != nil {
+				lo, hi := sh.Lo, sh.Hi
+				keep = func(b ipv4.Block) bool { return uint32(b) >= lo && uint32(b) < hi }
+				srv.SetShard(wire.ShardInfo{Index: sh.Index, Count: sh.Count, Lo: lo, Hi: hi})
+				snapShard = &query.ShardRange{Index: sh.Index, Count: sh.Count, Lo: lo, Hi: hi}
+				log.Printf("shard %d/%d: applying block range [%d, %d)", sh.Index, sh.Count, lo, hi)
+			}
+			// The loaded index may alias the checkpoint's mapping; it
+			// stays mapped for the life of the process. Pruning may
+			// later unlink the file, which is safe: the mapping keeps
+			// the inode alive.
+			ap, sk, err := loaded.ResumeApplier(applierOpts)
+			if err != nil {
+				log.Fatalf("resume from checkpoint %s: %v", name, err)
+			}
+			applier, skip, resumed = ap, sk, true
+			srv.Publish(loaded.Index)
+			log.Printf("resumed from snapshot %s: epoch %d, %d days applied, %d active /24 blocks",
+				name, loaded.Index.Epoch(), ap.Days(), loaded.Index.NumBlocks())
+		}
+	}
+	if applier == nil {
+		applier = query.NewApplier(applierOpts)
+	}
+	lastPublished := applier.Days()
 	publish := func() error {
 		idx, err := applier.Snapshot()
 		if err != nil {
@@ -297,36 +456,47 @@ func runLive(cfg serve.Config, listen, rpcListen, follow, obsListen string, publ
 		lastPublished = applier.Days()
 		log.Printf("published epoch %d: %d days applied, %d active /24 blocks",
 			idx.Epoch(), idx.DailyLen(), idx.NumBlocks())
+		if o.snapshotDir != "" && idx.Epoch()%uint64(o.snapEvery) == 0 {
+			saveCheckpoint(o.snapshotDir, o.snapKeep, applier, snapShard, idx.Epoch())
+		}
 		return nil
 	}
 	var sink obs.Sink = obs.SinkFunc(func(e obs.Event) error {
+		if _, ok := e.(obs.MetaEvent); ok && resumed {
+			// The applier already carries the dataset identity from the
+			// checkpoint; the re-delivered meta frame only re-arms the
+			// partition sink below.
+			resumed = false
+			return nil
+		}
 		if err := applier.Observe(e); err != nil {
 			return err
 		}
-		if _, ok := e.(obs.DayEvent); ok && applier.Days()-lastPublished >= publishEvery {
+		if _, ok := e.(obs.DayEvent); ok && applier.Days()-lastPublished >= o.publishEvery {
 			return publish()
 		}
 		return nil
 	})
-	if shardCount > 0 {
+	if o.shardCount > 0 {
 		// Live shard mode: the partition plan is computed from the
 		// stream's meta event; from then on the applier only sees (and
 		// pays for) this shard's slice. The owned range is published to
 		// the server the moment it is known, so /v1/cluster/info can
 		// answer routers before the first epoch.
-		sink = cluster.PartitionSink(sink, shardIndex, shardCount, func(lo, hi uint32) {
+		sink = cluster.PartitionSink(sink, o.shardIndex, o.shardCount, func(lo, hi uint32) {
 			keep = func(b ipv4.Block) bool { return uint32(b) >= lo && uint32(b) < hi }
-			srv.SetShard(wire.ShardInfo{Index: shardIndex, Count: shardCount, Lo: lo, Hi: hi})
-			log.Printf("shard %d/%d: applying block range [%d, %d)", shardIndex, shardCount, lo, hi)
+			srv.SetShard(wire.ShardInfo{Index: o.shardIndex, Count: o.shardCount, Lo: lo, Hi: hi})
+			snapShard = &query.ShardRange{Index: o.shardIndex, Count: o.shardCount, Lo: lo, Hi: hi}
+			log.Printf("shard %d/%d: applying block range [%d, %d)", o.shardIndex, o.shardCount, lo, hi)
 		})
 	}
 
 	var streamErr error
-	if follow != "" {
-		log.Printf("following dataset file %s", follow)
-		streamErr = obs.Follow(ctx, follow, 0, sink)
+	if o.follow != "" {
+		log.Printf("following dataset file %s", o.follow)
+		streamErr = obs.FollowWith(ctx, o.follow, obs.FollowOptions{Poll: o.followPoll, Skip: skip}, sink)
 	} else {
-		streamErr = acceptStream(ctx, obsListen, sink)
+		streamErr = acceptStream(ctx, o.obsListen, skip, sink)
 	}
 	if ctx.Err() != nil {
 		// Interrupted while streaming: drain and exit on this signal.
@@ -358,10 +528,69 @@ func runLive(cfg serve.Config, listen, rpcListen, follow, obsListen string, publ
 	drain(srv, rpcSrv)
 }
 
+// snapPattern names checkpoint files so that lexical order is epoch
+// order: the zero-padded epoch makes "newest" a plain string sort.
+const snapPattern = "snap-%010d.ipsnap"
+
+// loadNewestSnapshot scans dir for checkpoints, newest first, and
+// returns the first one that loads cleanly (with its path). A corrupt
+// or torn file is logged and skipped — an older intact checkpoint
+// beats refusing to start.
+func loadNewestSnapshot(dir string, opts query.LoadOptions) (*query.Loaded, string) {
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.ipsnap"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		loaded, err := query.LoadSnapshotFile(name, opts)
+		if err != nil {
+			log.Printf("skipping unreadable checkpoint %s: %v", name, err)
+			continue
+		}
+		if !loaded.Resumable() {
+			log.Printf("skipping non-resumable snapshot %s (batch -snapshot-save output?)", name)
+			loaded.Close()
+			continue
+		}
+		return loaded, name
+	}
+	return nil, ""
+}
+
+// saveCheckpoint persists the applier's resumable state after a publish
+// and prunes old checkpoints down to the retention bound. Checkpoint
+// failure is logged, not fatal: the serving path must not die because
+// the disk is full.
+func saveCheckpoint(dir string, keepN int, a *query.Applier, shard *query.ShardRange, epoch uint64) {
+	data, err := a.EncodeCheckpoint(shard)
+	if err != nil {
+		log.Printf("checkpoint epoch %d: %v (continuing without)", epoch, err)
+		return
+	}
+	name := filepath.Join(dir, fmt.Sprintf(snapPattern, epoch))
+	if err := query.WriteSnapshotFile(name, data); err != nil {
+		log.Printf("checkpoint %s: %v (continuing without)", name, err)
+		return
+	}
+	log.Printf("checkpoint %s (%d bytes)", name, len(data))
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.ipsnap"))
+	if err != nil {
+		return
+	}
+	sort.Strings(names)
+	for len(names) > keepN {
+		if err := os.Remove(names[0]); err != nil {
+			log.Printf("prune %s: %v", names[0], err)
+		}
+		names = names[1:]
+	}
+}
+
 // acceptStream accepts one TCP connection and decodes its observation
 // stream into sink. A signal while waiting in Accept closes the
 // listener so the wait ends cleanly.
-func acceptStream(ctx context.Context, obsListen string, sink obs.Sink) error {
+func acceptStream(ctx context.Context, obsListen string, skip obs.SkipCounts, sink obs.Sink) error {
 	ln, err := net.Listen("tcp", obsListen)
 	if err != nil {
 		return err
@@ -387,7 +616,7 @@ func acceptStream(ctx context.Context, obsListen string, sink obs.Sink) error {
 		conn.Close()
 	}()
 	log.Printf("stream connected from %s", conn.RemoteAddr())
-	return obs.StreamDecode(conn, sink)
+	return obs.StreamDecodeFrom(conn, skip, sink)
 }
 
 // runSelfcheck probes every endpoint over real HTTP and verifies the

@@ -180,6 +180,47 @@ func WriteFile(path string, d *Data) error {
 // the stream ends before its end frame, *FormatError for structurally
 // invalid input. A sink error stops the decode and is returned as is.
 func StreamDecode(r io.Reader, sink Sink) error {
+	return streamDecode(r, SkipCounts{}, sink)
+}
+
+// SkipCounts tells a stream decoder how many leading indexed events per
+// kind the consumer has already applied (from a persisted checkpoint):
+// day, week and ICMP-scan frames whose index is below the respective
+// count are discarded at the frame level — four index bytes peeked, the
+// rest of the payload skipped without decoding or allocating. Only
+// indexed kinds can be skipped: the meta frame is always delivered
+// (partition sinks and resuming consumers both need it), and the
+// replace-semantics kinds (block stats, surfaces, routing,
+// restructures) are always delivered because re-applying them is
+// idempotent.
+type SkipCounts struct {
+	Days  int
+	Weeks int
+	Scans int
+}
+
+// StreamDecodeFrom is StreamDecode with a resume point: frames already
+// covered by skip are discarded without decoding. It is the network
+// ingest path for a consumer restarting from a snapshot checkpoint.
+func StreamDecodeFrom(r io.Reader, skip SkipCounts, sink Sink) error {
+	return streamDecode(r, skip, sink)
+}
+
+// skipLimit returns how many leading frames of this kind skip covers
+// (0 = deliver everything).
+func (s SkipCounts) skipLimit(kind byte) int {
+	switch kind {
+	case kindDay:
+		return s.Days
+	case kindWeek:
+		return s.Weeks
+	case kindICMP:
+		return s.Scans
+	}
+	return 0
+}
+
+func streamDecode(r io.Reader, skip SkipCounts, sink Sink) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	hdr := make([]byte, len(magic)+2)
 	if _, err := io.ReadFull(br, hdr); err != nil {
@@ -217,12 +258,43 @@ func StreamDecode(r io.Reader, sink Sink) error {
 			}
 			return nil
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return ErrTruncated
+		var payload []byte
+		if limit := skip.skipLimit(kind); limit > 0 && sawMeta && n >= 4 {
+			// Indexed frame with a resume point: peek the big-endian
+			// index and discard the payload wholesale when it is already
+			// covered by the checkpoint.
+			var ib [4]byte
+			if _, err := io.ReadFull(br, ib[:]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return ErrTruncated
+				}
+				return err
 			}
-			return err
+			if int(binary.BigEndian.Uint32(ib[:])) < limit {
+				if _, err := br.Discard(int(n) - 4); err != nil {
+					if err == io.EOF || err == io.ErrUnexpectedEOF {
+						return ErrTruncated
+					}
+					return err
+				}
+				continue
+			}
+			payload = make([]byte, n)
+			copy(payload, ib[:])
+			if _, err := io.ReadFull(br, payload[4:]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return ErrTruncated
+				}
+				return err
+			}
+		} else {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return ErrTruncated
+				}
+				return err
+			}
 		}
 		e, err := decodeEvent(kind, payload)
 		if err != nil {
@@ -275,8 +347,26 @@ func (p FileSource) Follow(ctx context.Context, poll time.Duration, sink Sink) e
 	return Follow(ctx, string(p), poll, sink)
 }
 
+// FollowWith tails the dataset file with explicit options.
+func (p FileSource) FollowWith(ctx context.Context, opts FollowOptions, sink Sink) error {
+	return FollowWith(ctx, string(p), opts, sink)
+}
+
 // DefaultFollowPoll is the poll interval Follow uses when given 0.
 const DefaultFollowPoll = 200 * time.Millisecond
+
+// FollowOptions parameterizes FollowWith.
+type FollowOptions struct {
+	// Poll is the interval at which the tail re-checks the file for
+	// appended bytes (and for the file to appear); 0 means
+	// DefaultFollowPoll. Tests tail with a millisecond poll so a
+	// ping-pong append/observe round trip never sleeps a full default
+	// interval.
+	Poll time.Duration
+	// Skip discards already-applied indexed frames at the frame level —
+	// the resume path for a consumer restarting from a checkpoint.
+	Skip SkipCounts
+}
 
 // Follow streams the dataset at path into sink as the file grows: a
 // producer (ipscope-gen -dataset FILE) appends frames while a consumer
@@ -288,6 +378,13 @@ const DefaultFollowPoll = 200 * time.Millisecond
 // cancelled while waiting, and otherwise whatever StreamDecode fails
 // with.
 func Follow(ctx context.Context, path string, poll time.Duration, sink Sink) error {
+	return FollowWith(ctx, path, FollowOptions{Poll: poll}, sink)
+}
+
+// FollowWith is Follow with explicit options: a configurable poll
+// interval and a frame-level resume point.
+func FollowWith(ctx context.Context, path string, opts FollowOptions, sink Sink) error {
+	poll := opts.Poll
 	if poll <= 0 {
 		poll = DefaultFollowPoll
 	}
@@ -308,7 +405,7 @@ func Follow(ctx context.Context, path string, poll time.Duration, sink Sink) err
 		}
 	}
 	defer f.Close()
-	return StreamDecode(&tailReader{ctx: ctx, f: f, poll: poll}, sink)
+	return streamDecode(&tailReader{ctx: ctx, f: f, poll: poll}, opts.Skip, sink)
 }
 
 // tailReader turns end-of-file into "wait for more bytes": Read blocks

@@ -314,6 +314,7 @@ func (a *Applier) Snapshot() (*Index, error) {
 	x := &Index{
 		epoch:   a.epoch + 1,
 		meta:    metaInfo{seed: a.world.Seed, numASes: len(a.world.ASes)},
+		obsMeta: a.meta,
 		days:    n,
 		words:   w,
 		routing: a.world.BaseRouting,

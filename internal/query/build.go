@@ -31,6 +31,7 @@ func Build(src obs.Source, opts Options) (*Index, error) {
 	x := &Index{
 		epoch:   1,
 		meta:    metaInfo{seed: world.Seed, numASes: len(world.ASes)},
+		obsMeta: d.Meta,
 		days:    len(d.Daily),
 		words:   (len(d.Daily) + 63) / 64,
 		routing: world.BaseRouting,

@@ -1,0 +1,38 @@
+//go:build linux
+
+package query
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The bulk snapshot sections are then
+// served straight from the page cache — the loader never copies them.
+// The returned closure unmaps; the mapping must outlive every Index
+// decoded from it.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// Zero-length mappings are invalid; an empty file decodes (and
+		// fails) through the portable path.
+		return nil, nil, errNoMmap
+	}
+	if size != int64(int(size)) {
+		return nil, nil, errNoMmap
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package query
+
+// mmapFile is unavailable on this platform; LoadSnapshotFile falls back
+// to reading the file into memory (the bulk-section cast still applies
+// when the host is little-endian and the buffer lands 8-byte aligned).
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

@@ -31,6 +31,7 @@ import (
 	"ipscope/internal/bgp"
 	"ipscope/internal/cdnlog"
 	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
 	"ipscope/internal/rdns"
 	"ipscope/internal/registry"
 	"ipscope/internal/synthnet"
@@ -59,8 +60,9 @@ type Options struct {
 type Index struct {
 	epoch   uint64
 	meta    metaInfo
-	days    int // daily window length
-	words   int // uint64 words per packed per-address timeline
+	obsMeta obs.Meta // full dataset identity, carried for snapshot encode
+	days    int      // daily window length
+	words   int      // uint64 words per packed per-address timeline
 	keys    []ipv4.Block
 	blocks  []blockData // parallel to keys, ascending block order
 	asNums  []bgp.ASN   // sorted

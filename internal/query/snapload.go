@@ -1,0 +1,833 @@
+package query
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"os"
+	"unsafe"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
+	"ipscope/internal/par"
+	"ipscope/internal/rdns"
+	"ipscope/internal/synthnet"
+	"ipscope/internal/useragent"
+)
+
+// errNoMmap signals that the platform (or this particular file) cannot
+// be mapped; the loader falls back to a plain read.
+var errNoMmap = &SnapshotError{Msg: "mmap unavailable"}
+
+// LoadOptions controls snapshot loading.
+type LoadOptions struct {
+	// NoMmap forces the portable read-into-slice path even where mmap is
+	// available.
+	NoMmap bool
+	// Workers bounds the load fan-out (block view assembly); <= 0 means
+	// GOMAXPROCS. The loaded index is identical for any value.
+	Workers int
+}
+
+// Loaded is a decoded snapshot: the reconstructed Index plus everything
+// needed to verify, re-encode or resume from it.
+//
+// The Index may alias the snapshot's backing bytes (the zero-copy
+// timeline section); when the snapshot was mmapped, Close unmaps them
+// and the Index — and any Applier resumed from it — must not be used
+// afterwards. A serving process simply never calls Close.
+type Loaded struct {
+	Index *Index
+	Info  SnapshotInfo
+
+	meta   obs.Meta
+	resume *resumeState
+	munmap func() error
+}
+
+// Close releases the snapshot's mapping, if any. See the type comment
+// for the aliasing caveat.
+func (l *Loaded) Close() error {
+	if l.munmap == nil {
+		return nil
+	}
+	f := l.munmap
+	l.munmap = nil
+	return f()
+}
+
+// Resumable reports whether this snapshot is an Applier checkpoint
+// (carries resume state) rather than a plain index image.
+func (l *Loaded) Resumable() bool { return l.resume != nil }
+
+// Encode re-serializes the loaded snapshot. For a canonical file this
+// is a byte-for-byte fixed point: Encode(Decode(data)) == data — the
+// inspect tool's -verify check and the fuzz invariant.
+func (l *Loaded) Encode() []byte {
+	return encodeSnapshot(l.Index, l.Info.Shard, l.resume)
+}
+
+// hostLittleEndian reports whether native byte order matches the
+// snapshot's on-disk order, the precondition for casting bulk sections
+// in place.
+var hostLittleEndian = func() bool {
+	var buf [2]byte
+	binary.NativeEndian.PutUint16(buf[:], 0x0102)
+	return buf[0] == 0x02
+}()
+
+// castU64s reinterprets b as a []uint64 without copying when the host
+// is little-endian and the data is 8-byte aligned (mmap pages and the
+// loader's fallback buffers both are); nil means the caller must
+// decode-copy instead.
+func castU64s(b []byte) []uint64 {
+	if !hostLittleEndian || len(b)%8 != 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return []uint64{}
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// LoadSnapshotFile loads a snapshot from disk: mmap where the platform
+// supports it (zero-copy for the bulk sections), a plain read
+// otherwise or when opts.NoMmap is set.
+func LoadSnapshotFile(path string, opts LoadOptions) (*Loaded, error) {
+	if !opts.NoMmap {
+		if data, unmap, err := mmapFile(path); err == nil {
+			l, derr := decodeSnapshot(data, opts)
+			if derr != nil {
+				unmap() //nolint:errcheck // decode error wins
+				return nil, derr
+			}
+			l.munmap = unmap
+			return l, nil
+		}
+		// mmap unavailable or failed: fall through to the portable path.
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(data, opts)
+}
+
+// DecodeSnapshot decodes a snapshot from an in-memory image. The
+// returned Index aliases data's timeline section; callers must not
+// mutate data afterwards.
+func DecodeSnapshot(data []byte) (*Loaded, error) {
+	return decodeSnapshot(data, LoadOptions{})
+}
+
+// sdec is the little-endian sibling of the wire codec's wdec: a
+// cursor that validates every count against the remaining bytes before
+// allocating and latches the first error.
+type sdec struct {
+	p   []byte
+	err error
+}
+
+func (d *sdec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = snapErrf(format, args...)
+	}
+}
+
+func (d *sdec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.p) {
+		d.fail("need %d bytes, have %d", n, len(d.p))
+		return nil
+	}
+	b := d.p[:n]
+	d.p = d.p[n:]
+	return b
+}
+
+func (d *sdec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *sdec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *sdec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *sdec) i() int       { return int(int64(d.u64())) }
+func (d *sdec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *sdec) empty() bool  { return len(d.p) == 0 }
+
+// count reads a u64 element count and validates it against the bytes
+// actually remaining, so a corrupt count cannot drive a giant
+// allocation.
+func (d *sdec) count(elemSize int) int {
+	v := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.p))/uint64(elemSize) {
+		d.fail("count %d exceeds remaining %d bytes (elem %d)", v, len(d.p), elemSize)
+		return 0
+	}
+	return int(v)
+}
+
+// set decodes one canonical address set: ascending blocks, zero
+// padding, no empty bitmaps.
+func (d *sdec) set() *ipv4.Set {
+	n := d.count(40)
+	s := ipv4.NewSet()
+	prev := int64(-1)
+	for i := 0; i < n && d.err == nil; i++ {
+		blk := d.u32()
+		if int64(blk) <= prev {
+			d.fail("set blocks not ascending at %d", blk)
+			return s
+		}
+		prev = int64(blk)
+		if d.u32() != 0 {
+			d.fail("nonzero set padding")
+			return s
+		}
+		var bm ipv4.Bitmap256
+		for w := 0; w < 4; w++ {
+			bm[w] = d.u64()
+		}
+		if d.err == nil && bm.IsEmpty() {
+			d.fail("empty set bitmap for block %v", ipv4.Block(blk))
+			return s
+		}
+		s.AddBlockBitmap(ipv4.Block(blk), &bm)
+	}
+	return s
+}
+
+func (d *sdec) finish(name string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if !d.empty() {
+		return snapErrf("%s section has %d trailing bytes", name, len(d.p))
+	}
+	return nil
+}
+
+// snapInfo is the decoded info section.
+type snapInfo struct {
+	days, words, nblocks int
+	shard                *ShardRange
+}
+
+func decodeSnapshot(data []byte, opts LoadOptions) (*Loaded, error) {
+	if len(data) < len(snapMagic) {
+		return nil, ErrSnapshotTruncated
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, snapErrf("bad magic")
+	}
+	if len(data) < snapPrefaceLen {
+		return nil, ErrSnapshotTruncated
+	}
+	version := binary.LittleEndian.Uint16(data[8:])
+	flags := binary.LittleEndian.Uint16(data[10:])
+	count := binary.LittleEndian.Uint32(data[12:])
+	epoch := binary.LittleEndian.Uint64(data[16:])
+	total := binary.LittleEndian.Uint64(data[24:])
+	if version != snapVersion {
+		return nil, snapErrf("unsupported version %d", version)
+	}
+	if flags&^uint16(snapFlagResume) != 0 {
+		return nil, snapErrf("unknown flags %#x", flags)
+	}
+	resumable := flags&snapFlagResume != 0
+	want := uint32(numSections - 1)
+	if resumable {
+		want = numSections
+	}
+	if count != want {
+		return nil, snapErrf("section count %d, want %d", count, want)
+	}
+	if total > uint64(len(data)) {
+		return nil, ErrSnapshotTruncated
+	}
+	if total < uint64(len(data)) {
+		return nil, snapErrf("%d trailing bytes after declared end", uint64(len(data))-total)
+	}
+	tableLen := snapPrefaceLen + snapTableEntry*int(count)
+	if total < uint64(tableLen) {
+		return nil, snapErrf("declared length %d shorter than section table", total)
+	}
+
+	// Section table: ids sequential, offsets 8-aligned and strictly
+	// sequential, inter-section gap bytes zero.
+	sections := make([][]byte, count)
+	infos := make([]SectionInfo, count)
+	expected := uint64(align8(tableLen))
+	prevEnd := uint64(tableLen)
+	for i := 0; i < int(count); i++ {
+		e := data[snapPrefaceLen+snapTableEntry*i:]
+		id := binary.LittleEndian.Uint32(e)
+		reserved := binary.LittleEndian.Uint32(e[4:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if id != uint32(i+1) {
+			return nil, snapErrf("section %d has id %d, want %d", i, id, i+1)
+		}
+		if reserved != 0 {
+			return nil, snapErrf("nonzero reserved field in section table")
+		}
+		if off != expected {
+			return nil, snapErrf("section %s at offset %d, want %d", sectionNames[id], off, expected)
+		}
+		if length > total-off {
+			return nil, snapErrf("section %s overruns file", sectionNames[id])
+		}
+		for _, gap := range data[prevEnd:off] {
+			if gap != 0 {
+				return nil, snapErrf("nonzero gap byte before section %s", sectionNames[id])
+			}
+		}
+		sections[i] = data[off : off+length]
+		infos[i] = SectionInfo{ID: id, Name: sectionNames[id], Offset: off, Length: length}
+		prevEnd = off + length
+		expected = uint64(align8(int(prevEnd)))
+	}
+	if prevEnd != total {
+		return nil, snapErrf("file length %d does not match last section end %d", total, prevEnd)
+	}
+
+	info, err := decodeInfo(sections[secInfo-1])
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeMetaSection(sections[secMeta-1])
+	if err != nil {
+		return nil, err
+	}
+	if meta.Run.DailyLen > 0 && info.days > meta.Run.DailyLen {
+		return nil, snapErrf("days %d exceed daily window %d", info.days, meta.Run.DailyLen)
+	}
+	keys, err := decodeBlocksSection(sections[secBlocks-1], info.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	timelines, err := decodeTimelinesSection(sections[secTimelines-1], info)
+	if err != nil {
+		return nil, err
+	}
+	views := sections[secViews-1]
+	if len(views) != 48*info.nblocks {
+		return nil, snapErrf("views section length %d, want %d", len(views), 48*info.nblocks)
+	}
+	trafAt, err := decodeTrafficSection(sections[secTraffic-1], info.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	tags, err := decodeTagsSection(sections[secTags-1])
+	if err != nil {
+		return nil, err
+	}
+	sd := &sdec{p: sections[secSets-1]}
+	icmp, servers, routers := sd.set(), sd.set(), sd.set()
+	if err := sd.finish("sets"); err != nil {
+		return nil, err
+	}
+	partial, rest, err := DecodeSummaryPartialWire(sections[secPartial-1])
+	if err != nil {
+		return nil, snapErrf("partial section: %v", err)
+	}
+	if len(rest) != 0 {
+		return nil, snapErrf("partial section has %d trailing bytes", len(rest))
+	}
+	if partial.DailyLen != info.days {
+		return nil, snapErrf("partial daily window %d does not match info days %d",
+			partial.DailyLen, info.days)
+	}
+	var resume *resumeState
+	if resumable {
+		resume, err = decodeResumeSection(sections[secResume-1], meta)
+		if err != nil {
+			return nil, err
+		}
+		if resume.weeks != partial.Weeks {
+			return nil, snapErrf("resume weeks %d does not match partial weeks %d",
+				resume.weeks, partial.Weeks)
+		}
+	}
+
+	// Assemble the Index: regenerate the world (deterministic from the
+	// meta), then join every block's view strings exactly as Build does —
+	// stored scalars plus recomputed enrichment cannot drift between the
+	// two paths.
+	world := synthnet.Generate(meta.World)
+	if partial.Seed != world.Seed || partial.NumASes != len(world.ASes) {
+		return nil, snapErrf("partial identity does not match regenerated world")
+	}
+	x := &Index{
+		epoch:   epoch,
+		meta:    metaInfo{seed: world.Seed, numASes: len(world.ASes)},
+		obsMeta: meta,
+		days:    info.days,
+		words:   info.words,
+		keys:    keys,
+		routing: world.BaseRouting,
+		world:   world,
+		tags:    tags,
+		icmp:    icmp,
+		servers: servers,
+		routers: routers,
+	}
+	p := partial
+	x.partial = &p
+	x.summary = p.Finalize()
+
+	stride := 256 * info.words
+	x.blocks = par.Map(info.nblocks, opts.Workers, func(i int) blockData {
+		blk := keys[i]
+		bd := blockData{
+			blk:       blk,
+			timelines: timelines[i*stride : (i+1)*stride],
+			traffic:   trafAt[i],
+		}
+		v := &bd.view
+		w := views[i*48 : (i+1)*48]
+		v.FD = int(int64(binary.LittleEndian.Uint64(w)))
+		v.STU = math.Float64frombits(binary.LittleEndian.Uint64(w[8:]))
+		v.ActiveDays = int(int64(binary.LittleEndian.Uint64(w[16:])))
+		v.TotalHits = math.Float64frombits(binary.LittleEndian.Uint64(w[24:]))
+		v.UASamples = int(int64(binary.LittleEndian.Uint64(w[32:])))
+		v.UAUnique = math.Float64frombits(binary.LittleEndian.Uint64(w[40:]))
+		v.Block = blk.String()
+		e := join(world.BaseRouting, world, tags, blk)
+		v.AS = e.as
+		v.Prefix = e.prefix
+		v.Country = e.country
+		v.RIR = e.rir
+		v.Pattern = e.pattern
+		v.RDNS = e.rdns
+		return bd
+	})
+	x.buildAS()
+
+	l := &Loaded{
+		Index: x,
+		Info: SnapshotInfo{
+			Epoch:     epoch,
+			Days:      info.days,
+			Words:     info.words,
+			Blocks:    info.nblocks,
+			Resumable: resumable,
+			Shard:     info.shard,
+			Sections:  infos,
+		},
+		meta:   meta,
+		resume: resume,
+	}
+	return l, nil
+}
+
+func decodeInfo(sec []byte) (snapInfo, error) {
+	if len(sec) != 48 {
+		return snapInfo{}, snapErrf("info section length %d, want 48", len(sec))
+	}
+	d := &sdec{p: sec}
+	var info snapInfo
+	info.days = d.i()
+	info.words = d.i()
+	info.nblocks = d.i()
+	present := d.u32()
+	shardIndex := d.u32()
+	shardCount := d.u32()
+	lo := d.u32()
+	hi := d.u32()
+	pad := d.u32()
+	if err := d.finish("info"); err != nil {
+		return snapInfo{}, err
+	}
+	if pad != 0 {
+		return snapInfo{}, snapErrf("nonzero info padding")
+	}
+	if info.days < 1 || info.days > 1<<20 {
+		return snapInfo{}, snapErrf("implausible days %d", info.days)
+	}
+	if info.words != (info.days+63)/64 {
+		return snapInfo{}, snapErrf("words %d inconsistent with days %d", info.words, info.days)
+	}
+	if info.nblocks < 0 || info.nblocks > 1<<24 {
+		return snapInfo{}, snapErrf("implausible block count %d", info.nblocks)
+	}
+	switch present {
+	case 0:
+		if shardIndex|shardCount|lo|hi != 0 {
+			return snapInfo{}, snapErrf("shard fields set without shard flag")
+		}
+	case 1:
+		if shardCount == 0 || shardCount > 1<<20 || shardIndex >= shardCount {
+			return snapInfo{}, snapErrf("implausible shard %d/%d", shardIndex, shardCount)
+		}
+		if lo > hi || hi > 1<<24 {
+			return snapInfo{}, snapErrf("implausible shard range [%d,%d)", lo, hi)
+		}
+		info.shard = &ShardRange{Index: int(shardIndex), Count: int(shardCount), Lo: lo, Hi: hi}
+	default:
+		return snapInfo{}, snapErrf("invalid shard presence %d", present)
+	}
+	return info, nil
+}
+
+func decodeMetaSection(sec []byte) (obs.Meta, error) {
+	d := &sdec{p: sec}
+	var m obs.Meta
+	m.World.Seed = d.u64()
+	m.World.NumASes = int(d.u32())
+	m.World.MeanBlocksPerAS = int(d.u32())
+	r := &m.Run
+	r.Days = int(d.u32())
+	r.DailyStart = int(d.u32())
+	r.DailyLen = int(d.u32())
+	r.UADays = int(d.u32())
+	n := int(d.u32())
+	if d.err == nil && n > len(d.p)/4 {
+		d.fail("scan day count %d exceeds section", n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		r.ICMPScanDays = append(r.ICMPScanDays, int(d.u32()))
+	}
+	for _, f := range []*float64{&r.PrefixChangeFrac, &r.BlockChangeFrac,
+		&r.BGPCoupleProb, &r.BGPNoisePerDay, &r.JoinFrac, &r.LeaveFrac, &r.TrafficGrowth} {
+		*f = d.f64()
+	}
+	r.Workers = int(int32(d.u32()))
+	if err := d.finish("meta"); err != nil {
+		return obs.Meta{}, err
+	}
+	// The same plausibility bounds the obs codec applies: a corrupt meta
+	// must not drive a giant world generation.
+	if r.Days < 0 || r.DailyLen < 0 || r.DailyLen > 1<<20 || r.Days > 1<<20 {
+		return obs.Meta{}, snapErrf("implausible run geometry days=%d dailyLen=%d", r.Days, r.DailyLen)
+	}
+	if m.World.NumASes < 0 || m.World.MeanBlocksPerAS < 0 ||
+		m.World.NumASes > 1<<22 || m.World.MeanBlocksPerAS > 1<<16 ||
+		m.World.NumASes*m.World.MeanBlocksPerAS > 1<<24 {
+		return obs.Meta{}, snapErrf("implausible world config ases=%d blocksPerAS=%d",
+			m.World.NumASes, m.World.MeanBlocksPerAS)
+	}
+	return m, nil
+}
+
+func decodeBlocksSection(sec []byte, nblocks int) ([]ipv4.Block, error) {
+	if len(sec) != 4*nblocks {
+		return nil, snapErrf("blocks section length %d, want %d", len(sec), 4*nblocks)
+	}
+	keys := make([]ipv4.Block, nblocks)
+	prev := int64(-1)
+	for i := range keys {
+		v := binary.LittleEndian.Uint32(sec[4*i:])
+		if int64(v) <= prev {
+			return nil, snapErrf("blocks not strictly ascending at index %d", i)
+		}
+		prev = int64(v)
+		keys[i] = ipv4.Block(v)
+	}
+	return keys, nil
+}
+
+// decodeTimelinesSection returns the packed timeline words: a zero-copy
+// cast of the section where the host allows it, otherwise one
+// allocation plus a decode pass.
+func decodeTimelinesSection(sec []byte, info snapInfo) ([]uint64, error) {
+	wantWords := uint64(info.nblocks) * 256 * uint64(info.words)
+	if uint64(len(sec)) != 8*wantWords {
+		return nil, snapErrf("timelines section length %d, want %d", len(sec), 8*wantWords)
+	}
+	if words := castU64s(sec); words != nil {
+		return words, nil
+	}
+	words := make([]uint64, wantWords)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(sec[8*i:])
+	}
+	return words, nil
+}
+
+const trafficRecLen = 8 + 256*2 + 256*8
+
+func decodeTrafficSection(sec []byte, nblocks int) ([]*blockTraffic, error) {
+	d := &sdec{p: sec}
+	m := d.count(trafficRecLen)
+	if d.err != nil {
+		return nil, d.err
+	}
+	trafAt := make([]*blockTraffic, nblocks)
+	prev := int64(-1)
+	for i := 0; i < m; i++ {
+		idx := d.u32()
+		if int64(idx) <= prev {
+			return nil, snapErrf("traffic records not ascending at %d", idx)
+		}
+		prev = int64(idx)
+		if int(idx) >= nblocks {
+			return nil, snapErrf("traffic record for block index %d of %d", idx, nblocks)
+		}
+		if d.u32() != 0 {
+			return nil, snapErrf("nonzero traffic padding")
+		}
+		rec := d.take(256*2 + 256*8)
+		if d.err != nil {
+			return nil, d.err
+		}
+		t := &blockTraffic{}
+		for h := 0; h < 256; h++ {
+			t.daysActive[h] = binary.LittleEndian.Uint16(rec[2*h:])
+		}
+		hitsB := rec[256*2:]
+		for h := 0; h < 256; h++ {
+			t.hits[h] = math.Float64frombits(binary.LittleEndian.Uint64(hitsB[8*h:]))
+		}
+		trafAt[idx] = t
+	}
+	if err := d.finish("traffic"); err != nil {
+		return nil, err
+	}
+	return trafAt, nil
+}
+
+func decodeTagsSection(sec []byte) (*rdns.TagIndex, error) {
+	d := &sdec{p: sec}
+	n := d.count(8)
+	pairs := make([]rdns.BlockTag, 0, n)
+	prev := int64(-1)
+	for i := 0; i < n && d.err == nil; i++ {
+		blk := d.u32()
+		tag := d.u32()
+		if int64(blk) <= prev {
+			return nil, snapErrf("tag blocks not ascending at %d", blk)
+		}
+		prev = int64(blk)
+		if tag > uint32(rdns.Dynamic) {
+			return nil, snapErrf("invalid rDNS tag %d", tag)
+		}
+		pairs = append(pairs, rdns.BlockTag{Block: ipv4.Block(blk), Tag: rdns.Tag(tag)})
+	}
+	if err := d.finish("tags"); err != nil {
+		return nil, err
+	}
+	return rdns.NewTagIndex(pairs), nil
+}
+
+func decodeResumeSection(sec []byte, meta obs.Meta) (*resumeState, error) {
+	d := &sdec{p: sec}
+	r := &resumeState{}
+	r.weeks = d.i()
+	r.scans = d.i()
+	switch d.u8() {
+	case 0:
+	case 1:
+		r.surfacesSeen = true
+	default:
+		return nil, snapErrf("invalid surfaces flag")
+	}
+	if d.err == nil {
+		if r.weeks < 0 || r.weeks > meta.Run.NumWeeks() {
+			return nil, snapErrf("implausible resume weeks %d", r.weeks)
+		}
+		if r.scans < 0 || r.scans > len(meta.Run.ICMPScanDays) {
+			return nil, snapErrf("implausible resume scans %d", r.scans)
+		}
+	}
+	r.yearUnion = d.set()
+	if r.weeks > 0 {
+		r.week0 = d.set()
+		r.weekLast = d.set()
+	}
+	if r.scans > 0 {
+		r.cdnFrom = d.i()
+		r.cdnTo = d.i()
+		r.cdn = d.set()
+	}
+	n := d.count(13) // minimum entry: block u32 + samples u64 + prec u8
+	r.ua = make(map[ipv4.Block]*obs.UAStat, n)
+	prev := int64(-1)
+	for i := 0; i < n && d.err == nil; i++ {
+		blk := d.u32()
+		if int64(blk) <= prev {
+			return nil, snapErrf("resume UA blocks not ascending at %d", blk)
+		}
+		prev = int64(blk)
+		samples := d.u64()
+		st := &obs.UAStat{Samples: int(samples)}
+		p := d.u8()
+		if p != 0 {
+			if p < 4 || p > 16 {
+				return nil, snapErrf("invalid HLL precision %d", p)
+			}
+			regs := d.take(1 << p)
+			if d.err != nil {
+				break
+			}
+			sk, err := useragent.HLLFromRegisters(p, regs)
+			if err != nil {
+				return nil, snapErrf("bad HLL registers: %v", err)
+			}
+			st.Sketch = sk
+		}
+		r.uaBlocks = append(r.uaBlocks, ipv4.Block(blk))
+		r.ua[ipv4.Block(blk)] = st
+	}
+	if err := d.finish("resume"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ResumeApplier reconstructs the Applier whose EncodeCheckpoint
+// produced this snapshot: same published epoch, same accumulated state,
+// ready to keep applying the tail of the obs stream. The returned
+// SkipCounts tell the stream layer which already-applied indexed events
+// to discard at the frame level (obs.FollowWith / obs.StreamDecodeFrom)
+// — the ordering contract is satisfied without replaying them.
+//
+// Call at most once per Loaded: the Applier takes over (clones of) the
+// resume state. The accepted lossiness is documented in DESIGN.md:
+// staging totals the Applier never reads are zeroed, and traffic-only
+// stats for never-active blocks are dropped — exactly as Build drops
+// them.
+func (l *Loaded) ResumeApplier(opts Options) (*Applier, obs.SkipCounts, error) {
+	r := l.resume
+	if r == nil {
+		return nil, obs.SkipCounts{}, snapErrf("not a resumable checkpoint")
+	}
+	x := l.Index
+	a := NewApplier(opts)
+	a.meta = l.meta
+	a.world = x.world
+	a.tags = x.tags
+	a.fullWords = (l.meta.Run.DailyLen + 63) / 64
+	a.staging = &obs.Data{}
+	if err := a.staging.Observe(obs.MetaEvent{Meta: l.meta}); err != nil {
+		return nil, obs.SkipCounts{}, err
+	}
+	a.days, a.weeks, a.scans = x.days, r.weeks, r.scans
+	a.accs = make(map[ipv4.Block]*blockAcc, len(x.keys))
+	a.dailyUnion = ipv4.NewSet()
+
+	// Rebuild the per-block accumulators and the daily staging sets from
+	// the packed timelines: bit d of host h's timeline says h was active
+	// on day d, which is exactly the information applyDay folded in.
+	dayMask := make([]uint64, x.words)
+	for i, blk := range x.keys {
+		bd := &x.blocks[i]
+		acc := &blockAcc{
+			traffic: bd.traffic,
+			e:       join(x.routing, x.world, x.tags, blk),
+		}
+		if bd.traffic != nil {
+			acc.totalHits = bd.view.TotalHits
+		}
+		acc.timelines = make([]uint64, 256*a.fullWords)
+		for w := range dayMask {
+			dayMask[w] = 0
+		}
+		for h := 0; h < 256; h++ {
+			src := bd.timelines[h*x.words : (h+1)*x.words]
+			dst := acc.timelines[h*a.fullWords:]
+			any := false
+			for wi, wv := range src {
+				dst[wi] = wv
+				if wv != 0 {
+					any = true
+					dayMask[wi] |= wv
+					acc.addrDays += bits.OnesCount64(wv)
+				}
+			}
+			if any {
+				acc.union.Set(byte(h))
+			}
+		}
+		if acc.union.IsEmpty() {
+			return nil, obs.SkipCounts{}, snapErrf("indexed block %v has an empty timeline", blk)
+		}
+		for wi, wv := range dayMask {
+			acc.activeDays += bits.OnesCount64(wv)
+			for wv != 0 {
+				b := bits.TrailingZeros64(wv)
+				wv &^= 1 << b
+				day := wi*64 + b
+				if day >= x.days {
+					return nil, obs.SkipCounts{}, snapErrf("block %v active on day %d beyond window %d",
+						blk, day, x.days)
+				}
+				var bm ipv4.Bitmap256
+				wordIdx, bit := day/64, uint(day%64)
+				for h := 0; h < 256; h++ {
+					if bd.timelines[h*x.words+wordIdx]&(1<<bit) != 0 {
+						bm.Set(byte(h))
+					}
+				}
+				a.staging.Daily[day].AddBlockBitmap(blk, &bm)
+			}
+		}
+		a.accs[blk] = acc
+		a.dailyUnion.AddBlockBitmap(blk, &acc.union)
+	}
+
+	a.icmpUnion = x.icmp
+	dp, wp := x.partial.Daily, x.partial.Weekly
+	a.dSum = seriesAccum{
+		union:    a.dailyUnion,
+		snapASes: append([][]uint32(nil), dp.SnapASes...),
+		ipSum:    dp.IPSum,
+		blkSum:   dp.BlockSum,
+		snaps:    dp.Snapshots,
+	}
+	a.wSum = seriesAccum{
+		union:    r.yearUnion.Clone(),
+		snapASes: append([][]uint32(nil), wp.SnapASes...),
+		ipSum:    wp.IPSum,
+		blkSum:   wp.BlockSum,
+		snaps:    wp.Snapshots,
+	}
+	if r.weeks > 0 {
+		a.staging.Weekly[0] = r.week0
+		a.staging.Weekly[r.weeks-1] = r.weekLast
+	}
+	if r.scans > 0 {
+		a.cdnFrom, a.cdnTo = r.cdnFrom, r.cdnTo
+		a.cdn = r.cdn.Clone()
+	}
+	a.ups = append([]int(nil), x.partial.Ups...)
+	a.downs = append([]int(nil), x.partial.Downs...)
+	for _, blk := range r.uaBlocks {
+		acc := a.acc(blk)
+		acc.ua = r.ua[blk]
+	}
+	if r.surfacesSeen {
+		a.servers, a.routers = x.servers, x.routers
+	}
+	a.epoch = x.epoch
+	a.prev = x
+
+	skip := obs.SkipCounts{Days: x.days, Weeks: r.weeks, Scans: r.scans}
+	return a, skip, nil
+}

@@ -1,0 +1,465 @@
+// Persistent index snapshots: an epoch-stamped, versioned, canonical
+// on-disk format for the complete Index, so a serving node cold-starts
+// by loading sections instead of repaying query.Build (or a full obs
+// stream replay) — O(sections), not O(addresses).
+//
+// File layout (all little-endian except the partial section, which
+// embeds the existing big-endian SummaryPartial wire encoding verbatim):
+//
+//	offset  size  field
+//	0       8     magic "ipssnap\x00"
+//	8       2     version (currently 1)
+//	10      2     flags (bit 0: resumable checkpoint)
+//	12      4     section count
+//	16      8     epoch
+//	24      8     total file length
+//	32      24*n  section table: id u32, reserved u32, offset u64, length u64
+//
+// Sections follow in id order, each starting on an 8-byte boundary
+// (inter-section gap bytes are zero); the file ends exactly at the last
+// section's end. The hot bulk sections — packed day-bitset timelines
+// above all — are fixed-stride little-endian arrays, so on a
+// little-endian host the loader maps them zero-copy (mmap on linux, one
+// read into an aligned buffer elsewhere); graph-shaped sections (meta,
+// tags, sets, summary partial) decode normally.
+//
+// Canonicality discipline mirrors the obs codec: every count is
+// validated against the remaining bytes before allocation, every order
+// constraint (ascending blocks) and padding byte is checked on decode,
+// and decode∘encode is a byte-for-byte fixed point (FuzzSnapshotDecode
+// enforces all three).
+package query
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
+)
+
+const (
+	snapMagic   = "ipssnap\x00"
+	snapVersion = 1
+
+	snapFlagResume = 1 << 0
+
+	snapPrefaceLen = 32
+	snapTableEntry = 24
+)
+
+// Section ids, in file order.
+const (
+	secInfo = iota + 1
+	secMeta
+	secBlocks
+	secTimelines
+	secViews
+	secTraffic
+	secTags
+	secSets
+	secPartial
+	secResume
+	numSections = secResume
+)
+
+var sectionNames = map[uint32]string{
+	secInfo:      "info",
+	secMeta:      "meta",
+	secBlocks:    "blocks",
+	secTimelines: "timelines",
+	secViews:     "views",
+	secTraffic:   "traffic",
+	secTags:      "tags",
+	secSets:      "sets",
+	secPartial:   "partial",
+	secResume:    "resume",
+}
+
+// SnapshotError reports a structurally invalid snapshot file.
+type SnapshotError struct{ Msg string }
+
+func (e *SnapshotError) Error() string { return "query: snapshot: " + e.Msg }
+
+func snapErrf(format string, args ...any) error {
+	return &SnapshotError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrSnapshotTruncated reports a snapshot file shorter than its declared
+// length — the one corruption mode retries can fix (a partially written
+// file), which is why it is distinguishable from SnapshotError.
+var ErrSnapshotTruncated = errors.New("query: snapshot: truncated file")
+
+// ShardRange records the cluster partition a snapshot was built for, so
+// a restarted shard re-announces the same block range.
+type ShardRange struct {
+	Index int    `json:"shard"`
+	Count int    `json:"shards"`
+	Lo    uint32 `json:"blockLo"`
+	Hi    uint32 `json:"blockHi"`
+}
+
+// SectionInfo describes one section table entry, for the inspect tool.
+type SectionInfo struct {
+	ID     uint32 `json:"id"`
+	Name   string `json:"name"`
+	Offset uint64 `json:"offset"`
+	Length uint64 `json:"length"`
+}
+
+// SnapshotInfo is the decoded preface + info section.
+type SnapshotInfo struct {
+	Epoch     uint64        `json:"epoch"`
+	Days      int           `json:"days"`
+	Words     int           `json:"words"`
+	Blocks    int           `json:"blocks"`
+	Resumable bool          `json:"resumable"`
+	Shard     *ShardRange   `json:"shard,omitempty"`
+	Sections  []SectionInfo `json:"sections"`
+}
+
+// resumeState is the Applier state beyond the Index itself that a
+// checkpoint must carry so a restarted shard can keep applying the obs
+// stream mid-window: everything applyDay/applyScan/assembleSummary read
+// that is not reconstructible from the packed timelines.
+type resumeState struct {
+	weeks        int
+	scans        int
+	surfacesSeen bool
+	yearUnion    *ipv4.Set // wSum union (weekly snapshots fold into it)
+	week0        *ipv4.Set // churn baseline (nil when weeks == 0)
+	weekLast     *ipv4.Set
+	cdnFrom      int // capture–recapture window (valid when scans > 0)
+	cdnTo        int
+	cdn          *ipv4.Set
+	uaBlocks     []ipv4.Block // ascending; includes stats-only blocks
+	ua           map[ipv4.Block]*obs.UAStat
+}
+
+// Little-endian append helpers (the obs codec is big-endian; snapshot
+// bulk sections are little-endian so they can be cast in place on the
+// dominant hosts).
+func sU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func sU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func sU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func sI64(b []byte, v int) []byte    { return sU64(b, uint64(int64(v))) }
+func sF64(b []byte, v float64) []byte {
+	return sU64(b, math.Float64bits(v))
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// EncodeSnapshot serializes x into the canonical snapshot format.
+// shard, when non-nil, records the cluster partition range so a
+// restarted shard re-announces it. The result round-trips through
+// DecodeSnapshot into a view-identical index.
+func EncodeSnapshot(x *Index, shard *ShardRange) []byte {
+	return encodeSnapshot(x, shard, nil)
+}
+
+// EncodeCheckpoint serializes the Applier's last published snapshot
+// plus the resume state a restarted node needs to keep tailing the obs
+// stream from that epoch. It must be called while the Applier state
+// still matches the last Snapshot — i.e. before any further event is
+// applied — which is how the serving loop uses it (checkpoint
+// immediately after publish).
+func (a *Applier) EncodeCheckpoint(shard *ShardRange) ([]byte, error) {
+	x := a.prev
+	if x == nil {
+		return nil, fmt.Errorf("query: checkpoint before first snapshot")
+	}
+	if a.days != x.days || a.weeks != x.partial.Weeks {
+		return nil, fmt.Errorf("query: checkpoint state diverged from last snapshot (days %d vs %d)",
+			a.days, x.days)
+	}
+	r := &resumeState{
+		weeks:        a.weeks,
+		scans:        a.scans,
+		surfacesSeen: a.servers != nil || a.routers != nil,
+		yearUnion:    a.wSum.union,
+		ua:           make(map[ipv4.Block]*obs.UAStat),
+	}
+	if a.weeks > 0 {
+		r.week0 = a.staging.Weekly[0]
+		r.weekLast = a.staging.Weekly[a.weeks-1]
+	}
+	if a.scans > 0 {
+		r.cdnFrom, r.cdnTo, r.cdn = a.cdnFrom, a.cdnTo, a.cdn
+	}
+	for blk, acc := range a.accs {
+		if acc.ua != nil {
+			r.uaBlocks = append(r.uaBlocks, blk)
+			r.ua[blk] = acc.ua
+		}
+	}
+	sort.Slice(r.uaBlocks, func(i, j int) bool { return r.uaBlocks[i] < r.uaBlocks[j] })
+	return encodeSnapshot(x, shard, r), nil
+}
+
+func encodeSnapshot(x *Index, shard *ShardRange, r *resumeState) []byte {
+	sections := [][]byte{
+		encodeInfo(x, shard),
+		encodeMetaSection(x.obsMeta),
+		encodeBlocksSection(x.keys),
+		encodeTimelinesSection(x),
+		encodeViewsSection(x),
+		encodeTrafficSection(x),
+		encodeTagsSection(x),
+		encodeSetsSection(x),
+		AppendSummaryPartialWire(nil, x.partial),
+	}
+	var flags uint16
+	if r != nil {
+		flags |= snapFlagResume
+		sections = append(sections, encodeResumeSection(r))
+	}
+
+	tableLen := snapPrefaceLen + snapTableEntry*len(sections)
+	off := align8(tableLen)
+	total := off
+	offsets := make([]int, len(sections))
+	for i, sec := range sections {
+		offsets[i] = total
+		total += len(sec)
+		if i+1 < len(sections) {
+			total = align8(total)
+		}
+	}
+
+	out := make([]byte, 0, total)
+	out = append(out, snapMagic...)
+	out = sU16(out, snapVersion)
+	out = sU16(out, flags)
+	out = sU32(out, uint32(len(sections)))
+	out = sU64(out, x.epoch)
+	out = sU64(out, uint64(total))
+	for i, sec := range sections {
+		out = sU32(out, uint32(i+1)) // ids are assigned in file order
+		out = sU32(out, 0)
+		out = sU64(out, uint64(offsets[i]))
+		out = sU64(out, uint64(len(sec)))
+	}
+	for i, sec := range sections {
+		for len(out) < offsets[i] {
+			out = append(out, 0)
+		}
+		out = append(out, sec...)
+	}
+	return out
+}
+
+func encodeInfo(x *Index, shard *ShardRange) []byte {
+	b := make([]byte, 0, 48)
+	b = sU64(b, uint64(x.days))
+	b = sU64(b, uint64(x.words))
+	b = sU64(b, uint64(len(x.keys)))
+	if shard != nil {
+		b = sU32(b, 1)
+		b = sU32(b, uint32(shard.Index))
+		b = sU32(b, uint32(shard.Count))
+		b = sU32(b, shard.Lo)
+		b = sU32(b, shard.Hi)
+	} else {
+		b = append(b, make([]byte, 20)...)
+	}
+	return sU32(b, 0) // pad to 48
+}
+
+// encodeMetaSection mirrors the obs codec's meta frame field for field,
+// in little-endian: the dataset identity a loaded index needs to
+// regenerate its world and resume stream application.
+func encodeMetaSection(m obs.Meta) []byte {
+	var b []byte
+	b = sU64(b, m.World.Seed)
+	b = sU32(b, uint32(m.World.NumASes))
+	b = sU32(b, uint32(m.World.MeanBlocksPerAS))
+	r := m.Run
+	b = sU32(b, uint32(r.Days))
+	b = sU32(b, uint32(r.DailyStart))
+	b = sU32(b, uint32(r.DailyLen))
+	b = sU32(b, uint32(r.UADays))
+	b = sU32(b, uint32(len(r.ICMPScanDays)))
+	for _, d := range r.ICMPScanDays {
+		b = sU32(b, uint32(d))
+	}
+	for _, f := range []float64{r.PrefixChangeFrac, r.BlockChangeFrac,
+		r.BGPCoupleProb, r.BGPNoisePerDay, r.JoinFrac, r.LeaveFrac, r.TrafficGrowth} {
+		b = sF64(b, f)
+	}
+	return sU32(b, uint32(int32(r.Workers)))
+}
+
+func encodeBlocksSection(keys []ipv4.Block) []byte {
+	b := make([]byte, 0, 4*len(keys))
+	for _, blk := range keys {
+		b = sU32(b, uint32(blk))
+	}
+	return b
+}
+
+// encodeTimelinesSection packs every block's 256 day-bitsets back to
+// back: the zero-copy section. Stride per block is 256*words u64s.
+func encodeTimelinesSection(x *Index) []byte {
+	b := make([]byte, 8*len(x.keys)*256*x.words)
+	p := b
+	for i := range x.blocks {
+		for _, w := range x.blocks[i].timelines {
+			binary.LittleEndian.PutUint64(p, w)
+			p = p[8:]
+		}
+	}
+	return b
+}
+
+// encodeViewsSection stores the scalar view fields (48 bytes per
+// block). The view's strings are never stored: they are pure joins over
+// the regenerated world + decoded tags, recomputed at load so the two
+// construction paths cannot drift.
+func encodeViewsSection(x *Index) []byte {
+	b := make([]byte, 0, 48*len(x.keys))
+	for i := range x.blocks {
+		v := &x.blocks[i].view
+		b = sI64(b, v.FD)
+		b = sF64(b, v.STU)
+		b = sI64(b, v.ActiveDays)
+		b = sF64(b, v.TotalHits)
+		b = sI64(b, v.UASamples)
+		b = sF64(b, v.UAUnique)
+	}
+	return b
+}
+
+// encodeTrafficSection stores the sparse per-host traffic rollups:
+// count, then per record the key-array index it attaches to and the
+// fixed 256-host arrays (little-endian, so the loader bulk-copies).
+func encodeTrafficSection(x *Index) []byte {
+	m := 0
+	for i := range x.blocks {
+		if x.blocks[i].traffic != nil {
+			m++
+		}
+	}
+	b := make([]byte, 0, 8+m*(8+256*2+256*8))
+	b = sU64(b, uint64(m))
+	for i := range x.blocks {
+		t := x.blocks[i].traffic
+		if t == nil {
+			continue
+		}
+		b = sU32(b, uint32(i))
+		b = sU32(b, 0)
+		for _, v := range t.daysActive {
+			b = sU16(b, v)
+		}
+		for _, v := range t.hits {
+			b = sF64(b, v)
+		}
+	}
+	return b
+}
+
+func encodeTagsSection(x *Index) []byte {
+	pairs := x.tags.Tags()
+	b := make([]byte, 0, 8+8*len(pairs))
+	b = sU64(b, uint64(len(pairs)))
+	for _, p := range pairs {
+		b = sU32(b, uint32(p.Block))
+		b = sU32(b, uint32(p.Tag))
+	}
+	return b
+}
+
+func encodeSetsSection(x *Index) []byte {
+	var b []byte
+	b = appendSnapSet(b, x.icmp)
+	b = appendSnapSet(b, x.servers)
+	return appendSnapSet(b, x.routers)
+}
+
+// appendSnapSet encodes one address set: block count, then per block
+// the /24 and its 256-bit host bitmap (ascending block order; a Set
+// never stores an empty bitmap, so canonicality is a free invariant).
+func appendSnapSet(b []byte, s *ipv4.Set) []byte {
+	if s == nil {
+		return sU64(b, 0)
+	}
+	blocks := s.Blocks()
+	b = sU64(b, uint64(len(blocks)))
+	for _, blk := range blocks {
+		bm := s.BlockBitmap(blk)
+		b = sU32(b, uint32(blk))
+		b = sU32(b, 0)
+		for _, w := range bm {
+			b = sU64(b, w)
+		}
+	}
+	return b
+}
+
+func encodeResumeSection(r *resumeState) []byte {
+	var b []byte
+	b = sU64(b, uint64(r.weeks))
+	b = sU64(b, uint64(r.scans))
+	if r.surfacesSeen {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendSnapSet(b, r.yearUnion)
+	if r.weeks > 0 {
+		b = appendSnapSet(b, r.week0)
+		b = appendSnapSet(b, r.weekLast)
+	}
+	if r.scans > 0 {
+		b = sI64(b, r.cdnFrom)
+		b = sI64(b, r.cdnTo)
+		b = appendSnapSet(b, r.cdn)
+	}
+	b = sU64(b, uint64(len(r.uaBlocks)))
+	for _, blk := range r.uaBlocks {
+		st := r.ua[blk]
+		b = sU32(b, uint32(blk))
+		b = sU64(b, uint64(st.Samples))
+		if st.Sketch == nil {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, st.Sketch.Precision())
+		b = append(b, st.Sketch.Registers()...)
+	}
+	return b
+}
+
+// WriteSnapshotFile writes data to path atomically: a same-directory
+// temp file, fsync, then rename — a crashed writer never leaves a
+// half-written file under the final name.
+func WriteSnapshotFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

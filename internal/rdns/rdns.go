@@ -184,6 +184,18 @@ func NewTagIndex(pairs []BlockTag) *TagIndex {
 // Len returns the number of indexed blocks.
 func (t *TagIndex) Len() int { return len(t.blocks) }
 
+// Tags enumerates the indexed pairs in ascending block order. The
+// returned slice is freshly allocated; feeding it back to NewTagIndex
+// reproduces an identical index, which is what makes the pair list a
+// canonical serialization unit.
+func (t *TagIndex) Tags() []BlockTag {
+	pairs := make([]BlockTag, len(t.blocks))
+	for i, blk := range t.blocks {
+		pairs[i] = BlockTag{Block: blk, Tag: t.tags[i]}
+	}
+	return pairs
+}
+
 // Lookup returns the tag for blk and whether the block is indexed.
 func (t *TagIndex) Lookup(blk ipv4.Block) (Tag, bool) {
 	i := sort.Search(len(t.blocks), func(i int) bool { return t.blocks[i] >= blk })

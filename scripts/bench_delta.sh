@@ -33,22 +33,37 @@ echo "### Benchmark delta vs committed baseline (1 iteration, warn-only)"
 echo
 echo "| benchmark | baseline ns/op | current ns/op | delta |"
 echo "|---|---:|---:|---:|"
+# FILENAME (not NR == FNR) decides which file a record came from: the
+# classic NR == FNR idiom misfiles every record of the second file when
+# the first extracts empty (fresh baseline, failed bench run), silently
+# dropping benchmarks that exist in only one file.
 awk '
-    NR == FNR { old[$1] = $2; next }
-    {
-        seen[$1] = 1
-        if ($1 in old && old[$1] + 0 > 0) {
-            d = ($2 - old[$1]) * 100 / old[$1]
-            printf "| %s | %s | %s | %+.1f%% |\n", $1, old[$1], $2, d
-        } else {
-            printf "| %s | — | %s | new |\n", $1, $2
-        }
-    }
+    FILENAME == ARGV[1] { old[$1] = $2; next }
+    !($1 in new) { new[$1] = $2; names[++n] = $1 }
     END {
-        for (name in old) {
-            if (!(name in seen)) {
-                printf "| %s | %s | — | removed |\n", name, old[name]
+        added = removed = ""
+        for (i = 1; i <= n; i++) {
+            name = names[i]
+            if (name in old && old[name] + 0 > 0) {
+                d = (new[name] - old[name]) * 100 / old[name]
+                printf "| %s | %s | %s | %+.1f%% |\n", name, old[name], new[name], d
+            } else {
+                printf "| %s | — | %s | new |\n", name, new[name]
+                added = added " " name
             }
         }
+        for (name in old) {
+            if (!(name in new)) {
+                printf "| %s | %s | — | removed |\n", name, old[name]
+                removed = removed " " name
+            }
+        }
+        print ""
+        if (added != "")
+            print "Added benchmarks:" added
+        if (removed != "")
+            print "Removed benchmarks:" removed
+        if (added == "" && removed == "")
+            print "No benchmarks added or removed."
     }
 ' "$tmp_old" "$tmp_new"

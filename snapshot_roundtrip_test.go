@@ -1,0 +1,214 @@
+package ipscope
+
+// snapshot_roundtrip_test.go pins the persistent-snapshot contract at
+// the outermost boundary: a server restored from an on-disk snapshot
+// must be indistinguishable — byte for byte, on every /v1/* and
+// /v1/cluster/* endpoint — from the server that built its index in
+// memory. The variants cover the three ways an index comes to exist
+// (monolithic Build, incremental Applier publishes at several epoch
+// cuts including the >64-day timeline repack, and a sharded partition),
+// so cold-starting from a snapshot is provably not a different server.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"ipscope/internal/cluster"
+	"ipscope/internal/ipv4"
+	"ipscope/internal/obs"
+	"ipscope/internal/query"
+	"ipscope/internal/serve"
+	"ipscope/internal/serve/wire"
+	"ipscope/internal/sim"
+	"ipscope/internal/synthnet"
+)
+
+// snapshotPaths enumerates every endpoint the server exposes, probing
+// each indexed block, two addresses per block, and every distinct AS
+// and /20 prefix — the full query surface, not a sample.
+func snapshotPaths(idx *query.Index) []string {
+	// healthz first: its body includes cache counters, so both servers
+	// must see it at the same point in an identical request sequence.
+	paths := []string{"/v1/healthz", "/v1/summary", "/v1/cluster/info", "/v1/cluster/summary"}
+	asSeen := make(map[uint32]bool)
+	prefixSeen := make(map[string]bool)
+	for _, blk := range idx.Blocks() {
+		paths = append(paths,
+			"/v1/block/"+blk.String(),
+			"/v1/addr/"+blk.Addr(0).String(),
+			"/v1/addr/"+blk.Addr(137).String())
+		v, ok := idx.Block(blk)
+		if !ok {
+			continue
+		}
+		if !asSeen[v.AS] {
+			asSeen[v.AS] = true
+			paths = append(paths,
+				fmt.Sprintf("/v1/as/AS%d", v.AS),
+				fmt.Sprintf("/v1/cluster/as/AS%d", v.AS))
+		}
+		p := ipv4.MustNewPrefix(blk.First(), 20)
+		if !prefixSeen[p.String()] {
+			prefixSeen[p.String()] = true
+			paths = append(paths,
+				"/v1/prefix/"+p.String(),
+				"/v1/cluster/prefix/"+p.String())
+		}
+	}
+	return paths
+}
+
+func fetchAll(t *testing.T, h http.Handler, paths []string) map[string][]byte {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", p, resp.StatusCode, body)
+		}
+		out[p] = body
+	}
+	return out
+}
+
+// assertSnapshotServeEqual is the invariant itself: encode idx, write
+// it to disk, load it back (through the mmap path when available), and
+// require every endpoint of a server over the loaded index to answer
+// byte-identically to a server over the original.
+func assertSnapshotServeEqual(t *testing.T, idx *query.Index, shard *query.ShardRange) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "roundtrip.ipsnap")
+	if err := query.WriteSnapshotFile(path, query.EncodeSnapshot(idx, shard)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := query.LoadSnapshotFile(path, query.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if got := loaded.Index.Epoch(); got != idx.Epoch() {
+		t.Fatalf("loaded epoch = %d, want %d", got, idx.Epoch())
+	}
+
+	cfg := serve.Config{}
+	if shard != nil {
+		cfg.Shard = &wire.ShardInfo{Index: shard.Index, Count: shard.Count, Lo: shard.Lo, Hi: shard.Hi}
+	}
+	cfgLoaded := serve.Config{}
+	if sh := loaded.Info.Shard; sh != nil {
+		cfgLoaded.Shard = &wire.ShardInfo{Index: sh.Index, Count: sh.Count, Lo: sh.Lo, Hi: sh.Hi}
+	}
+
+	paths := snapshotPaths(idx)
+	want := fetchAll(t, serve.New(idx, cfg).Handler(), paths)
+	got := fetchAll(t, serve.New(loaded.Index, cfgLoaded).Handler(), paths)
+	diffs := 0
+	for _, p := range paths {
+		if !bytes.Equal(want[p], got[p]) {
+			t.Errorf("GET %s differs:\n direct: %s\n loaded: %s", p, want[p], got[p])
+			if diffs++; diffs >= 5 {
+				t.Fatalf("stopping after %d differing endpoints (of %d probed)", diffs, len(paths))
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Logf("%d endpoints byte-identical", len(paths))
+	}
+}
+
+// TestSnapshotRoundTrip: save→load→serve equals the in-memory server on
+// every endpoint, for Build-built indexes, for Applier-built indexes at
+// several epoch cuts (including the 64→65-day timeline word repack),
+// and for a sharded partition slice.
+func TestSnapshotRoundTrip(t *testing.T) {
+	w := synthnet.Generate(synthnet.TinyConfig())
+
+	t.Run("build", func(t *testing.T) {
+		res := sim.Run(w, sim.TinyConfig())
+		idx, err := query.Build(&res.Data, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSnapshotServeEqual(t, idx, nil)
+	})
+
+	t.Run("applier-cuts", func(t *testing.T) {
+		variants := []struct {
+			name string
+			cfg  sim.Config
+			cuts []int
+		}{
+			{"tiny", sim.TinyConfig(), []int{13, 28}},
+			{"word-boundary", func() sim.Config {
+				c := sim.TinyConfig()
+				c.Days, c.DailyStart, c.DailyLen = 98, 14, 70
+				return c
+			}(), []int{64, 70}},
+		}
+		for _, v := range variants {
+			t.Run(v.name, func(t *testing.T) {
+				var events []obs.Event
+				rec := obs.SinkFunc(func(e obs.Event) error { events = append(events, e); return nil })
+				if _, err := sim.RunTo(w, v.cfg, rec); err != nil {
+					t.Fatal(err)
+				}
+				a := query.NewApplier(query.Options{})
+				cuts := append([]int(nil), v.cuts...)
+				for _, e := range events {
+					if err := a.Observe(e); err != nil {
+						t.Fatal(err)
+					}
+					if _, ok := e.(obs.DayEvent); ok && len(cuts) > 0 && a.Days() == cuts[0] {
+						cuts = cuts[1:]
+						idx, err := a.Snapshot()
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertSnapshotServeEqual(t, idx, nil)
+					}
+				}
+				// One final epoch folds in the end-of-stream aggregates
+				// (per-block traffic/UA, scan surfaces).
+				idx, err := a.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSnapshotServeEqual(t, idx, nil)
+			})
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		res := sim.Run(w, sim.TinyConfig())
+		const shards = 3
+		plan, err := cluster.PlanShards(w, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := 0; si < shards; si++ {
+			lo, hi := plan.Range(si)
+			idx, err := query.Build(obs.FilterSource(&res.Data, plan.Keep(si)),
+				query.Options{Keep: plan.Keep(si)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSnapshotServeEqual(t, idx,
+				&query.ShardRange{Index: si, Count: shards, Lo: lo, Hi: hi})
+		}
+	})
+}
