@@ -8,9 +8,10 @@ LIVE_SMOKE_DIR ?= .live-smoke
 CLUSTER_SMOKE_DIR ?= .cluster-smoke
 RPC_SMOKE_DIR ?= .rpc-smoke
 SNAPSHOT_SMOKE_DIR ?= .snapshot-smoke
+HISTORY_SMOKE_DIR ?= .history-smoke
 SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke ci
+.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke history-smoke ci
 
 all: build
 
@@ -98,6 +99,14 @@ live-smoke:
 	$(GO) build -o $(LIVE_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
 	sh scripts/live_smoke.sh $(LIVE_SMOKE_DIR)
 
+# Historical-epoch smoke: live stream with -retain-epochs, time-travel
+# byte-equality, /v1/delta across a swap, eviction 404 body.
+history-smoke:
+	rm -rf $(HISTORY_SMOKE_DIR) && mkdir -p $(HISTORY_SMOKE_DIR)
+	$(GO) build -o $(HISTORY_SMOKE_DIR)/ipscope-gen ./cmd/ipscope-gen
+	$(GO) build -o $(HISTORY_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
+	sh scripts/history_smoke.sh $(HISTORY_SMOKE_DIR)
+
 # End-to-end smoke of the sharded serving cluster: two block-partitioned
 # shards plus a scatter-gather router; the routed /v1/summary must
 # byte-equal the single-node batch summary, and killing one shard must
@@ -133,4 +142,4 @@ snapshot-smoke:
 	$(GO) build -o $(SNAPSHOT_SMOKE_DIR)/ipscope-snapshot ./cmd/ipscope-snapshot
 	sh scripts/snapshot_smoke.sh $(SNAPSHOT_SMOKE_DIR)
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke
+ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke history-smoke

@@ -25,6 +25,7 @@ import (
 	"ipscope/internal/cdnlog"
 	"ipscope/internal/cluster"
 	"ipscope/internal/core"
+	"ipscope/internal/history"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
 	"ipscope/internal/query"
@@ -1020,6 +1021,126 @@ func BenchmarkRouterLookup(b *testing.B) {
 	})
 	b.Run("summary", func(b *testing.B) {
 		benchRoutedGets(b, rtsURL, func(i int) string { return "/v1/summary" })
+	})
+}
+
+// --- Historical-epoch benchmarks -------------------------------------
+
+// BenchmarkDeltaQuery measures the epoch-diff path: the merge-walk that
+// computes /v1/delta between two retained snapshots ("compute"), and
+// the served endpoint under parallel clients once the epoch-addressed
+// cache is warm ("http-cached").
+func BenchmarkDeltaQuery(b *testing.B) {
+	ctx := benchContext(b)
+	half := len(ctx.Obs.Daily) / 2
+	fromIdx, err := query.Build(ctx.Obs.TruncateLive(half), query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	toIdx, err := query.Build(ctx.Obs, query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	from, to := fromIdx.AtEpoch(1), toIdx.AtEpoch(2)
+
+	b.Run("compute", func(b *testing.B) {
+		var changed int
+		for i := 0; i < b.N; i++ {
+			v, err := to.Delta(from, query.DefaultDeltaBlockList)
+			if err != nil {
+				b.Fatal(err)
+			}
+			changed = v.ChangedBlocks
+		}
+		b.ReportMetric(float64(changed), "changedBlocks")
+	})
+	b.Run("http-cached", func(b *testing.B) {
+		srv := serve.New(nil, serve.Config{RetainEpochs: 2})
+		srv.Publish(from)
+		srv.Publish(to)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := ts.Client()
+		client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				resp, err := client.Get(ts.URL + "/v1/delta?from=1&to=2")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkEpochLookup measures time travel: resolving a retained epoch
+// in the history ring ("ring-get") and a full as-of point lookup over
+// HTTP with ?epoch= addressing the per-epoch cache ("http-as-of").
+func BenchmarkEpochLookup(b *testing.B) {
+	ctx := benchContext(b)
+	idx, err := query.Build(ctx.Obs, query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const epochs = 8
+
+	b.Run("ring-get", func(b *testing.B) {
+		r := history.New(epochs)
+		for e := uint64(1); e <= epochs; e++ {
+			r.Add(idx.AtEpoch(e))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := r.Get(uint64(1 + i%epochs)); !ok {
+				b.Fatal("retained epoch missed")
+			}
+		}
+	})
+	b.Run("http-as-of", func(b *testing.B) {
+		srv := serve.New(nil, serve.Config{RetainEpochs: epochs})
+		for e := uint64(1); e <= epochs; e++ {
+			srv.Publish(idx.AtEpoch(e))
+		}
+		blocks := idx.Blocks()
+		if len(blocks) > 32 {
+			blocks = blocks[:32]
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := ts.Client()
+		client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+		var n atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(n.Add(1))
+				path := fmt.Sprintf("/v1/block/%s?epoch=%d", blocks[i%len(blocks)], 1+i%epochs)
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		hits, misses, _ := srv.CacheStats()
+		if tot := hits + misses; tot > 0 {
+			b.ReportMetric(100*float64(hits)/float64(tot), "cachehit%")
+		}
 	})
 }
 

@@ -47,6 +47,11 @@
 //	                  router running -transport=rpc upgrades its
 //	                  connection to this shard
 //	-cache N          response cache capacity (0 = default, -1 = off)
+//	-retain-epochs N  keep the last N published epochs addressable:
+//	                  ?epoch=E time travel on every lookup endpoint,
+//	                  /v1/delta?from=&to= between two retained epochs,
+//	                  /v1/movement?last=N per-epoch series (0 = retain
+//	                  only the live epoch)
 //	-access-log FILE  structured JSON access log ("-" = stderr)
 //	-workers N        index build fan-out (<=0 = GOMAXPROCS; the index
 //	                  is identical for any value)
@@ -64,7 +69,7 @@
 // requests drain before the process exits.
 //
 // Endpoints: /v1/addr/{ip}, /v1/block/{prefix24}, /v1/prefix/{cidr},
-// /v1/as/{asn}, /v1/summary, /v1/healthz.
+// /v1/as/{asn}, /v1/summary, /v1/delta, /v1/movement, /v1/healthz.
 package main
 
 import (
@@ -111,6 +116,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8090", "HTTP listen address")
 	rpcListen := flag.String("rpc-listen", "", "also serve the binary RPC protocol on this address")
 	cacheSize := flag.Int("cache", 0, "response cache capacity (0 = default, negative = disabled)")
+	retainEpochs := flag.Int("retain-epochs", 0, "retain the last N epochs for ?epoch=//v1/delta//v1/movement (0 = live epoch only)")
 	accessLog := flag.String("access-log", "", `structured access log file ("-" = stderr)`)
 	workers := flag.Int("workers", 0, "index build workers (<=0 = GOMAXPROCS)")
 	shardIndex := flag.Int("shard-index", 0, "cluster: this shard's index (with -shard-count)")
@@ -152,7 +158,7 @@ func main() {
 		log.Fatal("-follow-poll only applies to -follow")
 	}
 
-	cfg := serve.Config{CacheSize: *cacheSize}
+	cfg := serve.Config{CacheSize: *cacheSize, RetainEpochs: *retainEpochs}
 	switch *accessLog {
 	case "":
 	case "-":

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"ipscope/internal/ipv4"
 	"ipscope/internal/query"
@@ -25,15 +26,26 @@ type Client interface {
 	// complete HTTP response the router relays to the caller.
 	Point(ctx context.Context, req PointRequest) (PointResponse, error)
 	// Summary fetches the shard's mergeable summary partial and the
-	// snapshot epoch it was computed from.
-	Summary(ctx context.Context) (query.SummaryPartial, uint64, error)
+	// snapshot epoch it was computed from. A non-zero epoch targets a
+	// retained snapshot (likewise on AS and Prefix); an unretained
+	// epoch returns *wire.NotRetainedError.
+	Summary(ctx context.Context, epoch uint64) (query.SummaryPartial, uint64, error)
 	// AS fetches the shard's mergeable share of one AS footprint.
-	AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, error)
+	AS(ctx context.Context, asn uint32, epoch uint64) (query.ASPartial, uint64, error)
 	// Prefix fetches the shard's mergeable share of a CIDR aggregate.
-	Prefix(ctx context.Context, cidr string) (query.PrefixPartial, uint64, error)
-	// Health probes the shard's liveness, returning its status string
-	// and epoch.
-	Health(ctx context.Context) (status string, epoch uint64, err error)
+	Prefix(ctx context.Context, cidr string, epoch uint64) (query.PrefixPartial, uint64, error)
+	// Delta fetches the shard's mergeable delta partial between two
+	// retained epochs, plus the shard's retained ring range for the
+	// router's common-range fold. An unretained epoch returns
+	// *wire.NotRetainedError (which also carries the shard's range).
+	Delta(ctx context.Context, from, to uint64) (query.DeltaPartial, uint64, uint64, error)
+	// Movement fetches the shard's mergeable movement partial over the
+	// last N retained epochs (0 = whole ring), plus the shard's ring
+	// range.
+	Movement(ctx context.Context, last int) (query.MovementPartial, uint64, uint64, error)
+	// Health probes the shard's liveness, returning its status string,
+	// epoch, and retained ring range.
+	Health(ctx context.Context) (status string, epoch, oldest, newest uint64, err error)
 	// Transport names the wire protocol ("http" or "rpc") for
 	// observability (router healthz).
 	Transport() string
@@ -51,6 +63,10 @@ type PointRequest struct {
 	IsAddr bool
 	Addr   ipv4.Addr
 	Block  ipv4.Block
+	// Epoch is the router-validated ?epoch= value (0 = live snapshot).
+	// The HTTP transport carries it inside URI; the typed transport
+	// sends it in the request frame.
+	Epoch uint64
 	// IfNoneMatch carries the caller's validator for 304 handling.
 	IfNoneMatch string
 }
@@ -114,9 +130,34 @@ func (c *httpShardClient) Point(ctx context.Context, pr PointRequest) (PointResp
 	}, nil
 }
 
+// epochQuery renders the ?epoch= suffix a non-zero target epoch adds to
+// a cluster-partial path.
+func epochQuery(epoch uint64) string {
+	if epoch == 0 {
+		return ""
+	}
+	return "?epoch=" + strconv.FormatUint(epoch, 10)
+}
+
+// notRetained404 recognizes the EpochRangeBody 404 and converts it to
+// the typed error. A retained ring always has NewestEpoch >= 1 (epochs
+// start at 1), which is what distinguishes the body from a plain
+// ErrorBody 404 decoded with zero range fields.
+func notRetained404(status int, body []byte) error {
+	if status != http.StatusNotFound {
+		return nil
+	}
+	var rb wire.EpochRangeBody
+	if err := json.Unmarshal(body, &rb); err != nil || rb.NewestEpoch == 0 {
+		return nil
+	}
+	return &wire.NotRetainedError{Oldest: rb.OldestEpoch, Newest: rb.NewestEpoch}
+}
+
 // fetchJSON gets base+path and decodes the 200 body into out plus the
-// spliced epoch. Error texts are part of the router's degraded-mode
-// contract, mirrored by the RPC transport.
+// spliced epoch. A not-retained 404 surfaces as *wire.NotRetainedError;
+// other error texts are part of the router's degraded-mode contract,
+// mirrored by the RPC transport.
 func (c *httpShardClient) fetchJSON(ctx context.Context, path string, out any) (uint64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
@@ -132,6 +173,9 @@ func (c *httpShardClient) fetchJSON(ctx context.Context, path string, out any) (
 		return 0, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		if nrErr := notRetained404(resp.StatusCode, body); nrErr != nil {
+			return 0, nrErr
+		}
 		return 0, fmt.Errorf("shard %d answered status %d: %s", c.idx, resp.StatusCode, body)
 	}
 	var ep struct {
@@ -146,42 +190,65 @@ func (c *httpShardClient) fetchJSON(ctx context.Context, path string, out any) (
 	return ep.Epoch, nil
 }
 
-func (c *httpShardClient) Summary(ctx context.Context) (query.SummaryPartial, uint64, error) {
+func (c *httpShardClient) Summary(ctx context.Context, epoch uint64) (query.SummaryPartial, uint64, error) {
 	var p query.SummaryPartial
-	epoch, err := c.fetchJSON(ctx, "/v1/cluster/summary", &p)
-	return p, epoch, err
+	ep, err := c.fetchJSON(ctx, "/v1/cluster/summary"+epochQuery(epoch), &p)
+	return p, ep, err
 }
 
-func (c *httpShardClient) AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, error) {
+func (c *httpShardClient) AS(ctx context.Context, asn uint32, epoch uint64) (query.ASPartial, uint64, error) {
 	var p query.ASPartial
-	epoch, err := c.fetchJSON(ctx, fmt.Sprintf("/v1/cluster/as/%d", asn), &p)
-	return p, epoch, err
+	ep, err := c.fetchJSON(ctx, fmt.Sprintf("/v1/cluster/as/%d%s", asn, epochQuery(epoch)), &p)
+	return p, ep, err
 }
 
-func (c *httpShardClient) Prefix(ctx context.Context, cidr string) (query.PrefixPartial, uint64, error) {
+func (c *httpShardClient) Prefix(ctx context.Context, cidr string, epoch uint64) (query.PrefixPartial, uint64, error) {
 	var p query.PrefixPartial
-	epoch, err := c.fetchJSON(ctx, "/v1/cluster/prefix/"+cidr, &p)
-	return p, epoch, err
+	ep, err := c.fetchJSON(ctx, "/v1/cluster/prefix/"+cidr+epochQuery(epoch), &p)
+	return p, ep, err
 }
 
-func (c *httpShardClient) Health(ctx context.Context) (string, uint64, error) {
+func (c *httpShardClient) Delta(ctx context.Context, from, to uint64) (query.DeltaPartial, uint64, uint64, error) {
+	var p query.DeltaShardResponse
+	path := fmt.Sprintf("/v1/cluster/delta?from=%d&to=%d", from, to)
+	if _, err := c.fetchJSON(ctx, path, &p); err != nil {
+		return query.DeltaPartial{}, 0, 0, err
+	}
+	return p.DeltaPartial, p.RingOldest, p.RingNewest, nil
+}
+
+func (c *httpShardClient) Movement(ctx context.Context, last int) (query.MovementPartial, uint64, uint64, error) {
+	var p query.MovementShardResponse
+	path := "/v1/cluster/movement"
+	if last > 0 {
+		path += "?last=" + strconv.Itoa(last)
+	}
+	if _, err := c.fetchJSON(ctx, path, &p); err != nil {
+		return query.MovementPartial{}, 0, 0, err
+	}
+	return p.MovementPartial, p.RingOldest, p.RingNewest, nil
+}
+
+func (c *httpShardClient) Health(ctx context.Context) (string, uint64, uint64, uint64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, 0, err
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Status string `json:"status"`
-		Epoch  uint64 `json:"epoch"`
+		Status      string `json:"status"`
+		Epoch       uint64 `json:"epoch"`
+		OldestEpoch uint64 `json:"oldestEpoch"`
+		NewestEpoch uint64 `json:"newestEpoch"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return "", 0, err
+		return "", 0, 0, 0, err
 	}
-	return body.Status, body.Epoch, nil
+	return body.Status, body.Epoch, body.OldestEpoch, body.NewestEpoch, nil
 }
 
 // --- binary RPC transport --------------------------------------------
@@ -205,8 +272,12 @@ func (c *rpcShardClient) Close() error { return c.rc.Close() }
 
 // wrapErr maps transport failures onto the HTTP transport's error
 // texts, so degraded-mode behaviour (TestRouterDegradedMode) is
-// transport-independent.
+// transport-independent. The typed not-retained error passes through
+// untouched — the router folds its range fields.
 func (c *rpcShardClient) wrapErr(err error) error {
+	if nr, ok := err.(*wire.NotRetainedError); ok {
+		return nr
+	}
 	if se, ok := err.(*rpc.StatusError); ok {
 		return fmt.Errorf("shard %d answered status %d: %s", c.idx, se.Code, se.Msg)
 	}
@@ -220,15 +291,15 @@ func (c *rpcShardClient) Point(ctx context.Context, pr PointRequest) (PointRespo
 		epoch   uint64
 	)
 	if pr.IsAddr {
-		view, e, err := c.rc.Addr(ctx, uint32(pr.Addr))
+		view, e, err := c.rc.Addr(ctx, uint32(pr.Addr), pr.Epoch)
 		if err != nil {
-			return c.pointErr(err)
+			return c.pointErr(err, pr.Epoch)
 		}
 		status, payload, epoch = http.StatusOK, view, e
 	} else {
-		view, found, e, err := c.rc.Block(ctx, uint32(pr.Block))
+		view, found, e, err := c.rc.Block(ctx, uint32(pr.Block), pr.Epoch)
 		if err != nil {
-			return c.pointErr(err)
+			return c.pointErr(err, pr.Epoch)
 		}
 		if found {
 			status, payload, epoch = http.StatusOK, view, e
@@ -250,9 +321,18 @@ func (c *rpcShardClient) Point(ctx context.Context, pr PointRequest) (PointRespo
 }
 
 // pointErr turns a typed shard error into the HTTP response the shard
-// itself would have served — the warming 503 is the live case — and a
-// transport failure into an error for the router's unavailable path.
-func (c *rpcShardClient) pointErr(err error) (PointResponse, error) {
+// itself would have served — the warming 503 and the not-retained 404
+// are the live cases — and a transport failure into an error for the
+// router's unavailable path. asked is the epoch the request named, from
+// which the not-retained body is reconstructed byte-identically.
+func (c *rpcShardClient) pointErr(err error, asked uint64) (PointResponse, error) {
+	if nr, ok := err.(*wire.NotRetainedError); ok {
+		return PointResponse{
+			Status:      http.StatusNotFound,
+			Body:        wire.NotRetainedBody(asked, nr.Oldest, nr.Newest),
+			ContentType: "application/json",
+		}, nil
+	}
 	se, ok := err.(*rpc.StatusError)
 	if !ok {
 		return PointResponse{}, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
@@ -269,34 +349,50 @@ func (c *rpcShardClient) pointErr(err error) (PointResponse, error) {
 	return PointResponse{Status: status, Body: body, ContentType: "application/json"}, nil
 }
 
-func (c *rpcShardClient) Summary(ctx context.Context) (query.SummaryPartial, uint64, error) {
-	p, epoch, err := c.rc.Summary(ctx)
+func (c *rpcShardClient) Summary(ctx context.Context, epoch uint64) (query.SummaryPartial, uint64, error) {
+	p, ep, err := c.rc.Summary(ctx, epoch)
 	if err != nil {
 		return query.SummaryPartial{}, 0, c.wrapErr(err)
 	}
-	return p, epoch, nil
+	return p, ep, nil
 }
 
-func (c *rpcShardClient) AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, error) {
-	p, epoch, err := c.rc.AS(ctx, asn)
+func (c *rpcShardClient) AS(ctx context.Context, asn uint32, epoch uint64) (query.ASPartial, uint64, error) {
+	p, ep, err := c.rc.AS(ctx, asn, epoch)
 	if err != nil {
 		return query.ASPartial{}, 0, c.wrapErr(err)
 	}
-	return p, epoch, nil
+	return p, ep, nil
 }
 
-func (c *rpcShardClient) Prefix(ctx context.Context, cidr string) (query.PrefixPartial, uint64, error) {
-	p, epoch, err := c.rc.Prefix(ctx, cidr, wire.DefaultPrefixBlockList)
+func (c *rpcShardClient) Prefix(ctx context.Context, cidr string, epoch uint64) (query.PrefixPartial, uint64, error) {
+	p, ep, err := c.rc.Prefix(ctx, cidr, wire.DefaultPrefixBlockList, epoch)
 	if err != nil {
 		return query.PrefixPartial{}, 0, c.wrapErr(err)
 	}
-	return p, epoch, nil
+	return p, ep, nil
 }
 
-func (c *rpcShardClient) Health(ctx context.Context) (string, uint64, error) {
+func (c *rpcShardClient) Delta(ctx context.Context, from, to uint64) (query.DeltaPartial, uint64, uint64, error) {
+	p, oldest, newest, err := c.rc.Delta(ctx, from, to, query.DefaultDeltaBlockList)
+	if err != nil {
+		return query.DeltaPartial{}, 0, 0, c.wrapErr(err)
+	}
+	return p, oldest, newest, nil
+}
+
+func (c *rpcShardClient) Movement(ctx context.Context, last int) (query.MovementPartial, uint64, uint64, error) {
+	p, oldest, newest, err := c.rc.Movement(ctx, last)
+	if err != nil {
+		return query.MovementPartial{}, 0, 0, c.wrapErr(err)
+	}
+	return p, oldest, newest, nil
+}
+
+func (c *rpcShardClient) Health(ctx context.Context) (string, uint64, uint64, uint64, error) {
 	h, err := c.rc.Health(ctx)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, 0, err
 	}
-	return h.Status, h.Epoch, nil
+	return h.Status, h.Epoch, h.OldestEpoch, h.NewestEpoch, nil
 }

@@ -24,15 +24,25 @@ var (
 	dataOnce sync.Once
 	data     *obs.Data
 	world    *synthnet.World
+	events   []obs.Event
 )
 
 // clusterTestData simulates one shared dataset for the package (the
-// simulation dominates test cost; every test reads it immutably).
+// simulation dominates test cost; every test reads it immutably). The
+// emission-order event stream is recorded alongside so history tests
+// can replay partial ingests.
 func clusterTestData(t testing.TB) (*obs.Data, *synthnet.World) {
 	t.Helper()
 	dataOnce.Do(func() {
 		world = synthnet.Generate(synthnet.TinyConfig())
-		res := sim.Run(world, sim.TinyConfig())
+		rec := obs.SinkFunc(func(e obs.Event) error {
+			events = append(events, e)
+			return nil
+		})
+		res, err := sim.RunTo(world, sim.TinyConfig(), rec)
+		if err != nil {
+			panic(err)
+		}
 		data = &res.Data
 	})
 	return data, world

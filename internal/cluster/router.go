@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -174,6 +175,8 @@ func NewRouter(urls []string, opts RouterOptions) (*Router, error) {
 	mux.HandleFunc("GET /v1/prefix/{cidr...}", rt.handlePrefix)
 	mux.HandleFunc("GET /v1/as/{asn}", rt.handleAS)
 	mux.HandleFunc("GET /v1/summary", rt.handleSummary)
+	mux.HandleFunc("GET /v1/delta", rt.handleDelta)
+	mux.HandleFunc("GET /v1/movement", rt.handleMovement)
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	rt.handler = mux
 	return rt, nil
@@ -314,6 +317,78 @@ func (rt *Router) respondErr(w http.ResponseWriter, r *http.Request, status int,
 	wire.Respond(w, r, status, wire.ErrorBody{Error: msg}, rt.minEpoch())
 }
 
+// parseEpochParam extracts the ?epoch= time-travel target (0 = live
+// snapshot). The router validates it before any shard traffic, so both
+// transports reject bad values with the same shared 400 text.
+func (rt *Router) parseEpochParam(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	raw := r.URL.Query().Get("epoch")
+	if raw == "" {
+		return 0, true
+	}
+	e, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		rt.respondErr(w, r, http.StatusBadRequest, wire.ErrInvalidEpoch(raw))
+		return 0, false
+	}
+	return e, true
+}
+
+// writeNotRetained serves the canonical not-retained 404 — the same
+// body bytes wire.NotRetainedBody gives a single shard, with the
+// cluster-wide common range in place of the shard's own.
+func writeNotRetained(w http.ResponseWriter, asked, oldest, newest uint64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusNotFound)
+	w.Write(wire.NotRetainedBody(asked, oldest, newest))
+}
+
+// foldCommonRange folds per-shard retained ranges into the cluster-wide
+// common range: max of oldests, min of newests — the epochs every shard
+// can still answer. A shard retaining nothing (newest 0) collapses the
+// range to empty (0, 0).
+func foldCommonRange(oldests, newests []uint64) (oldest, newest uint64) {
+	for i := range oldests {
+		if oldests[i] > oldest {
+			oldest = oldests[i]
+		}
+		if i == 0 || newests[i] < newest {
+			newest = newests[i]
+		}
+	}
+	if newest == 0 || oldest > newest {
+		return 0, 0
+	}
+	return oldest, newest
+}
+
+// commonRange live-probes every shard's retained range and folds the
+// cluster-wide common range. Used on the rare aggregate not-retained
+// path, where the failing gather only learned one shard's range.
+func (rt *Router) commonRange(ctx context.Context) (oldest, newest uint64) {
+	oldests := make([]uint64, len(rt.shards))
+	newests := make([]uint64, len(rt.shards))
+	var g par.Group
+	g.SetLimit(rt.gather)
+	for i, sh := range rt.shards {
+		i, sh := i, sh
+		g.Go(func() error {
+			if _, _, o, n, err := sh.client.Health(ctx); err == nil {
+				oldests[i], newests[i] = o, n
+			}
+			return nil
+		})
+	}
+	g.Wait() //nolint:errcheck // unreachable shards keep their zero range
+	return foldCommonRange(oldests, newests)
+}
+
+// respondNotRetained answers a fan-out that hit an unretained epoch
+// with the common-range 404.
+func (rt *Router) respondNotRetained(w http.ResponseWriter, r *http.Request, asked uint64) {
+	oldest, newest := rt.commonRange(r.Context())
+	writeNotRetained(w, asked, oldest, newest)
+}
+
 // relay answers a point lookup with the owning shard's response —
 // body, epoch field, ETag and cache disposition are the shard's, plus
 // an X-Shard header naming the owner. The transport client either
@@ -349,7 +424,11 @@ func (rt *Router) handleAddr(w http.ResponseWriter, r *http.Request) {
 		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rt.relay(w, r, rt.ownerOf(a.Block()), PointRequest{IsAddr: true, Addr: a})
+	epoch, ok := rt.parseEpochParam(w, r)
+	if !ok {
+		return
+	}
+	rt.relay(w, r, rt.ownerOf(a.Block()), PointRequest{IsAddr: true, Addr: a, Epoch: epoch})
 }
 
 func (rt *Router) handleBlock(w http.ResponseWriter, r *http.Request) {
@@ -358,7 +437,11 @@ func (rt *Router) handleBlock(w http.ResponseWriter, r *http.Request) {
 		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	rt.relay(w, r, rt.ownerOf(blk), PointRequest{Block: blk})
+	epoch, ok := rt.parseEpochParam(w, r)
+	if !ok {
+		return
+	}
+	rt.relay(w, r, rt.ownerOf(blk), PointRequest{Block: blk, Epoch: epoch})
 }
 
 // gatherPartials fans one fetch out to the given shards with bounded
@@ -395,13 +478,28 @@ func gatherPartials[T any](rt *Router, ctx context.Context, shards []*shardState
 	return out, min, nil
 }
 
+// gatherErr answers a failed aggregate gather: a not-retained epoch
+// becomes the common-range 404, anything else the 503 unavailable path.
+func (rt *Router) gatherErr(w http.ResponseWriter, r *http.Request, err error, asked uint64) {
+	var nr *wire.NotRetainedError
+	if errors.As(err, &nr) {
+		rt.respondNotRetained(w, r, asked)
+		return
+	}
+	rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+}
+
 func (rt *Router) handleSummary(w http.ResponseWriter, r *http.Request) {
+	asOf, ok := rt.parseEpochParam(w, r)
+	if !ok {
+		return
+	}
 	parts, epoch, err := gatherPartials(rt, r.Context(), rt.shards,
 		func(ctx context.Context, c Client) (query.SummaryPartial, uint64, error) {
-			return c.Summary(ctx)
+			return c.Summary(ctx, asOf)
 		})
 	if err != nil {
-		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		rt.gatherErr(w, r, err, asOf)
 		return
 	}
 	merged, err := query.MergeSummaryPartials(parts)
@@ -418,12 +516,16 @@ func (rt *Router) handleAS(w http.ResponseWriter, r *http.Request) {
 		rt.respondErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	asOf, ok := rt.parseEpochParam(w, r)
+	if !ok {
+		return
+	}
 	parts, epoch, err := gatherPartials(rt, r.Context(), rt.shards,
 		func(ctx context.Context, c Client) (query.ASPartial, uint64, error) {
-			return c.AS(ctx, n)
+			return c.AS(ctx, n, asOf)
 		})
 	if err != nil {
-		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		rt.gatherErr(w, r, err, asOf)
 		return
 	}
 	v, ok := query.MergeASPartials(parts)
@@ -452,13 +554,17 @@ func (rt *Router) handlePrefix(w http.ResponseWriter, r *http.Request) {
 			covering = append(covering, sh)
 		}
 	}
+	asOf, ok := rt.parseEpochParam(w, r)
+	if !ok {
+		return
+	}
 	cidr := p.String()
 	parts, epoch, err := gatherPartials(rt, r.Context(), covering,
 		func(ctx context.Context, c Client) (query.PrefixPartial, uint64, error) {
-			return c.Prefix(ctx, cidr)
+			return c.Prefix(ctx, cidr, asOf)
 		})
 	if err != nil {
-		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		rt.gatherErr(w, r, err, asOf)
 		return
 	}
 	merged, err := query.MergePrefixPartials(parts, wire.DefaultPrefixBlockList)
@@ -467,6 +573,99 @@ func (rt *Router) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wire.Respond(w, r, http.StatusOK, merged, epoch)
+}
+
+// handleDelta scatter-gathers /v1/delta?from=&to= to every shard and
+// folds the mergeable partials exactly. Not-retained answers do not
+// fail the gather: every shard reports its retained ring range (inside
+// the success payload or the typed 404), the router folds the
+// cluster-wide common range, and a missing epoch answers the canonical
+// 404 body with that range — blaming from before to, the same check
+// order a single shard applies.
+func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	fromRaw, toRaw := q.Get("from"), q.Get("to")
+	from, errFrom := strconv.ParseUint(fromRaw, 10, 64)
+	to, errTo := strconv.ParseUint(toRaw, 10, 64)
+	if errFrom != nil || errTo != nil || from >= to {
+		rt.respondErr(w, r, http.StatusBadRequest, wire.ErrDeltaParams(fromRaw, toRaw))
+		return
+	}
+	parts := make([]query.DeltaPartial, len(rt.shards))
+	oldests := make([]uint64, len(rt.shards))
+	newests := make([]uint64, len(rt.shards))
+	missing := false
+	var mu sync.Mutex
+	var g par.Group
+	g.SetLimit(rt.gather)
+	for i, sh := range rt.shards {
+		i, sh := i, sh
+		g.Go(func() error {
+			p, oldest, newest, err := sh.client.Delta(r.Context(), from, to)
+			if err != nil {
+				var nr *wire.NotRetainedError
+				if !errors.As(err, &nr) {
+					return err
+				}
+				oldests[i], newests[i] = nr.Oldest, nr.Newest
+				mu.Lock()
+				missing = true
+				mu.Unlock()
+				return nil
+			}
+			parts[i], oldests[i], newests[i] = p, oldest, newest
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if missing {
+		oldest, newest := foldCommonRange(oldests, newests)
+		asked := from
+		if newest > 0 && from >= oldest && from <= newest {
+			asked = to
+		}
+		writeNotRetained(w, asked, oldest, newest)
+		return
+	}
+	merged, err := query.MergeDeltaPartials(parts, query.DefaultDeltaBlockList)
+	if err != nil {
+		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
+		return
+	}
+	wire.Respond(w, r, http.StatusOK, merged, to)
+}
+
+// handleMovement scatter-gathers /v1/movement?last=N; the merge keeps
+// the epochs present on every shard, so the routed series covers the
+// cluster-wide common range.
+func (rt *Router) handleMovement(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if raw := r.URL.Query().Get("last"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			rt.respondErr(w, r, http.StatusBadRequest, wire.ErrInvalidLast(raw))
+			return
+		}
+		last = n
+	}
+	parts, _, err := gatherPartials(rt, r.Context(), rt.shards,
+		func(ctx context.Context, c Client) (query.MovementPartial, uint64, error) {
+			p, _, newest, err := c.Movement(ctx, last)
+			return p, newest, err
+		})
+	if err != nil {
+		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	merged, err := query.MergeMovementPartials(parts)
+	if err != nil {
+		rt.respondErr(w, r, http.StatusInternalServerError, err.Error())
+		return
+	}
+	wire.Respond(w, r, http.StatusOK, merged, merged.NewestEpoch)
 }
 
 // handleHealthz live-probes every shard with bounded concurrency,
@@ -481,11 +680,12 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		i, sh := i, sh
 		g.Go(func() error {
 			st := wire.RouterShardHealth{Shard: sh.info.Index, URL: sh.base, Transport: sh.client.Transport()}
-			status, epoch, err := sh.client.Health(r.Context())
+			status, epoch, oldest, newest, err := sh.client.Health(r.Context())
 			if err != nil {
 				st.Status, st.Error = "unreachable", err.Error()
 			} else {
 				st.Status, st.Epoch = status, epoch
+				st.OldestEpoch, st.NewestEpoch = oldest, newest
 				if status == "ok" {
 					sh.observeEpoch(epoch)
 				}
@@ -498,6 +698,8 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 	body := wire.RouterHealth{Status: "ok", Shards: states}
 	status := http.StatusOK
+	oldests := make([]uint64, len(states))
+	newests := make([]uint64, len(states))
 	for i, st := range states {
 		if st.Status != "ok" {
 			body.Status = "degraded"
@@ -506,7 +708,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if i == 0 || st.Epoch < body.Epoch {
 			body.Epoch = st.Epoch
 		}
+		oldests[i], newests[i] = st.OldestEpoch, st.NewestEpoch
 	}
+	body.OldestEpoch, body.NewestEpoch = foldCommonRange(oldests, newests)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)

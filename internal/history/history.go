@@ -1,0 +1,160 @@
+// Package history retains a bounded ring of recent query.Index
+// snapshots keyed by epoch, the substrate for time-travel (?epoch=),
+// /v1/delta and /v1/movement queries.
+//
+// Retention is cheap because snapshots are immutable and the applier's
+// publish path shares clean-block structure between consecutive epochs:
+// holding N epochs costs roughly one full index plus the dirty slices
+// of the other N-1, not N full copies (the memory-boundedness test in
+// history_test.go pins this under continuous ingest).
+//
+// The ring is the single source of truth for both the HTTP handlers
+// and the RPC server, so the two transports compute as-of, delta and
+// movement answers from identical inputs.
+package history
+
+import (
+	"sync"
+
+	"ipscope/internal/query"
+)
+
+// DefaultRetain is the retention used when a server does not configure
+// one: only the live epoch, matching the pre-history memory profile.
+const DefaultRetain = 1
+
+// Ring retains the newest Capacity() snapshots by epoch. Retained
+// epochs always form a contiguous range: publishes arrive with strictly
+// increasing epochs, and a non-increasing epoch (a restart publishing a
+// fresh timeline) resets the ring to just the new snapshot.
+type Ring struct {
+	mu    sync.RWMutex
+	cap   int
+	snaps []*query.Index // ascending epoch order
+}
+
+// New creates a ring retaining up to capacity epochs (<=0 means
+// DefaultRetain).
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRetain
+	}
+	return &Ring{cap: capacity}
+}
+
+// Capacity returns the retention bound.
+func (r *Ring) Capacity() int { return r.cap }
+
+// Len returns the number of currently retained epochs.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.snaps)
+}
+
+// Add retains x, evicting the oldest snapshots beyond capacity, and
+// returns the evicted epochs (oldest first) so callers can drop
+// anything keyed by them (response cache entries). An epoch at or below
+// the newest retained one resets the ring: every previously retained
+// epoch is returned as evicted.
+func (r *Ring) Add(x *query.Index) (evicted []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.snaps); n > 0 && x.Epoch() <= r.snaps[n-1].Epoch() {
+		for _, s := range r.snaps {
+			evicted = append(evicted, s.Epoch())
+		}
+		r.snaps = append(r.snaps[:0:0], x)
+		return evicted
+	}
+	r.snaps = append(r.snaps, x)
+	for len(r.snaps) > r.cap {
+		evicted = append(evicted, r.snaps[0].Epoch())
+		r.snaps = r.snaps[1:]
+	}
+	return evicted
+}
+
+// Get returns the retained snapshot for epoch, if any.
+func (r *Ring) Get(epoch uint64) (*query.Index, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.getLocked(epoch)
+}
+
+func (r *Ring) getLocked(epoch uint64) (*query.Index, bool) {
+	if len(r.snaps) == 0 {
+		return nil, false
+	}
+	oldest := r.snaps[0].Epoch()
+	if epoch < oldest || epoch > r.snaps[len(r.snaps)-1].Epoch() {
+		return nil, false
+	}
+	return r.snaps[epoch-oldest], true
+}
+
+// Latest returns the newest retained snapshot (nil when empty).
+func (r *Ring) Latest() *query.Index {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.snaps) == 0 {
+		return nil
+	}
+	return r.snaps[len(r.snaps)-1]
+}
+
+// Range returns the retained epoch range. ok is false while the ring is
+// empty (a warming server).
+func (r *Ring) Range() (oldest, newest uint64, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.snaps) == 0 {
+		return 0, 0, false
+	}
+	return r.snaps[0].Epoch(), r.snaps[len(r.snaps)-1].Epoch(), true
+}
+
+// Delta computes the delta partial between two retained epochs. ok is
+// false when either epoch is not retained; the error reports a span
+// the query layer rejects (from newer than to).
+func (r *Ring) Delta(from, to uint64, maxBlocks int) (query.DeltaPartial, bool, error) {
+	r.mu.RLock()
+	fx, fok := r.getLocked(from)
+	tx, tok := r.getLocked(to)
+	r.mu.RUnlock()
+	if !fok || !tok {
+		return query.DeltaPartial{}, false, nil
+	}
+	p, err := tx.DeltaPartial(fx, maxBlocks)
+	return p, err == nil, err
+}
+
+// Movement derives the per-epoch totals series over the newest `last`
+// retained epochs (<=0 or beyond retention: all of them). Churn columns
+// are measured against each entry's predecessor in the ring; the oldest
+// entry in the window has no predecessor inside it only when it is also
+// the oldest retained epoch, so re-asking with a larger ring never
+// changes an entry.
+func (r *Ring) Movement(last int) query.MovementPartial {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p := query.MovementPartial{}
+	if len(r.snaps) == 0 {
+		return p
+	}
+	p.Seed = r.snaps[0].Summary().Seed
+	start := 0
+	if last > 0 && last < len(r.snaps) {
+		start = len(r.snaps) - last
+	}
+	p.OldestEpoch = r.snaps[start].Epoch()
+	p.NewestEpoch = r.snaps[len(r.snaps)-1].Epoch()
+	for i := start; i < len(r.snaps); i++ {
+		var base *query.Index
+		if i > 0 {
+			base = r.snaps[i-1]
+		}
+		p.Entries = append(p.Entries, r.snaps[i].MovementEntryPartial(base))
+	}
+	return p
+}

@@ -308,7 +308,12 @@ func (d *Data) Observe(e Event) error {
 		run := ev.Meta.Run
 		d.Daily = newSets(run.DailyLen)
 		d.DailyTotalHits = make([]float64, run.DailyLen)
-		d.Weekly = newSets(run.NumWeeks())
+		// Weekly slots stay nil until their event arrives: the week
+		// count derives from the campaign length, not the applied
+		// prefix, so on a stream prefix the unclosed tail must remain
+		// distinguishable from closed-but-empty weeks (WriteTo skips it,
+		// keeping prefix datasets faithful through a round trip).
+		d.Weekly = make([]*ipv4.Set, run.NumWeeks())
 		d.WeeklyTopShare = make([]float64, run.NumWeeks())
 		d.ICMPScans = newSets(len(run.ICMPScanDays))
 		d.Traffic = make(map[ipv4.Block]*BlockTraffic)
@@ -370,6 +375,9 @@ func (d *Data) WriteTo(sink Sink) error {
 		events = append(events, ICMPScanEvent{Index: i, Responders: s})
 	}
 	for i, s := range d.Weekly {
+		if s == nil {
+			continue // week not closed at this stream prefix
+		}
 		events = append(events, WeekEvent{Index: i, Active: s, TopShare: d.WeeklyTopShare[i]})
 	}
 	for _, blk := range d.statBlocks() {

@@ -190,7 +190,17 @@ func (x *Index) buildAS() {
 // across cluster shards.
 func (x *Index) buildSummary(d *obs.Data, dailyUnion *ipv4.Set) {
 	run := d.Meta.Run
-	yearUnion := d.YearUnion()
+	// A stream-prefix dataset round-tripped through Data.Observe holds
+	// the full run's weekly slots with the not-yet-closed weeks nil
+	// (MetaEvent pre-sizes to NumWeeks, which derives from the campaign
+	// length, not the applied prefix). Trim the unclosed tail so batch
+	// builds over such a prefix agree with a live Applier, which only
+	// counts weeks it has observed.
+	weekly := d.Weekly
+	for len(weekly) > 0 && weekly[len(weekly)-1] == nil {
+		weekly = weekly[:len(weekly)-1]
+	}
+	yearUnion := ipv4.UnionAll(weekly, run.Workers)
 	p := &SummaryPartial{
 		Seed:         x.meta.seed,
 		NumASes:      x.meta.numASes,
@@ -198,13 +208,13 @@ func (x *Index) buildSummary(d *obs.Data, dailyUnion *ipv4.Set) {
 		Days:         run.Days,
 		DailyStart:   run.DailyStart,
 		DailyLen:     len(d.Daily),
-		Weeks:        len(d.Weekly),
+		Weeks:        len(weekly),
 		ActiveBlocks: len(x.keys),
 		DailyUnion:   dailyUnion.Len(),
 		YearUnion:    yearUnion.Len(),
 		ICMPUnion:    x.icmp.Len(),
 		Daily:        seriesPartialOf(d.Daily, dailyUnion, x.world.ASOf),
-		Weekly:       seriesPartialOf(d.Weekly, yearUnion, x.world.ASOf),
+		Weekly:       seriesPartialOf(weekly, yearUnion, x.world.ASOf),
 	}
 
 	// Capture–recapture inputs over the CDN month vs the ICMP union,
@@ -222,10 +232,10 @@ func (x *Index) buildSummary(d *obs.Data, dailyUnion *ipv4.Set) {
 		p.Ups = ipv4.DiffCounts(d.Daily[1:], d.Daily[:n], 0)
 		p.Downs = ipv4.DiffCounts(d.Daily[:n], d.Daily[1:], 0)
 	}
-	if len(d.Weekly) > 0 {
-		base := d.Weekly[0]
+	if len(weekly) > 0 {
+		base := weekly[0]
 		p.WeekBase = base.Len()
-		p.WeekLastAppear = d.Weekly[len(d.Weekly)-1].DiffCount(base)
+		p.WeekLastAppear = weekly[len(weekly)-1].DiffCount(base)
 	}
 
 	p.UASamples, p.UAPrecision, p.UARegisters = foldUA(uaBlocks(d.UA), func(blk ipv4.Block) *obs.UAStat {

@@ -523,6 +523,179 @@ func AppendPrefixPartialWire(b []byte, p *PrefixPartial) []byte {
 	return b
 }
 
+// --- DeltaPartial ----------------------------------------------------
+
+func appendBlockChange(b []byte, c *BlockChange) []byte {
+	b = wString(b, c.Block)
+	b = wU32(b, c.AS)
+	b = wInt(b, c.FDDelta)
+	b = wInt(b, c.ActiveDaysDelta)
+	b = wF64(b, c.HitsDelta)
+	return b
+}
+
+func (d *wdec) blockChange() BlockChange {
+	var c BlockChange
+	c.Block = d.str()
+	c.AS = d.u32()
+	c.FDDelta = d.i()
+	c.ActiveDaysDelta = d.i()
+	c.HitsDelta = d.f64()
+	return c
+}
+
+// 32 = minimum encoded BlockChange: one empty string (4) + the AS u32 +
+// two ints and one float (8 bytes each).
+func wBlockChangeSlice(b []byte, s []BlockChange) []byte {
+	b = wPresence(b, s == nil, len(s))
+	for i := range s {
+		b = appendBlockChange(b, &s[i])
+	}
+	return b
+}
+
+func (d *wdec) blockChangeSlice() []BlockChange {
+	present, n := d.presence(32)
+	if !present {
+		return nil
+	}
+	out := make([]BlockChange, n)
+	for i := range out {
+		out[i] = d.blockChange()
+	}
+	return out
+}
+
+// AppendDeltaPartialWire appends p's canonical wire encoding to b.
+func AppendDeltaPartialWire(b []byte, p *DeltaPartial) []byte {
+	b = wU64(b, p.Seed)
+	b = wU64(b, p.FromEpoch)
+	b = wU64(b, p.ToEpoch)
+	b = wInt(b, p.FromDays)
+	b = wInt(b, p.ToDays)
+	b = wInt(b, p.NewBlocks)
+	b = wInt(b, p.GoneDarkBlocks)
+	b = wInt(b, p.ChangedBlocks)
+	b = wInt(b, p.ActiveBlocksDelta)
+	b = wInt(b, p.ActiveAddrsDelta)
+	b = wInt(b, p.YearUnionDelta)
+	b = wInt(b, p.ICMPUnionDelta)
+	b = wInt(b, p.ChurnUp)
+	b = wInt(b, p.ChurnDown)
+	b = wInt(b, p.WeeksAdded)
+	b = wBlockChangeSlice(b, p.NewSample)
+	b = wBlockChangeSlice(b, p.GoneDarkSample)
+	b = wBlockChangeSlice(b, p.ChangedSample)
+	// 30 = minimum encoded ASMovementPartial: the AS u32 + three ints +
+	// two nil-slice presence bytes.
+	b = wPresence(b, p.ASMovement == nil, len(p.ASMovement))
+	for i := range p.ASMovement {
+		m := &p.ASMovement[i]
+		b = wU32(b, m.AS)
+		b = wInt(b, m.FromBlocks)
+		b = wInt(b, m.ToBlocks)
+		b = wInt(b, m.BothBlocks)
+		b = wF64Slice(b, m.FromHits)
+		b = wF64Slice(b, m.ToHits)
+	}
+	return b
+}
+
+// DecodeDeltaPartialWire decodes one DeltaPartial from p, returning the
+// remaining bytes.
+func DecodeDeltaPartialWire(p []byte) (DeltaPartial, []byte, error) {
+	d := &wdec{p: p}
+	var v DeltaPartial
+	v.Seed = d.u64()
+	v.FromEpoch = d.u64()
+	v.ToEpoch = d.u64()
+	v.FromDays = d.i()
+	v.ToDays = d.i()
+	v.NewBlocks = d.i()
+	v.GoneDarkBlocks = d.i()
+	v.ChangedBlocks = d.i()
+	v.ActiveBlocksDelta = d.i()
+	v.ActiveAddrsDelta = d.i()
+	v.YearUnionDelta = d.i()
+	v.ICMPUnionDelta = d.i()
+	v.ChurnUp = d.i()
+	v.ChurnDown = d.i()
+	v.WeeksAdded = d.i()
+	v.NewSample = d.blockChangeSlice()
+	v.GoneDarkSample = d.blockChangeSlice()
+	v.ChangedSample = d.blockChangeSlice()
+	present, n := d.presence(30)
+	if present {
+		v.ASMovement = make([]ASMovementPartial, n)
+		for i := range v.ASMovement {
+			m := &v.ASMovement[i]
+			m.AS = d.u32()
+			m.FromBlocks = d.i()
+			m.ToBlocks = d.i()
+			m.BothBlocks = d.i()
+			m.FromHits = d.f64Slice()
+			m.ToHits = d.f64Slice()
+		}
+	}
+	if d.err != nil {
+		return DeltaPartial{}, nil, d.err
+	}
+	return v, d.p, nil
+}
+
+// --- MovementPartial -------------------------------------------------
+
+// AppendMovementPartialWire appends p's canonical wire encoding to b.
+func AppendMovementPartialWire(b []byte, p *MovementPartial) []byte {
+	b = wU64(b, p.Seed)
+	b = wU64(b, p.OldestEpoch)
+	b = wU64(b, p.NewestEpoch)
+	// 57 = minimum encoded MovementEntryPartial: two u64 epochs + five
+	// ints + a nil-slice presence byte.
+	b = wPresence(b, p.Entries == nil, len(p.Entries))
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		b = wU64(b, e.Epoch)
+		b = wInt(b, e.Days)
+		b = wU64(b, e.BaseEpoch)
+		b = wInt(b, e.ActiveBlocks)
+		b = wInt(b, e.ActiveAddrs)
+		b = wInt(b, e.ChurnUp)
+		b = wInt(b, e.ChurnDown)
+		b = wU32Slice(b, e.ASes)
+	}
+	return b
+}
+
+// DecodeMovementPartialWire decodes one MovementPartial from p,
+// returning the remaining bytes.
+func DecodeMovementPartialWire(p []byte) (MovementPartial, []byte, error) {
+	d := &wdec{p: p}
+	var v MovementPartial
+	v.Seed = d.u64()
+	v.OldestEpoch = d.u64()
+	v.NewestEpoch = d.u64()
+	present, n := d.presence(57)
+	if present {
+		v.Entries = make([]MovementEntryPartial, n)
+		for i := range v.Entries {
+			e := &v.Entries[i]
+			e.Epoch = d.u64()
+			e.Days = d.i()
+			e.BaseEpoch = d.u64()
+			e.ActiveBlocks = d.i()
+			e.ActiveAddrs = d.i()
+			e.ChurnUp = d.i()
+			e.ChurnDown = d.i()
+			e.ASes = d.u32Slice()
+		}
+	}
+	if d.err != nil {
+		return MovementPartial{}, nil, d.err
+	}
+	return v, d.p, nil
+}
+
 // DecodePrefixPartialWire decodes one PrefixPartial from p, returning
 // the remaining bytes.
 func DecodePrefixPartialWire(p []byte) (PrefixPartial, []byte, error) {

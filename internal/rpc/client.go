@@ -238,10 +238,10 @@ func (c *Client) roundTrip(ctx context.Context, req Msg) (Msg, error) {
 			return nil, err
 		}
 		if e, isErr := m.(*ErrorResp); isErr {
-			return nil, &StatusError{Code: e.Code, Msg: e.Msg}
+			return nil, errorRespErr(*e)
 		}
 		if e, isErr := m.(ErrorResp); isErr {
-			return nil, &StatusError{Code: e.Code, Msg: e.Msg}
+			return nil, errorRespErr(e)
 		}
 		return m, nil
 	case <-ctx.Done():
@@ -252,6 +252,17 @@ func (c *Client) roundTrip(ctx context.Context, req Msg) (Msg, error) {
 		cc.mu.Unlock()
 		return nil, ctx.Err()
 	}
+}
+
+// errorRespErr maps an error frame to its typed Go error: the
+// not-retained 404 becomes *wire.NotRetainedError (carrying the shard's
+// ring range for the router's common-range fold), everything else a
+// *StatusError.
+func errorRespErr(e ErrorResp) error {
+	if e.NotRetained {
+		return &wire.NotRetainedError{Oldest: e.Oldest, Newest: e.Newest}
+	}
+	return &StatusError{Code: e.Code, Msg: e.Msg}
 }
 
 func badResp(m Msg) error {
@@ -285,9 +296,11 @@ func (c *Client) Health(ctx context.Context) (HealthResp, error) {
 }
 
 // Summary fetches the shard's mergeable summary partial and the epoch
-// it was computed from.
-func (c *Client) Summary(ctx context.Context) (query.SummaryPartial, uint64, error) {
-	m, err := c.roundTrip(ctx, SummaryReq{})
+// it was computed from. A non-zero epoch targets a retained snapshot
+// (likewise on every point method below); an unretained epoch returns
+// *wire.NotRetainedError.
+func (c *Client) Summary(ctx context.Context, epoch uint64) (query.SummaryPartial, uint64, error) {
+	m, err := c.roundTrip(ctx, SummaryReq{Epoch: epoch})
 	if err != nil {
 		return query.SummaryPartial{}, 0, err
 	}
@@ -299,8 +312,8 @@ func (c *Client) Summary(ctx context.Context) (query.SummaryPartial, uint64, err
 }
 
 // AS fetches the shard's mergeable share of one AS footprint.
-func (c *Client) AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, error) {
-	m, err := c.roundTrip(ctx, ASReq{ASN: asn})
+func (c *Client) AS(ctx context.Context, asn uint32, epoch uint64) (query.ASPartial, uint64, error) {
+	m, err := c.roundTrip(ctx, ASReq{ASN: asn, Epoch: epoch})
 	if err != nil {
 		return query.ASPartial{}, 0, err
 	}
@@ -312,8 +325,8 @@ func (c *Client) AS(ctx context.Context, asn uint32) (query.ASPartial, uint64, e
 }
 
 // Prefix fetches the shard's mergeable share of a CIDR aggregate.
-func (c *Client) Prefix(ctx context.Context, prefix string, maxBlocks int) (query.PrefixPartial, uint64, error) {
-	m, err := c.roundTrip(ctx, PrefixReq{Prefix: prefix, MaxBlocks: maxBlocks})
+func (c *Client) Prefix(ctx context.Context, prefix string, maxBlocks int, epoch uint64) (query.PrefixPartial, uint64, error) {
+	m, err := c.roundTrip(ctx, PrefixReq{Prefix: prefix, MaxBlocks: maxBlocks, Epoch: epoch})
 	if err != nil {
 		return query.PrefixPartial{}, 0, err
 	}
@@ -325,8 +338,8 @@ func (c *Client) Prefix(ctx context.Context, prefix string, maxBlocks int) (quer
 }
 
 // Addr fetches one address's view.
-func (c *Client) Addr(ctx context.Context, addr uint32) (query.AddrView, uint64, error) {
-	m, err := c.roundTrip(ctx, AddrReq{Addr: addr})
+func (c *Client) Addr(ctx context.Context, addr uint32, epoch uint64) (query.AddrView, uint64, error) {
+	m, err := c.roundTrip(ctx, AddrReq{Addr: addr, Epoch: epoch})
 	if err != nil {
 		return query.AddrView{}, 0, err
 	}
@@ -338,8 +351,8 @@ func (c *Client) Addr(ctx context.Context, addr uint32) (query.AddrView, uint64,
 }
 
 // Block fetches one /24's view; found=false is the typed 404.
-func (c *Client) Block(ctx context.Context, block uint32) (query.BlockView, bool, uint64, error) {
-	m, err := c.roundTrip(ctx, BlockReq{Block: block})
+func (c *Client) Block(ctx context.Context, block uint32, epoch uint64) (query.BlockView, bool, uint64, error) {
+	m, err := c.roundTrip(ctx, BlockReq{Block: block, Epoch: epoch})
 	if err != nil {
 		return query.BlockView{}, false, 0, err
 	}
@@ -425,4 +438,33 @@ func (c *Client) BulkBlock(ctx context.Context, blocks []uint32) ([]BlockEntry, 
 		return nil, 0, formatErrf("bulk answered %d entries for %d blocks", len(entries), len(blocks))
 	}
 	return entries, epoch, nil
+}
+
+// Delta fetches the shard's mergeable delta partial between two
+// retained epochs plus the shard's ring range; an unretained epoch
+// returns *wire.NotRetainedError.
+func (c *Client) Delta(ctx context.Context, from, to uint64, maxBlocks int) (query.DeltaPartial, uint64, uint64, error) {
+	m, err := c.roundTrip(ctx, DeltaReq{From: from, To: to, MaxBlocks: maxBlocks})
+	if err != nil {
+		return query.DeltaPartial{}, 0, 0, err
+	}
+	r, ok := m.(DeltaResp)
+	if !ok {
+		return query.DeltaPartial{}, 0, 0, badResp(m)
+	}
+	return r.Partial, r.Oldest, r.Newest, nil
+}
+
+// Movement fetches the shard's mergeable movement partial over the last
+// N retained epochs (0 = whole ring) plus the shard's ring range.
+func (c *Client) Movement(ctx context.Context, last int) (query.MovementPartial, uint64, uint64, error) {
+	m, err := c.roundTrip(ctx, MovementReq{Last: last})
+	if err != nil {
+		return query.MovementPartial{}, 0, 0, err
+	}
+	r, ok := m.(MovementResp)
+	if !ok {
+		return query.MovementPartial{}, 0, 0, badResp(m)
+	}
+	return r.Partial, r.Oldest, r.Newest, nil
 }

@@ -38,7 +38,10 @@ import (
 )
 
 // Version is the current protocol version, exchanged in the preface.
-const Version = 1
+// Version 2 added history: epoch-targeted point requests, the
+// Delta/Movement frames, retained-range fields on responses, and the
+// typed not-retained error.
+const Version = 2
 
 const maxFrameLen = 1 << 28 // 256 MiB: far above any real frame
 
@@ -55,6 +58,8 @@ const (
 	kindBlock     = 0x07
 	kindBulkAddr  = 0x08
 	kindBulkBlock = 0x09
+	kindDelta     = 0x0A
+	kindMovement  = 0x0B
 
 	respBit   = 0x80
 	kindError = 0xFF
@@ -95,16 +100,22 @@ type HealthReq struct{}
 // HealthResp carries the health fields the router's aggregate probe
 // consumes (the HTTP healthz additionally reports cache counters, which
 // are meaningless over RPC — responses are not served from the HTTP
-// response cache).
+// response cache). OldestEpoch/NewestEpoch report the shard's retained
+// history ring for the router's common-range aggregation.
 type HealthResp struct {
-	Status   string
-	Epoch    uint64
-	Blocks   int
-	DailyLen int
+	Status      string
+	Epoch       uint64
+	OldestEpoch uint64
+	NewestEpoch uint64
+	Blocks      int
+	DailyLen    int
 }
 
-// SummaryReq asks for the shard's mergeable summary partial.
-type SummaryReq struct{}
+// SummaryReq asks for the shard's mergeable summary partial. A non-zero
+// Epoch targets a retained snapshot instead of the live one (likewise
+// on every point request below); an unretained epoch answers the typed
+// not-retained error.
+type SummaryReq struct{ Epoch uint64 }
 
 // SummaryResp is the typed /v1/cluster/summary.
 type SummaryResp struct {
@@ -113,7 +124,10 @@ type SummaryResp struct {
 }
 
 // ASReq asks for the shard's mergeable share of one AS footprint.
-type ASReq struct{ ASN uint32 }
+type ASReq struct {
+	ASN   uint32
+	Epoch uint64
+}
 
 // ASResp is the typed /v1/cluster/as/{asn}.
 type ASResp struct {
@@ -125,6 +139,7 @@ type ASResp struct {
 type PrefixReq struct {
 	Prefix    string
 	MaxBlocks int
+	Epoch     uint64
 }
 
 // PrefixResp is the typed /v1/cluster/prefix/{cidr}.
@@ -134,7 +149,10 @@ type PrefixResp struct {
 }
 
 // AddrReq asks for one address's view (the /v1/addr point lookup).
-type AddrReq struct{ Addr uint32 }
+type AddrReq struct {
+	Addr  uint32
+	Epoch uint64
+}
 
 // AddrResp carries the view plus the snapshot epoch it was computed
 // from — the typed form of the JSON body's spliced "epoch" field, from
@@ -145,7 +163,10 @@ type AddrResp struct {
 }
 
 // BlockReq asks for one /24's view (the /v1/block point lookup).
-type BlockReq struct{ Block uint32 }
+type BlockReq struct {
+	Block uint32
+	Epoch uint64
+}
 
 // BlockResp carries the view when the block has activity; Found=false
 // is the typed form of the HTTP 404.
@@ -194,12 +215,45 @@ type BulkBlockResp struct {
 	Entries   []BlockEntry
 }
 
+// DeltaReq asks for the shard's mergeable delta partial between two
+// retained epochs (the /v1/cluster/delta equivalent).
+type DeltaReq struct {
+	From      uint64
+	To        uint64
+	MaxBlocks int
+}
+
+// DeltaResp carries the partial plus the shard's retained ring range,
+// which the router folds into the cluster-wide common range.
+type DeltaResp struct {
+	Oldest  uint64
+	Newest  uint64
+	Partial query.DeltaPartial
+}
+
+// MovementReq asks for the shard's mergeable movement partial over the
+// last N retained epochs (0 = the whole ring).
+type MovementReq struct{ Last int }
+
+// MovementResp carries the partial plus the shard's retained ring
+// range.
+type MovementResp struct {
+	Oldest  uint64
+	Newest  uint64
+	Partial query.MovementPartial
+}
+
 // ErrorResp answers any request with an HTTP-equivalent status code and
 // message instead of its typed response — 503 while the shard is
-// warming (Msg = wire.WarmingError), 400 for an invalid prefix.
+// warming (Msg = wire.WarmingError), 400 for an invalid prefix, 404
+// with NotRetained set (and the ring range) for an epoch outside the
+// shard's history ring.
 type ErrorResp struct {
-	Code int
-	Msg  string
+	Code        int
+	Msg         string
+	NotRetained bool
+	Oldest      uint64
+	Newest      uint64
 }
 
 // --- primitive helpers (append) --------------------------------------
@@ -375,6 +429,8 @@ func (m InfoResp) append(b []byte) []byte {
 	b = appendString(b, m.Info.RPCAddr)
 	b = appendInt(b, m.Info.Blocks)
 	b = appendString(b, m.Info.FirstActive)
+	b = appendU64(b, m.Info.OldestEpoch)
+	b = appendU64(b, m.Info.NewestEpoch)
 	return b
 }
 
@@ -387,14 +443,16 @@ func (HealthResp) Kind() byte { return kindHealth | respBit }
 func (m HealthResp) append(b []byte) []byte {
 	b = appendString(b, m.Status)
 	b = appendU64(b, m.Epoch)
+	b = appendU64(b, m.OldestEpoch)
+	b = appendU64(b, m.NewestEpoch)
 	b = appendInt(b, m.Blocks)
 	b = appendInt(b, m.DailyLen)
 	return b
 }
 
 // Kind implements Msg.
-func (SummaryReq) Kind() byte             { return kindSummary }
-func (SummaryReq) append(b []byte) []byte { return b }
+func (SummaryReq) Kind() byte               { return kindSummary }
+func (m SummaryReq) append(b []byte) []byte { return appendU64(b, m.Epoch) }
 
 // Kind implements Msg.
 func (SummaryResp) Kind() byte { return kindSummary | respBit }
@@ -406,7 +464,8 @@ func (m SummaryResp) append(b []byte) []byte {
 // Kind implements Msg.
 func (ASReq) Kind() byte { return kindAS }
 func (m ASReq) append(b []byte) []byte {
-	return appendU32(b, m.ASN)
+	b = appendU32(b, m.ASN)
+	return appendU64(b, m.Epoch)
 }
 
 // Kind implements Msg.
@@ -420,7 +479,8 @@ func (m ASResp) append(b []byte) []byte {
 func (PrefixReq) Kind() byte { return kindPrefix }
 func (m PrefixReq) append(b []byte) []byte {
 	b = appendString(b, m.Prefix)
-	return appendInt(b, m.MaxBlocks)
+	b = appendInt(b, m.MaxBlocks)
+	return appendU64(b, m.Epoch)
 }
 
 // Kind implements Msg.
@@ -433,7 +493,8 @@ func (m PrefixResp) append(b []byte) []byte {
 // Kind implements Msg.
 func (AddrReq) Kind() byte { return kindAddr }
 func (m AddrReq) append(b []byte) []byte {
-	return appendU32(b, m.Addr)
+	b = appendU32(b, m.Addr)
+	return appendU64(b, m.Epoch)
 }
 
 // Kind implements Msg.
@@ -446,7 +507,8 @@ func (m AddrResp) append(b []byte) []byte {
 // Kind implements Msg.
 func (BlockReq) Kind() byte { return kindBlock }
 func (m BlockReq) append(b []byte) []byte {
-	return appendU32(b, m.Block)
+	b = appendU32(b, m.Block)
+	return appendU64(b, m.Epoch)
 }
 
 // Kind implements Msg.
@@ -506,10 +568,43 @@ func (m BulkBlockResp) append(b []byte) []byte {
 }
 
 // Kind implements Msg.
+func (DeltaReq) Kind() byte { return kindDelta }
+func (m DeltaReq) append(b []byte) []byte {
+	b = appendU64(b, m.From)
+	b = appendU64(b, m.To)
+	return appendInt(b, m.MaxBlocks)
+}
+
+// Kind implements Msg.
+func (DeltaResp) Kind() byte { return kindDelta | respBit }
+func (m DeltaResp) append(b []byte) []byte {
+	b = appendU64(b, m.Oldest)
+	b = appendU64(b, m.Newest)
+	return query.AppendDeltaPartialWire(b, &m.Partial)
+}
+
+// Kind implements Msg.
+func (MovementReq) Kind() byte { return kindMovement }
+func (m MovementReq) append(b []byte) []byte {
+	return appendInt(b, m.Last)
+}
+
+// Kind implements Msg.
+func (MovementResp) Kind() byte { return kindMovement | respBit }
+func (m MovementResp) append(b []byte) []byte {
+	b = appendU64(b, m.Oldest)
+	b = appendU64(b, m.Newest)
+	return query.AppendMovementPartialWire(b, &m.Partial)
+}
+
+// Kind implements Msg.
 func (ErrorResp) Kind() byte { return kindError }
 func (m ErrorResp) append(b []byte) []byte {
 	b = appendU32(b, uint32(m.Code))
-	return appendString(b, m.Msg)
+	b = appendString(b, m.Msg)
+	b = appendBool(b, m.NotRetained)
+	b = appendU64(b, m.Oldest)
+	return appendU64(b, m.Newest)
 }
 
 // EncodePayload returns m's canonical payload bytes (the frame body,
@@ -538,6 +633,8 @@ func DecodePayload(kind byte, p []byte) (Msg, error) {
 		r.Info.RPCAddr = d.str()
 		r.Info.Blocks = d.i()
 		r.Info.FirstActive = d.str()
+		r.Info.OldestEpoch = d.u64()
+		r.Info.NewestEpoch = d.u64()
 		m = r
 	case kindHealth:
 		m = HealthReq{}
@@ -545,18 +642,20 @@ func DecodePayload(kind byte, p []byte) (Msg, error) {
 		var r HealthResp
 		r.Status = d.str()
 		r.Epoch = d.u64()
+		r.OldestEpoch = d.u64()
+		r.NewestEpoch = d.u64()
 		r.Blocks = d.i()
 		r.DailyLen = d.i()
 		m = r
 	case kindSummary:
-		m = SummaryReq{}
+		m = SummaryReq{Epoch: d.u64()}
 	case kindSummary | respBit:
 		var r SummaryResp
 		r.Epoch = d.u64()
 		r.Partial = sub(d, query.DecodeSummaryPartialWire)
 		m = r
 	case kindAS:
-		m = ASReq{ASN: d.u32()}
+		m = ASReq{ASN: d.u32(), Epoch: d.u64()}
 	case kindAS | respBit:
 		var r ASResp
 		r.Epoch = d.u64()
@@ -566,6 +665,7 @@ func DecodePayload(kind byte, p []byte) (Msg, error) {
 		var r PrefixReq
 		r.Prefix = d.str()
 		r.MaxBlocks = d.i()
+		r.Epoch = d.u64()
 		m = r
 	case kindPrefix | respBit:
 		var r PrefixResp
@@ -573,14 +673,14 @@ func DecodePayload(kind byte, p []byte) (Msg, error) {
 		r.Partial = sub(d, query.DecodePrefixPartialWire)
 		m = r
 	case kindAddr:
-		m = AddrReq{Addr: d.u32()}
+		m = AddrReq{Addr: d.u32(), Epoch: d.u64()}
 	case kindAddr | respBit:
 		var r AddrResp
 		r.Epoch = d.u64()
 		r.View = sub(d, query.DecodeAddrViewWire)
 		m = r
 	case kindBlock:
-		m = BlockReq{Block: d.u32()}
+		m = BlockReq{Block: d.u32(), Epoch: d.u64()}
 	case kindBlock | respBit:
 		var r BlockResp
 		r.Epoch = d.u64()
@@ -628,10 +728,33 @@ func DecodePayload(kind byte, p []byte) (Msg, error) {
 			}
 		}
 		m = r
+	case kindDelta:
+		var r DeltaReq
+		r.From = d.u64()
+		r.To = d.u64()
+		r.MaxBlocks = d.i()
+		m = r
+	case kindDelta | respBit:
+		var r DeltaResp
+		r.Oldest = d.u64()
+		r.Newest = d.u64()
+		r.Partial = sub(d, query.DecodeDeltaPartialWire)
+		m = r
+	case kindMovement:
+		m = MovementReq{Last: d.i()}
+	case kindMovement | respBit:
+		var r MovementResp
+		r.Oldest = d.u64()
+		r.Newest = d.u64()
+		r.Partial = sub(d, query.DecodeMovementPartialWire)
+		m = r
 	case kindError:
 		var r ErrorResp
 		r.Code = int(d.u32())
 		r.Msg = d.str()
+		r.NotRetained = d.bool()
+		r.Oldest = d.u64()
+		r.Newest = d.u64()
 		m = r
 	default:
 		return nil, formatErrf("unknown frame kind 0x%02x", kind)

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"net"
 	"reflect"
 	"sync"
 	"testing"
 
+	"ipscope/internal/obs"
 	"ipscope/internal/query"
 	"ipscope/internal/serve"
 	"ipscope/internal/serve/wire"
@@ -28,27 +30,33 @@ func testMessages() []Msg {
 		InfoResp{Info: wire.ClusterInfo{Status: "ok", Epoch: 9,
 			ShardInfo: wire.ShardInfo{Index: 1, Count: 4, Lo: 1 << 22, Hi: 1 << 23},
 			RPCAddr:   "127.0.0.1:9999",
-			Blocks:    321, FirstActive: "10.0.0.0/24"}},
+			Blocks:    321, FirstActive: "10.0.0.0/24",
+			OldestEpoch: 6, NewestEpoch: 9}},
 		InfoResp{},
 		HealthReq{},
 		HealthResp{Status: "warming", Epoch: 0, Blocks: 0, DailyLen: 0},
-		HealthResp{Status: "ok", Epoch: 3, Blocks: 12, DailyLen: 84},
+		HealthResp{Status: "ok", Epoch: 3, OldestEpoch: 1, NewestEpoch: 3, Blocks: 12, DailyLen: 84},
 		SummaryReq{},
+		SummaryReq{Epoch: 7},
 		SummaryResp{Epoch: 5, Partial: query.SummaryPartial{Seed: 17, Days: 112,
 			Daily:   query.SeriesPartial{Snapshots: 2, SnapASes: [][]uint32{{1, 2}, nil}},
 			DayLens: []int{1, 2}, UARegisters: []byte{0, 9}}},
 		ASReq{ASN: 64500},
+		ASReq{ASN: 64500, Epoch: 2},
 		ASResp{Epoch: 1, Partial: query.ASPartial{Found: true, AS: 64500,
 			Prefixes: []string{"10.0.0.0/8"}, Hits: []float64{math.MaxFloat64, -1}}},
 		ASResp{Partial: query.ASPartial{AS: 7}},
 		PrefixReq{Prefix: "10.0.0.0/12", MaxBlocks: 16},
+		PrefixReq{Prefix: "10.0.0.0/12", MaxBlocks: 16, Epoch: 4},
 		PrefixReq{},
 		PrefixResp{Epoch: 2, Partial: query.PrefixPartial{Prefix: "10.0.0.0/12",
 			Blocks: 1 << 12, STU: []float64{0.5}, Origins: []uint32{1},
 			BlockList: []query.BlockView{{Block: "10.0.0.0/24", AS: 1, FD: 3}}}},
 		AddrReq{Addr: 0xC0A80101},
+		AddrReq{Addr: 0xC0A80101, Epoch: 9},
 		AddrResp{Epoch: 4, View: query.AddrView{Addr: "192.168.1.1", FirstDay: -1, LastDay: -1}},
 		BlockReq{Block: 0xC0A801},
+		BlockReq{Block: 0xC0A801, Epoch: 3},
 		BlockResp{Epoch: 4, Found: true, View: query.BlockView{Block: "192.168.1.0/24", STU: 0.125}},
 		BlockResp{Epoch: 4, Found: false},
 		BulkAddrReq{CurrIndex: 3, Addrs: []uint32{1, 2, 3, 4}},
@@ -58,8 +66,32 @@ func testMessages() []Msg {
 		BulkBlockReq{CurrIndex: 1, Blocks: []uint32{9, 10}},
 		BulkBlockResp{Epoch: 1, CurrIndex: 1, NextIndex: 2, More: false,
 			Entries: []BlockEntry{{Found: false}, {Found: true, View: query.BlockView{Block: "0.0.10.0/24"}}}},
+		DeltaReq{From: 3, To: 9, MaxBlocks: 16},
+		DeltaReq{},
+		DeltaResp{Oldest: 3, Newest: 9, Partial: query.DeltaPartial{
+			Seed: 17, FromEpoch: 3, ToEpoch: 9, FromDays: 5, ToDays: 11,
+			NewBlocks: 2, GoneDarkBlocks: 1, ChangedBlocks: 4,
+			ActiveBlocksDelta: -1, ActiveAddrsDelta: 7, ChurnUp: 3, ChurnDown: 2,
+			NewSample: []query.BlockChange{
+				{Block: "10.0.0.0/24", AS: 64500, FDDelta: 3, ActiveDaysDelta: 2, HitsDelta: 1.5}},
+			ChangedSample: []query.BlockChange{{Block: "10.0.1.0/24", HitsDelta: -0.25}},
+			ASMovement: []query.ASMovementPartial{
+				{AS: 64500, FromBlocks: 2, ToBlocks: 3, BothBlocks: 2,
+					FromHits: []float64{1, 2}, ToHits: []float64{1, 2, math.MaxFloat64}},
+				{AS: 64501, FromBlocks: 1}}}},
+		DeltaResp{},
+		MovementReq{Last: 5},
+		MovementReq{},
+		MovementResp{Oldest: 2, Newest: 4, Partial: query.MovementPartial{
+			Seed: 17, OldestEpoch: 2, NewestEpoch: 4,
+			Entries: []query.MovementEntryPartial{
+				{Epoch: 2, Days: 3, ActiveBlocks: 9, ActiveAddrs: 120, ASes: []uint32{64500, 64501}},
+				{Epoch: 3, Days: 4, BaseEpoch: 2, ChurnUp: 5, ChurnDown: 1, ASes: []uint32{}}}}},
+		MovementResp{},
 		ErrorResp{Code: 503, Msg: wire.WarmingError},
 		ErrorResp{Code: 400, Msg: ""},
+		ErrorResp{Code: 404, Msg: "epoch 2 not retained (retained epochs 3..9)",
+			NotRetained: true, Oldest: 3, Newest: 9},
 	}
 }
 
@@ -176,6 +208,7 @@ var (
 	backendOnce sync.Once
 	backendSrv  *serve.Server
 	backendIdx  *query.Index
+	backendData *obs.Data
 )
 
 // testBackend builds one tiny-world shard backend shared by the
@@ -185,7 +218,8 @@ func testBackend(t testing.TB) (*serve.Server, *query.Index) {
 	backendOnce.Do(func() {
 		w := synthnet.Generate(synthnet.TinyConfig())
 		res := sim.Run(w, sim.TinyConfig())
-		idx, err := query.Build(&res.Data, query.Options{})
+		backendData = &res.Data
+		idx, err := query.Build(backendData, query.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +252,7 @@ func TestClientServerPoint(t *testing.T) {
 	epoch := idx.Epoch()
 
 	blk := idx.Blocks()[0]
-	view, found, e, err := c.Block(ctx, uint32(blk))
+	view, found, e, err := c.Block(ctx, uint32(blk), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,12 +270,12 @@ func TestClientServerPoint(t *testing.T) {
 			inactive++
 		}
 	}
-	if _, found, _, err := c.Block(ctx, inactive); err != nil || found {
+	if _, found, _, err := c.Block(ctx, inactive, 0); err != nil || found {
 		t.Fatalf("inactive block: found=%v err=%v", found, err)
 	}
 
 	addr := blk.Addr(7)
-	aview, e, err := c.Addr(ctx, uint32(addr))
+	aview, e, err := c.Addr(ctx, uint32(addr), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +304,7 @@ func TestClientServerPartials(t *testing.T) {
 	_, idx := testBackend(t)
 	ctx := context.Background()
 
-	p, e, err := c.Summary(ctx)
+	p, e, err := c.Summary(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +316,7 @@ func TestClientServerPartials(t *testing.T) {
 	}
 
 	asn := idx.ASNs()[0]
-	ap, _, err := c.AS(ctx, uint32(asn))
+	ap, _, err := c.AS(ctx, uint32(asn), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,10 +325,121 @@ func TestClientServerPartials(t *testing.T) {
 	}
 
 	// An invalid prefix answers a 400 StatusError, like the HTTP API.
-	if _, _, err := c.Prefix(ctx, "banana", 16); err == nil {
+	if _, _, err := c.Prefix(ctx, "banana", 16, 0); err == nil {
 		t.Fatal("invalid prefix accepted")
 	} else if se, ok := err.(*StatusError); !ok || se.Code != 400 {
 		t.Fatalf("invalid prefix: %v, want 400 StatusError", err)
+	}
+}
+
+// TestHistoryRPC pins the history surface of the protocol: epoch-
+// targeted point lookups answer from retained snapshots, unretained
+// epochs fail with the typed *wire.NotRetainedError carrying the
+// retained range, Delta/Movement frames agree with the backend ring,
+// and Health advertises the range.
+func TestHistoryRPC(t *testing.T) {
+	testBackend(t)
+	a := query.NewApplier(query.Options{})
+	if err := backendData.WriteTo(a); err != nil {
+		t.Fatal(err)
+	}
+	snap := func() *query.Index {
+		s, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2, s3 := snap(), snap(), snap()
+	be := serve.New(nil, serve.Config{RetainEpochs: 2})
+	be.Publish(s1)
+	be.Publish(s2)
+	be.Publish(s3) // ring now retains {s2, s3}; s1 is evicted
+
+	srv := NewServer(be, Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	c := NewClient(addr.String(), ClientOptions{})
+	defer c.Close()
+	ctx := context.Background()
+
+	// A retained, non-live epoch answers that snapshot.
+	p, e, err := c.Summary(ctx, s2.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != s2.Epoch() {
+		t.Fatalf("as-of summary epoch %d, want %d", e, s2.Epoch())
+	}
+	if got, want := p.Finalize(), s2.Summary(); got != want {
+		t.Fatalf("as-of summary = %+v, want %+v", got, want)
+	}
+	blk := s2.Blocks()[0]
+	view, found, e, err := c.Block(ctx, uint32(blk), s2.Epoch())
+	if err != nil || !found || e != s2.Epoch() {
+		t.Fatalf("as-of block: found=%v epoch=%d err=%v", found, e, err)
+	}
+	if want, _ := s2.Block(blk); view != want {
+		t.Fatalf("as-of block view = %+v, want %+v", view, want)
+	}
+
+	// An evicted epoch is the typed 404 with the retained range.
+	var nr *wire.NotRetainedError
+	if _, _, err := c.Summary(ctx, s1.Epoch()); !errors.As(err, &nr) {
+		t.Fatalf("evicted epoch: err = %v, want *wire.NotRetainedError", err)
+	} else if nr.Oldest != s2.Epoch() || nr.Newest != s3.Epoch() {
+		t.Fatalf("not-retained range %d..%d, want %d..%d", nr.Oldest, nr.Newest, s2.Epoch(), s3.Epoch())
+	}
+
+	// Delta matches the ring's partial and reports the retained range.
+	part, oldest, newest, err := c.Delta(ctx, s2.Epoch(), s3.Epoch(), query.DefaultDeltaBlockList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok, err := be.History().Delta(s2.Epoch(), s3.Epoch(), query.DefaultDeltaBlockList)
+	if !ok || err != nil {
+		t.Fatalf("ring delta: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(part, want) {
+		t.Fatalf("delta partial = %+v, want %+v", part, want)
+	}
+	if oldest != s2.Epoch() || newest != s3.Epoch() {
+		t.Fatalf("delta range %d..%d, want %d..%d", oldest, newest, s2.Epoch(), s3.Epoch())
+	}
+
+	// A span touching an evicted epoch fails typed; an inverted span is
+	// a plain 400.
+	if _, _, _, err := c.Delta(ctx, s1.Epoch(), s3.Epoch(), 0); !errors.As(err, &nr) {
+		t.Fatalf("delta from evicted epoch: %v", err)
+	}
+	if _, _, _, err := c.Delta(ctx, s3.Epoch(), s2.Epoch(), 0); err == nil {
+		t.Fatal("inverted delta span accepted")
+	} else if se, ok := err.(*StatusError); !ok || se.Code != 400 {
+		t.Fatalf("inverted delta span: %v, want 400 StatusError", err)
+	}
+
+	// Movement mirrors the ring series.
+	mp, oldest, newest, err := c.Movement(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mp, be.History().Movement(0)) {
+		t.Fatalf("movement partial = %+v, want ring's", mp)
+	}
+	if oldest != s2.Epoch() || newest != s3.Epoch() {
+		t.Fatalf("movement range %d..%d", oldest, newest)
+	}
+
+	// Health advertises the retained range.
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OldestEpoch != s2.Epoch() || h.NewestEpoch != s3.Epoch() {
+		t.Fatalf("health range %d..%d, want %d..%d", h.OldestEpoch, h.NewestEpoch, s2.Epoch(), s3.Epoch())
 	}
 }
 
@@ -310,7 +455,7 @@ func TestWarmingBackend(t *testing.T) {
 	defer c.Close()
 
 	ctx := context.Background()
-	if _, _, _, err := c.Block(ctx, 1); err == nil {
+	if _, _, _, err := c.Block(ctx, 1, 0); err == nil {
 		t.Fatal("warming shard answered a block lookup")
 	} else if se, ok := err.(*StatusError); !ok || se.Code != 503 || se.Msg != wire.WarmingError {
 		t.Fatalf("warming error = %v", err)
@@ -359,7 +504,7 @@ func TestBulkEqualsSingles(t *testing.T) {
 		t.Fatalf("BulkAddr: epoch=%d len=%d", epoch, len(views))
 	}
 	for i, a := range addrs {
-		single, _, err := c.Addr(ctx, a)
+		single, _, err := c.Addr(ctx, a, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -382,7 +527,7 @@ func TestBulkEqualsSingles(t *testing.T) {
 	}
 	sawNotFound := false
 	for i, b := range blks {
-		view, found, _, err := c.Block(ctx, b)
+		view, found, _, err := c.Block(ctx, b, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -419,7 +564,7 @@ func TestPipelining(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				blk := blocks[(g*50+i)%len(blocks)]
 				want, _ := idx.Block(blk)
-				view, found, _, err := c.Block(ctx, uint32(blk))
+				view, found, _, err := c.Block(ctx, uint32(blk), 0)
 				if err != nil {
 					errs <- err
 					return

@@ -5,9 +5,11 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"ipscope/internal/bgp"
+	"ipscope/internal/history"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/query"
 	"ipscope/internal/serve/wire"
@@ -29,6 +31,10 @@ type Backend interface {
 	ClusterInfo() wire.ClusterInfo
 	// Health returns the /v1/healthz equivalent.
 	Health() wire.Health
+	// History returns the retained-snapshot ring — the same ring the
+	// HTTP listener answers ?epoch=/delta/movement from, so the two
+	// transports cannot disagree about what is retained.
+	History() *history.Ring
 }
 
 // Options tunes a Server.
@@ -169,7 +175,11 @@ func (s *Server) handle(req Msg) Msg {
 		return InfoResp{Info: s.be.ClusterInfo()}
 	case HealthReq:
 		h := s.be.Health()
-		return HealthResp{Status: h.Status, Epoch: h.Epoch, Blocks: h.Blocks, DailyLen: h.DailyLen}
+		return HealthResp{
+			Status: h.Status, Epoch: h.Epoch,
+			OldestEpoch: h.OldestEpoch, NewestEpoch: h.NewestEpoch,
+			Blocks: h.Blocks, DailyLen: h.DailyLen,
+		}
 	default:
 		x := s.be.Index()
 		if x == nil {
@@ -179,14 +189,52 @@ func (s *Server) handle(req Msg) Msg {
 	}
 }
 
+// notRetained builds the typed form of the not-retained 404 from the
+// ring's current range.
+func (s *Server) notRetained(asked uint64) Msg {
+	oldest, newest, _ := s.be.History().Range()
+	return ErrorResp{
+		Code:        http.StatusNotFound,
+		Msg:         wire.ErrEpochNotRetained(asked, oldest, newest),
+		NotRetained: true,
+		Oldest:      oldest,
+		Newest:      newest,
+	}
+}
+
+// resolve swaps x for the retained snapshot a non-zero request epoch
+// names (epoch 0 = the live snapshot); the second return is the typed
+// 404 on an unretained epoch.
+func (s *Server) resolve(x *query.Index, epoch uint64) (*query.Index, Msg) {
+	if epoch == 0 {
+		return x, nil
+	}
+	hx, ok := s.be.History().Get(epoch)
+	if !ok {
+		return nil, s.notRetained(epoch)
+	}
+	return hx, nil
+}
+
 func (s *Server) handleData(x *query.Index, req Msg) Msg {
-	epoch := x.Epoch()
 	switch r := req.(type) {
 	case SummaryReq:
-		return SummaryResp{Epoch: epoch, Partial: x.SummaryPartial()}
+		x, errMsg := s.resolve(x, r.Epoch)
+		if errMsg != nil {
+			return errMsg
+		}
+		return SummaryResp{Epoch: x.Epoch(), Partial: x.SummaryPartial()}
 	case ASReq:
-		return ASResp{Epoch: epoch, Partial: x.ASPartial(bgp.ASN(r.ASN))}
+		x, errMsg := s.resolve(x, r.Epoch)
+		if errMsg != nil {
+			return errMsg
+		}
+		return ASResp{Epoch: x.Epoch(), Partial: x.ASPartial(bgp.ASN(r.ASN))}
 	case PrefixReq:
+		x, errMsg := s.resolve(x, r.Epoch)
+		if errMsg != nil {
+			return errMsg
+		}
 		p, err := ipv4.ParsePrefix(r.Prefix)
 		if err != nil {
 			return ErrorResp{Code: http.StatusBadRequest, Msg: err.Error()}
@@ -195,15 +243,49 @@ func (s *Server) handleData(x *query.Index, req Msg) Msg {
 		if err != nil {
 			return ErrorResp{Code: http.StatusBadRequest, Msg: err.Error()}
 		}
-		return PrefixResp{Epoch: epoch, Partial: partial}
+		return PrefixResp{Epoch: x.Epoch(), Partial: partial}
 	case AddrReq:
-		return AddrResp{Epoch: epoch, View: x.Addr(ipv4.Addr(r.Addr))}
+		x, errMsg := s.resolve(x, r.Epoch)
+		if errMsg != nil {
+			return errMsg
+		}
+		return AddrResp{Epoch: x.Epoch(), View: x.Addr(ipv4.Addr(r.Addr))}
 	case BlockReq:
+		x, errMsg := s.resolve(x, r.Epoch)
+		if errMsg != nil {
+			return errMsg
+		}
 		v, ok := x.Block(ipv4.Block(r.Block))
-		return BlockResp{Epoch: epoch, Found: ok, View: v}
+		return BlockResp{Epoch: x.Epoch(), Found: ok, View: v}
+	case DeltaReq:
+		ring := s.be.History()
+		if r.From >= r.To {
+			return ErrorResp{Code: http.StatusBadRequest, Msg: wire.ErrDeltaParams(
+				strconv.FormatUint(r.From, 10), strconv.FormatUint(r.To, 10))}
+		}
+		// Probe from first, then to — the order the HTTP handler and the
+		// router both use, so every transport blames the same epoch.
+		for _, e := range [2]uint64{r.From, r.To} {
+			if _, ok := ring.Get(e); !ok {
+				return s.notRetained(e)
+			}
+		}
+		partial, ok, err := ring.Delta(r.From, r.To, r.MaxBlocks)
+		if !ok {
+			return s.notRetained(r.From)
+		}
+		if err != nil {
+			return ErrorResp{Code: http.StatusBadRequest, Msg: err.Error()}
+		}
+		oldest, newest, _ := ring.Range()
+		return DeltaResp{Oldest: oldest, Newest: newest, Partial: partial}
+	case MovementReq:
+		ring := s.be.History()
+		oldest, newest, _ := ring.Range()
+		return MovementResp{Oldest: oldest, Newest: newest, Partial: ring.Movement(r.Last)}
 	case BulkAddrReq:
 		lo, hi, more := s.pageBounds(r.CurrIndex, len(r.Addrs))
-		resp := BulkAddrResp{Epoch: epoch, CurrIndex: lo, NextIndex: hi, More: more}
+		resp := BulkAddrResp{Epoch: x.Epoch(), CurrIndex: lo, NextIndex: hi, More: more}
 		resp.Views = make([]query.AddrView, 0, hi-lo)
 		for _, a := range r.Addrs[lo:hi] {
 			resp.Views = append(resp.Views, x.Addr(ipv4.Addr(a)))
@@ -211,7 +293,7 @@ func (s *Server) handleData(x *query.Index, req Msg) Msg {
 		return resp
 	case BulkBlockReq:
 		lo, hi, more := s.pageBounds(r.CurrIndex, len(r.Blocks))
-		resp := BulkBlockResp{Epoch: epoch, CurrIndex: lo, NextIndex: hi, More: more}
+		resp := BulkBlockResp{Epoch: x.Epoch(), CurrIndex: lo, NextIndex: hi, More: more}
 		resp.Entries = make([]BlockEntry, 0, hi-lo)
 		for _, blk := range r.Blocks[lo:hi] {
 			v, ok := x.Block(ipv4.Block(blk))

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"container/list"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -54,6 +56,26 @@ func (c *Cache) Stats() (hits, misses uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// EvictEpoch removes every cached entry keyed under epoch (the "E:"
+// key prefix the serving layer uses) and returns how many it dropped.
+// Called when an epoch falls out of the retained history ring: its
+// entries can never be asked for again, so leaving them to age out of
+// the LRU would hold dead response bodies at the expense of live ones.
+func (c *Cache) EvictEpoch(epoch uint64) int {
+	prefix := strconv.FormatUint(epoch, 10) + ":"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			n++
+		}
+	}
+	return n
 }
 
 // Do returns the response for key, computing it with fill on a miss.

@@ -9,14 +9,22 @@
 // The server is epoch-aware: it holds an atomic pointer to the current
 // index snapshot, and Publish swaps in a new one without dropping
 // in-flight requests — a request uses whichever snapshot it loaded for
-// its whole lifetime. Cache keys carry the snapshot epoch, so a swap
-// instantly invalidates every stale entry (old-epoch entries age out of
-// the LRU), every cached response body carries an "epoch" field, and
-// every /v1/* lookup endpoint serves an epoch-derived ETag with
-// If-None-Match → 304 handling (healthz is exempt: its body mutates per
-// request, so it carries the epoch in the body instead). A server
-// published with no snapshot yet (live mode warming up) answers 503
-// with Retry-After until the first Publish.
+// its whole lifetime. Cache keys carry the snapshot epoch, every cached
+// response body carries an "epoch" field, and every /v1/* lookup
+// endpoint serves an epoch-derived ETag with If-None-Match → 304
+// handling (healthz is exempt: its body mutates per request, so it
+// carries the epoch in the body instead). A server published with no
+// snapshot yet (live mode warming up) answers 503 with Retry-After
+// until the first Publish.
+//
+// Beyond the live snapshot, the server retains a bounded ring of
+// recent epochs (internal/history, Config.RetainEpochs): every lookup
+// endpoint accepts ?epoch=N to answer as of a retained epoch (an
+// unretained epoch 404s with the retained range in the body),
+// /v1/delta?from=&to= reports what changed between two retained
+// epochs, and /v1/movement?last=N serves the per-epoch totals series.
+// When an epoch falls out of the ring, its cache entries are evicted
+// eagerly — nothing can ever ask for them again.
 //
 // The /v1/* body and error contract itself — typed payloads, epoch
 // splice, ETag derivation, path-parameter parsing — lives in the
@@ -30,7 +38,11 @@
 //	GET /v1/prefix/{cidr}    aggregate over a CIDR's /24 blocks
 //	GET /v1/as/{asn}         one origin AS's footprint ("AS64500" or "64500")
 //	GET /v1/summary          dataset identity + capture-recapture/churn summaries
-//	GET /v1/healthz          liveness + current epoch + cache statistics (uncached)
+//	GET /v1/delta            what changed between two retained epochs (?from=&to=)
+//	GET /v1/movement         per-epoch totals series over the ring (?last=N)
+//	GET /v1/healthz          liveness + epoch range + cache statistics (uncached)
+//
+// Every lookup endpoint above also accepts ?epoch=N time travel.
 package serve
 
 import (
@@ -40,11 +52,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ipscope/internal/bgp"
+	"ipscope/internal/history"
 	"ipscope/internal/ipv4"
 	"ipscope/internal/query"
 	"ipscope/internal/serve/wire"
@@ -58,6 +72,11 @@ type Config struct {
 	// CacheSize bounds the LRU response cache; 0 means
 	// DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// RetainEpochs bounds the history ring: how many recent snapshots
+	// stay addressable via ?epoch=, /v1/delta and /v1/movement. 0 means
+	// history.DefaultRetain (just the live epoch — the pre-history
+	// memory profile).
+	RetainEpochs int
 	// AccessLog, when non-nil, receives one JSON line per request.
 	AccessLog io.Writer
 	// Shard, when non-nil, marks this server as one shard of a
@@ -77,7 +96,12 @@ type Server struct {
 	shard   atomic.Pointer[wire.ShardInfo]
 	rpcAddr atomic.Pointer[string]
 	cache   *Cache
+	ring    *history.Ring
 	handler http.Handler
+
+	// pubMu serializes Publish: the ring append and the eviction of the
+	// epochs it displaced must not interleave between publishers.
+	pubMu sync.Mutex
 
 	logMu sync.Mutex
 	logW  io.Writer
@@ -96,10 +120,12 @@ func New(idx *query.Index, cfg Config) *Server {
 	}
 	s := &Server{
 		cache: NewCache(size),
+		ring:  history.New(cfg.RetainEpochs),
 		logW:  cfg.AccessLog,
 	}
 	if idx != nil {
 		s.idx.Store(idx)
+		s.ring.Add(idx)
 	}
 	if cfg.Shard != nil {
 		s.shard.Store(cfg.Shard)
@@ -110,12 +136,16 @@ func New(idx *query.Index, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/prefix/{cidr...}", s.cached(s.handlePrefix))
 	mux.HandleFunc("GET /v1/as/{asn}", s.cached(s.handleAS))
 	mux.HandleFunc("GET /v1/summary", s.cached(s.handleSummary))
+	mux.HandleFunc("GET /v1/delta", s.handleDelta)
+	mux.HandleFunc("GET /v1/movement", s.handleMovement)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	// Cluster plane: mergeable partials for the scatter-gather router.
 	mux.HandleFunc("GET /v1/cluster/info", s.handleClusterInfo)
 	mux.HandleFunc("GET /v1/cluster/summary", s.cached(s.handleClusterSummary))
 	mux.HandleFunc("GET /v1/cluster/as/{asn}", s.cached(s.handleClusterAS))
 	mux.HandleFunc("GET /v1/cluster/prefix/{cidr...}", s.cached(s.handleClusterPrefix))
+	mux.HandleFunc("GET /v1/cluster/delta", s.handleClusterDelta)
+	mux.HandleFunc("GET /v1/cluster/movement", s.handleClusterMovement)
 	s.handler = s.logged(mux)
 	return s
 }
@@ -148,13 +178,27 @@ func (s *Server) RPCAddr() string {
 	return ""
 }
 
-// Publish atomically swaps in a new index snapshot. In-flight requests
-// keep the snapshot they loaded; new requests (and their cache keys)
-// use the new epoch immediately, which strands every stale cache entry.
-func (s *Server) Publish(idx *query.Index) { s.idx.Store(idx) }
+// Publish atomically swaps in a new index snapshot and retains it in
+// the history ring. In-flight requests keep the snapshot they loaded;
+// new requests (and their cache keys) use the new epoch immediately.
+// Epochs the ring evicts take their cache entries with them — nothing
+// can address an unretained epoch, so its responses are dead weight.
+func (s *Server) Publish(idx *query.Index) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.idx.Store(idx)
+	for _, epoch := range s.ring.Add(idx) {
+		s.cache.EvictEpoch(epoch)
+	}
+}
 
 // Index returns the currently published snapshot (nil while warming).
 func (s *Server) Index() *query.Index { return s.idx.Load() }
+
+// History returns the retained-snapshot ring, shared with the binary
+// RPC server so both transports answer time-travel, delta and movement
+// queries from identical inputs.
+func (s *Server) History() *history.Ring { return s.ring }
 
 // Handler returns the HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -210,11 +254,28 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 	return func(w http.ResponseWriter, r *http.Request) {
 		x := s.idx.Load()
 		if x == nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("Retry-After", "1")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write(wire.WarmingBody())
+			writeWarming(w)
 			return
+		}
+		// ?epoch=N answers as of a retained snapshot. The epoch-keyed
+		// cache below then reuses the very entry cached back when that
+		// epoch was current — a time-travel response is byte-identical
+		// to the live response it once was.
+		if raw := r.URL.Query().Get("epoch"); raw != "" {
+			e, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				status, body := wire.Encode(http.StatusBadRequest,
+					wire.ErrorBody{Error: wire.ErrInvalidEpoch(raw)}, x.Epoch())
+				writeJSON(w, status, body)
+				return
+			}
+			hx, found := s.ring.Get(e)
+			if !found {
+				oldest, newest, _ := s.ring.Range()
+				writeJSON(w, http.StatusNotFound, wire.NotRetainedBody(e, oldest, newest))
+				return
+			}
+			x = hx
 		}
 		epoch := x.Epoch()
 		etag := wire.ETagFor(epoch)
@@ -229,15 +290,190 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 			status, body := wire.Encode(status, payload, epoch)
 			return Response{Status: status, Body: body}
 		})
-		if hit {
-			w.Header().Set("X-Cache", "hit")
-		} else {
-			w.Header().Set("X-Cache", "miss")
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(resp.Status)
-		w.Write(resp.Body)
+		writeCached(w, resp, hit)
 	}
+}
+
+// writeWarming answers the canonical 503 warming response.
+func writeWarming(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write(wire.WarmingBody())
+}
+
+// writeJSON writes pre-encoded body bytes with the JSON content type.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeCached writes a cache-layer response with its X-Cache verdict.
+func writeCached(w http.ResponseWriter, resp Response, hit bool) {
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, resp.Status, resp.Body)
+}
+
+// deltaSpan parses and resolves a delta request's from/to epochs against
+// the history ring, writing the 400/404 response itself on failure. The
+// retained check probes from first, then to — the router re-applies the
+// same order against the cluster-wide common range, so a routed 404
+// names the same epoch a single node would.
+func (s *Server) deltaSpan(w http.ResponseWriter, r *http.Request, cur *query.Index) (fx, tx *query.Index, ok bool) {
+	q := r.URL.Query()
+	fromRaw, toRaw := q.Get("from"), q.Get("to")
+	from, errFrom := strconv.ParseUint(fromRaw, 10, 64)
+	to, errTo := strconv.ParseUint(toRaw, 10, 64)
+	if errFrom != nil || errTo != nil || from >= to {
+		status, body := wire.Encode(http.StatusBadRequest,
+			wire.ErrorBody{Error: wire.ErrDeltaParams(fromRaw, toRaw)}, cur.Epoch())
+		writeJSON(w, status, body)
+		return nil, nil, false
+	}
+	oldest, newest, _ := s.ring.Range()
+	for _, e := range [2]uint64{from, to} {
+		if _, found := s.ring.Get(e); !found {
+			writeJSON(w, http.StatusNotFound, wire.NotRetainedBody(e, oldest, newest))
+			return nil, nil, false
+		}
+	}
+	fx, _ = s.ring.Get(from)
+	tx, _ = s.ring.Get(to)
+	return fx, tx, true
+}
+
+// handleDelta answers /v1/delta?from=E&to=E: what changed between two
+// retained epochs. The body is immutable while both epochs stay
+// retained, so it caches under the from epoch (from < to means from
+// falls out of the ring first and takes the entry with it) and the ETag
+// tracks the to epoch.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	x := s.idx.Load()
+	if x == nil {
+		writeWarming(w)
+		return
+	}
+	fx, tx, ok := s.deltaSpan(w, r, x)
+	if !ok {
+		return
+	}
+	etag := wire.ETagFor(tx.Epoch())
+	w.Header().Set("ETag", etag)
+	if wire.NotModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	key := fmt.Sprintf("%d:/v1/delta:%d", fx.Epoch(), tx.Epoch())
+	resp, hit := s.cache.Do(key, func() Response {
+		v, err := tx.Delta(fx, query.DefaultDeltaBlockList)
+		if err != nil {
+			status, body := wire.Encode(http.StatusBadRequest,
+				wire.ErrorBody{Error: err.Error()}, tx.Epoch())
+			return Response{Status: status, Body: body}
+		}
+		status, body := wire.Encode(http.StatusOK, v, tx.Epoch())
+		return Response{Status: status, Body: body}
+	})
+	writeCached(w, resp, hit)
+}
+
+// parseLast extracts the optional ?last=N window (0 = whole ring),
+// writing the 400 itself on a bad value.
+func (s *Server) parseLast(w http.ResponseWriter, r *http.Request, cur *query.Index) (last int, ok bool) {
+	raw := r.URL.Query().Get("last")
+	if raw == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		status, body := wire.Encode(http.StatusBadRequest,
+			wire.ErrorBody{Error: wire.ErrInvalidLast(raw)}, cur.Epoch())
+		writeJSON(w, status, body)
+		return 0, false
+	}
+	return n, true
+}
+
+// handleMovement answers /v1/movement?last=N: the per-epoch totals
+// series over the retained ring. The body is a pure function of (ring
+// contents, last), so it caches under the ring's oldest epoch — any
+// eviction that could change the series also drops the entry.
+func (s *Server) handleMovement(w http.ResponseWriter, r *http.Request) {
+	x := s.idx.Load()
+	if x == nil {
+		writeWarming(w)
+		return
+	}
+	last, ok := s.parseLast(w, r, x)
+	if !ok {
+		return
+	}
+	oldest, newest, _ := s.ring.Range()
+	etag := wire.ETagFor(newest)
+	w.Header().Set("ETag", etag)
+	if wire.NotModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	key := fmt.Sprintf("%d:/v1/movement:%d:%d", oldest, newest, last)
+	resp, hit := s.cache.Do(key, func() Response {
+		v, err := query.MergeMovementPartials([]query.MovementPartial{s.ring.Movement(last)})
+		if err != nil {
+			status, body := wire.Encode(http.StatusInternalServerError,
+				wire.ErrorBody{Error: err.Error()}, newest)
+			return Response{Status: status, Body: body}
+		}
+		status, body := wire.Encode(http.StatusOK, v, newest)
+		return Response{Status: status, Body: body}
+	})
+	writeCached(w, resp, hit)
+}
+
+// handleClusterDelta serves this shard's mergeable delta partial plus
+// its retained ring range, which the router folds into the cluster-wide
+// common range. Uncached: the ring range in the body moves with every
+// publish even while the span itself stays retained.
+func (s *Server) handleClusterDelta(w http.ResponseWriter, r *http.Request) {
+	x := s.idx.Load()
+	if x == nil {
+		writeWarming(w)
+		return
+	}
+	fx, tx, ok := s.deltaSpan(w, r, x)
+	if !ok {
+		return
+	}
+	p, err := tx.DeltaPartial(fx, query.DefaultDeltaBlockList)
+	if err != nil {
+		wire.Respond(w, r, http.StatusBadRequest, wire.ErrorBody{Error: err.Error()}, tx.Epoch())
+		return
+	}
+	oldest, newest, _ := s.ring.Range()
+	wire.Respond(w, r, http.StatusOK,
+		query.DeltaShardResponse{DeltaPartial: p, RingOldest: oldest, RingNewest: newest}, tx.Epoch())
+}
+
+// handleClusterMovement serves this shard's mergeable movement partial
+// plus its retained ring range. Uncached for the same reason as
+// handleClusterDelta.
+func (s *Server) handleClusterMovement(w http.ResponseWriter, r *http.Request) {
+	x := s.idx.Load()
+	if x == nil {
+		writeWarming(w)
+		return
+	}
+	last, ok := s.parseLast(w, r, x)
+	if !ok {
+		return
+	}
+	oldest, newest, _ := s.ring.Range()
+	wire.Respond(w, r, http.StatusOK,
+		query.MovementShardResponse{MovementPartial: s.ring.Movement(last), RingOldest: oldest, RingNewest: newest}, newest)
 }
 
 func (s *Server) handleAddr(x *query.Index, r *http.Request) (int, any) {
@@ -333,6 +569,9 @@ func (s *Server) ClusterInfo() wire.ClusterInfo {
 			body.FirstActive = blocks[0].String()
 		}
 	}
+	if oldest, newest, ok := s.ring.Range(); ok {
+		body.OldestEpoch, body.NewestEpoch = oldest, newest
+	}
 	return body
 }
 
@@ -359,6 +598,9 @@ func (s *Server) Health() wire.Health {
 		body.Epoch = x.Epoch()
 		body.Blocks = x.NumBlocks()
 		body.DailyLen = x.DailyLen()
+	}
+	if oldest, newest, ok := s.ring.Range(); ok {
+		body.OldestEpoch, body.NewestEpoch = oldest, newest
 	}
 	return body
 }

@@ -49,6 +49,67 @@ func WarmingBody() []byte {
 // the shard server and the router's merged not-found answer.
 func ErrASNotFound(n uint32) string { return fmt.Sprintf("AS%d not in dataset", n) }
 
+// EpochRangeBody is the 404 payload for a time-travel request naming an
+// epoch outside the retained ring: the error text plus the range the
+// caller can retry inside. It deliberately carries no epoch splice —
+// the body is a pure function of (asked, oldest, newest), so the RPC
+// transport reconstructs it byte-identically from a typed frame and a
+// router can synthesize the cluster-wide common-range variant.
+type EpochRangeBody struct {
+	Error       string `json:"error"`
+	OldestEpoch uint64 `json:"oldestEpoch"`
+	NewestEpoch uint64 `json:"newestEpoch"`
+}
+
+// ErrInvalidEpoch renders the 400 body text for an unparseable ?epoch=
+// value, shared by the shard server and the router's RPC transport.
+func ErrInvalidEpoch(raw string) string { return fmt.Sprintf("invalid epoch %q", raw) }
+
+// ErrDeltaParams renders the 400 body text for a /v1/delta request
+// whose from/to query parameters are missing, non-integer or not an
+// increasing span. One text for every rejection keeps the routed and
+// single-node answers identical.
+func ErrDeltaParams(fromRaw, toRaw string) string {
+	return fmt.Sprintf("delta wants ?from=E&to=E epochs with from < to (got from=%q to=%q)", fromRaw, toRaw)
+}
+
+// ErrInvalidLast renders the 400 body text for an unparseable
+// /v1/movement ?last= value.
+func ErrInvalidLast(raw string) string { return fmt.Sprintf("invalid last %q", raw) }
+
+// ErrEpochNotRetained renders the error text for an epoch outside the
+// retained range.
+func ErrEpochNotRetained(asked, oldest, newest uint64) string {
+	return fmt.Sprintf("epoch %d not retained (retained epochs %d..%d)", asked, oldest, newest)
+}
+
+// NotRetainedBody returns the full 404 body bytes (trailing newline, no
+// epoch splice) for a request naming an unretained epoch.
+func NotRetainedBody(asked, oldest, newest uint64) []byte {
+	body, _ := json.Marshal(EpochRangeBody{
+		Error:       ErrEpochNotRetained(asked, oldest, newest),
+		OldestEpoch: oldest,
+		NewestEpoch: newest,
+	})
+	return append(body, '\n')
+}
+
+// NotRetainedError is the typed form of the not-retained 404: a shard
+// was asked for an epoch outside its ring. Both cluster transports
+// surface it — the HTTP client by decoding EpochRangeBody, the RPC
+// client from the error frame's retained-range fields — so the router
+// can fold per-shard ranges into the cluster-wide common range without
+// parsing error text.
+type NotRetainedError struct {
+	Oldest, Newest uint64
+}
+
+// Error renders the range for logs; routed responses are rebuilt with
+// NotRetainedBody instead.
+func (e *NotRetainedError) Error() string {
+	return fmt.Sprintf("epoch not retained (shard retains %d..%d)", e.Oldest, e.Newest)
+}
+
 // ErrBlockNotFound renders the 404 body text for a /24 with no activity
 // in the daily window, shared by the shard server and the router's RPC
 // transport (which reconstructs the body from a typed frame).
@@ -190,12 +251,18 @@ type ClusterInfo struct {
 	RPCAddr     string `json:"rpcAddr,omitempty"`
 	Blocks      int    `json:"blocks"`
 	FirstActive string `json:"firstActive,omitempty"`
+	OldestEpoch uint64 `json:"oldestEpoch"`
+	NewestEpoch uint64 `json:"newestEpoch"`
 }
 
-// Health is the shard server's /v1/healthz body.
+// Health is the shard server's /v1/healthz body. OldestEpoch/NewestEpoch
+// report the retained history ring (equal to Epoch when only the live
+// snapshot is retained).
 type Health struct {
 	Status      string     `json:"status"`
 	Epoch       uint64     `json:"epoch"`
+	OldestEpoch uint64     `json:"oldestEpoch"`
+	NewestEpoch uint64     `json:"newestEpoch"`
 	Blocks      int        `json:"blocks"`
 	DailyLen    int        `json:"dailyLen"`
 	CacheHits   uint64     `json:"cacheHits"`
@@ -205,20 +272,27 @@ type Health struct {
 }
 
 // RouterHealth is the cluster router's /v1/healthz body: the aggregate
-// verdict plus one entry per shard.
+// verdict plus one entry per shard. OldestEpoch/NewestEpoch is the
+// cluster-wide common retained range (max of shard oldests, min of
+// shard newests) — the span a time-travel or delta query can name and
+// have every shard answer.
 type RouterHealth struct {
-	Status string              `json:"status"`
-	Epoch  uint64              `json:"epoch"`
-	Shards []RouterShardHealth `json:"shardStates"`
+	Status      string              `json:"status"`
+	Epoch       uint64              `json:"epoch"`
+	OldestEpoch uint64              `json:"oldestEpoch"`
+	NewestEpoch uint64              `json:"newestEpoch"`
+	Shards      []RouterShardHealth `json:"shardStates"`
 }
 
 // RouterShardHealth is one shard's health as the router observed it on
 // this probe.
 type RouterShardHealth struct {
-	Shard     int    `json:"shard"`
-	URL       string `json:"url"`
-	Transport string `json:"transport,omitempty"`
-	Status    string `json:"status"`
-	Epoch     uint64 `json:"epoch"`
-	Error     string `json:"error,omitempty"`
+	Shard       int    `json:"shard"`
+	URL         string `json:"url"`
+	Transport   string `json:"transport,omitempty"`
+	Status      string `json:"status"`
+	Epoch       uint64 `json:"epoch"`
+	OldestEpoch uint64 `json:"oldestEpoch"`
+	NewestEpoch uint64 `json:"newestEpoch"`
+	Error       string `json:"error,omitempty"`
 }
