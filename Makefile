@@ -9,9 +9,10 @@ CLUSTER_SMOKE_DIR ?= .cluster-smoke
 RPC_SMOKE_DIR ?= .rpc-smoke
 SNAPSHOT_SMOKE_DIR ?= .snapshot-smoke
 HISTORY_SMOKE_DIR ?= .history-smoke
+LOADGEN_SMOKE_DIR ?= .loadgen-smoke
 SMOKE_FLAGS = -seed 5 -ases 24 -blocks-per-as 6 -days 56
 
-.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke history-smoke ci
+.PHONY: all build vet fmt-check lint test race bench bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke history-smoke loadgen-smoke ci
 
 all: build
 
@@ -142,4 +143,18 @@ snapshot-smoke:
 	$(GO) build -o $(SNAPSHOT_SMOKE_DIR)/ipscope-snapshot ./cmd/ipscope-snapshot
 	sh scripts/snapshot_smoke.sh $(SNAPSHOT_SMOKE_DIR)
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke history-smoke
+# Deterministic load test of the read path: ipscope-loadgen drives a
+# single serve node and a router+2-shard cluster with the same seeded
+# workload (zipfian mix, burst, thundering herd, epoch storm); both runs
+# must print the same workload hash with zero hard errors, and the
+# latency percentiles land in a warn-only SLO table
+# (see scripts/loadgen_smoke.sh).
+loadgen-smoke:
+	rm -rf $(LOADGEN_SMOKE_DIR) && mkdir -p $(LOADGEN_SMOKE_DIR)
+	$(GO) build -o $(LOADGEN_SMOKE_DIR)/ipscope-gen ./cmd/ipscope-gen
+	$(GO) build -o $(LOADGEN_SMOKE_DIR)/ipscope-serve ./cmd/ipscope-serve
+	$(GO) build -o $(LOADGEN_SMOKE_DIR)/ipscope-router ./cmd/ipscope-router
+	$(GO) build -o $(LOADGEN_SMOKE_DIR)/ipscope-loadgen ./cmd/ipscope-loadgen
+	sh scripts/loadgen_smoke.sh $(LOADGEN_SMOKE_DIR)
+
+ci: build vet fmt-check test race bench-smoke fuzz-smoke pipeline-smoke serve-smoke live-smoke cluster-smoke rpc-smoke snapshot-smoke history-smoke loadgen-smoke

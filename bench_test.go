@@ -8,6 +8,7 @@ package ipscope
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"fmt"
 	"io"
@@ -861,6 +862,7 @@ func BenchmarkServeLookup(b *testing.B) {
 		client := ts.Client()
 		client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
 		var n atomic.Int64
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
@@ -903,6 +905,144 @@ func BenchmarkServeLookup(b *testing.B) {
 	b.Run("summary", func(b *testing.B) {
 		run(b, 4096, func(i int) string { return "/v1/summary" })
 	})
+}
+
+// globalLRU reproduces the pre-striping response cache — one mutex and
+// one container/list guarding every key, with the same single-flight
+// fill protocol — as the contention baseline for
+// BenchmarkCacheContention.
+type globalLRU struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List
+	items    map[string]*list.Element
+	inflight map[string]*globalLRUFlight
+}
+
+type globalLRUEntry struct {
+	key  string
+	resp serve.Response
+}
+
+type globalLRUFlight struct {
+	done chan struct{}
+	resp serve.Response
+}
+
+func newGlobalLRU(capacity int) *globalLRU {
+	return &globalLRU{
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*globalLRUFlight),
+	}
+}
+
+func (c *globalLRU) do(key string, fill func() serve.Response) (serve.Response, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		resp := el.Value.(*globalLRUEntry).resp
+		c.mu.Unlock()
+		return resp, true
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		return fl.resp, true
+	}
+	fl := &globalLRUFlight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	fl.resp = fill()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	el := c.ll.PushFront(&globalLRUEntry{key: key, resp: fl.resp})
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*globalLRUEntry).key)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.resp, false
+}
+
+// BenchmarkCacheContention pins the tentpole claim of the read-path
+// overhaul: under parallel traffic the lock-striped sharded cache beats
+// the single-mutex LRU it replaced (reproduced above as the baseline).
+// Three key sets probe the three regimes: "hot" is all hits on a small
+// working set (pure lock/LRU bookkeeping contention — and the sharded
+// hit path must stay allocation free), "cold" is all misses (insert +
+// eviction churn), "mixed" interleaves the two 4:1.
+func BenchmarkCacheContention(b *testing.B) {
+	const capacity, hot, cold = 4096, 512, 1 << 16
+	resp := serve.Response{Status: 200, Body: []byte(`{"epoch":1}` + "\n")}
+	keys := make([]string, cold)
+	bkeys := make([][]byte, cold)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("1:/v1/block/%d.%d.%d.0/24", i/65536, i/256%256, i%256)
+		bkeys[i] = []byte(keys[i])
+	}
+	fill := func() serve.Response { return resp }
+
+	// pick maps a worker-local counter to a key index per regime: hot
+	// cycles the small working set, cold strides the whole key space
+	// (misses once the LRU has churned), mixed is 4 hot : 1 cold.
+	pick := func(set string, i int) int {
+		switch set {
+		case "hot":
+			return i % hot
+		case "cold":
+			return i % cold
+		default:
+			if i%5 == 4 {
+				return i % cold
+			}
+			return i % hot
+		}
+	}
+
+	for _, set := range []string{"hot", "cold", "mixed"} {
+		b.Run(set, func(b *testing.B) {
+			b.Run("global-mutex", func(b *testing.B) {
+				c := newGlobalLRU(capacity)
+				for i := 0; i < hot; i++ {
+					c.do(keys[i], fill)
+				}
+				var n atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := int(n.Add(1)) * 31
+					for pb.Next() {
+						c.do(keys[pick(set, i)], fill)
+						i++
+					}
+				})
+			})
+			b.Run("sharded", func(b *testing.B) {
+				c := serve.NewCache(capacity)
+				for i := 0; i < hot; i++ {
+					c.Put(keys[i], resp)
+				}
+				var n atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := int(n.Add(1)) * 31
+					for pb.Next() {
+						k := pick(set, i)
+						if _, ok := c.Get(bkeys[k]); !ok {
+							c.Do(keys[k], fill)
+						}
+						i++
+					}
+				})
+			})
+		})
+	}
 }
 
 // BenchmarkShardBuild measures compiling one shard's slice of the

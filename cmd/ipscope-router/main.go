@@ -31,12 +31,17 @@
 //	               HTTP individually)
 //	-gather N      fan-out concurrency bound (default 8)
 //	-info-timeout  how long to wait for shards at startup (default 30s)
+//	-pprof ADDR    expose net/http/pprof on a side listener (off by
+//	               default)
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof side listener
 	"os"
 	"os/signal"
 	"strings"
@@ -55,7 +60,17 @@ func main() {
 	transport := flag.String("transport", cluster.TransportHTTP, `shard transport: "http" or "rpc"`)
 	gather := flag.Int("gather", cluster.DefaultGather, "scatter-gather concurrency bound")
 	infoTimeout := flag.Duration("info-timeout", cluster.DefaultInfoTimeout, "startup partition discovery timeout")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on a side listener (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+		go http.Serve(ln, nil) // pprof registers on http.DefaultServeMux
+	}
 
 	var urls []string
 	for _, u := range strings.Split(*shards, ",") {

@@ -64,6 +64,9 @@
 //	-dump-summary     print the index summary as JSON and exit without
 //	                  serving (CI smoke mode: compare a live server's
 //	                  /v1/summary against the batch build)
+//	-pprof ADDR       expose net/http/pprof on a side listener (off by
+//	                  default; profile loadgen runs without exposing
+//	                  pprof on the serving port)
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests drain before the process exits.
@@ -81,6 +84,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof side listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -127,7 +131,10 @@ func main() {
 	ases := flag.Int("ases", 300, "number of autonomous systems (no -dataset)")
 	blocksPerAS := flag.Int("blocks-per-as", 12, "mean /24 blocks per AS (no -dataset)")
 	days := flag.Int("days", 364, "simulated days (no -dataset)")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on a side listener (empty = off)")
 	flag.Parse()
+
+	startPprof(*pprofAddr)
 
 	live := *follow != "" || *obsListen != ""
 	if *follow != "" && *obsListen != "" {
@@ -255,6 +262,21 @@ func main() {
 	}
 
 	waitAndShutdown(srv, rpcSrv)
+}
+
+// startPprof exposes net/http/pprof on a side listener when addr is
+// non-empty, so loadgen runs can be profiled without touching the
+// serving mux. Off by default.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("pprof listen: %v", err)
+	}
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	go http.Serve(ln, nil) // pprof registers on http.DefaultServeMux
 }
 
 // shardRangeOf translates the server's advertised partition into the

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"ipscope/internal/query"
 	"ipscope/internal/serve/wire"
@@ -794,20 +795,44 @@ func readPreface(r io.Reader) error {
 	return nil
 }
 
+// frameBufPool recycles frame scratch buffers between pipelined
+// round trips: the write side assembles header+payload in one pooled
+// buffer (one Write, no per-frame payload allocation) and the read side
+// reads payloads into a pooled buffer that is safe to reuse because
+// DecodePayload copies everything it keeps (strings via string(b),
+// slices element-wise or with explicit appends). Buffers above
+// maxPooledFrame are dropped so one bulk page cannot pin its footprint
+// behind every P.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const maxPooledFrame = 1 << 20
+
+// recycleFrameBuf returns b (possibly grown by append) to the pool
+// through its slot bp, unless it outgrew the retention cap.
+func recycleFrameBuf(bp *[]byte, b []byte) {
+	if cap(b) <= maxPooledFrame {
+		*bp = b[:0]
+		frameBufPool.Put(bp)
+	}
+}
+
 // writeFrame writes one message frame. The caller flushes.
 func writeFrame(w io.Writer, id uint32, m Msg) error {
-	payload := m.append(nil)
-	if len(payload) > maxFrameLen {
-		return formatErrf("frame of %d bytes exceeds the %d-byte limit", len(payload), maxFrameLen)
+	bp := frameBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], m.Kind(), 0, 0, 0, 0, 0, 0, 0, 0)
+	b = m.append(b)
+	n := len(b) - 9
+	if n > maxFrameLen {
+		recycleFrameBuf(bp, b)
+		return formatErrf("frame of %d bytes exceeds the %d-byte limit", n, maxFrameLen)
 	}
-	var hdr [9]byte
-	hdr[0] = m.Kind()
-	binary.BigEndian.PutUint32(hdr[1:], id)
-	binary.BigEndian.PutUint32(hdr[5:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	binary.BigEndian.PutUint32(b[1:], id)
+	binary.BigEndian.PutUint32(b[5:], uint32(n))
+	_, err := w.Write(b)
+	recycleFrameBuf(bp, b)
 	return err
 }
 
@@ -826,13 +851,24 @@ func readFrame(r io.Reader) (id uint32, m Msg, err error) {
 	if n > maxFrameLen {
 		return 0, nil, formatErrf("frame length %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	bp := frameBufPool.Get().(*[]byte)
+	var payload []byte
+	if uint32(cap(*bp)) >= n {
+		payload = (*bp)[:n]
+	} else {
+		payload = make([]byte, n)
+		*bp = payload[:0]
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
+		frameBufPool.Put(bp)
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return 0, nil, ErrTruncated
 		}
 		return 0, nil, err
 	}
 	m, err = DecodePayload(kind, payload)
+	if cap(payload) <= maxPooledFrame {
+		frameBufPool.Put(bp)
+	}
 	return id, m, err
 }

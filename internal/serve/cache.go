@@ -1,9 +1,7 @@
 package serve
 
 import (
-	"container/list"
-	"strconv"
-	"strings"
+	"runtime"
 	"sync"
 )
 
@@ -19,19 +17,56 @@ type Response struct {
 // check-then-update cache under a thundering herd). The index it fronts
 // is immutable, so entries never expire — eviction is purely capacity
 // driven.
+//
+// The cache is lock-striped: the key hashes to one of a power-of-two
+// number of shards sized from GOMAXPROCS, each with its own mutex, LRU
+// list and single-flight table, so parallel readers on different keys
+// never contend on one global lock. Within a shard the LRU is an
+// intrusive array: entries live in a slab indexed by int32 prev/next
+// links (no container/list, no per-entry heap node), and every entry
+// whose key carries an "E:" epoch prefix is additionally threaded onto
+// a per-epoch list so EvictEpoch walks exactly the entries it removes
+// instead of scanning the whole map. Small capacities collapse to a
+// single shard, preserving exact global LRU order.
 type Cache struct {
-	mu       sync.Mutex
-	cap      int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	inflight map[string]*flight
-	hits     uint64
-	misses   uint64
+	shards   []cacheShard
+	mask     uint64
+	disabled bool
 }
 
-type lruEntry struct {
-	key  string
-	resp Response
+// minShardCap is the smallest per-shard capacity worth striping for:
+// below it the shards thrash their tiny LRUs and exact eviction order
+// matters more than lock spreading, so the cache collapses to 1 shard.
+const minShardCap = 128
+
+// maxShards bounds the stripe count however many cores the host has.
+const maxShards = 64
+
+type cacheShard struct {
+	mu       sync.Mutex
+	cap      int
+	entries  []cacheEntry
+	free     int32 // free-slot list head (-1 = none), linked via next
+	lruHead  int32 // most recently used (-1 = empty)
+	lruTail  int32 // least recently used
+	items    map[string]int32
+	inflight map[string]*flight
+	epochs   map[uint64]int32 // epoch → head of its entry list
+
+	hits      uint64
+	misses    uint64
+	evictWork uint64 // entries touched by EvictEpoch (cost regression pin)
+}
+
+// cacheEntry is one slab slot. prev/next thread the LRU order;
+// eprev/enext thread the per-epoch eviction list when hasEpoch is set.
+type cacheEntry struct {
+	key          string
+	resp         Response
+	epoch        uint64
+	hasEpoch     bool
+	prev, next   int32
+	eprev, enext int32
 }
 
 type flight struct {
@@ -39,23 +74,112 @@ type flight struct {
 	resp Response
 }
 
+// shardCount picks the stripe count for a capacity: a power of two near
+// GOMAXPROCS, shrunk until every shard holds at least minShardCap
+// entries (1 shard below that — exact LRU semantics at tiny sizes).
+func shardCount(capacity int) int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < maxShards {
+		s <<= 1
+	}
+	for s > 1 && capacity/s < minShardCap {
+		s >>= 1
+	}
+	return s
+}
+
 // NewCache returns a cache holding at most capacity responses.
 // capacity <= 0 disables caching (every Do computes).
 func NewCache(capacity int) *Cache {
-	return &Cache{
-		cap:      capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+	if capacity <= 0 {
+		return &Cache{disabled: true}
 	}
+	n := shardCount(capacity)
+	c := &Cache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	base, extra := capacity/n, capacity%n
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = base
+		if i < extra {
+			sh.cap++
+		}
+		sh.free = -1
+		sh.lruHead = -1
+		sh.lruTail = -1
+		sh.items = make(map[string]int32)
+		sh.inflight = make(map[string]*flight)
+		sh.epochs = make(map[uint64]int32)
+	}
+	return c
+}
+
+// fnv-1a over the key bytes, inlined so the hit path allocates nothing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashBytes(key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashString(key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// keyEpoch parses the "E:" epoch prefix the serving layer keys cached
+// responses under. Keys without the prefix are simply not epoch-indexed
+// (EvictEpoch can never match them, exactly as the old prefix scan).
+func keyEpoch(key string) (uint64, bool) {
+	var e uint64
+	i := 0
+	for i < len(key) && key[i] >= '0' && key[i] <= '9' {
+		e = e*10 + uint64(key[i]-'0')
+		i++
+	}
+	if i == 0 || i >= len(key) || key[i] != ':' {
+		return 0, false
+	}
+	return e, true
 }
 
 // Stats reports cumulative cache behaviour. A single-flight wait counts
 // as a hit: the caller got the response without computing it.
 func (c *Cache) Stats() (hits, misses uint64, size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		size += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return hits, misses, size
+}
+
+// evictWorkTotal reports how many entries EvictEpoch has ever touched —
+// the regression pin that eviction cost is proportional to the entries
+// evicted, not the cache size.
+func (c *Cache) evictWorkTotal() uint64 {
+	var n uint64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.evictWork
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // EvictEpoch removes every cached entry keyed under epoch (the "E:"
@@ -63,19 +187,63 @@ func (c *Cache) Stats() (hits, misses uint64, size int) {
 // Called when an epoch falls out of the retained history ring: its
 // entries can never be asked for again, so leaving them to age out of
 // the LRU would hold dead response bodies at the expense of live ones.
+// Each shard walks its per-epoch list, so the cost is O(entries
+// evicted), not O(cache size).
 func (c *Cache) EvictEpoch(epoch uint64) int {
-	prefix := strconv.FormatUint(epoch, 10) + ":"
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for key, el := range c.items {
-		if strings.HasPrefix(key, prefix) {
-			c.ll.Remove(el)
-			delete(c.items, key)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for idx, ok := sh.epochs[epoch]; ok && idx >= 0; idx, ok = sh.epochs[epoch] {
+			sh.evictWork++
+			sh.remove(idx)
 			n++
 		}
+		delete(sh.epochs, epoch)
+		sh.mu.Unlock()
 	}
 	return n
+}
+
+// Get returns the cached response for key without ever allocating: the
+// []byte key is looked up directly (no string conversion on a hit) and
+// the LRU touch is three index writes. It does not join in-flight
+// fills — a caller that misses proceeds to Do, which re-checks under
+// the same lock.
+func (c *Cache) Get(key []byte) (Response, bool) {
+	if c.disabled {
+		return Response{}, false
+	}
+	sh := &c.shards[0]
+	if c.mask != 0 { // single-shard caches skip the stripe hash entirely
+		sh = &c.shards[hashBytes(key)&c.mask]
+	}
+	sh.mu.Lock()
+	if idx, ok := sh.items[string(key)]; ok {
+		sh.touch(idx)
+		sh.hits++
+		resp := sh.entries[idx].resp
+		sh.mu.Unlock()
+		return resp, true
+	}
+	sh.mu.Unlock()
+	return Response{}, false
+}
+
+// Put inserts a precomputed response (the publish-time hot-body seed),
+// counting neither a hit nor a miss. A racing fill for the same key
+// simply overwrites with identical bytes.
+func (c *Cache) Put(key string, resp Response) {
+	if c.disabled {
+		return
+	}
+	sh := &c.shards[0]
+	if c.mask != 0 {
+		sh = &c.shards[hashString(key)&c.mask]
+	}
+	sh.mu.Lock()
+	sh.insert(key, resp)
+	sh.mu.Unlock()
 }
 
 // Do returns the response for key, computing it with fill on a miss.
@@ -83,27 +251,31 @@ func (c *Cache) EvictEpoch(epoch uint64) int {
 // until the computation finishes and share its result. hit reports
 // whether the caller avoided running fill itself.
 func (c *Cache) Do(key string, fill func() Response) (resp Response, hit bool) {
-	if c.cap <= 0 {
+	if c.disabled {
 		return fill(), false
 	}
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		resp = el.Value.(*lruEntry).resp
-		c.mu.Unlock()
+	sh := &c.shards[0]
+	if c.mask != 0 {
+		sh = &c.shards[hashString(key)&c.mask]
+	}
+	sh.mu.Lock()
+	if idx, ok := sh.items[key]; ok {
+		sh.touch(idx)
+		sh.hits++
+		resp = sh.entries[idx].resp
+		sh.mu.Unlock()
 		return resp, true
 	}
-	if fl, ok := c.inflight[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if fl, ok := sh.inflight[key]; ok {
+		sh.hits++
+		sh.mu.Unlock()
 		<-fl.done
 		return fl.resp, true
 	}
 	fl := &flight{done: make(chan struct{})}
-	c.inflight[key] = fl
-	c.misses++
-	c.mu.Unlock()
+	sh.inflight[key] = fl
+	sh.misses++
+	sh.mu.Unlock()
 
 	// A panicking fill must still release the flight: otherwise every
 	// later request for this key would block on fl.done forever. The
@@ -117,21 +289,118 @@ func (c *Cache) Do(key string, fill func() Response) (resp Response, hit bool) {
 				Body:   []byte(`{"error":"internal error"}` + "\n"),
 			}
 		}
-		c.mu.Lock()
-		delete(c.inflight, key)
+		sh.mu.Lock()
+		delete(sh.inflight, key)
 		if filled {
-			el := c.ll.PushFront(&lruEntry{key: key, resp: fl.resp})
-			c.items[key] = el
-			for c.ll.Len() > c.cap {
-				oldest := c.ll.Back()
-				c.ll.Remove(oldest)
-				delete(c.items, oldest.Value.(*lruEntry).key)
-			}
+			sh.insert(key, fl.resp)
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		close(fl.done)
 	}()
 	fl.resp = fill()
 	filled = true
 	return fl.resp, false
+}
+
+// --- shard internals (all called under sh.mu) -------------------------
+
+// insert adds or refreshes key → resp, evicting the LRU entry when the
+// shard is full.
+func (sh *cacheShard) insert(key string, resp Response) {
+	if idx, ok := sh.items[key]; ok {
+		sh.entries[idx].resp = resp
+		sh.touch(idx)
+		return
+	}
+	if len(sh.items) >= sh.cap {
+		sh.remove(sh.lruTail)
+	}
+	idx := sh.alloc()
+	e := &sh.entries[idx]
+	e.key = key
+	e.resp = resp
+	e.epoch, e.hasEpoch = keyEpoch(key)
+	// Push to LRU front.
+	e.prev = -1
+	e.next = sh.lruHead
+	if sh.lruHead >= 0 {
+		sh.entries[sh.lruHead].prev = idx
+	}
+	sh.lruHead = idx
+	if sh.lruTail < 0 {
+		sh.lruTail = idx
+	}
+	// Thread onto the epoch list.
+	e.eprev = -1
+	e.enext = -1
+	if e.hasEpoch {
+		if head, ok := sh.epochs[e.epoch]; ok {
+			e.enext = head
+			sh.entries[head].eprev = idx
+		}
+		sh.epochs[e.epoch] = idx
+	}
+	sh.items[key] = idx
+}
+
+// alloc returns a free slab slot, growing the slab up to capacity.
+func (sh *cacheShard) alloc() int32 {
+	if sh.free >= 0 {
+		idx := sh.free
+		sh.free = sh.entries[idx].next
+		return idx
+	}
+	sh.entries = append(sh.entries, cacheEntry{})
+	return int32(len(sh.entries) - 1)
+}
+
+// touch moves idx to the LRU front.
+func (sh *cacheShard) touch(idx int32) {
+	if sh.lruHead == idx {
+		return
+	}
+	e := &sh.entries[idx]
+	// Unlink.
+	sh.entries[e.prev].next = e.next
+	if e.next >= 0 {
+		sh.entries[e.next].prev = e.prev
+	} else {
+		sh.lruTail = e.prev
+	}
+	// Relink at front.
+	e.prev = -1
+	e.next = sh.lruHead
+	sh.entries[sh.lruHead].prev = idx
+	sh.lruHead = idx
+}
+
+// remove unlinks idx from the LRU, the epoch list and the key map, and
+// returns its slot to the free list.
+func (sh *cacheShard) remove(idx int32) {
+	e := &sh.entries[idx]
+	if e.prev >= 0 {
+		sh.entries[e.prev].next = e.next
+	} else {
+		sh.lruHead = e.next
+	}
+	if e.next >= 0 {
+		sh.entries[e.next].prev = e.prev
+	} else {
+		sh.lruTail = e.prev
+	}
+	if e.hasEpoch {
+		if e.eprev >= 0 {
+			sh.entries[e.eprev].enext = e.enext
+		} else if e.enext >= 0 {
+			sh.epochs[e.epoch] = e.enext
+		} else {
+			delete(sh.epochs, e.epoch)
+		}
+		if e.enext >= 0 {
+			sh.entries[e.enext].eprev = e.eprev
+		}
+	}
+	delete(sh.items, e.key)
+	*e = cacheEntry{next: sh.free} // release key/body for GC
+	sh.free = idx
 }

@@ -77,8 +77,15 @@ type Config struct {
 	// history.DefaultRetain (just the live epoch — the pre-history
 	// memory profile).
 	RetainEpochs int
-	// AccessLog, when non-nil, receives one JSON line per request.
+	// AccessLog, when non-nil, receives one JSON line per request,
+	// written asynchronously by a single consumer goroutine behind a
+	// bounded queue (see AccessLogQueue).
 	AccessLog io.Writer
+	// AccessLogQueue bounds the async access-log queue; 0 means
+	// DefaultAccessLogQueue. When the queue is full the record is
+	// dropped and counted (/v1/healthz accessLogDrops) instead of
+	// stalling the request.
+	AccessLogQueue int
 	// Shard, when non-nil, marks this server as one shard of a
 	// block-partitioned cluster: /v1/cluster/info reports the owned
 	// range and /v1/healthz carries the partition coordinates. The
@@ -99,17 +106,43 @@ type Server struct {
 	ring    *history.Ring
 	handler http.Handler
 
-	// pubMu serializes Publish: the ring append and the eviction of the
-	// epochs it displaced must not interleave between publishers.
-	pubMu sync.Mutex
+	// hot holds everything the live-epoch read path would otherwise
+	// compute per request: the epoch's ETag (string and pre-built
+	// header value) and the precomputed /v1/cluster/info body. It is
+	// rebuilt under pubMu on Publish/SetShard/SetRPCAddr — never on the
+	// request path — and nil while warming.
+	hot atomic.Pointer[hotState]
 
-	logMu sync.Mutex
-	logW  io.Writer
+	logger *accessLogger
+
+	// pubMu serializes Publish: the ring append and the eviction of the
+	// epochs it displaced must not interleave between publishers. It
+	// also guards hot recomputation so a slow SetShard cannot overwrite
+	// a newer epoch's hot state.
+	pubMu sync.Mutex
 
 	srvMu   sync.Mutex
 	httpSrv *http.Server
 	serveCh chan error
 }
+
+// hotState is the publish-time precomputation for the live epoch.
+type hotState struct {
+	epoch       uint64
+	etag        string
+	etagHdr     []string // pre-built header value, shared across requests
+	clusterInfo []byte   // pre-encoded /v1/cluster/info body
+}
+
+// Pre-built header values the hot path assigns directly into the
+// response header map — http.Header.Set allocates a fresh []string per
+// call, which is pure garbage on a cache hit. Handlers only ever read
+// these slices.
+var (
+	hdrJSON = []string{"application/json"}
+	hdrHit  = []string{"hit"}
+	hdrMiss = []string{"miss"}
+)
 
 // New creates a Server over idx. A nil idx starts the server in warming
 // mode: every lookup answers 503 until the first Publish.
@@ -121,14 +154,17 @@ func New(idx *query.Index, cfg Config) *Server {
 	s := &Server{
 		cache: NewCache(size),
 		ring:  history.New(cfg.RetainEpochs),
-		logW:  cfg.AccessLog,
+	}
+	if cfg.AccessLog != nil {
+		s.logger = newAccessLogger(cfg.AccessLog, cfg.AccessLogQueue)
+	}
+	if cfg.Shard != nil {
+		s.shard.Store(cfg.Shard)
 	}
 	if idx != nil {
 		s.idx.Store(idx)
 		s.ring.Add(idx)
-	}
-	if cfg.Shard != nil {
-		s.shard.Store(cfg.Shard)
+		s.refreshHot(idx)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/addr/{ip}", s.cached(s.handleAddr))
@@ -153,7 +189,12 @@ func New(idx *query.Index, cfg Config) *Server {
 // SetShard publishes the server's partition coordinates after startup —
 // the live-shard path, where the owned range is only known once the
 // stream's meta event arrives and the partition plan can be computed.
-func (s *Server) SetShard(si wire.ShardInfo) { s.shard.Store(&si) }
+func (s *Server) SetShard(si wire.ShardInfo) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.shard.Store(&si)
+	s.refreshHot(s.idx.Load())
+}
 
 // Shard returns the published partition coordinates, defaulting to the
 // one-shard cluster covering the whole block space.
@@ -167,7 +208,12 @@ func (s *Server) Shard() wire.ShardInfo {
 // SetRPCAddr advertises the shard's binary RPC endpoint (host:port) in
 // /v1/cluster/info, letting a router running -transport=rpc upgrade its
 // connection to this shard.
-func (s *Server) SetRPCAddr(addr string) { s.rpcAddr.Store(&addr) }
+func (s *Server) SetRPCAddr(addr string) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.rpcAddr.Store(&addr)
+	s.refreshHot(s.idx.Load())
+}
 
 // RPCAddr returns the advertised RPC endpoint ("" when RPC is not
 // enabled on this shard).
@@ -190,6 +236,43 @@ func (s *Server) Publish(idx *query.Index) {
 	for _, epoch := range s.ring.Add(idx) {
 		s.cache.EvictEpoch(epoch)
 	}
+	s.refreshHot(idx)
+}
+
+// refreshHot rebuilds the publish-time precomputation (caller holds
+// pubMu, or is New before the server is shared). The epoch's /v1/summary
+// body is rendered once here and seeded straight into the response
+// cache, so even the first summary request after a swap is a
+// zero-allocation cache hit — and an ?epoch= time-travel request later
+// reuses the very same entry.
+func (s *Server) refreshHot(idx *query.Index) {
+	if idx == nil {
+		s.hot.Store(nil)
+		return
+	}
+	epoch := idx.Epoch()
+	etag := wire.ETagFor(epoch)
+	ci, err := json.Marshal(s.ClusterInfo())
+	if err != nil {
+		ci = []byte(`{"error":"encoding failed"}`)
+	}
+	s.hot.Store(&hotState{
+		epoch:       epoch,
+		etag:        etag,
+		etagHdr:     []string{etag},
+		clusterInfo: append(ci, '\n'),
+	})
+	var kb [24]byte
+	status, body := wire.Encode(http.StatusOK, idx.Summary(), epoch)
+	s.cache.Put(string(appendCacheKey(kb[:0], epoch, "/v1/summary")), Response{Status: status, Body: body})
+}
+
+// appendCacheKey builds the canonical "epoch:path" cache key into dst
+// (typically a stack buffer) without strconv+concat garbage.
+func appendCacheKey(dst []byte, epoch uint64, path string) []byte {
+	dst = strconv.AppendUint(dst, epoch, 10)
+	dst = append(dst, ':')
+	return append(dst, path...)
 }
 
 // Index returns the currently published snapshot (nil while warming).
@@ -242,7 +325,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
-	return <-ch
+	err := <-ch
+	s.FlushAccessLog()
+	return err
 }
 
 // cached wraps a pure lookup in the LRU + single-flight cache, keyed by
@@ -260,32 +345,57 @@ func (s *Server) cached(fn func(x *query.Index, r *http.Request) (int, any)) htt
 		// ?epoch=N answers as of a retained snapshot. The epoch-keyed
 		// cache below then reuses the very entry cached back when that
 		// epoch was current — a time-travel response is byte-identical
-		// to the live response it once was.
-		if raw := r.URL.Query().Get("epoch"); raw != "" {
-			e, err := strconv.ParseUint(raw, 10, 64)
-			if err != nil {
-				status, body := wire.Encode(http.StatusBadRequest,
-					wire.ErrorBody{Error: wire.ErrInvalidEpoch(raw)}, x.Epoch())
-				writeJSON(w, status, body)
-				return
+		// to the live response it once was. The RawQuery guard keeps
+		// url.Values parsing (and its allocations) off the no-query
+		// fast path entirely.
+		if r.URL.RawQuery != "" {
+			if raw := r.URL.Query().Get("epoch"); raw != "" {
+				e, err := strconv.ParseUint(raw, 10, 64)
+				if err != nil {
+					status, body := wire.Encode(http.StatusBadRequest,
+						wire.ErrorBody{Error: wire.ErrInvalidEpoch(raw)}, x.Epoch())
+					writeJSON(w, status, body)
+					return
+				}
+				hx, found := s.ring.Get(e)
+				if !found {
+					oldest, newest, _ := s.ring.Range()
+					writeJSON(w, http.StatusNotFound, wire.NotRetainedBody(e, oldest, newest))
+					return
+				}
+				x = hx
 			}
-			hx, found := s.ring.Get(e)
-			if !found {
-				oldest, newest, _ := s.ring.Range()
-				writeJSON(w, http.StatusNotFound, wire.NotRetainedBody(e, oldest, newest))
-				return
-			}
-			x = hx
 		}
 		epoch := x.Epoch()
-		etag := wire.ETagFor(epoch)
-		w.Header().Set("ETag", etag)
+		// The live epoch's ETag is precomputed at publish time; only
+		// time-travel requests pay the format call.
+		var etag string
+		var etagHdr []string
+		if hot := s.hot.Load(); hot != nil && hot.epoch == epoch {
+			etag, etagHdr = hot.etag, hot.etagHdr
+		} else {
+			etag = wire.ETagFor(epoch)
+			etagHdr = []string{etag}
+		}
+		h := w.Header()
+		h["Etag"] = etagHdr
 		if wire.NotModified(r, etag) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		key := fmt.Sprintf("%d:%s", epoch, r.URL.Path)
-		resp, hit := s.cache.Do(key, func() Response {
+		// Zero-allocation hit path: the key is assembled into a stack
+		// buffer and looked up without a string conversion. Only a miss
+		// materializes the key and runs the handler.
+		var kb [96]byte
+		key := appendCacheKey(kb[:0], epoch, r.URL.Path)
+		if resp, ok := s.cache.Get(key); ok {
+			h["X-Cache"] = hdrHit
+			h["Content-Type"] = hdrJSON
+			w.WriteHeader(resp.Status)
+			w.Write(resp.Body)
+			return
+		}
+		resp, hit := s.cache.Do(string(key), func() Response {
 			status, payload := fn(x, r)
 			status, body := wire.Encode(status, payload, epoch)
 			return Response{Status: status, Body: body}
@@ -311,12 +421,15 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 
 // writeCached writes a cache-layer response with its X-Cache verdict.
 func writeCached(w http.ResponseWriter, resp Response, hit bool) {
+	h := w.Header()
 	if hit {
-		w.Header().Set("X-Cache", "hit")
+		h["X-Cache"] = hdrHit
 	} else {
-		w.Header().Set("X-Cache", "miss")
+		h["X-Cache"] = hdrMiss
 	}
-	writeJSON(w, resp.Status, resp.Body)
+	h["Content-Type"] = hdrJSON
+	w.WriteHeader(resp.Status)
+	w.Write(resp.Body)
 }
 
 // deltaSpan parses and resolves a delta request's from/to epochs against
@@ -576,8 +689,15 @@ func (s *Server) ClusterInfo() wire.ClusterInfo {
 }
 
 // handleClusterInfo answers even while warming (epoch 0), so a router
-// can learn the partition before the first publish.
+// can learn the partition before the first publish. Once published, the
+// body is precomputed at publish/SetShard/SetRPCAddr time and written
+// as-is — byte-identical to the per-request marshal it replaces.
 func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	if hot := s.hot.Load(); hot != nil {
+		w.Header()["Content-Type"] = hdrJSON
+		w.Write(hot.clusterInfo)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.ClusterInfo())
 }
@@ -592,6 +712,9 @@ func (s *Server) Health() wire.Health {
 		CacheMisses: misses,
 		CacheSize:   size,
 		Partition:   s.shard.Load(),
+	}
+	if s.logger != nil {
+		body.AccessLogDrops = s.logger.Drops()
 	}
 	if x := s.idx.Load(); x != nil {
 		body.Status = "ok"
@@ -615,17 +738,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.Health())
 }
 
-// accessRecord is one structured access-log line.
-type accessRecord struct {
-	Time     string  `json:"time"`
-	Method   string  `json:"method"`
-	Path     string  `json:"path"`
-	Status   int     `json:"status"`
-	Bytes    int     `json:"bytes"`
-	Duration float64 `json:"durMs"`
-	Cache    string  `json:"cache,omitempty"`
-}
-
 // statusWriter captures the status code and byte count of a response.
 type statusWriter struct {
 	http.ResponseWriter
@@ -647,30 +759,45 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// logged wraps next with structured JSON access logging.
+// logged wraps next with structured JSON access logging. The request
+// goroutine only records the completion and enqueues it; formatting,
+// encoding and the writer syscall all happen on the logger's consumer
+// goroutine, so logging adds no lock and no marshal to the hot path.
 func (s *Server) logged(next http.Handler) http.Handler {
-	if s.logW == nil {
+	if s.logger == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
-		rec := accessRecord{
-			Time:     start.UTC().Format(time.RFC3339Nano),
-			Method:   r.Method,
-			Path:     r.URL.Path,
-			Status:   sw.status,
-			Bytes:    sw.bytes,
-			Duration: float64(time.Since(start).Microseconds()) / 1000,
-			Cache:    sw.Header().Get("X-Cache"),
-		}
-		line, err := json.Marshal(rec)
-		if err != nil {
-			return
-		}
-		s.logMu.Lock()
-		s.logW.Write(append(line, '\n'))
-		s.logMu.Unlock()
+		s.logger.log(logEvent{
+			start:  start,
+			dur:    time.Since(start),
+			method: r.Method,
+			path:   r.URL.Path,
+			status: sw.status,
+			bytes:  sw.bytes,
+			cache:  sw.Header().Get("X-Cache"),
+		})
 	})
+}
+
+// FlushAccessLog blocks until every access-log record enqueued before
+// the call has been written to the configured writer (a no-op without
+// an access log). Shutdown calls it, so a drained server's log is
+// complete on disk.
+func (s *Server) FlushAccessLog() {
+	if s.logger != nil {
+		s.logger.Flush()
+	}
+}
+
+// AccessLogDrops reports how many access-log records the bounded queue
+// discarded under overload (0 without an access log).
+func (s *Server) AccessLogDrops() uint64 {
+	if s.logger != nil {
+		return s.logger.Drops()
+	}
+	return 0
 }

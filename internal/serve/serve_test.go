@@ -250,6 +250,8 @@ func TestCacheHeadersAndAccessLog(t *testing.T) {
 		t.Errorf("second request: cache %q, want hit", cache)
 	}
 
+	// The log is written asynchronously; flush before reading it.
+	s.FlushAccessLog()
 	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
 	if len(lines) != 2 {
 		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), log.String())

@@ -14,11 +14,13 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ipscope/internal/ipv4"
 )
@@ -159,17 +161,57 @@ func WithEpoch(body []byte, epoch uint64) []byte {
 	return append([]byte(head), body[1:]...)
 }
 
+// encScratch is a pooled JSON encoder + buffer pair: Encode runs per
+// cache fill, and marshalling through a pooled buffer means the only
+// allocation that survives the call is the returned body itself (which
+// must, since it outlives the call inside the response cache).
+type encScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	s := &encScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}}
+
+// maxPooledEncBuf caps the scratch buffers the pool retains, so one
+// giant delta body cannot pin megabytes behind every P forever.
+const maxPooledEncBuf = 1 << 20
+
 // Encode marshals a /v1/* payload into its final body bytes — epoch
 // spliced, trailing newline — exactly as the shard cache layer and the
 // router both serve it. A marshal failure degrades to the canonical 500
-// body, mirroring the serving path's behaviour.
+// body, mirroring the serving path's behaviour. The splice and the
+// final newline are assembled in one exactly-sized allocation from a
+// pooled scratch buffer; the bytes are identical to
+// json.Marshal+WithEpoch+newline.
 func Encode(status int, payload any, epoch uint64) (int, []byte) {
-	body, err := json.Marshal(payload)
-	if err != nil {
-		status = http.StatusInternalServerError
-		body = []byte(`{"error":"encoding failed"}`)
+	s := encPool.Get().(*encScratch)
+	s.buf.Reset()
+	if err := s.enc.Encode(payload); err != nil {
+		encPool.Put(s)
+		return http.StatusInternalServerError,
+			append(WithEpoch([]byte(`{"error":"encoding failed"}`), epoch), '\n')
 	}
-	return status, append(WithEpoch(body, epoch), '\n')
+	mb := s.buf.Bytes() // marshalled payload + the encoder's trailing newline
+	var out []byte
+	if body := mb[:len(mb)-1]; len(body) < 2 || body[0] != '{' {
+		out = append(make([]byte, 0, len(mb)), mb...)
+	} else {
+		out = make([]byte, 0, len(`{"epoch":`)+21+len(mb))
+		out = append(out, `{"epoch":`...)
+		out = strconv.AppendUint(out, epoch, 10)
+		if body[1] != '}' {
+			out = append(out, ',')
+		}
+		out = append(out, mb[1:]...)
+	}
+	if s.buf.Cap() <= maxPooledEncBuf {
+		encPool.Put(s)
+	}
+	return status, out
 }
 
 // Respond writes a full /v1/* response — epoch ETag, If-None-Match
@@ -259,16 +301,20 @@ type ClusterInfo struct {
 // report the retained history ring (equal to Epoch when only the live
 // snapshot is retained).
 type Health struct {
-	Status      string     `json:"status"`
-	Epoch       uint64     `json:"epoch"`
-	OldestEpoch uint64     `json:"oldestEpoch"`
-	NewestEpoch uint64     `json:"newestEpoch"`
-	Blocks      int        `json:"blocks"`
-	DailyLen    int        `json:"dailyLen"`
-	CacheHits   uint64     `json:"cacheHits"`
-	CacheMisses uint64     `json:"cacheMisses"`
-	CacheSize   int        `json:"cacheSize"`
-	Partition   *ShardInfo `json:"partition,omitempty"`
+	Status      string `json:"status"`
+	Epoch       uint64 `json:"epoch"`
+	OldestEpoch uint64 `json:"oldestEpoch"`
+	NewestEpoch uint64 `json:"newestEpoch"`
+	Blocks      int    `json:"blocks"`
+	DailyLen    int    `json:"dailyLen"`
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	CacheSize   int    `json:"cacheSize"`
+	// AccessLogDrops counts access-log records the bounded async queue
+	// discarded instead of stalling requests. omitempty keeps the body
+	// byte-identical to the pre-async wire whenever nothing dropped.
+	AccessLogDrops uint64     `json:"accessLogDrops,omitempty"`
+	Partition      *ShardInfo `json:"partition,omitempty"`
 }
 
 // RouterHealth is the cluster router's /v1/healthz body: the aggregate
