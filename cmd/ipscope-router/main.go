@@ -1,28 +1,44 @@
 // Command ipscope-router is the scatter-gather front of a sharded
 // serving cluster: it speaks the same /v1/* API as a single
 // ipscope-serve node, but answers from a fleet of block-partitioned
-// shards (ipscope-serve -shard-index I -shard-count N).
+// shards (ipscope-serve -shard-index I -shard-count N), optionally
+// replicated (-replicas R: R processes per range, each started with a
+// distinct -replica id).
 //
-// At startup the router reads every shard's /v1/cluster/info (retrying
-// while shards compile their slices), validates that the advertised
-// block ranges tile the whole /24 space exactly once, and then routes:
+// At startup the router reads every process's /v1/cluster/info
+// (retrying while shards compile their slices), groups replicas by
+// owned range, validates that the ranges tile the whole /24 space
+// exactly once with R processes each, and then routes:
 //
-//   - /v1/addr and /v1/block proxy to the shard owning the block; the
-//     response carries the owning shard's epoch and ETag plus an
-//     X-Shard header;
-//   - /v1/summary, /v1/as and /v1/prefix fan out to the owning shards
-//     with bounded concurrency and fold the mergeable partials — the
-//     merged answer is byte-identical (modulo epoch metadata) to a
-//     single node over the unsharded dataset;
-//   - /v1/healthz aggregates shard health: 200 "ok" when every shard
-//     serves a snapshot, 503 "degraded" otherwise, with the minimum
-//     shard epoch as the cluster epoch.
+//   - /v1/addr and /v1/block proxy to a healthy replica of the range
+//     owning the block — retrying the next replica on failure; the
+//     response carries the answering replica's epoch and ETag plus
+//     X-Shard/X-Replica headers;
+//   - /v1/summary, /v1/as, /v1/prefix, /v1/delta and /v1/movement fan
+//     out one fetch per covering range with bounded concurrency,
+//     failing over within each range mid-gather, and fold the
+//     mergeable partials — the merged answer is byte-identical
+//     (modulo epoch metadata) to a single node over the unsharded
+//     dataset, whichever replicas answered, because every replica of
+//     a range serves a bit-identical index;
+//   - /v1/healthz probes every replica (including ones in backoff —
+//     the operator's active re-admission path), reports per-process
+//     shardStates and per-range rangeStates, and aggregates: 200 "ok"
+//     while every range has at least one serving replica, 503
+//     "degraded" only when some range has none.
 //
-// A dead shard degrades only its own blocks (503); every other shard
-// keeps answering.
+// Health is tracked per replica: request failures mark a replica down
+// passively, a background prober re-checks it, and exponential
+// backoff gates re-admission. With -replicas 2 the fleet keeps
+// answering every request with one replica of each range dead; a dead
+// range (all replicas down) degrades only its own blocks while every
+// other range keeps answering.
 //
-//	-shards URLS   comma-separated shard base URLs, ascending range
-//	               order not required (ranges are discovered)
+//	-shards URLS   comma-separated process base URLs, any order
+//	               (ranges are discovered; with -replicas R the URLs
+//	               must form R complete copies of the partition)
+//	-replicas R    replication factor (default 1): how many of the
+//	               -shards processes serve each range
 //	-listen ADDR   bind address (default 127.0.0.1:8095)
 //	-transport T   shard transport: "http" (JSON over the public API,
 //	               the default) or "rpc" (persistent pipelined binary
@@ -31,6 +47,8 @@
 //	               HTTP individually)
 //	-gather N      fan-out concurrency bound (default 8)
 //	-info-timeout  how long to wait for shards at startup (default 30s)
+//	-probe-every D background health probe cadence (default 1s;
+//	               negative disables background probing)
 //	-pprof ADDR    expose net/http/pprof on a side listener (off by
 //	               default)
 package main
@@ -56,10 +74,12 @@ func main() {
 	log.SetPrefix("ipscope-router: ")
 
 	shards := flag.String("shards", "", "comma-separated shard base URLs (required)")
+	replicas := flag.Int("replicas", 1, "replication factor: processes per block range")
 	listen := flag.String("listen", "127.0.0.1:8095", "HTTP listen address")
 	transport := flag.String("transport", cluster.TransportHTTP, `shard transport: "http" or "rpc"`)
 	gather := flag.Int("gather", cluster.DefaultGather, "scatter-gather concurrency bound")
 	infoTimeout := flag.Duration("info-timeout", cluster.DefaultInfoTimeout, "startup partition discovery timeout")
+	probeEvery := flag.Duration("probe-every", cluster.DefaultProbeInterval, "background health probe cadence (negative = off)")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on a side listener (empty = off)")
 	flag.Parse()
 
@@ -82,11 +102,13 @@ func main() {
 		log.Fatal("no shards: pass -shards http://host1:port,http://host2:port,...")
 	}
 
-	log.Printf("discovering partition behind %d shard(s)...", len(urls))
+	log.Printf("discovering partition behind %d process(es)...", len(urls))
 	router, err := cluster.NewRouter(urls, cluster.RouterOptions{
-		Transport:   *transport,
-		Gather:      *gather,
-		InfoTimeout: *infoTimeout,
+		Transport:     *transport,
+		Gather:        *gather,
+		InfoTimeout:   *infoTimeout,
+		Replicas:      *replicas,
+		ProbeInterval: *probeEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -96,7 +118,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("routing %d shard(s) on http://%s", router.NumShards(), addr)
+	log.Printf("routing %d range(s) x %d replica(s) on http://%s", router.NumShards(), router.NumReplicas(), addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -58,6 +58,13 @@
 //	-shard-count N    cluster: restrict this server to its slice of an
 //	                  N-way block partition (see cmd/ipscope-router)
 //	-shard-index I    cluster: which slice (0-based) this shard owns
+//	-replica R        cluster: this process's replica id (0-based) for
+//	                  its range, for fleets where several processes
+//	                  serve the same slice behind a router running
+//	                  -replicas. Identity only: builds are
+//	                  deterministic, so every replica of a range serves
+//	                  a bit-identical index — the id just labels the
+//	                  process in healthz/cluster-info
 //	-selfcheck        start on an ephemeral port, probe every endpoint
 //	                  over real HTTP, verify responses against the
 //	                  index, then exit (CI smoke mode)
@@ -125,6 +132,7 @@ func main() {
 	workers := flag.Int("workers", 0, "index build workers (<=0 = GOMAXPROCS)")
 	shardIndex := flag.Int("shard-index", 0, "cluster: this shard's index (with -shard-count)")
 	shardCount := flag.Int("shard-count", 0, "cluster: total shards; >0 restricts this server to its block partition")
+	replica := flag.Int("replica", 0, "cluster: this process's replica id for its range (identity only; replicas serve bit-identical indexes)")
 	selfcheck := flag.Bool("selfcheck", false, "probe every endpoint over HTTP and exit")
 	dumpSummary := flag.Bool("dump-summary", false, "print the index summary as JSON and exit")
 	seed := flag.Uint64("seed", 1, "world seed (no -dataset)")
@@ -148,6 +156,12 @@ func main() {
 	}
 	if *shardCount > 0 && (*shardIndex < 0 || *shardIndex >= *shardCount) {
 		log.Fatalf("-shard-index %d outside 0..%d", *shardIndex, *shardCount-1)
+	}
+	if *replica < 0 {
+		log.Fatalf("-replica %d must be >= 0", *replica)
+	}
+	if *replica > 0 && *shardCount == 0 && *snapLoad == "" {
+		log.Fatal("-replica requires a partition identity: -shard-count (use -shard-count 1 for a single-range fleet) or -snapshot-load")
 	}
 	if live && (*snapSave != "" || *snapLoad != "") {
 		log.Fatal("-snapshot-save/-snapshot-load are batch flags; live modes use -snapshot-dir")
@@ -187,6 +201,7 @@ func main() {
 			workers:      *workers,
 			shardIndex:   *shardIndex,
 			shardCount:   *shardCount,
+			replica:      *replica,
 			snapshotDir:  *snapDir,
 			snapEvery:    *snapEvery,
 			snapKeep:     *snapKeep,
@@ -204,13 +219,17 @@ func main() {
 		}
 		idx = loaded.Index
 		if sh := loaded.Info.Shard; sh != nil {
-			cfg.Shard = &wire.ShardInfo{Index: sh.Index, Count: sh.Count, Lo: sh.Lo, Hi: sh.Hi}
-			log.Printf("shard %d/%d: serving block range [%d, %d)", sh.Index, sh.Count, sh.Lo, sh.Hi)
+			cfg.Shard = &wire.ShardInfo{Index: sh.Index, Count: sh.Count, Lo: sh.Lo, Hi: sh.Hi, Replica: *replica}
+			log.Printf("shard %d/%d replica %d: serving block range [%d, %d)", sh.Index, sh.Count, *replica, sh.Lo, sh.Hi)
+		} else if *replica > 0 {
+			// An unsharded snapshot is the one-range partition; the
+			// replica id still needs a partition identity to live on.
+			cfg.Shard = &wire.ShardInfo{Index: 0, Count: 1, Lo: 0, Hi: 1 << 24, Replica: *replica}
 		}
 		log.Printf("loaded snapshot %s in %v: epoch %d",
 			*snapLoad, time.Since(start).Round(time.Microsecond), idx.Epoch())
 	} else {
-		idx = buildIndex(&cfg, *dataset, *seed, *ases, *blocksPerAS, *days, *workers, *shardIndex, *shardCount)
+		idx = buildIndex(&cfg, *dataset, *seed, *ases, *blocksPerAS, *days, *workers, *shardIndex, *shardCount, *replica)
 	}
 	if *snapSave != "" {
 		data := query.EncodeSnapshot(idx, shardRangeOf(cfg.Shard))
@@ -291,7 +310,7 @@ func shardRangeOf(sh *wire.ShardInfo) *query.ShardRange {
 // buildIndex compiles the batch-mode index from a stored dataset or an
 // in-process simulation, restricting to the owned slice in shard mode
 // (and recording the partition range in cfg for /v1/cluster/info).
-func buildIndex(cfg *serve.Config, dataset string, seed uint64, ases, blocksPerAS, days, workers, shardIndex, shardCount int) *query.Index {
+func buildIndex(cfg *serve.Config, dataset string, seed uint64, ases, blocksPerAS, days, workers, shardIndex, shardCount, replica int) *query.Index {
 	var src obs.Source
 	if dataset != "" {
 		log.Printf("loading dataset %s...", dataset)
@@ -319,10 +338,10 @@ func buildIndex(cfg *serve.Config, dataset string, seed uint64, ases, blocksPerA
 			log.Fatal(err)
 		}
 		lo, hi := plan.Range(shardIndex)
-		cfg.Shard = &wire.ShardInfo{Index: shardIndex, Count: shardCount, Lo: lo, Hi: hi}
+		cfg.Shard = &wire.ShardInfo{Index: shardIndex, Count: shardCount, Lo: lo, Hi: hi, Replica: replica}
 		src = obs.FilterSource(d, plan.Keep(shardIndex))
 		buildOpts.Keep = plan.Keep(shardIndex)
-		log.Printf("shard %d/%d: serving block range [%d, %d)", shardIndex, shardCount, lo, hi)
+		log.Printf("shard %d/%d replica %d: serving block range [%d, %d)", shardIndex, shardCount, replica, lo, hi)
 	}
 	idx, err := query.Build(src, buildOpts)
 	if err != nil {
@@ -380,6 +399,7 @@ type liveOptions struct {
 	follow, obsListen      string
 	publishEvery, workers  int
 	shardIndex, shardCount int
+	replica                int
 	snapshotDir            string
 	snapEvery, snapKeep    int
 	followPoll             time.Duration
@@ -453,9 +473,9 @@ func runLive(cfg serve.Config, listen, rpcListen string, o liveOptions) {
 			if sh != nil {
 				lo, hi := sh.Lo, sh.Hi
 				keep = func(b ipv4.Block) bool { return uint32(b) >= lo && uint32(b) < hi }
-				srv.SetShard(wire.ShardInfo{Index: sh.Index, Count: sh.Count, Lo: lo, Hi: hi})
+				srv.SetShard(wire.ShardInfo{Index: sh.Index, Count: sh.Count, Lo: lo, Hi: hi, Replica: o.replica})
 				snapShard = &query.ShardRange{Index: sh.Index, Count: sh.Count, Lo: lo, Hi: hi}
-				log.Printf("shard %d/%d: applying block range [%d, %d)", sh.Index, sh.Count, lo, hi)
+				log.Printf("shard %d/%d replica %d: applying block range [%d, %d)", sh.Index, sh.Count, o.replica, lo, hi)
 			}
 			// The loaded index may alias the checkpoint's mapping; it
 			// stays mapped for the life of the process. Pruning may
@@ -513,9 +533,9 @@ func runLive(cfg serve.Config, listen, rpcListen string, o liveOptions) {
 		// answer routers before the first epoch.
 		sink = cluster.PartitionSink(sink, o.shardIndex, o.shardCount, func(lo, hi uint32) {
 			keep = func(b ipv4.Block) bool { return uint32(b) >= lo && uint32(b) < hi }
-			srv.SetShard(wire.ShardInfo{Index: o.shardIndex, Count: o.shardCount, Lo: lo, Hi: hi})
+			srv.SetShard(wire.ShardInfo{Index: o.shardIndex, Count: o.shardCount, Lo: lo, Hi: hi, Replica: o.replica})
 			snapShard = &query.ShardRange{Index: o.shardIndex, Count: o.shardCount, Lo: lo, Hi: hi}
-			log.Printf("shard %d/%d: applying block range [%d, %d)", o.shardIndex, o.shardCount, lo, hi)
+			log.Printf("shard %d/%d replica %d: applying block range [%d, %d)", o.shardIndex, o.shardCount, o.replica, lo, hi)
 		})
 	}
 

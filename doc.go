@@ -5,8 +5,10 @@
 // analyses, and a benchmark harness regenerating every table and
 // figure of its evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured comparisons. The root package
+// See README.md for a tour, DESIGN.md for the system inventory,
+// OPERATIONS.md for the serving-fleet runbook, API.md for the /v1/*
+// wire reference and EXPERIMENTS.md for paper-vs-measured
+// comparisons. The root package
 // contains no code of its own; the library lives under internal/ and
 // the benchmark harness in bench_test.go.
 package ipscope

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -82,6 +83,67 @@ type PointResponse struct {
 	RetryAfter  string
 }
 
+// --- shard error classes ---------------------------------------------
+//
+// The router's failover decisions hinge on the error class, so both
+// transports report failures through the same two types:
+//
+//   - unavailableError: the transport failed (dial refused, reset,
+//     EOF). The replica is presumed dead — the router fails over to
+//     the next replica of the range and marks this one down, with
+//     exponential backoff before re-admission.
+//   - statusError with warming=true: the shard answered the warming
+//     503 (alive — typically just restarted — but no snapshot
+//     published yet). The router fails over, because a sibling replica
+//     has the data, but does not mark health: the process is up and
+//     will finish warming on its own.
+//   - everything else (parse 400s, *wire.NotRetainedError): a
+//     deterministic answer every replica would repeat, because all
+//     replicas of a range serve bit-identical indexes. No failover —
+//     and the answer proves the replica healthy.
+//
+// The rendered texts are unchanged from the pre-replication router:
+// they surface in routed 503 bodies and degraded-mode assertions
+// (TestRouterDegradedMode, cluster/rpc smoke scripts).
+
+// unavailableError wraps a transport-level failure talking to a shard.
+type unavailableError struct {
+	shard int
+	err   error
+}
+
+func (e *unavailableError) Error() string {
+	return fmt.Sprintf("shard %d unavailable: %v", e.shard, e.err)
+}
+
+// statusError wraps a non-200 shard answer. detail is the rendered
+// remainder of the message (the raw body over HTTP, the error message
+// over RPC — matching what each transport historically reported).
+type statusError struct {
+	shard   int
+	code    int
+	detail  string
+	warming bool
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("shard %d answered status %d: %s", e.shard, e.code, e.detail)
+}
+
+// isUnavailable reports whether err means the replica's process is
+// unreachable (failover + mark down).
+func isUnavailable(err error) bool {
+	_, ok := err.(*unavailableError)
+	return ok
+}
+
+// isWarming reports whether err is the warming 503 (failover, no
+// health mark).
+func isWarming(err error) bool {
+	se, ok := err.(*statusError)
+	return ok && se.warming
+}
+
 // --- HTTP-JSON transport ---------------------------------------------
 
 // httpShardClient speaks the shard's public JSON API — the universal
@@ -113,12 +175,12 @@ func (c *httpShardClient) Point(ctx context.Context, pr PointRequest) (PointResp
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return PointResponse{}, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+		return PointResponse{}, &unavailableError{shard: c.idx, err: err}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return PointResponse{}, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+		return PointResponse{}, &unavailableError{shard: c.idx, err: err}
 	}
 	return PointResponse{
 		Status:      resp.StatusCode,
@@ -165,18 +227,23 @@ func (c *httpShardClient) fetchJSON(ctx context.Context, path string, out any) (
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+		return 0, &unavailableError{shard: c.idx, err: err}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+		return 0, &unavailableError{shard: c.idx, err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
 		if nrErr := notRetained404(resp.StatusCode, body); nrErr != nil {
 			return 0, nrErr
 		}
-		return 0, fmt.Errorf("shard %d answered status %d: %s", c.idx, resp.StatusCode, body)
+		return 0, &statusError{
+			shard:   c.idx,
+			code:    resp.StatusCode,
+			detail:  string(body),
+			warming: resp.StatusCode == http.StatusServiceUnavailable && bytes.Contains(body, []byte(wire.WarmingError)),
+		}
 	}
 	var ep struct {
 		Epoch uint64 `json:"epoch"`
@@ -279,9 +346,14 @@ func (c *rpcShardClient) wrapErr(err error) error {
 		return nr
 	}
 	if se, ok := err.(*rpc.StatusError); ok {
-		return fmt.Errorf("shard %d answered status %d: %s", c.idx, se.Code, se.Msg)
+		return &statusError{
+			shard:   c.idx,
+			code:    se.Code,
+			detail:  se.Msg,
+			warming: se.Code == http.StatusServiceUnavailable && se.Msg == wire.WarmingError,
+		}
 	}
-	return fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+	return &unavailableError{shard: c.idx, err: err}
 }
 
 func (c *rpcShardClient) Point(ctx context.Context, pr PointRequest) (PointResponse, error) {
@@ -335,7 +407,7 @@ func (c *rpcShardClient) pointErr(err error, asked uint64) (PointResponse, error
 	}
 	se, ok := err.(*rpc.StatusError)
 	if !ok {
-		return PointResponse{}, fmt.Errorf("shard %d unavailable: %v", c.idx, err)
+		return PointResponse{}, &unavailableError{shard: c.idx, err: err}
 	}
 	if se.Code == http.StatusServiceUnavailable && se.Msg == wire.WarmingError {
 		return PointResponse{

@@ -94,6 +94,30 @@ func (p Plan) Keep(i int) func(ipv4.Block) bool {
 	return func(blk ipv4.Block) bool { return uint32(blk) >= lo && uint32(blk) < hi }
 }
 
+// Owners returns the replica identities serving range g under a
+// replication factor of replicas: (range, replica) pairs for replica
+// 0..replicas-1. With round-robin offset placement (see Placement) an
+// N-process fleet covers N ranges at R=1 and N/R ranges at higher R;
+// every replica of a range builds a bit-identical index, so the pairs
+// are interchangeable for reads.
+func (p Plan) Owners(g, replicas int) [][2]int {
+	owners := make([][2]int, replicas)
+	for r := range owners {
+		owners[r] = [2]int{g, r}
+	}
+	return owners
+}
+
+// Placement maps fleet process proc of a ranges×R fleet to its
+// (range, replica) coordinates: process p serves range p%ranges as
+// replica p/ranges. Round-robin offset placement means processes
+// 0..ranges-1 are the primary copy of every range (an R=1 fleet is
+// exactly the pre-replication layout) and each later batch of ranges
+// processes adds one more full copy of the space.
+func Placement(proc, ranges int) (g, replica int) {
+	return proc % ranges, proc / ranges
+}
+
 // PartitionSource restricts src to shard index's slice of a count-way
 // partition. The plan is derived from the dataset's own meta, so the
 // caller needs no world in hand.

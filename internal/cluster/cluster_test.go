@@ -2,13 +2,16 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"sync"
 	"testing"
+	"time"
 
 	"ipscope/internal/ipv4"
 	"ipscope/internal/obs"
@@ -429,6 +432,353 @@ func TestRouterDegradedMode(t *testing.T) {
 			if want := `"status":"degraded"`; !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(body) {
 				t.Fatalf("healthz body %q does not report degraded", body)
 			}
+		})
+	}
+}
+
+// --- replication -----------------------------------------------------
+
+// TestPlacement pins the round-robin offset placement: process p of a
+// ranges×R fleet serves range p%ranges as replica p/ranges, so the
+// first `ranges` processes are the primary copy of every range and an
+// R=1 fleet is exactly the pre-replication layout.
+func TestPlacement(t *testing.T) {
+	cases := []struct{ proc, ranges, g, replica int }{
+		{0, 2, 0, 0}, {1, 2, 1, 0}, {2, 2, 0, 1}, {3, 2, 1, 1},
+		{4, 2, 0, 2}, {0, 1, 0, 0}, {1, 1, 0, 1}, {5, 3, 2, 1},
+	}
+	for _, c := range cases {
+		g, r := Placement(c.proc, c.ranges)
+		if g != c.g || r != c.replica {
+			t.Errorf("Placement(%d, %d) = (%d, %d), want (%d, %d)", c.proc, c.ranges, g, r, c.g, c.replica)
+		}
+	}
+	_, w := clusterTestData(t)
+	plan, err := PlanShards(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := plan.Owners(1, 3)
+	if len(owners) != 3 {
+		t.Fatalf("Owners(1, 3) returned %d pairs, want 3", len(owners))
+	}
+	for r, o := range owners {
+		if o != [2]int{1, r} {
+			t.Errorf("Owners(1, 3)[%d] = %v, want [1 %d]", r, o, r)
+		}
+	}
+}
+
+// revivableShard is one replica process under chaos testing: unlike
+// httptest.Server it remembers its concrete listen addresses, so Kill
+// followed by Revive brings the same process identity back at the
+// same URLs — exactly what a supervisor restarting a replica does.
+// The serve.Server (and its published index) survives the kill; only
+// the listeners die.
+type revivableShard struct {
+	t       *testing.T
+	srv     *serve.Server
+	addr    string // concrete host:port, fixed after the first Start
+	rpcAddr string
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+	rpcSrv  *rpc.Server
+}
+
+func newRevivableShard(t *testing.T, idx *query.Index, info wire.ShardInfo) *revivableShard {
+	t.Helper()
+	rs := &revivableShard{t: t, srv: serve.New(idx, serve.Config{Shard: &info})}
+	// Bind RPC first so the advertised rpcAddr is in /v1/cluster/info
+	// before any router discovers the shard.
+	rpcSrv := rpc.NewServer(rs.srv, rpc.Options{})
+	raddr, err := rpcSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("rpc listen: %v", err)
+	}
+	rs.rpcAddr = raddr.String()
+	rs.rpcSrv = rpcSrv
+	rs.srv.SetRPCAddr(rs.rpcAddr)
+
+	ln := rs.listen("127.0.0.1:0")
+	rs.addr = ln.Addr().String()
+	rs.serveHTTP(ln)
+	return rs
+}
+
+func (rs *revivableShard) URL() string { return "http://" + rs.addr }
+
+// listen binds addr, retrying briefly: a Revive can race the kernel
+// releasing the previous listener's port.
+func (rs *revivableShard) listen(addr string) net.Listener {
+	rs.t.Helper()
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	rs.t.Fatalf("listen %s: %v", addr, lastErr)
+	return nil
+}
+
+func (rs *revivableShard) serveHTTP(ln net.Listener) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.httpSrv = &http.Server{Handler: rs.srv.Handler()}
+	go rs.httpSrv.Serve(ln) //nolint:errcheck // closed on Kill
+}
+
+// Kill hard-closes both listeners and every established connection,
+// as kill -9 on the process would.
+func (rs *revivableShard) Kill() {
+	rs.mu.Lock()
+	httpSrv, rpcSrv := rs.httpSrv, rs.rpcSrv
+	rs.httpSrv, rs.rpcSrv = nil, nil
+	rs.mu.Unlock()
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if rpcSrv != nil {
+		rpcSrv.Shutdown(context.Background())
+	}
+}
+
+// Revive restarts both listeners on the original addresses.
+func (rs *revivableShard) Revive() {
+	rs.t.Helper()
+	rpcSrv := rpc.NewServer(rs.srv, rpc.Options{})
+	if _, err := rpcSrv.Listen(rs.rpcAddr); err != nil {
+		rs.t.Fatalf("rpc revive %s: %v", rs.rpcAddr, err)
+	}
+	rs.mu.Lock()
+	rs.rpcSrv = rpcSrv
+	rs.mu.Unlock()
+	rs.serveHTTP(rs.listen(rs.addr))
+}
+
+// buildReplicatedFleet builds each range's slice once (replicas are
+// bit-identical by determinism, so they share the immutable index)
+// and serves it from `replicas` processes per range. URLs come back
+// in Placement order: all replica-0 processes, then all replica-1s.
+func buildReplicatedFleet(t *testing.T, d *obs.Data, plan Plan, ranges, replicas int) ([][]*revivableShard, []string) {
+	t.Helper()
+	fleet := make([][]*revivableShard, ranges)
+	for g := 0; g < ranges; g++ {
+		idx, err := query.Build(PartitionSource(d, g, ranges), query.Options{Keep: plan.Keep(g)})
+		if err != nil {
+			t.Fatalf("range %d/%d: %v", g, ranges, err)
+		}
+		lo, hi := plan.Range(g)
+		fleet[g] = make([]*revivableShard, replicas)
+		for r := 0; r < replicas; r++ {
+			fleet[g][r] = newRevivableShard(t, idx, wire.ShardInfo{
+				Index: g, Count: ranges, Lo: lo, Hi: hi, Replica: r,
+			})
+		}
+	}
+	var urls []string
+	for r := 0; r < replicas; r++ {
+		for g := 0; g < ranges; g++ {
+			urls = append(urls, fleet[g][r].URL())
+		}
+	}
+	return fleet, urls
+}
+
+// TestRouterReplicaValidation pins the fleet-shape errors: URL counts
+// that do not divide by R, and fleets whose discovered ranges do not
+// match the declared replication factor.
+func TestRouterReplicaValidation(t *testing.T) {
+	d, w := clusterTestData(t)
+	plan, err := PlanShards(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, urls := buildShards(t, d, plan, 2, false, nil)
+	defer func() {
+		for _, s := range shards {
+			s.Close()
+		}
+	}()
+
+	// 2 URLs cannot form an R=2 fleet of 2 ranges... but they CAN form
+	// a 1-range R=2 fleet — except these two processes serve different
+	// ranges, which discovery must reject (their info reports a 2-way
+	// partition while the router expects 1 range).
+	if _, err := NewRouter(urls, RouterOptions{Replicas: 2, InfoTimeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("R=2 over two distinct-range shards should fail discovery")
+	}
+
+	// 3 URLs do not divide into 2 replicas per range.
+	if _, err := NewRouter(append([]string{urls[0]}, urls...), RouterOptions{Replicas: 2, InfoTimeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("3 URLs with -replicas 2 should fail")
+	}
+
+	// Duplicating every URL forms a legitimate R=2 fleet: the same
+	// process standing in for both replicas of its range.
+	rt, err := NewRouter(append(append([]string{}, urls...), urls...), RouterOptions{Replicas: 2})
+	if err != nil {
+		t.Fatalf("duplicated R=2 fleet: %v", err)
+	}
+	if rt.NumShards() != 2 || rt.NumReplicas() != 2 {
+		t.Fatalf("fleet shape = %d ranges x %d replicas, want 2x2", rt.NumShards(), rt.NumReplicas())
+	}
+	rt.Close()
+}
+
+// routerHealth fetches and decodes the router's /v1/healthz.
+func routerHealth(t *testing.T, base string) (int, wire.RouterHealth) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h wire.RouterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	return resp.StatusCode, h
+}
+
+// TestReplicaFailover is the replication tentpole invariant, run over
+// both transports: with an R=2 fleet and one replica of every range
+// killed mid-traffic, every /v1/* probe keeps answering byte-identical
+// to single-node (the fleet stays "ok": surviving replicas are exact
+// by determinism); killed-then-restarted replicas are re-admitted (an
+// operator /v1/healthz actively probes replicas in backoff) and then
+// carry the fleet alone when their siblings die.
+func TestReplicaFailover(t *testing.T) {
+	d, w := clusterTestData(t)
+	full, err := query.Build(d, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(serve.New(full, serve.Config{}).Handler())
+	defer single.Close()
+
+	paths := probePaths(full)
+	type answer struct {
+		status int
+		body   string
+	}
+	want := make(map[string]answer, len(paths))
+	for _, p := range paths {
+		status, body := get(t, single.URL, p)
+		want[p] = answer{status, body}
+	}
+	compareAll := func(t *testing.T, base, phase string) {
+		t.Helper()
+		mismatches := 0
+		for _, p := range paths {
+			status, body := get(t, base, p)
+			if status != want[p].status || body != want[p].body {
+				mismatches++
+				if mismatches <= 3 {
+					t.Errorf("%s %s:\n routed: %d %s\n single: %d %s",
+						phase, p, status, body, want[p].status, want[p].body)
+				}
+			}
+		}
+		if mismatches > 0 {
+			t.Fatalf("%s: %d of %d probes differ from single-node", phase, mismatches, len(paths))
+		}
+	}
+
+	plan, err := PlanShards(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, transport := range []string{TransportHTTP, TransportRPC} {
+		t.Run(transport, func(t *testing.T) {
+			fleet, urls := buildReplicatedFleet(t, d, plan, 2, 2)
+			defer func() {
+				for _, rg := range fleet {
+					for _, rs := range rg {
+						rs.Kill()
+					}
+				}
+			}()
+			// Background probing off: every health transition in this
+			// test is driven by request traffic or /v1/healthz, so the
+			// state machine's moves are deterministic.
+			router, err := NewRouter(urls, RouterOptions{Transport: transport, Replicas: 2, ProbeInterval: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer router.Close()
+			rts := httptest.NewServer(router.Handler())
+			defer rts.Close()
+
+			// Phase 1: full fleet answers byte-identical to single-node.
+			compareAll(t, rts.URL, "full fleet")
+
+			// Phase 2: kill one replica of each range — a different
+			// replica id per range, so both positions fail over. Every
+			// probe must keep answering identically: the router retries
+			// point lookups on the surviving replica and fails
+			// aggregates over mid-gather.
+			fleet[0][0].Kill()
+			fleet[1][1].Kill()
+			compareAll(t, rts.URL, "one replica of each range dead")
+
+			// The fleet is NOT degraded: every range still has a healthy
+			// replica. rangeStates says partial, shardStates pins which
+			// replicas are unreachable.
+			status, h := routerHealth(t, rts.URL)
+			if status != http.StatusOK || h.Status != "ok" {
+				t.Fatalf("healthz with survivors = %d %q, want 200 ok", status, h.Status)
+			}
+			if len(h.Ranges) != 2 || len(h.Shards) != 4 {
+				t.Fatalf("healthz reports %d ranges / %d replicas, want 2 / 4", len(h.Ranges), len(h.Shards))
+			}
+			for _, rh := range h.Ranges {
+				if rh.Status != "partial" || rh.Healthy != 1 || rh.Replicas != 2 {
+					t.Fatalf("range %d state = %+v, want partial 1/2", rh.Shard, rh)
+				}
+			}
+			unreachable := 0
+			for _, sh := range h.Shards {
+				if sh.Status == "unreachable" {
+					unreachable++
+				}
+			}
+			if unreachable != 2 {
+				t.Fatalf("healthz reports %d unreachable replicas, want 2", unreachable)
+			}
+
+			// Phase 3: restart the killed replicas at their original
+			// addresses and re-admit them via the operator probe —
+			// /v1/healthz probes even replicas in backoff.
+			fleet[0][0].Revive()
+			fleet[1][1].Revive()
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				status, h = routerHealth(t, rts.URL)
+				healthy := true
+				for _, rh := range h.Ranges {
+					if rh.Status != "ok" {
+						healthy = false
+					}
+				}
+				if status == http.StatusOK && h.Status == "ok" && healthy {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("revived replicas not re-admitted: healthz = %d %+v", status, h)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+
+			// Phase 4: the re-admitted replicas carry the fleet alone.
+			fleet[0][1].Kill()
+			fleet[1][0].Kill()
+			compareAll(t, rts.URL, "re-admitted replicas alone")
 		})
 	}
 }

@@ -47,6 +47,27 @@ type RouterOptions struct {
 	// answer /v1/cluster/info (shards may still be compiling their
 	// slice); <= 0 means DefaultInfoTimeout.
 	InfoTimeout time.Duration
+	// Replicas declares the fleet's replication factor R: the shard
+	// URLs form R complete copies of a len(urls)/R-range partition
+	// (every range served by exactly R processes). It must be set
+	// explicitly — discovery alone cannot distinguish a G=1,R=2 fleet
+	// from two not-yet-partitioned live shards, which also both report
+	// the full range. <= 0 means 1, the pre-replication layout.
+	Replicas int
+	// ProbeInterval is the cadence of the background health prober
+	// (probes healthy replicas to catch silent death, and down
+	// replicas whose backoff expired to re-admit them). 0 means
+	// DefaultProbeInterval; < 0 disables background probing — health
+	// is then tracked only passively (request failures) and actively
+	// by /v1/healthz.
+	ProbeInterval time.Duration
+	// FailBackoff is the re-admission backoff after a replica's first
+	// consecutive failure, doubling per further failure up to
+	// MaxBackoff; <= 0 means DefaultFailBackoff.
+	FailBackoff time.Duration
+	// MaxBackoff caps the exponential re-admission backoff; <= 0 means
+	// DefaultMaxBackoff.
+	MaxBackoff time.Duration
 }
 
 // DefaultGather bounds scatter-gather concurrency when unset.
@@ -54,6 +75,16 @@ const DefaultGather = 8
 
 // DefaultInfoTimeout bounds the startup partition discovery.
 const DefaultInfoTimeout = 30 * time.Second
+
+// DefaultProbeInterval is the background health probe cadence.
+const DefaultProbeInterval = time.Second
+
+// DefaultFailBackoff is the initial re-admission backoff after a
+// replica failure.
+const DefaultFailBackoff = 250 * time.Millisecond
+
+// DefaultMaxBackoff caps the exponential re-admission backoff.
+const DefaultMaxBackoff = 10 * time.Second
 
 // newShardHTTPClient builds the default client for router→shard HTTP
 // traffic. The zero-value http.Transport keeps only 2 idle connections
@@ -73,57 +104,186 @@ func newShardHTTPClient() *http.Client {
 }
 
 // Router fronts a fleet of shard servers with the single-node /v1/*
-// API. Point lookups (/v1/addr, /v1/block) go to the shard owning the
-// block — the response, epoch field and ETag are the owning shard's,
-// with an X-Shard header naming it. Aggregates (/v1/summary, /v1/as,
-// /v1/prefix) fan out to the owning shards with bounded concurrency,
-// fold the mergeable partials, and answer with the minimum epoch across
-// the shards consulted — the oldest snapshot the answer can depend on.
-// A shard that cannot be reached degrades the router: its blocks answer
-// 503 while every other shard keeps serving, and /v1/healthz aggregates
-// to "degraded" with status 503. Shard traffic runs over the transport
-// selected at construction; the public surface is identical over both.
+// API. The fleet is grouped into ranges: R replica processes per
+// contiguous block range, every replica serving a bit-identical index
+// (builds are deterministic), so any replica of a range is an exact
+// stand-in for any other and failover needs no quorum.
+//
+// Point lookups (/v1/addr, /v1/block) go to a healthy replica of the
+// range owning the block — the response, epoch field and ETag are the
+// replica's, with X-Shard/X-Replica headers naming it — and retry on
+// the next replica when the first is unreachable. Aggregates
+// (/v1/summary, /v1/as, /v1/prefix, /v1/delta, /v1/movement) fan out
+// one fetch per covering range with bounded concurrency, failing over
+// within each range mid-gather, fold the mergeable partials, and
+// answer with the minimum epoch across the ranges consulted — the
+// oldest snapshot the answer can depend on.
+//
+// Health is a per-replica state machine: request failures mark a
+// replica down passively, a background prober (and every /v1/healthz)
+// probes it, and exponential backoff gates re-admission. The fleet
+// keeps answering 200s with any single replica of each range dead;
+// "degraded" (healthz 503, point-lookup 503s for the orphaned blocks)
+// now means all replicas of some range are down. Shard traffic runs
+// over the transport selected at construction; the public surface is
+// identical over both.
 type Router struct {
-	shards []*shardState // ascending owned-range order
-	gather int
+	ranges   []*rangeGroup // ascending owned-range order
+	replicas int           // replication factor R
+	gather   int
+
+	probeInterval time.Duration
+	failBackoff   time.Duration
+	maxBackoff    time.Duration
 
 	handler http.Handler
+
+	closeOnce sync.Once
+	stopProbe chan struct{}
 
 	srvMu   sync.Mutex
 	httpSrv *http.Server
 	serveCh chan error
 }
 
-// shardState is one shard's address, partition coordinates, transport
-// client and the highest epoch the router has observed it serving
-// (from gathers and health probes). Health itself is never cached:
-// every lookup attempts the shard and every /v1/healthz live-probes the
-// fleet, so routing decisions cannot go stale.
-type shardState struct {
+// rangeGroup is one contiguous block range and the replica processes
+// serving it. next is the round-robin cursor spreading point lookups
+// across healthy replicas.
+type rangeGroup struct {
+	shard  int // partition index, from the replicas' shard info
+	lo, hi uint32
+	// replicas in (replica id, base URL) order — index 0 is the
+	// primary copy, so an R=1 fleet reproduces the pre-replication
+	// layout exactly.
+	replicas []*replicaState
+	next     atomic.Uint64
+}
+
+// replicaState is one replica process: its address, identity,
+// transport client, the highest epoch the router has observed it
+// serving, and the failover health state machine.
+//
+// The state machine has three tiers, computed against the clock:
+// healthy (not marked down), due (down, backoff expired — worth a
+// retry), and backing off (down, too soon). Requests and probes feed
+// it: a transport failure marks the replica down and doubles its
+// backoff; a healthy answer (any deterministic status — the process
+// proved itself) resets it. A warming 503 does neither: the process
+// is up and will publish on its own, but cannot answer data yet.
+type replicaState struct {
 	base   string
 	info   wire.ShardInfo
 	client Client
 	epoch  atomic.Uint64
+
+	mu      sync.Mutex
+	down    bool
+	fails   int
+	retryAt time.Time
 }
 
 // observeEpoch records a served epoch (monotonic: shards never roll
 // back a published snapshot).
-func (sh *shardState) observeEpoch(e uint64) {
+func (rp *replicaState) observeEpoch(e uint64) {
 	for {
-		cur := sh.epoch.Load()
-		if e <= cur || sh.epoch.CompareAndSwap(cur, e) {
+		cur := rp.epoch.Load()
+		if e <= cur || rp.epoch.CompareAndSwap(cur, e) {
 			return
 		}
 	}
 }
 
-// NewRouter discovers the partition behind the given shard base URLs
-// (e.g. "http://127.0.0.1:8091") by reading each shard's
-// /v1/cluster/info, validates that the owned ranges tile the whole
-// block space exactly once, and returns a Router serving the merged
-// /v1/* API. Discovery always runs over HTTP; with TransportRPC, data
-// traffic upgrades to the binary protocol for every shard advertising
-// an rpcAddr, shard by shard.
+// Health tiers, ordered by routing preference.
+const (
+	tierHealthy = iota // not marked down
+	tierDue            // down, backoff expired — candidate for re-admission
+	tierBackoff        // down, still backing off — last resort only
+)
+
+func (rp *replicaState) tier(now time.Time) int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	switch {
+	case !rp.down:
+		return tierHealthy
+	case !now.Before(rp.retryAt):
+		return tierDue
+	default:
+		return tierBackoff
+	}
+}
+
+// markDown records a transport-level failure: the replica enters (or
+// stays in) the down state with an exponentially growing re-admission
+// backoff.
+func (rp *replicaState) markDown(base, max time.Duration) {
+	now := time.Now()
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.down = true
+	if rp.fails < 32 {
+		rp.fails++
+	}
+	backoff := base << (rp.fails - 1)
+	if backoff <= 0 || backoff > max {
+		backoff = max
+	}
+	rp.retryAt = now.Add(backoff)
+}
+
+// markUp resets the health state after any successful answer.
+func (rp *replicaState) markUp() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.down = false
+	rp.fails = 0
+	rp.retryAt = time.Time{}
+}
+
+// pick orders the range's replicas for one request: healthy replicas
+// first (rotated round-robin so load spreads), then down replicas
+// whose backoff expired, then — as a last resort — replicas still
+// backing off. The last tier is what preserves R=1 semantics: a
+// range's sole dead replica is still attempted on every request (a
+// fast connection-refused produces the degraded 503, and a restarted
+// process is re-admitted by the very next request), exactly as before
+// replication.
+func (g *rangeGroup) pick(now time.Time) []*replicaState {
+	if len(g.replicas) == 1 {
+		return g.replicas
+	}
+	var up, due, rest []*replicaState
+	for _, rp := range g.replicas {
+		switch rp.tier(now) {
+		case tierHealthy:
+			up = append(up, rp)
+		case tierDue:
+			due = append(due, rp)
+		default:
+			rest = append(rest, rp)
+		}
+	}
+	if len(up) > 1 {
+		rot := int(g.next.Add(1)-1) % len(up)
+		rotated := make([]*replicaState, 0, len(up))
+		rotated = append(rotated, up[rot:]...)
+		rotated = append(rotated, up[:rot]...)
+		up = rotated
+	}
+	order := up
+	order = append(order, due...)
+	order = append(order, rest...)
+	return order
+}
+
+// NewRouter discovers the fleet behind the given shard base URLs
+// (e.g. "http://127.0.0.1:8091") by reading each process's
+// /v1/cluster/info, groups replicas by owned range, validates that
+// the ranges tile the whole block space exactly once with
+// opts.Replicas processes each, and returns a Router serving the
+// merged /v1/* API. Discovery always runs over HTTP; with
+// TransportRPC, data traffic upgrades to the binary protocol for
+// every replica advertising an rpcAddr, replica by replica.
 func NewRouter(urls []string, opts RouterOptions) (*Router, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("cluster: no shard URLs")
@@ -147,24 +307,71 @@ func NewRouter(urls []string, opts RouterOptions) (*Router, error) {
 	if infoTimeout <= 0 {
 		infoTimeout = DefaultInfoTimeout
 	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if len(urls)%replicas != 0 {
+		return nil, fmt.Errorf("cluster: %d shard URLs do not divide into %d replicas per range", len(urls), replicas)
+	}
+	wantRanges := len(urls) / replicas
+	probeInterval := opts.ProbeInterval
+	if probeInterval == 0 {
+		probeInterval = DefaultProbeInterval
+	}
+	failBackoff := opts.FailBackoff
+	if failBackoff <= 0 {
+		failBackoff = DefaultFailBackoff
+	}
+	maxBackoff := opts.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultMaxBackoff
+	}
 
-	rt := &Router{gather: gather}
+	rt := &Router{
+		replicas:      replicas,
+		gather:        gather,
+		probeInterval: probeInterval,
+		failBackoff:   failBackoff,
+		maxBackoff:    maxBackoff,
+		stopProbe:     make(chan struct{}),
+	}
+	type rkey struct{ lo, hi uint32 }
+	groups := make(map[rkey]*rangeGroup)
 	deadline := time.Now().Add(infoTimeout)
 	for _, base := range urls {
-		info, err := fetchInfo(hc, base, len(urls), deadline)
+		info, err := fetchInfo(hc, base, wantRanges, deadline)
 		if err != nil {
+			rt.Close()
 			return nil, fmt.Errorf("cluster: shard %s: %w", base, err)
 		}
-		sh := &shardState{base: base, info: info.ShardInfo}
+		rp := &replicaState{base: base, info: info.ShardInfo}
 		if transport == TransportRPC && info.RPCAddr != "" {
-			sh.client = newRPCShardClient(info.Index, info.RPCAddr)
+			rp.client = newRPCShardClient(info.Index, info.RPCAddr)
 		} else {
-			sh.client = newHTTPShardClient(info.Index, base, hc)
+			rp.client = newHTTPShardClient(info.Index, base, hc)
 		}
-		rt.shards = append(rt.shards, sh)
+		k := rkey{info.Lo, info.Hi}
+		g := groups[k]
+		if g == nil {
+			g = &rangeGroup{shard: info.Index, lo: info.Lo, hi: info.Hi}
+			groups[k] = g
+			rt.ranges = append(rt.ranges, g)
+		}
+		g.replicas = append(g.replicas, rp)
 	}
-	sort.Slice(rt.shards, func(i, j int) bool { return rt.shards[i].info.Lo < rt.shards[j].info.Lo })
-	if err := validatePartition(rt.shards); err != nil {
+	sort.Slice(rt.ranges, func(i, j int) bool { return rt.ranges[i].lo < rt.ranges[j].lo })
+	for _, g := range rt.ranges {
+		g := g
+		sort.Slice(g.replicas, func(i, j int) bool {
+			a, b := g.replicas[i], g.replicas[j]
+			if a.info.Replica != b.info.Replica {
+				return a.info.Replica < b.info.Replica
+			}
+			return a.base < b.base
+		})
+	}
+	if err := validateFleet(rt.ranges, wantRanges, replicas); err != nil {
 		rt.Close()
 		return nil, err
 	}
@@ -179,21 +386,32 @@ func NewRouter(urls []string, opts RouterOptions) (*Router, error) {
 	mux.HandleFunc("GET /v1/movement", rt.handleMovement)
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	rt.handler = mux
+	if probeInterval > 0 {
+		go rt.probeLoop()
+	}
 	return rt, nil
 }
 
-// validatePartition checks the sorted owned ranges tile [0, 1<<24)
-// exactly: no gaps, no overlaps, no replicas.
-func validatePartition(shards []*shardState) error {
+// validateFleet checks the sorted range groups tile [0, 1<<24)
+// exactly — no gaps, no overlaps — with exactly replicas processes
+// serving each range.
+func validateFleet(ranges []*rangeGroup, wantRanges, replicas int) error {
+	if len(ranges) != wantRanges {
+		return fmt.Errorf("cluster: fleet reports %d distinct ranges, want %d (%d URLs at %d replicas per range)",
+			len(ranges), wantRanges, wantRanges*replicas, replicas)
+	}
 	next := uint32(0)
-	for _, sh := range shards {
-		if sh.info.Lo != next {
-			return fmt.Errorf("cluster: partition gap/overlap at block %d (shard %d starts at %d)", next, sh.info.Index, sh.info.Lo)
+	for _, g := range ranges {
+		if len(g.replicas) != replicas {
+			return fmt.Errorf("cluster: range [%d, %d) has %d replicas, want %d", g.lo, g.hi, len(g.replicas), replicas)
 		}
-		if sh.info.Hi < sh.info.Lo {
-			return fmt.Errorf("cluster: shard %d has inverted range [%d, %d)", sh.info.Index, sh.info.Lo, sh.info.Hi)
+		if g.lo != next {
+			return fmt.Errorf("cluster: partition gap/overlap at block %d (shard %d starts at %d)", next, g.shard, g.lo)
 		}
-		next = sh.info.Hi
+		if g.hi < g.lo {
+			return fmt.Errorf("cluster: shard %d has inverted range [%d, %d)", g.shard, g.lo, g.hi)
+		}
+		next = g.hi
 	}
 	if next != blockSpace {
 		return fmt.Errorf("cluster: partition covers blocks up to %d, want %d", next, uint32(blockSpace))
@@ -206,7 +424,8 @@ func validatePartition(shards []*shardState) error {
 // partition-aware: a live shard only learns its range (and true shard
 // count) from the stream's meta event, so until then its info reports
 // the default one-shard partition — treated here as "not ready yet",
-// not as a hard mismatch.
+// not as a hard mismatch. wantCount is the number of distinct ranges
+// (not processes): replicas of a range share its shard coordinates.
 func fetchInfo(hc *http.Client, base string, wantCount int, deadline time.Time) (wire.ClusterInfo, error) {
 	var lastErr error
 	for {
@@ -241,15 +460,23 @@ func fetchInfo(hc *http.Client, base string, wantCount int, deadline time.Time) 
 // Handler returns the router's HTTP handler (for tests and embedding).
 func (rt *Router) Handler() http.Handler { return rt.handler }
 
-// NumShards returns the number of shards behind the router.
-func (rt *Router) NumShards() int { return len(rt.shards) }
+// NumShards returns the number of distinct block ranges behind the
+// router.
+func (rt *Router) NumShards() int { return len(rt.ranges) }
 
-// Close releases every shard client's persistent connections. It does
-// not stop a Listen-ing server — use Shutdown for that.
+// NumReplicas returns the replication factor R.
+func (rt *Router) NumReplicas() int { return rt.replicas }
+
+// Close stops the background prober and releases every replica
+// client's persistent connections. It does not stop a Listen-ing
+// server — use Shutdown for that.
 func (rt *Router) Close() {
-	for _, sh := range rt.shards {
-		if sh.client != nil {
-			sh.client.Close()
+	rt.closeOnce.Do(func() { close(rt.stopProbe) })
+	for _, g := range rt.ranges {
+		for _, rp := range g.replicas {
+			if rp.client != nil {
+				rp.client.Close()
+			}
 		}
 	}
 }
@@ -289,25 +516,85 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 	return <-ch
 }
 
-// ownerOf returns the shard owning blk.
-func (rt *Router) ownerOf(blk ipv4.Block) *shardState {
-	for _, sh := range rt.shards {
-		if sh.info.Contains(blk) {
-			return sh
-		}
-	}
-	// Unreachable: validatePartition proved full coverage.
-	return rt.shards[len(rt.shards)-1]
+// markDown applies the router's backoff tuning to a replica failure.
+func (rt *Router) markDown(rp *replicaState) {
+	rp.markDown(rt.failBackoff, rt.maxBackoff)
 }
 
-// minEpoch returns the lowest last-observed epoch across shards — the
-// oldest snapshot a merged answer can depend on (0 until every shard
-// has been observed serving).
+// probeLoop is the background health prober: every ProbeInterval it
+// probes healthy replicas (catching silent death before a request
+// does) and down replicas whose backoff expired (re-admitting them
+// without waiting for traffic). Replicas still backing off are left
+// alone — that is the point of the backoff.
+func (rt *Router) probeLoop() {
+	t := time.NewTicker(rt.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-t.C:
+			rt.probeOnce()
+		}
+	}
+}
+
+func (rt *Router) probeOnce() {
+	now := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeInterval)
+	defer cancel()
+	var g par.Group
+	g.SetLimit(rt.gather)
+	for _, rg := range rt.ranges {
+		for _, rp := range rg.replicas {
+			rp := rp
+			if rp.tier(now) == tierBackoff {
+				continue
+			}
+			g.Go(func() error {
+				status, epoch, _, _, err := rp.client.Health(ctx)
+				switch {
+				case err != nil:
+					rt.markDown(rp)
+				case status == "ok":
+					rp.markUp()
+					rp.observeEpoch(epoch)
+				}
+				// Any other status (warming): alive but not servable;
+				// leave the state machine untouched.
+				return nil
+			})
+		}
+	}
+	g.Wait() //nolint:errcheck // probe outcomes land in the state machine
+}
+
+// ownerOf returns the range group owning blk.
+func (rt *Router) ownerOf(blk ipv4.Block) *rangeGroup {
+	for _, g := range rt.ranges {
+		if uint32(blk) >= g.lo && uint32(blk) < g.hi {
+			return g
+		}
+	}
+	// Unreachable: validateFleet proved full coverage.
+	return rt.ranges[len(rt.ranges)-1]
+}
+
+// minEpoch returns the lowest last-observed epoch across ranges — the
+// oldest snapshot a merged answer can depend on (0 until every range
+// has been observed serving). A range's epoch is its best replica's:
+// any replica at that epoch can serve it.
 func (rt *Router) minEpoch() uint64 {
 	min := uint64(0)
-	for i, sh := range rt.shards {
-		if epoch := sh.epoch.Load(); i == 0 || epoch < min {
-			min = epoch
+	for i, g := range rt.ranges {
+		best := uint64(0)
+		for _, rp := range g.replicas {
+			if e := rp.epoch.Load(); e > best {
+				best = e
+			}
+		}
+		if i == 0 || best < min {
+			min = best
 		}
 	}
 	return min
@@ -342,10 +629,10 @@ func writeNotRetained(w http.ResponseWriter, asked, oldest, newest uint64) {
 	w.Write(wire.NotRetainedBody(asked, oldest, newest))
 }
 
-// foldCommonRange folds per-shard retained ranges into the cluster-wide
-// common range: max of oldests, min of newests — the epochs every shard
-// can still answer. A shard retaining nothing (newest 0) collapses the
-// range to empty (0, 0).
+// foldCommonRange folds per-range retained ranges into the
+// cluster-wide common range: max of oldests, min of newests — the
+// epochs every range can still answer. A range retaining nothing
+// (newest 0) collapses the range to empty (0, 0).
 func foldCommonRange(oldests, newests []uint64) (oldest, newest uint64) {
 	for i := range oldests {
 		if oldests[i] > oldest {
@@ -361,24 +648,43 @@ func foldCommonRange(oldests, newests []uint64) (oldest, newest uint64) {
 	return oldest, newest
 }
 
-// commonRange live-probes every shard's retained range and folds the
-// cluster-wide common range. Used on the rare aggregate not-retained
-// path, where the failing gather only learned one shard's range.
+// commonRange live-probes the fleet's retained ranges and folds the
+// cluster-wide common range. Within a range the answering replicas'
+// rings are intersected (a routed as-of query may land on any of
+// them); across ranges foldCommonRange applies. Used on the rare
+// aggregate not-retained path, where the failing gather only learned
+// one range's ring.
 func (rt *Router) commonRange(ctx context.Context) (oldest, newest uint64) {
-	oldests := make([]uint64, len(rt.shards))
-	newests := make([]uint64, len(rt.shards))
+	oldests := make([]uint64, len(rt.ranges))
+	newests := make([]uint64, len(rt.ranges))
 	var g par.Group
 	g.SetLimit(rt.gather)
-	for i, sh := range rt.shards {
-		i, sh := i, sh
+	for i, rg := range rt.ranges {
+		i, rg := i, rg
 		g.Go(func() error {
-			if _, _, o, n, err := sh.client.Health(ctx); err == nil {
-				oldests[i], newests[i] = o, n
+			var ro, rn uint64
+			seen := false
+			for _, rp := range rg.replicas {
+				_, _, o, n, err := rp.client.Health(ctx)
+				if err != nil {
+					continue
+				}
+				if !seen {
+					ro, rn, seen = o, n, true
+					continue
+				}
+				if o > ro {
+					ro = o
+				}
+				if n < rn {
+					rn = n
+				}
 			}
+			oldests[i], newests[i] = ro, rn
 			return nil
 		})
 	}
-	g.Wait() //nolint:errcheck // unreachable shards keep their zero range
+	g.Wait() //nolint:errcheck // unreachable replicas keep their zero range
 	return foldCommonRange(oldests, newests)
 }
 
@@ -389,20 +695,56 @@ func (rt *Router) respondNotRetained(w http.ResponseWriter, r *http.Request, ask
 	writeNotRetained(w, asked, oldest, newest)
 }
 
-// relay answers a point lookup with the owning shard's response —
-// body, epoch field, ETag and cache disposition are the shard's, plus
-// an X-Shard header naming the owner. The transport client either
-// produced the shard's exact bytes (HTTP proxies them verbatim, RPC
-// reconstructs them with the shared wire helpers) or failed, which is
-// the 503 unavailable path.
-func (rt *Router) relay(w http.ResponseWriter, r *http.Request, sh *shardState, pr PointRequest) {
+// relay answers a point lookup with an owning replica's response —
+// body, epoch field, ETag and cache disposition are the replica's,
+// plus X-Shard/X-Replica headers naming it. Replicas are tried in
+// pick() order: an unreachable one is marked down and the next tried
+// (any replica's bytes are exact — builds are deterministic); a
+// warming one is remembered and its 503 relayed only if no sibling
+// can do better. Only when every replica of the range is unreachable
+// does the lookup 503 on the unavailable path.
+func (rt *Router) relay(w http.ResponseWriter, r *http.Request, rg *rangeGroup, pr PointRequest) {
 	pr.URI = r.URL.RequestURI()
 	pr.IfNoneMatch = r.Header.Get("If-None-Match")
-	resp, err := sh.client.Point(r.Context(), pr)
-	if err != nil {
-		rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+	var lastErr error
+	var warming *PointResponse
+	var warmingFrom *replicaState
+	for _, rp := range rg.pick(time.Now()) {
+		resp, err := rp.client.Point(r.Context(), pr)
+		if err != nil {
+			lastErr = err
+			if isUnavailable(err) {
+				rt.markDown(rp)
+				continue
+			}
+			rt.respondErr(w, r, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		if resp.Status == http.StatusServiceUnavailable {
+			// Warming: the process is alive but has no snapshot yet. A
+			// sibling replica may have one — keep looking, and keep the
+			// response in case none does.
+			if warming == nil {
+				warming, warmingFrom = &resp, rp
+			}
+			continue
+		}
+		rp.markUp()
+		writePoint(w, resp, rg, rp)
 		return
 	}
+	if warming != nil {
+		writePoint(w, *warming, rg, warmingFrom)
+		return
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shard %d unavailable", rg.shard)
+	}
+	rt.respondErr(w, r, http.StatusServiceUnavailable, lastErr.Error())
+}
+
+// writePoint relays a replica's point response verbatim.
+func writePoint(w http.ResponseWriter, resp PointResponse, rg *rangeGroup, rp *replicaState) {
 	for h, v := range map[string]string{
 		"ETag":         resp.ETag,
 		"Content-Type": resp.ContentType,
@@ -413,7 +755,8 @@ func (rt *Router) relay(w http.ResponseWriter, r *http.Request, sh *shardState, 
 			w.Header().Set(h, v)
 		}
 	}
-	w.Header().Set("X-Shard", strconv.Itoa(sh.info.Index))
+	w.Header().Set("X-Shard", strconv.Itoa(rg.shard))
+	w.Header().Set("X-Replica", strconv.Itoa(rp.info.Replica))
 	w.WriteHeader(resp.Status)
 	w.Write(resp.Body)
 }
@@ -444,25 +787,59 @@ func (rt *Router) handleBlock(w http.ResponseWriter, r *http.Request) {
 	rt.relay(w, r, rt.ownerOf(blk), PointRequest{Block: blk, Epoch: epoch})
 }
 
-// gatherPartials fans one fetch out to the given shards with bounded
-// concurrency. Any unreachable or failing shard fails the whole gather
-// — a partial aggregate would silently misreport the dataset. The
-// returned epoch is the minimum across shards.
-func gatherPartials[T any](rt *Router, ctx context.Context, shards []*shardState,
+// fetchRange performs one range's share of a gather, failing over
+// across the range's replicas in pick() order. Transport failures
+// mark the replica down and move on; warming 503s move on without a
+// health mark; any deterministic answer — success, a parse 400, the
+// typed not-retained 404 — is returned immediately, because every
+// replica of the range would answer it identically. Only when no
+// replica produced a deterministic answer does the last failover
+// error surface.
+func fetchRange[T any](rt *Router, ctx context.Context, rg *rangeGroup,
+	fetch func(context.Context, Client) (T, uint64, error)) (T, uint64, error) {
+	var zero T
+	var lastErr error
+	for _, rp := range rg.pick(time.Now()) {
+		v, epoch, err := fetch(ctx, rp.client)
+		if err != nil {
+			if isUnavailable(err) {
+				rt.markDown(rp)
+				lastErr = err
+				continue
+			}
+			if isWarming(err) {
+				lastErr = err
+				continue
+			}
+			rp.markUp()
+			return zero, 0, err
+		}
+		rp.markUp()
+		rp.observeEpoch(epoch)
+		return v, epoch, nil
+	}
+	return zero, 0, lastErr
+}
+
+// gatherPartials fans one fetch per range out with bounded
+// concurrency, failing over inside each range via fetchRange. A range
+// with no answering replica fails the whole gather — a partial
+// aggregate would silently misreport the dataset. The returned epoch
+// is the minimum across ranges.
+func gatherPartials[T any](rt *Router, ctx context.Context, ranges []*rangeGroup,
 	fetch func(context.Context, Client) (T, uint64, error)) ([]T, uint64, error) {
-	out := make([]T, len(shards))
-	epochs := make([]uint64, len(shards))
+	out := make([]T, len(ranges))
+	epochs := make([]uint64, len(ranges))
 	var g par.Group
 	g.SetLimit(rt.gather)
-	for i, sh := range shards {
-		i, sh := i, sh
+	for i, rg := range ranges {
+		i, rg := i, rg
 		g.Go(func() error {
-			v, epoch, err := fetch(ctx, sh.client)
+			v, epoch, err := fetchRange(rt, ctx, rg, fetch)
 			if err != nil {
 				return err
 			}
 			out[i], epochs[i] = v, epoch
-			sh.observeEpoch(epoch)
 			return nil
 		})
 	}
@@ -494,7 +871,7 @@ func (rt *Router) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	parts, epoch, err := gatherPartials(rt, r.Context(), rt.shards,
+	parts, epoch, err := gatherPartials(rt, r.Context(), rt.ranges,
 		func(ctx context.Context, c Client) (query.SummaryPartial, uint64, error) {
 			return c.Summary(ctx, asOf)
 		})
@@ -520,7 +897,7 @@ func (rt *Router) handleAS(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	parts, epoch, err := gatherPartials(rt, r.Context(), rt.shards,
+	parts, epoch, err := gatherPartials(rt, r.Context(), rt.ranges,
 		func(ctx context.Context, c Client) (query.ASPartial, uint64, error) {
 			return c.AS(ctx, n, asOf)
 		})
@@ -548,10 +925,10 @@ func (rt *Router) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	}
 	first := uint32(p.FirstBlock())
 	last := first + uint32(p.NumBlocks()) - 1
-	var covering []*shardState
-	for _, sh := range rt.shards {
-		if sh.info.Hi > first && sh.info.Lo <= last {
-			covering = append(covering, sh)
+	var covering []*rangeGroup
+	for _, rg := range rt.ranges {
+		if rg.hi > first && rg.lo <= last {
+			covering = append(covering, rg)
 		}
 	}
 	asOf, ok := rt.parseEpochParam(w, r)
@@ -575,13 +952,13 @@ func (rt *Router) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	wire.Respond(w, r, http.StatusOK, merged, epoch)
 }
 
-// handleDelta scatter-gathers /v1/delta?from=&to= to every shard and
-// folds the mergeable partials exactly. Not-retained answers do not
-// fail the gather: every shard reports its retained ring range (inside
-// the success payload or the typed 404), the router folds the
-// cluster-wide common range, and a missing epoch answers the canonical
-// 404 body with that range — blaming from before to, the same check
-// order a single shard applies.
+// handleDelta scatter-gathers /v1/delta?from=&to= to every range
+// (failing over within each) and folds the mergeable partials
+// exactly. Not-retained answers do not fail the gather: every range
+// reports its retained ring (inside the success payload or the typed
+// 404), the router folds the cluster-wide common range, and a missing
+// epoch answers the canonical 404 body with that range — blaming from
+// before to, the same check order a single shard applies.
 func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	fromRaw, toRaw := q.Get("from"), q.Get("to")
@@ -591,17 +968,25 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 		rt.respondErr(w, r, http.StatusBadRequest, wire.ErrDeltaParams(fromRaw, toRaw))
 		return
 	}
-	parts := make([]query.DeltaPartial, len(rt.shards))
-	oldests := make([]uint64, len(rt.shards))
-	newests := make([]uint64, len(rt.shards))
+	type deltaShare struct {
+		p              query.DeltaPartial
+		oldest, newest uint64
+	}
+	parts := make([]query.DeltaPartial, len(rt.ranges))
+	oldests := make([]uint64, len(rt.ranges))
+	newests := make([]uint64, len(rt.ranges))
 	missing := false
 	var mu sync.Mutex
 	var g par.Group
 	g.SetLimit(rt.gather)
-	for i, sh := range rt.shards {
-		i, sh := i, sh
+	for i, rg := range rt.ranges {
+		i, rg := i, rg
 		g.Go(func() error {
-			p, oldest, newest, err := sh.client.Delta(r.Context(), from, to)
+			v, _, err := fetchRange(rt, r.Context(), rg,
+				func(ctx context.Context, c Client) (deltaShare, uint64, error) {
+					p, oldest, newest, err := c.Delta(ctx, from, to)
+					return deltaShare{p: p, oldest: oldest, newest: newest}, 0, err
+				})
 			if err != nil {
 				var nr *wire.NotRetainedError
 				if !errors.As(err, &nr) {
@@ -613,7 +998,7 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 				mu.Unlock()
 				return nil
 			}
-			parts[i], oldests[i], newests[i] = p, oldest, newest
+			parts[i], oldests[i], newests[i] = v.p, v.oldest, v.newest
 			return nil
 		})
 	}
@@ -639,7 +1024,7 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMovement scatter-gathers /v1/movement?last=N; the merge keeps
-// the epochs present on every shard, so the routed series covers the
+// the epochs present on every range, so the routed series covers the
 // cluster-wide common range.
 func (rt *Router) handleMovement(w http.ResponseWriter, r *http.Request) {
 	last := 0
@@ -651,7 +1036,7 @@ func (rt *Router) handleMovement(w http.ResponseWriter, r *http.Request) {
 		}
 		last = n
 	}
-	parts, _, err := gatherPartials(rt, r.Context(), rt.shards,
+	parts, _, err := gatherPartials(rt, r.Context(), rt.ranges,
 		func(ctx context.Context, c Client) (query.MovementPartial, uint64, error) {
 			p, _, newest, err := c.Movement(ctx, last)
 			return p, newest, err
@@ -668,26 +1053,47 @@ func (rt *Router) handleMovement(w http.ResponseWriter, r *http.Request) {
 	wire.Respond(w, r, http.StatusOK, merged, merged.NewestEpoch)
 }
 
-// handleHealthz live-probes every shard with bounded concurrency,
-// updates the per-shard health state, and aggregates: 200 "ok" when
-// every shard serves a snapshot, 503 "degraded" otherwise, with the
-// minimum shard epoch as the cluster epoch.
+// handleHealthz live-probes every replica with bounded concurrency —
+// including replicas still backing off, so an operator hitting
+// /v1/healthz is an active re-admission path — feeds the health state
+// machine, and aggregates per range: a range is "ok" when every
+// replica serves, "partial" when some do, "down" when none does. The
+// fleet is "degraded" (503) only when some range is down — that is
+// the set of blocks nobody can answer. The cluster epoch is the
+// minimum over ranges of each range's best healthy replica.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	states := make([]wire.RouterShardHealth, len(rt.shards))
+	type slot struct {
+		rg *rangeGroup
+		rp *replicaState
+	}
+	var flat []slot
+	for _, rg := range rt.ranges {
+		for _, rp := range rg.replicas {
+			flat = append(flat, slot{rg: rg, rp: rp})
+		}
+	}
+	states := make([]wire.RouterShardHealth, len(flat))
 	var g par.Group
 	g.SetLimit(rt.gather)
-	for i, sh := range rt.shards {
-		i, sh := i, sh
+	for i, s := range flat {
+		i, s := i, s
 		g.Go(func() error {
-			st := wire.RouterShardHealth{Shard: sh.info.Index, URL: sh.base, Transport: sh.client.Transport()}
-			status, epoch, oldest, newest, err := sh.client.Health(r.Context())
+			st := wire.RouterShardHealth{
+				Shard:     s.rg.shard,
+				Replica:   s.rp.info.Replica,
+				URL:       s.rp.base,
+				Transport: s.rp.client.Transport(),
+			}
+			status, epoch, oldest, newest, err := s.rp.client.Health(r.Context())
 			if err != nil {
 				st.Status, st.Error = "unreachable", err.Error()
+				rt.markDown(s.rp)
 			} else {
 				st.Status, st.Epoch = status, epoch
 				st.OldestEpoch, st.NewestEpoch = oldest, newest
 				if status == "ok" {
-					sh.observeEpoch(epoch)
+					s.rp.markUp()
+					s.rp.observeEpoch(epoch)
 				}
 			}
 			states[i] = st
@@ -698,18 +1104,51 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 	body := wire.RouterHealth{Status: "ok", Shards: states}
 	status := http.StatusOK
-	oldests := make([]uint64, len(states))
-	newests := make([]uint64, len(states))
-	for i, st := range states {
-		if st.Status != "ok" {
+	oldests := make([]uint64, len(rt.ranges))
+	newests := make([]uint64, len(rt.ranges))
+	ranges := make([]wire.RouterRangeHealth, len(rt.ranges))
+	flatIdx := 0
+	for gi, rg := range rt.ranges {
+		rh := wire.RouterRangeHealth{Shard: rg.shard, Lo: rg.lo, Hi: rg.hi, Replicas: len(rg.replicas)}
+		var rangeEpoch uint64
+		seen := false
+		for range rg.replicas {
+			st := states[flatIdx]
+			flatIdx++
+			if st.Status != "ok" {
+				continue
+			}
+			rh.Healthy++
+			if st.Epoch > rangeEpoch {
+				rangeEpoch = st.Epoch
+			}
+			if !seen {
+				oldests[gi], newests[gi], seen = st.OldestEpoch, st.NewestEpoch, true
+				continue
+			}
+			if st.OldestEpoch > oldests[gi] {
+				oldests[gi] = st.OldestEpoch
+			}
+			if st.NewestEpoch < newests[gi] {
+				newests[gi] = st.NewestEpoch
+			}
+		}
+		switch {
+		case rh.Healthy == len(rg.replicas):
+			rh.Status = "ok"
+		case rh.Healthy > 0:
+			rh.Status = "partial"
+		default:
+			rh.Status = "down"
 			body.Status = "degraded"
 			status = http.StatusServiceUnavailable
 		}
-		if i == 0 || st.Epoch < body.Epoch {
-			body.Epoch = st.Epoch
+		ranges[gi] = rh
+		if gi == 0 || rangeEpoch < body.Epoch {
+			body.Epoch = rangeEpoch
 		}
-		oldests[i], newests[i] = st.OldestEpoch, st.NewestEpoch
 	}
+	body.Ranges = ranges
 	body.OldestEpoch, body.NewestEpoch = foldCommonRange(oldests, newests)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

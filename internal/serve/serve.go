@@ -93,7 +93,10 @@ type Config struct {
 	// unsharded server is simply the one-shard cluster, which is what
 	// lets the equivalence tests run a router over a single full
 	// server. Live shards that learn their range from the stream's
-	// meta event use SetShard instead.
+	// meta event use SetShard instead. Under replication the Replica
+	// field labels this process among the range's copies; it changes
+	// nothing about what is served (replicas build bit-identical
+	// indexes), only how routers report the process.
 	Shard *wire.ShardInfo
 }
 

@@ -268,12 +268,17 @@ func ParseASN(raw string) (uint32, error) {
 // raw /24 block numbers (Hi may be 1<<24, one past the last block).
 // The cluster router learns the partition by reading every shard's
 // /v1/cluster/info, so shards are the single source of truth for who
-// owns what.
+// owns what. Replica distinguishes processes serving the same range
+// under replication; every replica of a range builds a bit-identical
+// index (determinism), so Replica is identity for health reporting,
+// not a data coordinate. omitempty keeps replica-0 bodies
+// byte-identical to the pre-replication wire.
 type ShardInfo struct {
-	Index int    `json:"shard"`
-	Count int    `json:"shards"`
-	Lo    uint32 `json:"blockLo"`
-	Hi    uint32 `json:"blockHi"`
+	Index   int    `json:"shard"`
+	Count   int    `json:"shards"`
+	Lo      uint32 `json:"blockLo"`
+	Hi      uint32 `json:"blockHi"`
+	Replica int    `json:"replica,omitempty"`
 }
 
 // Contains reports whether blk falls inside the shard's owned range.
@@ -318,22 +323,30 @@ type Health struct {
 }
 
 // RouterHealth is the cluster router's /v1/healthz body: the aggregate
-// verdict plus one entry per shard. OldestEpoch/NewestEpoch is the
-// cluster-wide common retained range (max of shard oldests, min of
-// shard newests) — the span a time-travel or delta query can name and
-// have every shard answer.
+// verdict plus one entry per replica process (shardStates) and a
+// per-range rollup (rangeStates). OldestEpoch/NewestEpoch is the
+// cluster-wide common retained range (max over ranges of the range's
+// best-replica oldest, min of newests) — the span a time-travel or
+// delta query can name and have every range answer. Status is
+// "degraded" (503) only when some range has zero healthy replicas;
+// individual replica deaths that leave every range covered keep the
+// fleet "ok".
 type RouterHealth struct {
 	Status      string              `json:"status"`
 	Epoch       uint64              `json:"epoch"`
 	OldestEpoch uint64              `json:"oldestEpoch"`
 	NewestEpoch uint64              `json:"newestEpoch"`
 	Shards      []RouterShardHealth `json:"shardStates"`
+	Ranges      []RouterRangeHealth `json:"rangeStates"`
 }
 
-// RouterShardHealth is one shard's health as the router observed it on
-// this probe.
+// RouterShardHealth is one replica process's health as the router
+// observed it on this probe. Replica is 0 for the primary copy of a
+// range (omitempty keeps R=1 fleets byte-compatible with the
+// pre-replication wire).
 type RouterShardHealth struct {
 	Shard       int    `json:"shard"`
+	Replica     int    `json:"replica,omitempty"`
 	URL         string `json:"url"`
 	Transport   string `json:"transport,omitempty"`
 	Status      string `json:"status"`
@@ -341,4 +354,17 @@ type RouterShardHealth struct {
 	OldestEpoch uint64 `json:"oldestEpoch"`
 	NewestEpoch uint64 `json:"newestEpoch"`
 	Error       string `json:"error,omitempty"`
+}
+
+// RouterRangeHealth rolls the replicas of one block range up to the
+// unit that matters for availability: a range with at least one
+// healthy replica answers, a range with none is what "degraded"
+// means.
+type RouterRangeHealth struct {
+	Shard    int    `json:"shard"`
+	Lo       uint32 `json:"blockLo"`
+	Hi       uint32 `json:"blockHi"`
+	Replicas int    `json:"replicas"`
+	Healthy  int    `json:"healthy"`
+	Status   string `json:"status"`
 }

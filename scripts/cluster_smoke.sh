@@ -56,6 +56,11 @@ until fetch "$base/v1/healthz" >/dev/null 2>&1; do
     sleep 0.2
 done
 
+# 0. Healthz reports per-range rollups (R=1: one range per shard).
+fetch "$base/v1/healthz" | grep -q '"rangeStates"' \
+    || { echo "cluster-smoke: healthz lacks rangeStates"; fetch "$base/v1/healthz"; exit 1; }
+echo "cluster-smoke: healthz reports per-range rangeStates"
+
 # 1. Routed summary must byte-equal the single-node batch summary.
 "$dir/ipscope-serve" -dataset "$dir/cluster.obs" -dump-summary >"$dir/batch-summary.json" 2>/dev/null
 fetch "$base/v1/summary" | sed 's/"epoch":[0-9]*,//' >"$dir/routed-summary.json"

@@ -62,6 +62,11 @@ until fetch "$base/v1/healthz" >/dev/null 2>&1; do
     sleep 0.2
 done
 
+# 0. Healthz reports per-range rollups (R=1: one range per shard).
+fetch "$base/v1/healthz" | grep -q '"rangeStates"' \
+    || { echo "rpc-smoke: healthz lacks rangeStates"; fetch "$base/v1/healthz"; exit 1; }
+echo "rpc-smoke: healthz reports per-range rangeStates"
+
 # 1. Every shard connection must have upgraded to RPC.
 rpc_shards=$(fetch "$base/v1/healthz" | grep -o '"transport":"rpc"' | wc -l)
 [ "$rpc_shards" -eq 2 ] || {
